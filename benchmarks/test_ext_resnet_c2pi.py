@@ -1,0 +1,107 @@
+"""Extension: C2PI on a residual architecture (the paper's future work).
+
+The paper evaluates plain feed-forward victims; its conclusion leaves
+broader architectures open. This bench runs the full C2PI pipeline on a
+CIFAR ResNet-20: DINA boundary search over the (atomic) residual-block
+boundaries, then crypto-segment cost estimates for Delphi / CrypTFlow2 /
+Cheetah via :func:`repro.models.resnet_tallies`.
+
+Expected shape: the SSIM curve decays with block depth exactly as on VGG
+(skip connections do *not* keep early-layer information recoverable enough
+to defeat the threshold at depth), so a mid-network boundary exists and
+yields the same kind of cost savings as Table II.
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench import current_scale, get_dataset, render_table
+from repro.bench.harness import run_boundary_analysis
+from repro.bench.victims import cache_directory
+from repro.models import resnet20, resnet_tallies, train_classifier
+from repro.mpc.costs import CostEstimate, cheetah_costs, cryptflow2_costs, delphi_costs
+from repro.mpc.network import LAN, WAN
+from repro.nn import load_model, save_model
+
+
+def _trained_resnet():
+    scale = current_scale()
+    dataset = get_dataset("cifar10", scale)
+    model = resnet20(num_classes=dataset.num_classes, width_mult=scale.width_mult,
+                     rng=np.random.default_rng(17))
+    path = os.path.join(cache_directory(), f"resnet20_cifar10_{scale.name}.npz")
+    meta = path.replace(".npz", ".acc")
+    if os.path.exists(path) and os.path.exists(meta):
+        load_model(model, path)
+        with open(meta) as handle:
+            accuracy = float(handle.read().strip())
+    else:
+        result = train_classifier(model, dataset, epochs=scale.victim_epochs,
+                                  batch_size=scale.victim_batch, lr=2e-3, seed=0)
+        accuracy = result.test_accuracy
+        save_model(model, path)
+        with open(meta, "w") as handle:
+            handle.write(f"{accuracy:.6f}")
+    model.eval()
+    return model, dataset, accuracy
+
+
+def test_resnet_boundary_and_costs(benchmark):
+    def run():
+        model, dataset, accuracy = _trained_resnet()
+        analysis = run_boundary_analysis(
+            model, dataset, current_scale(), baseline_accuracy=accuracy,
+            sigmas=(0.3,),
+        )
+        return model, analysis, accuracy
+
+    model, analysis, accuracy = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(f"\n=== ResNet-20 boundary search (baseline acc {accuracy:.3f}) ===")
+    print(render_table(
+        ["layer id", "DINA SSIM"],
+        [[layer, f"{ssim:.3f}"] for layer, ssim in
+         zip(analysis.layer_ids, analysis.dina_ssim)],
+    ))
+    boundary = analysis.boundaries[0.3]
+    print(f"sigma=0.3 boundary: layer {boundary} "
+          f"(noised acc {analysis.boundary_accuracy[0.3]:.3f})")
+
+    # Cost comparison at paper width: full PI vs the found boundary.
+    paper_model = resnet20(width_mult=1.0)
+    last = paper_model.layer_ids[-1]
+    rows = []
+    for backend in (delphi_costs(), cryptflow2_costs(), cheetah_costs()):
+        full = CostEstimate.from_tallies(resnet_tallies(paper_model, last), backend)
+        # Map the scaled boundary onto the paper-width model (ids match:
+        # width scaling preserves the layer structure).
+        part = CostEstimate.from_tallies(resnet_tallies(paper_model, boundary),
+                                         backend)
+        rows.append([
+            backend.name,
+            f"{full.latency(LAN):.2f}", f"{part.latency(LAN):.2f}",
+            f"{full.latency(LAN) / part.latency(LAN):.2f}x",
+            f"{full.total_mb:.1f}", f"{part.total_mb:.1f}",
+            f"{full.total_mb / part.total_mb:.2f}x",
+            f"{full.latency(WAN) / part.latency(WAN):.2f}x",
+        ])
+    print("\n=== ResNet-20 C2PI cost savings (paper width) ===")
+    print(render_table(
+        ["backend", "full LAN s", "C2PI LAN s", "LAN speedup",
+         "full MB", "C2PI MB", "comm saving", "WAN speedup"],
+        rows,
+    ))
+
+    # Shape assertions, robust to the smoke-scale attack budget (at which
+    # DINA may fail already at layer 1, putting the boundary at the first
+    # block): the SSIM curve must not grow with depth, the boundary must be
+    # strictly before the end of the network, and C2PI must therefore save
+    # cost under every backend.
+    assert analysis.dina_ssim[-1] < analysis.dina_ssim[0] + 0.05
+    assert analysis.layer_ids[0] <= boundary < last
+    for backend in (delphi_costs(), cryptflow2_costs(), cheetah_costs()):
+        full = CostEstimate.from_tallies(resnet_tallies(paper_model, last), backend)
+        part = CostEstimate.from_tallies(resnet_tallies(paper_model, boundary), backend)
+        assert part.latency(LAN) < full.latency(LAN)
+        assert part.total_mb < full.total_mb

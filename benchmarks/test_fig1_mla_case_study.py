@@ -1,0 +1,45 @@
+"""Figure 1 — MLA case study on one CIFAR-10 image through VGG16.
+
+The paper attacks each layer of VGG16 with MLA for a single image and shows
+the reconstruction SSIM sinking below the 0.3 failure threshold after layer
+10: the network itself hides the input at depth. This benchmark regenerates
+the per-layer SSIM series.
+"""
+
+from repro.bench import current_scale, get_victim, render_table
+from repro.bench.paper_data import FIG1_MLA_FAILURE_LAYER, SSIM_FAILURE_THRESHOLD
+from repro.attacks import MLA
+
+
+def run_case_study():
+    scale = current_scale()
+    model, dataset, _ = get_victim("vgg16", "cifar10", scale)
+    image = dataset.test_images[:1]
+    layer_ids = scale.conv_grid(model.conv_ids)
+    series = []
+    for layer_id in layer_ids:
+        attack = MLA(model, layer_id, iterations=scale.mla_iterations, seed=0)
+        result = attack.evaluate(image)
+        series.append((layer_id, result.avg_ssim))
+    return series
+
+
+def test_fig1_mla_case_study(benchmark):
+    series = benchmark.pedantic(run_case_study, rounds=1, iterations=1)
+
+    failure_layers = [layer for layer, ssim in series if ssim < SSIM_FAILURE_THRESHOLD]
+    rows = [
+        [layer, ssim, "fail" if ssim < SSIM_FAILURE_THRESHOLD else "recover"]
+        for layer, ssim in series
+    ]
+    print("\n=== Figure 1: MLA per-layer SSIM, VGG16 / CIFAR-10 ===")
+    print(render_table(["conv id", "SSIM", "attack"], rows))
+    print(
+        f"paper: SSIM < {SSIM_FAILURE_THRESHOLD} after layer "
+        f"{FIG1_MLA_FAILURE_LAYER}; measured first failing layer: "
+        f"{failure_layers[0] if failure_layers else 'none'}"
+    )
+
+    # Shape assertions: recovery succeeds early and fails late.
+    assert series[0][1] > SSIM_FAILURE_THRESHOLD, "MLA must recover at layer 1"
+    assert series[-1][1] < SSIM_FAILURE_THRESHOLD, "MLA must fail at the last conv"

@@ -1,0 +1,83 @@
+"""Figure 4 — MLA vs EINA vs DINA across VGG16 layers.
+
+The paper's headline attack result: DINA recovers higher-SSIM images than
+MLA and EINA at middle layers (+0.23/+0.11 at conv 7 on CIFAR-10), and
+consequently returns a later (more conservative) potential boundary in
+phase 1 of Algorithm 1 (9 vs 8.5 vs 7.5). Both CIFAR variants are swept;
+the smoke profile runs CIFAR-10 and adds CIFAR-100 at larger scales.
+"""
+
+import os
+
+from repro.bench import current_scale, get_victim, render_table, run_idpa_comparison
+from repro.bench.paper_data import (
+    FIG4_DINA_GAINS_AT_LAYER7,
+    FIG4_POTENTIAL_BOUNDARIES,
+    NOISE_MAGNITUDE,
+    SSIM_FAILURE_THRESHOLD,
+)
+
+_DATASETS = ("cifar10",) if current_scale().name == "smoke" else ("cifar10", "cifar100")
+
+
+def run_comparison(dataset_name):
+    scale = current_scale()
+    model, dataset, _ = get_victim("vgg16", dataset_name, scale)
+    return run_idpa_comparison(
+        model,
+        dataset,
+        scale,
+        attacks=("mla", "eina", "dina"),
+        noise_magnitude=NOISE_MAGNITUDE,
+    )
+
+
+def test_fig4_idpa_comparison(benchmark):
+    all_results = benchmark.pedantic(
+        lambda: {name: run_comparison(name) for name in _DATASETS},
+        rounds=1,
+        iterations=1,
+    )
+
+    for dataset_name, sweeps in all_results.items():
+        layer_ids = sweeps["mla"].layer_ids
+        rows = []
+        for i, layer in enumerate(layer_ids):
+            rows.append(
+                [
+                    layer,
+                    sweeps["mla"].avg_ssim[i],
+                    sweeps["eina"].avg_ssim[i],
+                    sweeps["dina"].avg_ssim[i],
+                ]
+            )
+        print(f"\n=== Figure 4: IDPA comparison, VGG16 / {dataset_name} ===")
+        print(render_table(["conv id", "MLA", "EINA", "DINA"], rows))
+        paper = FIG4_POTENTIAL_BOUNDARIES[dataset_name]
+        for kind in ("mla", "eina", "dina"):
+            measured = sweeps[kind].potential_boundary(SSIM_FAILURE_THRESHOLD)
+            print(
+                f"potential boundary [{kind}]: measured {measured} "
+                f"(paper {paper[kind]})"
+            )
+        gains = FIG4_DINA_GAINS_AT_LAYER7[dataset_name]
+        print(
+            f"paper DINA gains at conv 7: +{gains['over_mla']} vs MLA, "
+            f"+{gains['over_eina']} vs EINA"
+        )
+
+    # Shape assertions on CIFAR-10. MLA (not capacity-limited) must decay
+    # with depth; every attack must fail at the last conv layer (the fact
+    # C2PI rests on); and DINA must at least match MLA at mid depth (the
+    # paper's Figure 4 ordering). The decay of the *learning* attacks from
+    # their shallow-layer peak needs more training than the smoke budget
+    # provides — run C2PI_SCALE=small to sharpen it (see EXPERIMENTS.md).
+    sweeps = all_results["cifar10"]
+    mla_curve = sweeps["mla"].avg_ssim
+    assert mla_curve[0] > mla_curve[-1], "MLA SSIM must decay with depth"
+    for kind in ("mla", "eina", "dina"):
+        assert sweeps[kind].avg_ssim[-1] < 0.35, f"{kind} must fail at depth"
+    mid = len(sweeps["dina"].avg_ssim) // 2
+    assert (
+        sweeps["dina"].avg_ssim[mid] >= sweeps["mla"].avg_ssim[mid] - 0.05
+    ), "DINA should be at least competitive with MLA at mid depth"

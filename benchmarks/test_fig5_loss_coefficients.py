@@ -1,0 +1,52 @@
+"""Figure 5 — DINA loss-coefficient ablation (c1 increasing vs c2 uniform).
+
+The paper compares the monotonically increasing coefficient schedule
+(alpha_0=1, alpha_1=3, alpha_j=2*alpha_{j-1}) against uniform weights and
+finds the increasing schedule recovers higher average SSIM at most layers;
+DINA-c1 is used everywhere else in the paper.
+"""
+
+import numpy as np
+
+from repro.bench import current_scale, get_victim, render_table, run_idpa_comparison
+
+
+def run_ablation():
+    scale = current_scale()
+    model, dataset, _ = get_victim("vgg16", "cifar10", scale)
+    # Restrict to a few representative depths: the ablation needs >= 2
+    # sub-blocks for distillation points to exist.
+    layers = scale.conv_grid(model.conv_ids)
+    layers = [l for l in layers if l >= 3][:4]
+    results = {}
+    for label, schedule in (("dina-c1", "increasing"), ("dina-c2", "uniform")):
+        sweeps = run_idpa_comparison(
+            model,
+            dataset,
+            scale,
+            attacks=("dina",),
+            layer_ids=layers,
+            coefficient_schedules={"dina": schedule},
+        )
+        results[label] = sweeps["dina"]
+    return results
+
+
+def test_fig5_loss_coefficients(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    c1, c2 = results["dina-c1"], results["dina-c2"]
+    rows = [
+        [layer, a, b, a - b]
+        for layer, a, b in zip(c1.layer_ids, c1.avg_ssim, c2.avg_ssim)
+    ]
+    print("\n=== Figure 5: DINA-c1 (increasing) vs DINA-c2 (uniform), VGG16/CIFAR-10 ===")
+    print(render_table(["conv id", "DINA-c1", "DINA-c2", "improvement"], rows))
+    mean_improvement = float(np.mean([r[3] for r in rows]))
+    print(f"mean improvement of c1 over c2: {mean_improvement:+.4f} "
+          f"(paper: positive at most layers, up to ~0.10)")
+
+    # Shape assertion: the schedules genuinely differ, and c1 is not
+    # systematically worse (tolerance reflects the reduced training budget).
+    assert any(abs(r[3]) > 1e-4 for r in rows), "schedules must change the attack"
+    assert mean_improvement > -0.05

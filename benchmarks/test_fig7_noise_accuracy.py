@@ -1,0 +1,49 @@
+"""Figure 7 — the accuracy cost of the noise defence.
+
+Noise that enters an early layer passes through more of the network and
+hurts accuracy more; the paper sweeps lambda in {0.1..0.5} per layer and
+picks lambda = 0.1 as the accuracy/privacy balance. This benchmark
+regenerates the per-layer accuracy curves (both CIFAR variants).
+"""
+
+from repro.bench import current_scale, get_dataset, get_victim, render_table, run_noise_accuracy
+from repro.bench.paper_data import NOISE_MAGNITUDE
+
+_MAGNITUDES = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def run_sweep():
+    scale = current_scale()
+    output = {}
+    for dataset_name in ("cifar10", "cifar100"):
+        model, dataset, baseline = get_victim("vgg16", dataset_name, scale)
+        layers = scale.conv_grid(model.conv_ids)
+        table = run_noise_accuracy(
+            model, dataset, magnitudes=_MAGNITUDES, layer_ids=layers
+        )
+        output[dataset_name] = (layers, table, baseline)
+    return output
+
+
+def test_fig7_noise_accuracy(benchmark):
+    output = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    for dataset_name, (layers, table, baseline) in output.items():
+        rows = []
+        for i, layer in enumerate(layers):
+            rows.append([layer] + [100 * table[m][i] for m in _MAGNITUDES])
+        print(f"\n=== Figure 7: noised-input accuracy (%), VGG16 / {dataset_name} ===")
+        print(render_table(["conv id"] + [f"lambda={m}" for m in _MAGNITUDES], rows))
+        print(f"baseline accuracy: {100 * baseline:.2f}%  "
+              f"(paper balances at lambda={NOISE_MAGNITUDE})")
+
+    # Shape assertions on CIFAR-10: more noise hurts, and noise injected at
+    # the last layer hurts no more than at the first layer.
+    layers, table, baseline = output["cifar10"]
+    mean_small = sum(table[0.1]) / len(layers)
+    mean_large = sum(table[0.5]) / len(layers)
+    assert mean_large <= mean_small + 1e-9
+    assert table[0.5][-1] >= table[0.5][0] - 0.05, (
+        "late-layer noise should be at least as benign as early-layer noise"
+    )
+    assert table[0.1][-1] >= baseline - 0.05, "lambda=0.1 at the tail is near-free"

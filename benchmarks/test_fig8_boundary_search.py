@@ -1,0 +1,59 @@
+"""Figure 8 — full boundary search (DINA SSIM + accuracy overlay).
+
+For each victim (AlexNet/VGG16/VGG19 x CIFAR-10/100) the paper plots the
+DINA average-SSIM curve, applies the sigma = 0.3 failure threshold to find
+the potential boundary (step 1), and pushes it later until the noised
+accuracy is within 2.5 points of baseline (step 2). The caption reports
+boundary conv ids 4/9/9 (CIFAR-10) and 5/10/9 (CIFAR-100).
+
+At smoke scale the AlexNet and VGG16 victims are searched for both
+datasets; VGG19 joins at larger scales (set ``C2PI_SCALE=small``/``paper``).
+"""
+
+from repro.bench import current_scale, render_table
+from repro.bench.cache import boundary_analysis_cached
+from repro.bench.paper_data import FIG8_BOUNDARIES
+
+_ARCHS = ("alexnet", "vgg16") if current_scale().name == "smoke" else (
+    "alexnet", "vgg16", "vgg19"
+)
+_DATASETS = ("cifar10", "cifar100")
+
+
+def run_searches():
+    return {
+        (arch, ds): boundary_analysis_cached(arch, ds)
+        for arch in _ARCHS
+        for ds in _DATASETS
+    }
+
+
+def test_fig8_boundary_search(benchmark):
+    analyses = benchmark.pedantic(run_searches, rounds=1, iterations=1)
+
+    for (arch, ds), analysis in analyses.items():
+        rows = [
+            [layer, ssim, analysis.noised_accuracy.get(layer, float("nan"))]
+            for layer, ssim in zip(analysis.layer_ids, analysis.dina_ssim)
+        ]
+        print(f"\n=== Figure 8: boundary search, {arch} / {ds} ===")
+        print(render_table(["conv id", "DINA SSIM", "noised acc"], rows))
+        print(
+            f"boundary(sigma=0.3): measured {analysis.boundaries[0.3]} "
+            f"(paper conv id {FIG8_BOUNDARIES[(ds, arch)]}), "
+            f"baseline acc {100 * analysis.baseline_accuracy:.2f}%, "
+            f"boundary acc {100 * analysis.boundary_accuracy[0.3]:.2f}%"
+        )
+
+    # Shape assertions: a boundary exists, the SSIM curve decays, and the
+    # boundary's noised accuracy is within the tolerance of Algorithm 1
+    # (unless the search exhausted the grid).
+    for (arch, ds), analysis in analyses.items():
+        assert analysis.boundaries[0.3] in analysis.layer_ids
+        assert analysis.dina_ssim[0] >= analysis.dina_ssim[-1] - 0.05
+        last_layer = analysis.layer_ids[-1]
+        if analysis.boundaries[0.3] != last_layer:
+            assert (
+                analysis.boundary_accuracy[0.3]
+                >= analysis.baseline_accuracy - 0.025 - 1e-9
+            )

@@ -1,0 +1,49 @@
+"""Micro-benchmarks of the 2PC substrate (throughput of the primitives).
+
+Not tied to a specific paper table; these quantify the functional engine's
+own per-op costs so regressions in the protocol implementations are caught
+by the benchmark history.
+"""
+
+import numpy as np
+
+from repro.mpc import Channel, FixedPointConfig, TrustedDealer
+from repro.mpc.protocols import beaver_multiply, secure_relu
+from repro.mpc.sharing import share_additive
+
+CFG = FixedPointConfig()
+_N = 16384  # one mid-size VGG layer's worth of activations
+
+
+def _shares(seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-4, 4, size=(_N,)).astype(np.float32)
+    return share_additive(CFG.encode(values), rng)
+
+
+def test_bench_secure_relu(benchmark):
+    shares = _shares()
+
+    def run():
+        dealer = TrustedDealer(seed=0)
+        return secure_relu(shares, dealer, Channel())
+
+    benchmark(run)
+
+
+def test_bench_beaver_multiply(benchmark):
+    x = _shares(0)
+    y = _shares(1)
+
+    def run():
+        dealer = TrustedDealer(seed=0)
+        return beaver_multiply(x, y, dealer, Channel())
+
+    benchmark(run)
+
+
+def test_bench_dealer_comparison_masks(benchmark):
+    def run():
+        return TrustedDealer(seed=0).comparison_masks((_N,))
+
+    benchmark(run)

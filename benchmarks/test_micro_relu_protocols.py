@@ -1,0 +1,104 @@
+"""Micro-benchmark: the three ReLU protocol instantiations, measured.
+
+Cross-validates the calibrated cost models against the *functional*
+implementations: Delphi's garbled-circuit ReLU and Cheetah's OT millionaire
+ReLU run for real here (over the in-process channel), and their measured
+bytes-per-element are compared against the per-ReLU constants
+:mod:`repro.mpc.costs` uses for Table II. The dealer-based masked-reveal
+ReLU (the engine default) is benchmarked for throughput alongside.
+"""
+
+import numpy as np
+
+from repro.crypto.gc_protocol import GarbledReluProtocol
+from repro.crypto.millionaire import OtSessionPair, secure_relu_ot
+from repro.mpc import Channel, FixedPointConfig, TrustedDealer
+from repro.mpc.costs import cheetah_costs, delphi_costs
+from repro.mpc.protocols import secure_relu
+from repro.mpc.sharing import share_additive
+
+CFG = FixedPointConfig()
+_N = 24  # elements per functional run (the real protocols are heavyweight)
+
+
+def _shares(count=_N, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-4, 4, size=(count,)).astype(np.float32)
+    return share_additive(CFG.encode(values), rng), values
+
+
+def test_bench_dealer_relu(benchmark):
+    shares, _ = _shares(16384)
+
+    def run():
+        return secure_relu(shares, TrustedDealer(seed=0), Channel())
+
+    benchmark(run)
+
+
+def test_bench_garbled_circuit_relu(benchmark):
+    shares, values = _shares()
+    channel = Channel()
+    protocol = GarbledReluProtocol(np.random.default_rng(0), channel, bits=64,
+                                   security=128)
+
+    def run():
+        return protocol.run(shares)
+
+    y0, y1 = benchmark.pedantic(run, rounds=1, iterations=1)
+    recovered = CFG.decode((y0 + y1).astype(np.uint64))
+    np.testing.assert_allclose(recovered, np.maximum(values, 0), atol=1e-3)
+
+    per_element = channel.total_bytes / _N
+    modeled = delphi_costs().relu_offline_bytes + delphi_costs().relu_online_bytes
+    print(f"\nGC ReLU: {per_element:.0f} measured B/elem vs {modeled:.0f} modeled "
+          f"(Delphi constant)")
+    # The functional implementation must land within 2x of the Table II
+    # constant - that is the calibration the cost model rests on.
+    assert modeled / 2 < per_element < modeled * 2
+
+
+def test_bench_ot_millionaire_relu(benchmark):
+    shares, values = _shares()
+    channel = Channel()
+    rng = np.random.default_rng(1)
+    sessions = OtSessionPair.create(rng, channel, security=128)
+
+    def run():
+        return secure_relu_ot(shares, sessions, rng)
+
+    y0, y1 = benchmark.pedantic(run, rounds=1, iterations=1)
+    recovered = CFG.decode((y0 + y1).astype(np.uint64))
+    np.testing.assert_allclose(recovered, np.maximum(values, 0), atol=1e-3)
+
+    per_element = channel.total_bytes / _N
+    modeled = cheetah_costs().relu_online_bytes
+    print(f"\nOT ReLU: {per_element:.0f} measured B/elem vs {modeled:.0f} modeled "
+          f"(Cheetah constant; the gap is IKNP vs Ferret/VOLE, see EXPERIMENTS.md)")
+    # Classic IKNP costs more than the silent-OT Cheetah deploys; what must
+    # hold is the ordering: OT ReLU well below GC ReLU.
+    gc_modeled = delphi_costs().relu_offline_bytes
+    assert per_element < gc_modeled / 2
+
+
+def test_bench_relu_protocol_byte_ordering(benchmark):
+    """One consolidated run asserting the GC >> OT byte hierarchy."""
+
+    def run():
+        shares, _ = _shares()
+        gc_channel = Channel()
+        GarbledReluProtocol(np.random.default_rng(0), gc_channel, bits=64,
+                            security=128).run(shares)
+        ot_channel = Channel()
+        rng = np.random.default_rng(1)
+        secure_relu_ot(shares, OtSessionPair.create(rng, ot_channel, security=128),
+                       rng)
+        dealer_channel = Channel()
+        secure_relu(shares, TrustedDealer(seed=0), dealer_channel)
+        return gc_channel.total_bytes, ot_channel.total_bytes, dealer_channel.total_bytes
+
+    gc_bytes, ot_bytes, dealer_bytes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nReLU bytes for {_N} elements: GC={gc_bytes} OT={ot_bytes} "
+          f"dealer-online={dealer_bytes}")
+    assert gc_bytes > ot_bytes > 0
+    assert dealer_bytes < gc_bytes  # dealer counts online bytes only

@@ -1,0 +1,125 @@
+"""Table II — latency and communication: full PI vs C2PI on Delphi/Cheetah.
+
+Costs are computed at paper scale (full-width VGG16/VGG19, CIFAR-10
+boundaries from Table I) with the calibrated backend cost models and the
+paper's LAN/WAN settings; a functional secure inference at smoke width runs
+alongside to demonstrate (and time) the real protocol execution.
+
+Expected shape (the paper's claims): C2PI(sigma=0.3) speeds Delphi up by
+>2x and Cheetah by >1.3x with substantial Cheetah communication savings;
+C2PI(sigma=0.2) on VGG16 is nearly cost-neutral because its boundary (13.5)
+sits at the end of the network.
+"""
+
+import numpy as np
+
+from repro.bench import render_table, run_cost_comparison
+from repro.bench.paper_data import TABLE2, TABLE2_BOUNDARIES
+from repro.models import vgg16, vgg19
+from repro.mpc import SecureInferenceEngine
+
+
+def run_table2():
+    rows = {}
+    for arch, make in (("vgg16", vgg16), ("vgg19", vgg19)):
+        model = make(width_mult=1.0, rng=np.random.default_rng(0))
+        boundaries = {
+            "sigma=0.2": TABLE2_BOUNDARIES[(arch, 0.2)],
+            "sigma=0.3": TABLE2_BOUNDARIES[(arch, 0.3)],
+        }
+        rows[arch] = run_cost_comparison(model, boundaries)
+    return rows
+
+
+def test_table2_pi_performance(benchmark):
+    all_rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+
+    for arch, rows in all_rows.items():
+        printable = []
+        full = {r.backend: r for r in rows if r.setting == "full"}
+        for row in rows:
+            base = full[row.backend]
+            paper = TABLE2[(arch, row.backend.lower())]
+            paper_row = paper["full"] if row.setting == "full" else paper[
+                float(row.setting.split("=")[1])
+            ]
+            printable.append(
+                [
+                    row.backend,
+                    row.setting,
+                    row.boundary,
+                    f"{row.lan_s:.1f}",
+                    f"{base.lan_s / row.lan_s:.2f}x",
+                    f"{row.wan_s:.1f}",
+                    f"{base.wan_s / row.wan_s:.2f}x",
+                    f"{row.comm_mb:.1f}",
+                    f"{base.comm_mb / row.comm_mb:.2f}x",
+                    f"{paper_row['lan_s']:.1f}",
+                    f"{paper_row['comm_mb']:.0f}",
+                ]
+            )
+        print(f"\n=== Table II: {arch} (measured | paper reference) ===")
+        print(
+            render_table(
+                [
+                    "backend",
+                    "setting",
+                    "boundary",
+                    "LAN s",
+                    "speedup",
+                    "WAN s",
+                    "speedup",
+                    "comm MB",
+                    "saving",
+                    "paper LAN s",
+                    "paper MB",
+                ],
+                printable,
+            )
+        )
+
+    # Shape assertions (paper's headline claims).
+    for arch, rows in all_rows.items():
+        by = {(r.backend, r.setting): r for r in rows}
+        delphi_speedup = (
+            by[("Delphi", "full")].lan_s / by[("Delphi", "sigma=0.3")].lan_s
+        )
+        cheetah_speedup = (
+            by[("Cheetah", "full")].lan_s / by[("Cheetah", "sigma=0.3")].lan_s
+        )
+        cheetah_comm_saving = (
+            by[("Cheetah", "full")].comm_mb / by[("Cheetah", "sigma=0.3")].comm_mb
+        )
+        assert delphi_speedup > 2.0, f"{arch}: Delphi sigma=0.3 speedup {delphi_speedup}"
+        assert cheetah_speedup > 1.3, f"{arch}: Cheetah sigma=0.3 speedup {cheetah_speedup}"
+        assert cheetah_comm_saving > 1.7, f"{arch}: comm saving {cheetah_comm_saving}"
+    # VGG16 sigma=0.2 (boundary 13.5) is nearly cost-neutral.
+    vgg16_rows = {(r.backend, r.setting): r for r in all_rows["vgg16"]}
+    ratio = (
+        vgg16_rows[("Cheetah", "full")].lan_s
+        / vgg16_rows[("Cheetah", "sigma=0.2")].lan_s
+    )
+    assert 0.9 < ratio < 1.15
+
+
+def test_table2_functional_engine_smoke(benchmark):
+    """Time one real secure inference (smoke width) through the engine.
+
+    This demonstrates the functional 2PC path behind the cost model: the
+    same layer sequence Table II charges for actually executes on secret
+    shares here.
+    """
+    model = vgg16(width_mult=0.25, rng=np.random.default_rng(0)).eval()
+    image = np.random.default_rng(1).random((1, 3, 32, 32), dtype=np.float32)
+
+    def secure_inference():
+        engine = SecureInferenceEngine(model, boundary=9.0, dealer_seed=0)
+        return engine.run(image)
+
+    result = benchmark.pedantic(secure_inference, rounds=1, iterations=2)
+    print(
+        f"\nfunctional engine (VGG16 w=0.25, boundary 9): "
+        f"{result.total_bytes / 1e6:.2f} MB actual traffic, "
+        f"{result.rounds} rounds"
+    )
+    assert result.rounds > 0

@@ -1,0 +1,83 @@
+"""Inside Delphi's ReLU: circuits, garbling, OT — the full primitive stack.
+
+C2PI's Table II charges ~19.5 KB per Delphi ReLU and ~0.12 KB per Cheetah
+ReLU. This example opens the black box and shows where those bytes come
+from, running both non-linear protocol stacks on real shares:
+
+1. build the boolean ReLU-on-shares circuit (adder + sign test + mux +
+   re-masking) and count its AND gates;
+2. garble it (free-XOR + point-and-permute) and inspect the table bytes;
+3. run the full two-party protocol — garbled tables one way, evaluator
+   labels through IKNP oblivious transfer — on a batch of shares;
+4. run Cheetah's alternative on the same shares: the OT millionaire
+   comparison, boolean-to-arithmetic conversion and OT multiplexer;
+5. compare measured bytes/rounds against the Table II cost constants.
+
+Run:  python examples/garbled_relu.py
+"""
+
+import numpy as np
+
+from repro.crypto.circuit import relu_share_circuit
+from repro.crypto.garble import garble
+from repro.crypto.gc_protocol import GarbledReluProtocol
+from repro.crypto.millionaire import OtSessionPair, secure_relu_ot
+from repro.crypto.prg import PRG
+from repro.mpc import Channel, FixedPointConfig
+from repro.mpc.costs import cheetah_costs, delphi_costs
+from repro.mpc.sharing import share_additive
+
+
+def main():
+    config = FixedPointConfig()
+    rng = np.random.default_rng(0)
+
+    print("== 1. The ReLU-on-shares circuit ==")
+    circuit = relu_share_circuit(64)
+    print(f"   wires: {circuit.n_wires},  gates: {len(circuit.gates)},"
+          f"  AND gates: {circuit.and_count}")
+    print("   (only AND gates cost communication: XOR/INV are free-XOR)\n")
+
+    print("== 2. Garbling ==")
+    garbled = garble(circuit, PRG(1))
+    print(f"   table bytes per ReLU: {garbled.table_bytes}"
+          f" ({circuit.and_count} ANDs x 4 rows x 16 B)\n")
+
+    print("== 3. Delphi's protocol: garbled circuit + label OT ==")
+    values = rng.uniform(-4, 4, 16).astype(np.float32)
+    shares = share_additive(config.encode(values), rng)
+    gc_channel = Channel()
+    protocol = GarbledReluProtocol(rng, gc_channel, bits=64)
+    y0, y1 = protocol.run(shares)
+    recovered = config.decode((y0 + y1).astype(np.uint64))
+    print(f"   max |recovered - ReLU(x)|: "
+          f"{np.abs(recovered - np.maximum(values, 0)).max():.6f}")
+    gc_per_element = gc_channel.total_bytes / values.size
+    print(f"   measured: {gc_per_element:,.0f} B/element, "
+          f"{gc_channel.rounds} rounds")
+    delphi = delphi_costs()
+    print(f"   Table II constant: "
+          f"{delphi.relu_offline_bytes + delphi.relu_online_bytes:,.0f} B/element\n")
+
+    print("== 4. Cheetah's protocol: OT millionaire + B2A + mux ==")
+    ot_channel = Channel()
+    sessions = OtSessionPair.create(rng, ot_channel)
+    z0, z1 = secure_relu_ot(shares, sessions, rng)
+    recovered = config.decode((z0 + z1).astype(np.uint64))
+    print(f"   max |recovered - ReLU(x)|: "
+          f"{np.abs(recovered - np.maximum(values, 0)).max():.6f}")
+    ot_per_element = ot_channel.total_bytes / values.size
+    print(f"   measured: {ot_per_element:,.0f} B/element, "
+          f"{ot_channel.rounds} rounds")
+    print(f"   Table II constant: {cheetah_costs().relu_online_bytes:,.0f} B/element")
+    print("   (the gap is IKNP vs silent VOLE-OT; the GC-vs-OT ordering is"
+          " what Table II rests on)\n")
+
+    print("== 5. The trade-off the paper's LAN/WAN split exposes ==")
+    print(f"   bytes:  GC / OT = {gc_per_element / ot_per_element:.1f}x")
+    print(f"   rounds: OT / GC = {ot_channel.rounds / gc_channel.rounds:.1f}x")
+    print("   -> Delphi hurts on bandwidth, Cheetah on round trips (WAN).")
+
+
+if __name__ == "__main__":
+    main()

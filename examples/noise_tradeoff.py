@@ -1,0 +1,64 @@
+"""The privacy/accuracy trade-off of the client noise (Figures 6 and 7).
+
+Sweeps the uniform-noise magnitude lambda and reports, per injection layer:
+
+* how much a trained DINA attacker still recovers (average SSIM), and
+* how much classification accuracy survives,
+
+reproducing the tension that makes the paper settle on lambda = 0.1.
+
+Run:  python examples/noise_tradeoff.py
+"""
+
+import numpy as np
+
+from repro.attacks import DINA
+from repro.core import noised_accuracy
+from repro.data import make_cifar10
+from repro.models import train_classifier, vgg16
+
+LAYERS = [2.0, 4.0, 6.0]
+MAGNITUDES = (0.0, 0.1, 0.3, 0.5)
+
+
+def main():
+    dataset = make_cifar10(train_size=400, test_size=128, seed=0)
+    model = vgg16(width_mult=0.25, rng=np.random.default_rng(0))
+    outcome = train_classifier(model, dataset, epochs=2, batch_size=32, lr=2e-3)
+    print(f"victim accuracy: {outcome.test_accuracy:.1%}\n")
+
+    print("training one DINA attacker per layer ...")
+    attackers = {}
+    for layer in LAYERS:
+        attack = DINA(model, layer, epochs=3, batch_size=32, seed=0)
+        attack.prepare(dataset.train_images[:128])
+        attackers[layer] = attack
+
+    print("\nDINA avg SSIM under client noise (rows: layer, cols: lambda)")
+    print("layer " + "".join(f"{m:>9}" for m in MAGNITUDES))
+    for layer in LAYERS:
+        scores = []
+        for magnitude in MAGNITUDES:
+            result = attackers[layer].evaluate(
+                dataset.test_images[:8],
+                noise_magnitude=magnitude,
+                rng=np.random.default_rng(3),
+            )
+            scores.append(result.avg_ssim)
+        print(f"{layer:>5} " + "".join(f"{s:>9.3f}" for s in scores))
+
+    print("\naccuracy with noise injected at each layer (rows: layer, cols: lambda)")
+    print("layer " + "".join(f"{m:>9}" for m in MAGNITUDES))
+    for layer in LAYERS:
+        accs = [
+            noised_accuracy(model, layer, m, dataset.test_images, dataset.test_labels)
+            for m in MAGNITUDES
+        ]
+        print(f"{layer:>5} " + "".join(f"{a:>9.1%}" for a in accs))
+
+    print("\nreading: lambda=0.1 dents the attack but barely moves accuracy —")
+    print("the operating point the paper selects for C2PI.")
+
+
+if __name__ == "__main__":
+    main()

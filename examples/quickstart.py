@@ -1,0 +1,88 @@
+"""Quickstart: train a victim, find the crypto-clear boundary, serve C2PI.
+
+This walks the full C2PI story end to end on a small VGG16:
+
+1. train a victim classifier on the synthetic CIFAR-10 stand-in;
+2. probe input recoverability per layer with the MLA attack (Figure 1's
+   observation: depth hides the input);
+3. run Algorithm 1 with DINA to pick the crypto-clear boundary;
+4. serve an inference through the C2PI pipeline — crypto layers under real
+   2PC, noised reveal, clear layers on the server — and compare its cost
+   against full private inference.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.attacks import DINA, MLA
+from repro.core import BoundarySearch, BoundarySearchConfig, C2PIPipeline
+from repro.data import make_cifar10
+from repro.metrics import ssim
+from repro.models import train_classifier, vgg16
+from repro.mpc import LAN, CostEstimate, cheetah_costs
+from repro.core.c2pi import full_pi_tallies
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    print("== 1. Train the victim (VGG16, width 0.25, synthetic CIFAR-10) ==")
+    dataset = make_cifar10(train_size=400, test_size=128, seed=0)
+    model = vgg16(width_mult=0.25, rng=rng)
+    outcome = train_classifier(model, dataset, epochs=2, batch_size=32, lr=2e-3)
+    print(f"   test accuracy: {outcome.test_accuracy:.1%}\n")
+
+    print("== 2. Probe recoverability with MLA (cf. Figure 1) ==")
+    image = dataset.test_images[:1]
+    for layer in (2.0, 6.0, 10.0):
+        attack = MLA(model, layer, iterations=120, lr=0.05, seed=1)
+        result = attack.evaluate(image)
+        verdict = "recovered" if result.succeeded(0.3) else "hidden"
+        print(f"   layer {layer:>4}: SSIM {result.avg_ssim:.3f}  -> input {verdict}")
+    print()
+
+    print("== 3. Boundary search with DINA (Algorithm 1, sigma=0.3) ==")
+    config = BoundarySearchConfig(
+        ssim_threshold=0.3,
+        accuracy_drop=0.025,
+        noise_magnitude=0.1,
+        layer_ids=[2.0, 4.0, 6.0, 8.0, 10.0, 12.0],
+    )
+    search = BoundarySearch(
+        model,
+        attack_factory=lambda m, l: DINA(m, l, epochs=2, batch_size=32, seed=0),
+        attacker_images=dataset.train_images[:96],
+        eval_images=dataset.test_images[:8],
+        test_images=dataset.test_images,
+        test_labels=dataset.test_labels,
+        config=config,
+    )
+    found = search.run()
+    print(f"   phase-1 layer (attack first succeeds): {found.phase1_layer}")
+    print(f"   boundary: {found.boundary}  "
+          f"(accuracy {found.boundary_accuracy:.1%} vs baseline "
+          f"{found.baseline_accuracy:.1%})\n")
+
+    print("== 4. Serve one C2PI inference ==")
+    pipeline = C2PIPipeline(model, boundary=found.boundary, noise_magnitude=0.1)
+    batch = dataset.test_images[:4]
+    result = pipeline.infer(batch)
+    plain = model(nn.Tensor(batch)).data.argmax(axis=1)
+    print(f"   predictions (C2PI):      {result.prediction.tolist()}")
+    print(f"   predictions (plaintext): {plain.tolist()}")
+    print(f"   crypto traffic: {result.crypto_bytes / 1e6:.2f} MB "
+          f"in {result.crypto_rounds} rounds; reveal "
+          f"{result.reveal_bytes / 1e3:.1f} KB")
+
+    backend = cheetah_costs()
+    c2pi_cost = pipeline.cost_estimate(backend)
+    full_cost = CostEstimate.from_tallies(full_pi_tallies(model), backend)
+    print(f"   modeled Cheetah LAN latency: C2PI {c2pi_cost.latency(LAN):.2f}s "
+          f"vs full PI {full_cost.latency(LAN):.2f}s "
+          f"({full_cost.latency(LAN) / c2pi_cost.latency(LAN):.2f}x speedup)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Reproduction of *C2PI: An Efficient Crypto-Clear Two-Party Neural Network
+Private Inference* (Zhang et al., DAC 2023).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy autograd deep-learning substrate.
+``repro.models``
+    AlexNet/VGG victim models, inversion-attack architectures, layer
+    indexing that matches the paper's "layer 3 / layer 3.5" notation.
+``repro.data``
+    Deterministic synthetic CIFAR-10/100 stand-ins (offline environment).
+``repro.metrics``
+    SSIM (Wang et al. 2004), PSNR, classification accuracy.
+``repro.attacks``
+    Inference-data-privacy attacks: MLA, INA, EINA and the paper's DINA.
+``repro.mpc``
+    Semi-honest two-party secure computation engine with a trusted dealer,
+    plus Delphi/Cheetah cost profiles and LAN/WAN latency simulation.
+``repro.core``
+    The C2PI contribution: noise mechanism, boundary search (Algorithm 1)
+    and the end-to-end crypto-clear inference pipeline.
+``repro.bench``
+    Shared experiment harness behind ``benchmarks/`` with the paper's
+    reference numbers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "models", "data", "metrics", "attacks", "mpc", "core", "bench"]

@@ -1,0 +1,21 @@
+"""``repro.attacks`` — inference-data-privacy attacks (MLA/INA/EINA/DINA)."""
+
+from .base import AttackResult, InferenceDataPrivacyAttack, observed_activations
+from .evaluation import AttackFactory, SweepResult, attack_layer_sweep
+from .inversion import DINA, EINA, INA, InversionAttack, dina_coefficients
+from .mla import MLA
+
+__all__ = [
+    "AttackResult",
+    "InferenceDataPrivacyAttack",
+    "observed_activations",
+    "MLA",
+    "InversionAttack",
+    "INA",
+    "EINA",
+    "DINA",
+    "dina_coefficients",
+    "AttackFactory",
+    "SweepResult",
+    "attack_layer_sweep",
+]

@@ -1,0 +1,121 @@
+"""Common infrastructure for inference-data-privacy attacks (IDPAs).
+
+An IDPA models the semi-honest server of Section II: it observes the
+boundary-layer activation ``M_l(x)`` (possibly perturbed by the client's
+noise) and tries to reconstruct the client's input image ``x``. Attack
+success is quantified by the average SSIM between reconstructions and true
+inputs; the paper deems an attack failed below a threshold (usually 0.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..metrics import ssim
+from ..models.layered import LayeredModel
+
+__all__ = ["AttackResult", "InferenceDataPrivacyAttack", "observed_activations"]
+
+
+@dataclass
+class AttackResult:
+    """Reconstructions and their SSIM scores for one attacked layer."""
+
+    layer_id: float
+    recovered: np.ndarray
+    targets: np.ndarray
+    per_image_ssim: list[float] = field(default_factory=list)
+
+    @property
+    def avg_ssim(self) -> float:
+        """The paper's "Avg. SSIM" (y-axis of Figures 4-6 and 8)."""
+        return float(np.mean(self.per_image_ssim))
+
+    def succeeded(self, threshold: float = 0.3) -> bool:
+        """Whether the attack counts as a successful recovery."""
+        return self.avg_ssim >= threshold
+
+    @classmethod
+    def from_images(
+        cls, layer_id: float, recovered: np.ndarray, targets: np.ndarray
+    ) -> "AttackResult":
+        scores = [ssim(recovered[i], targets[i]) for i in range(len(targets))]
+        return cls(
+            layer_id=layer_id,
+            recovered=recovered,
+            targets=targets,
+            per_image_ssim=scores,
+        )
+
+
+def observed_activations(
+    model: LayeredModel,
+    layer_id: float,
+    images: np.ndarray,
+    noise_magnitude: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """The server's view of the boundary activation for a batch.
+
+    With a non-zero ``noise_magnitude`` this reproduces what the server
+    reconstructs after the client reveals its uniformly perturbed share:
+    ``M_l(x) + Delta`` with ``Delta ~ U(-lambda, lambda)``.
+    """
+    with nn.no_grad():
+        activation = model.forward_to(nn.Tensor(images), layer_id).data.copy()
+    if noise_magnitude > 0.0:
+        rng = rng or np.random.default_rng()
+        activation += rng.uniform(
+            -noise_magnitude, noise_magnitude, size=activation.shape
+        ).astype(activation.dtype)
+    return activation
+
+
+class InferenceDataPrivacyAttack:
+    """Base class: prepare once (e.g. train an inversion model), then
+    recover inputs from observed activations."""
+
+    name = "idpa"
+
+    def __init__(self, model: LayeredModel, layer_id: float):
+        self.model = model
+        self.layer_id = layer_id
+
+    def prepare(self, attacker_images: np.ndarray) -> None:
+        """Fit any attack machinery on the attacker's own data.
+
+        The server is assumed to possess (or synthesise) data from the same
+        distribution as the client's inputs — the standard IDPA threat
+        model. MLA needs no preparation.
+        """
+
+    def recover(self, activations: np.ndarray) -> np.ndarray:
+        """Reconstruct NCHW images in [0, 1] from boundary activations."""
+        raise NotImplementedError
+
+    def evaluate(
+        self,
+        eval_images: np.ndarray,
+        noise_magnitude: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> AttackResult:
+        """Attack a batch of victim images and score the reconstructions."""
+        activations = observed_activations(
+            self.model, self.layer_id, eval_images, noise_magnitude, rng
+        )
+        recovered = self.recover(activations)
+        return AttackResult.from_images(self.layer_id, recovered, eval_images)
+
+    def evaluate_with_defense(self, eval_images: np.ndarray, defense) -> AttackResult:
+        """Attack activations perturbed by an arbitrary client defence.
+
+        ``defense`` is any object with an ``apply(activation) -> activation``
+        method (see :mod:`repro.core.defenses`); this generalises the
+        uniform-noise evaluation used by the paper's Figure 6.
+        """
+        activations = observed_activations(self.model, self.layer_id, eval_images)
+        recovered = self.recover(defense.apply(activations))
+        return AttackResult.from_images(self.layer_id, recovered, eval_images)

@@ -1,0 +1,80 @@
+"""Attack-evaluation harness shared by the figures and the boundary search.
+
+``attack_layer_sweep`` reproduces the measurement behind Figures 1, 4, 5
+and 6: run an IDPA against every convolutional layer of a victim model and
+record the average SSIM of the reconstructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..models.layered import LayeredModel
+from .base import AttackResult, InferenceDataPrivacyAttack
+
+__all__ = ["AttackFactory", "SweepResult", "attack_layer_sweep"]
+
+# (model, layer_id) -> attack instance
+AttackFactory = Callable[[LayeredModel, float], InferenceDataPrivacyAttack]
+
+
+@dataclass
+class SweepResult:
+    """Average SSIM per attacked layer for one attack family."""
+
+    attack_name: str
+    layer_ids: list[float] = field(default_factory=list)
+    avg_ssim: list[float] = field(default_factory=list)
+    results: list[AttackResult] = field(default_factory=list)
+
+    def potential_boundary(self, threshold: float = 0.3) -> float | None:
+        """First layer (sweeping from the tail) where the attack fails.
+
+        Mirrors phase 1 of Algorithm 1: walking from the last layer toward
+        the input, the attack starts failing (SSIM < threshold) somewhere;
+        the earliest such layer that is preceded only by failures from the
+        tail is the potential boundary. Returns ``None`` when the attack
+        succeeds even at the last layer.
+        """
+        boundary = None
+        for layer, score in sorted(
+            zip(self.layer_ids, self.avg_ssim), key=lambda pair: -pair[0]
+        ):
+            if score < threshold:
+                boundary = layer
+            else:
+                break
+        return boundary
+
+
+def attack_layer_sweep(
+    model: LayeredModel,
+    attack_factory: AttackFactory,
+    attacker_images: np.ndarray,
+    eval_images: np.ndarray,
+    layer_ids: list[float] | None = None,
+    noise_magnitude: float = 0.0,
+    seed: int = 0,
+    attack_name: str = "idpa",
+) -> SweepResult:
+    """Evaluate one attack family at each requested layer.
+
+    ``attacker_images`` train learning-based attacks (server-side data);
+    ``eval_images`` are the victim inputs being reconstructed.
+    """
+    layer_ids = list(layer_ids) if layer_ids is not None else [
+        float(i) for i in model.conv_ids
+    ]
+    sweep = SweepResult(attack_name=attack_name)
+    rng = np.random.default_rng(seed)
+    for layer_id in layer_ids:
+        attack = attack_factory(model, layer_id)
+        attack.prepare(attacker_images)
+        result = attack.evaluate(eval_images, noise_magnitude=noise_magnitude, rng=rng)
+        sweep.layer_ids.append(layer_id)
+        sweep.avg_ssim.append(result.avg_ssim)
+        sweep.results.append(result)
+    return sweep

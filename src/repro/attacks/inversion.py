@@ -1,0 +1,163 @@
+"""Learning-based inversion attacks: INA, EINA and the paper's DINA.
+
+All three train an inversion network ``M*`` that maps the boundary
+activation ``M_l(x')`` back to ``x'`` over the attacker's own dataset; they
+differ in architecture and loss:
+
+* **INA** — plain convolutional decoder, L2 reconstruction loss;
+* **EINA** — ResNet basic blocks (Li et al. 2022), L2 reconstruction loss;
+* **DINA** — one basic inverse block per victim sub-block, trained with the
+  fine-grained distillation loss of Eq. 1::
+
+      L_DINA = sum_j alpha_j ||D_j - I_j||^2 + alpha_0 ||x - x_hat||^2
+
+  where ``D_j`` is the victim's feature map at distillation point ``j`` and
+  ``I_j`` the input of the corresponding basic inverse block. The
+  coefficients increase monotonically toward the input
+  (``alpha_0 < alpha_1 < ...``), so each inverse block is guided most
+  strongly by its nearest distillation point (paper Section III-B). The
+  ablation of Figure 5 compares this schedule ("c1") against uniform
+  coefficients ("c2").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..models.inverse import build_inversion_model, distillation_features
+from ..models.layered import LayeredModel
+from .base import InferenceDataPrivacyAttack, observed_activations
+
+__all__ = ["InversionAttack", "INA", "EINA", "DINA", "dina_coefficients"]
+
+
+def dina_coefficients(num_points: int, schedule: str = "increasing") -> list[float]:
+    """The alpha_0..alpha_N weights of Eq. 1.
+
+    ``increasing`` is the paper's DINA-c1 schedule: alpha_0 = 1,
+    alpha_1 = 3, alpha_j = 2 * alpha_{j-1} for j >= 2. ``uniform`` is the
+    DINA-c2 ablation (all ones).
+    """
+    if schedule == "uniform":
+        return [1.0] * (num_points + 1)
+    if schedule != "increasing":
+        raise ValueError(f"unknown coefficient schedule {schedule!r}")
+    alphas = [1.0]
+    if num_points >= 1:
+        alphas.append(3.0)
+    while len(alphas) < num_points + 1:
+        alphas.append(alphas[-1] * 2.0)
+    return alphas
+
+
+class InversionAttack(InferenceDataPrivacyAttack):
+    """Shared trainer for the three inversion-network attacks."""
+
+    kind = "ina"
+
+    def __init__(
+        self,
+        model: LayeredModel,
+        layer_id: float,
+        epochs: int = 5,
+        batch_size: int = 32,
+        lr: float = 2e-3,
+        seed: int = 0,
+        noise_magnitude: float = 0.0,
+        coefficient_schedule: str = "increasing",
+    ):
+        super().__init__(model, layer_id)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.rng = np.random.default_rng(seed)
+        # A strong attacker knows the defence parameters (the server chose
+        # lambda itself), so it trains with matching noise augmentation.
+        self.noise_magnitude = noise_magnitude
+        self.coefficient_schedule = coefficient_schedule
+        self.inverse = build_inversion_model(
+            model, layer_id, kind=self.kind, rng=np.random.default_rng(seed + 1)
+        )
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _loss(self, images: np.ndarray) -> nn.Tensor:
+        """One minibatch loss; subclasses override for distillation."""
+        activations = observed_activations(
+            self.model, self.layer_id, images, self.noise_magnitude, self.rng
+        )
+        recovered = self.inverse(nn.Tensor(activations))
+        return nn.l2_loss(recovered, nn.Tensor(images)) / images.shape[0]
+
+    def prepare(self, attacker_images: np.ndarray) -> None:
+        """Train the inversion network on the attacker's dataset."""
+        optimizer = nn.Adam(self.inverse.parameters(), lr=self.lr)
+        count = len(attacker_images)
+        self.inverse.train()
+        self.model.eval()
+        self.loss_history = []
+        for _ in range(self.epochs):
+            order = self.rng.permutation(count)
+            epoch_losses = []
+            for start in range(0, count, self.batch_size):
+                batch = attacker_images[order[start : start + self.batch_size]]
+                optimizer.zero_grad()
+                loss = self._loss(batch)
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(float(loss.data))
+            self.loss_history.append(float(np.mean(epoch_losses)))
+        self.inverse.eval()
+
+    def recover(self, activations: np.ndarray) -> np.ndarray:
+        with nn.no_grad():
+            return self.inverse(nn.Tensor(activations)).data.copy()
+
+
+class INA(InversionAttack):
+    """Plain inverse-network attack (He et al. 2019)."""
+
+    name = "ina"
+    kind = "ina"
+
+
+class EINA(InversionAttack):
+    """Enhanced INA with residual blocks (Li et al. 2022)."""
+
+    name = "eina"
+    kind = "eina"
+
+
+class DINA(InversionAttack):
+    """Distillation-based inverse-network attack (this paper)."""
+
+    name = "dina"
+    kind = "dina"
+
+    def _loss(self, images: np.ndarray) -> nn.Tensor:
+        x = nn.Tensor(images)
+        boundary, points = distillation_features(self.model, self.layer_id, x)
+        observed = boundary.data.copy()
+        if self.noise_magnitude > 0.0:
+            observed = observed + self.rng.uniform(
+                -self.noise_magnitude, self.noise_magnitude, size=observed.shape
+            ).astype(observed.dtype)
+        recovered, intermediates = self.inverse.forward_with_intermediates(
+            nn.Tensor(observed)
+        )
+        alphas = dina_coefficients(len(points), self.coefficient_schedule)
+        batch = images.shape[0]
+        # alpha_0 weights the image-reconstruction term.
+        total = nn.l2_loss(recovered, x) * (alphas[0] / batch)
+        # Intermediates run from the boundary toward the input
+        # (I_{N-1}, ..., I_1); victim points run D_1..D_{N-1}. alpha_j
+        # belongs to distillation point j, increasing toward the input.
+        for offset, (victim_feature, attack_feature) in enumerate(
+            zip(reversed(points), intermediates)
+        ):
+            j = len(points) - offset  # distillation point index N-1..1
+            total = total + nn.l2_loss(attack_feature, victim_feature) * (
+                alphas[j] / batch
+            )
+        return total

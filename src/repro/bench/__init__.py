@@ -1,0 +1,35 @@
+"""``repro.bench`` — shared experiment harness behind ``benchmarks/``."""
+
+from . import paper_data
+from .harness import (
+    BoundaryAnalysis,
+    CostRow,
+    make_attack_factory,
+    render_table,
+    run_boundary_analysis,
+    run_cost_comparison,
+    run_idpa_comparison,
+    run_noise_accuracy,
+    run_noise_defense,
+)
+from .scale import PROFILES, ScaleProfile, current_scale
+from .victims import build_victim, get_dataset, get_victim
+
+__all__ = [
+    "paper_data",
+    "ScaleProfile",
+    "PROFILES",
+    "current_scale",
+    "get_victim",
+    "get_dataset",
+    "build_victim",
+    "make_attack_factory",
+    "run_idpa_comparison",
+    "run_noise_defense",
+    "run_noise_accuracy",
+    "BoundaryAnalysis",
+    "run_boundary_analysis",
+    "CostRow",
+    "run_cost_comparison",
+    "render_table",
+]

@@ -1,0 +1,32 @@
+"""Cross-benchmark memoisation.
+
+Figure 8 and Table I consume the same per-victim boundary analysis (a DINA
+sweep plus noised-accuracy checks); this module computes it once per
+(architecture, dataset) pair per process so the two benchmarks do not pay
+for the attack training twice.
+"""
+
+from __future__ import annotations
+
+from .harness import BoundaryAnalysis, run_boundary_analysis
+from .scale import current_scale
+from .victims import get_victim
+
+__all__ = ["boundary_analysis_cached"]
+
+_cache: dict[tuple, BoundaryAnalysis] = {}
+
+
+def boundary_analysis_cached(
+    arch: str,
+    dataset_name: str,
+    sigmas: tuple[float, ...] = (0.2, 0.3),
+) -> BoundaryAnalysis:
+    scale = current_scale()
+    key = (arch, dataset_name, scale.name, sigmas)
+    if key not in _cache:
+        model, dataset, accuracy = get_victim(arch, dataset_name, scale)
+        _cache[key] = run_boundary_analysis(
+            model, dataset, scale, baseline_accuracy=accuracy, sigmas=sigmas
+        )
+    return _cache[key]

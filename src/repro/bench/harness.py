@@ -1,0 +1,320 @@
+"""Experiment runners shared by the ``benchmarks/`` suite.
+
+Each function regenerates the measurement behind one of the paper's tables
+or figures at the active scale profile and returns plain data structures;
+the benchmark files render them next to the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..attacks import DINA, EINA, INA, MLA, SweepResult, attack_layer_sweep
+from ..core import BoundarySearchConfig, noised_accuracy
+from ..data import SyntheticImageDataset
+from ..models.layered import LayeredModel
+from ..mpc import (
+    LAN,
+    WAN,
+    CostEstimate,
+    cheetah_costs,
+    delphi_costs,
+    static_layer_tallies,
+)
+from ..core.c2pi import full_pi_tallies
+from .scale import ScaleProfile
+
+__all__ = [
+    "make_attack_factory",
+    "run_idpa_comparison",
+    "run_noise_defense",
+    "run_noise_accuracy",
+    "BoundaryAnalysis",
+    "run_boundary_analysis",
+    "CostRow",
+    "run_cost_comparison",
+    "render_table",
+]
+
+
+def make_attack_factory(
+    kind: str,
+    scale: ScaleProfile,
+    noise_magnitude: float = 0.0,
+    coefficient_schedule: str = "increasing",
+    seed: int = 0,
+):
+    """AttackFactory for one attack family at the active scale budgets."""
+    kind = kind.lower()
+
+    def factory(model: LayeredModel, layer_id: float):
+        if kind == "mla":
+            return MLA(model, layer_id, iterations=scale.mla_iterations, seed=seed)
+        classes = {"ina": INA, "eina": EINA, "dina": DINA}
+        if kind not in classes:
+            raise ValueError(f"unknown attack kind {kind!r}")
+        return classes[kind](
+            model,
+            layer_id,
+            epochs=scale.attack_epochs,
+            batch_size=scale.attack_batch,
+            lr=scale.attack_lr,
+            seed=seed,
+            noise_magnitude=noise_magnitude,
+            coefficient_schedule=coefficient_schedule,
+        )
+
+    return factory
+
+
+def run_idpa_comparison(
+    model: LayeredModel,
+    dataset: SyntheticImageDataset,
+    scale: ScaleProfile,
+    attacks: tuple[str, ...] = ("mla", "eina", "dina"),
+    noise_magnitude: float = 0.0,
+    layer_ids: list[float] | None = None,
+    coefficient_schedules: dict[str, str] | None = None,
+) -> dict[str, SweepResult]:
+    """Figure 4 (and 5): per-layer average SSIM for several attack families."""
+    layer_ids = layer_ids or scale.conv_grid(model.conv_ids)
+    schedules = coefficient_schedules or {}
+    results = {}
+    for kind in attacks:
+        factory = make_attack_factory(
+            kind,
+            scale,
+            noise_magnitude=noise_magnitude,
+            coefficient_schedule=schedules.get(kind, "increasing"),
+        )
+        results[kind] = attack_layer_sweep(
+            model,
+            factory,
+            attacker_images=dataset.train_images[: scale.attacker_images],
+            eval_images=dataset.test_images[: scale.eval_images],
+            layer_ids=layer_ids,
+            noise_magnitude=noise_magnitude,
+            attack_name=kind,
+        )
+    return results
+
+
+def run_noise_defense(
+    model: LayeredModel,
+    dataset: SyntheticImageDataset,
+    scale: ScaleProfile,
+    magnitudes: tuple[float, ...] = (0.0, 0.1, 0.3, 0.5),
+    layer_ids: list[float] | None = None,
+) -> dict[float, SweepResult]:
+    """Figure 6: DINA's SSIM per layer under increasing client noise.
+
+    The inversion network is trained once per layer without noise and then
+    evaluated under each magnitude; this isolates the defence's effect on a
+    fixed attacker (training with matched noise augmentation is available
+    via ``DINA(noise_magnitude=...)`` and costs one retraining per point).
+    """
+    layer_ids = layer_ids or scale.conv_grid(model.conv_ids)
+    attacks = []
+    for layer_id in layer_ids:
+        attack = DINA(
+            model,
+            layer_id,
+            epochs=scale.attack_epochs,
+            batch_size=scale.attack_batch,
+            seed=0,
+        )
+        attack.prepare(dataset.train_images[: scale.attacker_images])
+        attacks.append(attack)
+
+    results: dict[float, SweepResult] = {}
+    for magnitude in magnitudes:
+        sweep = SweepResult(attack_name=f"dina(noise={magnitude})")
+        rng = np.random.default_rng(7)
+        for attack in attacks:
+            outcome = attack.evaluate(
+                dataset.test_images[: scale.eval_images],
+                noise_magnitude=magnitude,
+                rng=rng,
+            )
+            sweep.layer_ids.append(attack.layer_id)
+            sweep.avg_ssim.append(outcome.avg_ssim)
+            sweep.results.append(outcome)
+        results[magnitude] = sweep
+    return results
+
+
+def run_noise_accuracy(
+    model: LayeredModel,
+    dataset: SyntheticImageDataset,
+    magnitudes: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5),
+    layer_ids: list[float] | None = None,
+) -> dict[float, list[float]]:
+    """Figure 7: accuracy when noise of each magnitude enters each layer."""
+    layer_ids = layer_ids or [float(c) for c in model.conv_ids]
+    table: dict[float, list[float]] = {}
+    for magnitude in magnitudes:
+        table[magnitude] = [
+            noised_accuracy(
+                model,
+                layer_id,
+                magnitude,
+                dataset.test_images,
+                dataset.test_labels,
+            )
+            for layer_id in layer_ids
+        ]
+    return table
+
+
+@dataclass
+class BoundaryAnalysis:
+    """Output of the shared Figure 8 / Table I computation."""
+
+    layer_ids: list[float]
+    dina_ssim: list[float]
+    noised_accuracy: dict[float, float]
+    baseline_accuracy: float
+    boundaries: dict[float, float] = field(default_factory=dict)  # sigma -> layer
+    boundary_accuracy: dict[float, float] = field(default_factory=dict)
+
+
+def run_boundary_analysis(
+    model: LayeredModel,
+    dataset: SyntheticImageDataset,
+    scale: ScaleProfile,
+    baseline_accuracy: float,
+    sigmas: tuple[float, ...] = (0.2, 0.3),
+    noise_magnitude: float = 0.1,
+    accuracy_drop: float = 0.025,
+) -> BoundaryAnalysis:
+    """Algorithm 1 for several sigma values, sharing one DINA sweep.
+
+    Phase 1 of Algorithm 1 only depends on the DINA SSIM curve, so the
+    sweep is computed once and both thresholds are applied to it; phase 2
+    then checks noised accuracy per candidate exactly as in the paper.
+    """
+    layer_ids = scale.conv_grid(model.conv_ids)
+    factory = make_attack_factory("dina", scale, noise_magnitude=noise_magnitude)
+    sweep = attack_layer_sweep(
+        model,
+        factory,
+        attacker_images=dataset.train_images[: scale.attacker_images],
+        eval_images=dataset.test_images[: scale.eval_images],
+        layer_ids=layer_ids,
+        noise_magnitude=noise_magnitude,
+        attack_name="dina",
+    )
+
+    accuracy_cache: dict[float, float] = {}
+
+    def accuracy_at(layer: float) -> float:
+        if layer not in accuracy_cache:
+            accuracy_cache[layer] = noised_accuracy(
+                model,
+                layer,
+                noise_magnitude,
+                dataset.test_images,
+                dataset.test_labels,
+            )
+        return accuracy_cache[layer]
+
+    analysis = BoundaryAnalysis(
+        layer_ids=sweep.layer_ids,
+        dina_ssim=sweep.avg_ssim,
+        noised_accuracy=accuracy_cache,
+        baseline_accuracy=baseline_accuracy,
+    )
+    threshold = baseline_accuracy - accuracy_drop
+    for sigma in sigmas:
+        candidate = sweep.potential_boundary(sigma)
+        if candidate is None:  # attack succeeds everywhere: keep full PI
+            boundary = layer_ids[-1]
+        else:
+            boundary = candidate
+        index = layer_ids.index(boundary)
+        while accuracy_at(layer_ids[index]) < threshold and index < len(layer_ids) - 1:
+            index += 1
+        analysis.boundaries[sigma] = layer_ids[index]
+        analysis.boundary_accuracy[sigma] = accuracy_at(layer_ids[index])
+    return analysis
+
+
+@dataclass
+class CostRow:
+    """One Table II row: a (network, backend, setting) cost triple."""
+
+    network: str
+    backend: str
+    setting: str  # "full" | "sigma=0.2" | "sigma=0.3"
+    boundary: float
+    lan_s: float
+    wan_s: float
+    comm_mb: float
+
+
+def run_cost_comparison(
+    model: LayeredModel,
+    boundaries: dict[str, float],
+    backends=None,
+) -> list[CostRow]:
+    """Table II: full PI vs C2PI cost rows for Delphi and Cheetah.
+
+    ``boundaries`` maps setting labels (e.g. ``"sigma=0.3"``) to boundary
+    layer ids; a full-PI row is always included. The model should be built
+    at paper width (the cost model is static, so this is cheap).
+    ``backends`` defaults to Table II's pair (Delphi, Cheetah); pass e.g.
+    ``(delphi_costs(), cryptflow2_costs(), cheetah_costs())`` for the
+    three-framework comparison.
+    """
+    rows: list[CostRow] = []
+    full = full_pi_tallies(model)
+    boundary_elements = {
+        label: int(np.prod(model.activation_shape(layer)))
+        for label, layer in boundaries.items()
+    }
+    for backend in backends if backends is not None else (delphi_costs(), cheetah_costs()):
+        estimate = CostEstimate.from_tallies(full, backend)
+        rows.append(
+            CostRow(
+                network=model.name,
+                backend=backend.name,
+                setting="full",
+                boundary=model.layer_ids[-1],
+                lan_s=estimate.latency(LAN),
+                wan_s=estimate.latency(WAN),
+                comm_mb=estimate.total_mb,
+            )
+        )
+        for label, layer in boundaries.items():
+            crypto = static_layer_tallies(model, layer)
+            estimate = CostEstimate.from_tallies(crypto, backend)
+            estimate.online_bytes += boundary_elements[label] * 8  # noised reveal
+            estimate.rounds += 1
+            rows.append(
+                CostRow(
+                    network=model.name,
+                    backend=backend.name,
+                    setting=label,
+                    boundary=layer,
+                    lan_s=estimate.latency(LAN),
+                    wan_s=estimate.latency(WAN),
+                    comm_mb=estimate.total_mb,
+                )
+            )
+    return rows
+
+
+def render_table(headers: list[str], rows: list[list]) -> str:
+    """Fixed-width text table (benchmark console output)."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.3f}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

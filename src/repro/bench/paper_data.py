@@ -1,0 +1,125 @@
+"""The paper's reported numbers, for side-by-side printing in benchmarks.
+
+Every value below is transcribed from Zhang et al., DAC 2023
+(arXiv:2304.13266): Figure 4's potential boundaries, Table I's boundaries
+and accuracies, and Table II's latency/communication rows. Benchmarks print
+these next to the measured values so EXPERIMENTS.md can record
+paper-vs-measured for each experiment.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SSIM_FAILURE_THRESHOLD",
+    "FIG1_MLA_FAILURE_LAYER",
+    "FIG4_POTENTIAL_BOUNDARIES",
+    "FIG4_DINA_GAINS_AT_LAYER7",
+    "NOISE_MAGNITUDE",
+    "ACCURACY_DROP_TOLERANCE",
+    "TABLE1",
+    "TABLE2",
+    "NETWORK_SETTINGS",
+]
+
+# The conventional IDPA failure threshold (Figure 1 caption).
+SSIM_FAILURE_THRESHOLD = 0.3
+
+# Figure 1: MLA's SSIM on VGG16/CIFAR-10 drops below 0.3 after layer 10.
+FIG1_MLA_FAILURE_LAYER = 10
+
+# Figure 4 discussion: potential boundary layer returned by phase 1 of
+# Algorithm 1 for each attack on VGG16.
+FIG4_POTENTIAL_BOUNDARIES = {
+    "cifar10": {"mla": 7.5, "eina": 8.5, "dina": 9.0},
+    "cifar100": {"mla": 7.5, "eina": 9.5, "dina": 10.0},
+}
+
+# Figure 4: DINA's average-SSIM gains at conv layer 7.
+FIG4_DINA_GAINS_AT_LAYER7 = {
+    "cifar10": {"over_mla": 0.229, "over_eina": 0.108},
+    "cifar100": {"over_mla": 0.205, "over_eina": 0.145},
+}
+
+# Sections IV-C/IV-D: chosen defence strength and accuracy tolerance.
+NOISE_MAGNITUDE = 0.1
+ACCURACY_DROP_TOLERANCE = 0.025
+
+# Table I: boundary layer and accuracy per (dataset, network, sigma).
+# "baseline" is the full-PI accuracy; boundaries use the paper's layer ids.
+TABLE1 = {
+    ("cifar10", "alexnet"): {
+        "baseline": 81.56,
+        0.2: {"boundary": 5.0, "accuracy": 81.97},
+        0.3: {"boundary": 4.0, "accuracy": 79.32},
+    },
+    ("cifar10", "vgg16"): {
+        "baseline": 92.33,
+        0.2: {"boundary": 13.5, "accuracy": 92.61},
+        0.3: {"boundary": 9.0, "accuracy": 92.49},
+    },
+    ("cifar10", "vgg19"): {
+        "baseline": 92.38,
+        0.2: {"boundary": 11.0, "accuracy": 92.66},
+        0.3: {"boundary": 9.0, "accuracy": 92.42},
+    },
+    ("cifar100", "alexnet"): {
+        "baseline": 45.66,
+        0.2: {"boundary": 5.0, "accuracy": 45.36},
+        0.3: {"boundary": 5.0, "accuracy": 45.36},
+    },
+    ("cifar100", "vgg16"): {
+        "baseline": 68.44,
+        0.2: {"boundary": 13.5, "accuracy": 68.44},
+        0.3: {"boundary": 10.0, "accuracy": 66.53},
+    },
+    ("cifar100", "vgg19"): {
+        "baseline": 69.54,
+        0.2: {"boundary": 11.0, "accuracy": 67.30},
+        0.3: {"boundary": 9.0, "accuracy": 67.06},
+    },
+}
+
+# Figure 8 captions: the boundary conv ids found with sigma = 0.3.
+FIG8_BOUNDARIES = {
+    ("cifar10", "alexnet"): 4,
+    ("cifar10", "vgg16"): 9,
+    ("cifar10", "vgg19"): 9,
+    ("cifar100", "alexnet"): 5,
+    ("cifar100", "vgg16"): 10,
+    ("cifar100", "vgg19"): 9,
+}
+
+# Table II (CIFAR-10): latency in seconds, communication in MB.
+TABLE2 = {
+    ("vgg16", "delphi"): {
+        "full": {"lan_s": 6166.47, "wan_s": 9966.48, "comm_mb": 5163.0},
+        0.2: {"lan_s": 6109.47, "wan_s": 9869.12, "comm_mb": 5163.0},
+        0.3: {"lan_s": 2351.50, "wan_s": 2568.45, "comm_mb": 5143.0},
+    },
+    ("vgg16", "cheetah"): {
+        "full": {"lan_s": 13.72, "wan_s": 25.27, "comm_mb": 179.64},
+        0.2: {"lan_s": 14.38, "wan_s": 25.08, "comm_mb": 163.80},
+        0.3: {"lan_s": 9.38, "wan_s": 14.76, "comm_mb": 71.89},
+    },
+    ("vgg19", "delphi"): {
+        "full": {"lan_s": 12780.36, "wan_s": 13265.52, "comm_mb": 5184.0},
+        0.2: {"lan_s": 5510.23, "wan_s": 6068.12, "comm_mb": 5162.0},
+        0.3: {"lan_s": 4409.95, "wan_s": 5373.34, "comm_mb": 5143.0},
+    },
+    ("vgg19", "cheetah"): {
+        "full": {"lan_s": 16.81, "wan_s": 27.67, "comm_mb": 211.40},
+        0.2: {"lan_s": 11.89, "wan_s": 18.23, "comm_mb": 89.55},
+        0.3: {"lan_s": 11.51, "wan_s": 15.23, "comm_mb": 76.83},
+    },
+}
+
+# Table I / Table II boundaries used for the CIFAR-10 cost rows.
+TABLE2_BOUNDARIES = {
+    ("vgg16", 0.2): 13.5,
+    ("vgg16", 0.3): 9.0,
+    ("vgg19", 0.2): 11.0,
+    ("vgg19", 0.3): 9.0,
+}
+
+# Section IV-E network settings (bandwidth MB/s, RTT ms).
+NETWORK_SETTINGS = {"lan": (384.0, 0.3), "wan": (44.0, 40.0)}

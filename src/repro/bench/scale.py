@@ -1,0 +1,105 @@
+"""Experiment scale profiles.
+
+The paper's experiments (full-width VGG networks, 1000 attack images,
+10 000 MLA iterations, an A100 GPU) do not fit a CPU-only session, so every
+benchmark reads its budgets from a :class:`ScaleProfile`:
+
+* ``smoke`` (default) — width-scaled models and small attack budgets;
+  every experiment's *code path* is identical to the paper's, only the
+  iteration counts shrink. Minutes on a laptop CPU.
+* ``small`` — intermediate fidelity.
+* ``paper`` — the paper's budgets (hours to days on CPU; intended for
+  GPU-backed numpy drop-ins or patient reruns).
+
+Select with the ``C2PI_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ScaleProfile", "PROFILES", "current_scale"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """All experiment budgets in one place."""
+
+    name: str
+    width_mult: float  # victim channel scaling
+    train_size: int  # victim training images
+    test_size: int  # accuracy evaluation images
+    victim_epochs: int
+    victim_batch: int
+    attacker_images: int  # images the server trains inversion nets on
+    eval_images: int  # images attacked for SSIM measurement
+    attack_epochs: int
+    attack_batch: int
+    mla_iterations: int
+    layer_stride: int  # attack every k-th conv layer in sweeps
+    attack_lr: float = 2e-3  # paper uses 1e-3 with 10-epoch budgets
+
+    def conv_grid(self, conv_ids: list[int]) -> list[float]:
+        """Sub-sampled conv-layer grid, always keeping the first and last."""
+        grid = [float(c) for c in conv_ids[:: self.layer_stride]]
+        if float(conv_ids[-1]) not in grid:
+            grid.append(float(conv_ids[-1]))
+        return grid
+
+
+PROFILES = {
+    "smoke": ScaleProfile(
+        name="smoke",
+        width_mult=0.25,
+        train_size=400,
+        test_size=128,
+        victim_epochs=2,
+        victim_batch=32,
+        attacker_images=96,
+        eval_images=8,
+        attack_epochs=2,
+        attack_batch=32,
+        mla_iterations=120,
+        layer_stride=2,
+        attack_lr=2e-3,
+    ),
+    "small": ScaleProfile(
+        name="small",
+        width_mult=0.5,
+        train_size=1200,
+        test_size=256,
+        victim_epochs=4,
+        victim_batch=64,
+        attacker_images=256,
+        eval_images=32,
+        attack_epochs=4,
+        attack_batch=32,
+        mla_iterations=400,
+        layer_stride=1,
+        attack_lr=2e-3,
+    ),
+    "paper": ScaleProfile(
+        name="paper",
+        width_mult=1.0,
+        train_size=20000,
+        test_size=2000,
+        victim_epochs=10,
+        victim_batch=128,
+        attacker_images=2000,
+        eval_images=1000,
+        attack_epochs=10,
+        attack_batch=64,
+        mla_iterations=10000,
+        layer_stride=1,
+        attack_lr=1e-3,  # the paper's stated rate
+    ),
+}
+
+
+def current_scale() -> ScaleProfile:
+    """The active profile (``C2PI_SCALE`` env var, default ``smoke``)."""
+    name = os.environ.get("C2PI_SCALE", "smoke").lower()
+    if name not in PROFILES:
+        raise ValueError(f"unknown C2PI_SCALE {name!r}; choose from {sorted(PROFILES)}")
+    return PROFILES[name]

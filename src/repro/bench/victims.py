@@ -1,0 +1,97 @@
+"""Victim-model provisioning with on-disk caching.
+
+Several benchmarks need the same trained victims (AlexNet/VGG16/VGG19 on
+synthetic CIFAR-10/100). Training is deterministic given the scale profile,
+so models are trained once and cached as ``.npz`` under ``.cache/victims``
+in the repository root; subsequent benchmark runs load in milliseconds.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..data import SyntheticImageDataset, make_cifar10, make_cifar100
+from ..models import LayeredModel, alexnet, train_classifier, vgg16, vgg19
+from ..nn import load_model, save_model
+from .scale import ScaleProfile, current_scale
+
+__all__ = ["get_dataset", "build_victim", "get_victim", "cache_directory"]
+
+_ARCHITECTURES = {"alexnet": alexnet, "vgg16": vgg16, "vgg19": vgg19}
+_memory_cache: dict[tuple, tuple[LayeredModel, SyntheticImageDataset, float]] = {}
+
+
+def cache_directory() -> str:
+    root = os.environ.get(
+        "C2PI_CACHE_DIR",
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), ".cache"),
+    )
+    path = os.path.join(root, "victims")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def get_dataset(name: str, scale: ScaleProfile | None = None) -> SyntheticImageDataset:
+    """The synthetic dataset for ``"cifar10"`` or ``"cifar100"``."""
+    scale = scale or current_scale()
+    if name == "cifar10":
+        return make_cifar10(train_size=scale.train_size, test_size=scale.test_size, seed=0)
+    if name == "cifar100":
+        # 100 classes need more images per class for the victim to learn
+        # anything at the reduced profiles; triple the budget so Algorithm
+        # 1's accuracy phase stays meaningful.
+        return make_cifar100(
+            train_size=3 * scale.train_size, test_size=scale.test_size, seed=1
+        )
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+def build_victim(arch: str, num_classes: int, scale: ScaleProfile) -> LayeredModel:
+    """Fresh (untrained) victim of the requested architecture."""
+    if arch not in _ARCHITECTURES:
+        raise ValueError(f"unknown architecture {arch!r}; choose from {sorted(_ARCHITECTURES)}")
+    return _ARCHITECTURES[arch](
+        num_classes=num_classes,
+        width_mult=scale.width_mult,
+        rng=np.random.default_rng(hash(arch) % (2**31)),
+    )
+
+
+def get_victim(
+    arch: str, dataset_name: str, scale: ScaleProfile | None = None
+) -> tuple[LayeredModel, SyntheticImageDataset, float]:
+    """A trained victim, its dataset and its test accuracy (cached)."""
+    scale = scale or current_scale()
+    key = (arch, dataset_name, scale.name)
+    if key in _memory_cache:
+        return _memory_cache[key]
+
+    dataset = get_dataset(dataset_name, scale)
+    model = build_victim(arch, dataset.num_classes, scale)
+    path = os.path.join(cache_directory(), f"{arch}_{dataset_name}_{scale.name}.npz")
+    meta_path = path.replace(".npz", ".acc")
+
+    if os.path.exists(path) and os.path.exists(meta_path):
+        load_model(model, path)
+        model.eval()
+        with open(meta_path) as handle:
+            accuracy = float(handle.read().strip())
+    else:
+        result = train_classifier(
+            model,
+            dataset,
+            epochs=scale.victim_epochs,
+            batch_size=scale.victim_batch,
+            lr=2e-3,
+            seed=0,
+        )
+        accuracy = result.test_accuracy
+        save_model(model, path)
+        with open(meta_path, "w") as handle:
+            handle.write(f"{accuracy:.6f}")
+    model.eval()
+    _memory_cache[key] = (model, dataset, accuracy)
+    return _memory_cache[key]

@@ -1,0 +1,233 @@
+"""Command-line interface for the C2PI reproduction.
+
+Installed as ``c2pi`` (see setup.py); every experiment building block —
+victims, attacks, boundary search, cost models and the secure engine with
+any protocol suite — is reachable without writing Python:
+
+.. code-block:: bash
+
+    c2pi info
+    c2pi train --arch vgg16 --dataset cifar10
+    c2pi attack --arch vgg16 --dataset cifar10 --attack dina --layer 5
+    c2pi boundary --arch vgg16 --dataset cifar10 --sigma 0.3
+    c2pi costs --arch vgg16 --boundary 9
+    c2pi secure-infer --suite cheetah --boundary 2.5
+
+All commands respect the ``C2PI_SCALE`` environment variable (smoke /
+small / paper budgets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="c2pi",
+        description="C2PI (DAC 2023) reproduction: victims, attacks, "
+        "boundary search and PI cost models.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library version and scale profiles")
+
+    train = sub.add_parser("train", help="train (or load) a cached victim")
+    _add_victim_args(train)
+
+    attack = sub.add_parser("attack", help="run one IDPA against one layer")
+    _add_victim_args(attack)
+    attack.add_argument(
+        "--attack", default="dina", choices=("mla", "ina", "eina", "dina")
+    )
+    attack.add_argument("--layer", type=float, required=True)
+    attack.add_argument("--noise", type=float, default=0.0, help="lambda at evaluation")
+
+    boundary = sub.add_parser("boundary", help="Algorithm 1 boundary search")
+    _add_victim_args(boundary)
+    boundary.add_argument("--sigma", type=float, default=0.3, help="SSIM threshold")
+    boundary.add_argument("--noise", type=float, default=0.1, help="lambda")
+
+    costs = sub.add_parser("costs", help="Delphi/Cheetah cost rows (Table II)")
+    costs.add_argument("--arch", default="vgg16", choices=("alexnet", "vgg16", "vgg19"))
+    costs.add_argument(
+        "--boundary",
+        type=float,
+        action="append",
+        help="boundary layer id (repeatable); full PI is always included",
+    )
+
+    secure = sub.add_parser(
+        "secure-infer",
+        help="run one secure inference through a protocol suite",
+    )
+    secure.add_argument(
+        "--suite",
+        default="dealer",
+        choices=("dealer", "delphi", "cheetah"),
+        help="dealer = fast default; delphi/cheetah = the real primitive "
+        "stacks (Paillier+GC / RLWE+OT) at demonstration scale",
+    )
+    secure.add_argument("--boundary", type=float, default=2.5)
+    return parser
+
+
+def _add_victim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arch", default="vgg16", choices=("alexnet", "vgg16", "vgg19"))
+    parser.add_argument("--dataset", default="cifar10", choices=("cifar10", "cifar100"))
+
+
+# ----------------------------------------------------------------------
+# command implementations
+# ----------------------------------------------------------------------
+def _cmd_info(_args) -> int:
+    import repro
+    from .bench import PROFILES, current_scale
+
+    print(f"c2pi reproduction, version {repro.__version__}")
+    active = current_scale()
+    print(f"active scale profile: {active.name} (set C2PI_SCALE to change)")
+    for profile in PROFILES.values():
+        marker = "*" if profile.name == active.name else " "
+        print(
+            f" {marker} {profile.name:<6} width={profile.width_mult} "
+            f"train={profile.train_size} attack_epochs={profile.attack_epochs} "
+            f"mla_iters={profile.mla_iterations}"
+        )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .bench import get_victim
+
+    model, dataset, accuracy = get_victim(args.arch, args.dataset)
+    print(f"{model.name} on {dataset.name}: test accuracy {accuracy:.2%}")
+    print(f"layers: {model.num_linear_layers} linear ({len(model.conv_ids)} conv)")
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from .bench import current_scale, get_victim, make_attack_factory
+
+    scale = current_scale()
+    model, dataset, _ = get_victim(args.arch, args.dataset)
+    factory = make_attack_factory(args.attack, scale)
+    attack = factory(model, args.layer)
+    attack.prepare(dataset.train_images[: scale.attacker_images])
+    result = attack.evaluate(
+        dataset.test_images[: scale.eval_images],
+        noise_magnitude=args.noise,
+        rng=np.random.default_rng(0),
+    )
+    verdict = "SUCCEEDS" if result.succeeded(0.3) else "fails"
+    print(
+        f"{args.attack} at layer {args.layer} (lambda={args.noise}): "
+        f"avg SSIM {result.avg_ssim:.4f} -> attack {verdict} (threshold 0.3)"
+    )
+    return 0
+
+
+def _cmd_boundary(args) -> int:
+    from .bench import current_scale, get_victim, run_boundary_analysis
+
+    scale = current_scale()
+    model, dataset, accuracy = get_victim(args.arch, args.dataset)
+    analysis = run_boundary_analysis(
+        model,
+        dataset,
+        scale,
+        baseline_accuracy=accuracy,
+        sigmas=(args.sigma,),
+        noise_magnitude=args.noise,
+    )
+    print(f"DINA sweep ({model.name} / {dataset.name}):")
+    for layer, ssim in zip(analysis.layer_ids, analysis.dina_ssim):
+        print(f"  conv {layer:>5}: avg SSIM {ssim:.4f}")
+    boundary = analysis.boundaries[args.sigma]
+    print(
+        f"boundary(sigma={args.sigma}) = {boundary}  "
+        f"[accuracy {analysis.boundary_accuracy[args.sigma]:.2%} "
+        f"vs baseline {analysis.baseline_accuracy:.2%}]"
+    )
+    return 0
+
+
+def _cmd_costs(args) -> int:
+    from .bench import render_table, run_cost_comparison
+    from .models import alexnet, vgg16, vgg19
+    from .mpc.costs import cheetah_costs, cryptflow2_costs, delphi_costs
+
+    makers = {"alexnet": alexnet, "vgg16": vgg16, "vgg19": vgg19}
+    model = makers[args.arch](width_mult=1.0, rng=np.random.default_rng(0))
+    boundaries = {f"b={b}": b for b in (args.boundary or [])}
+    rows = run_cost_comparison(
+        model, boundaries,
+        backends=(delphi_costs(), cryptflow2_costs(), cheetah_costs()),
+    )
+    table = [
+        [r.backend, r.setting, r.boundary, r.lan_s, r.wan_s, r.comm_mb] for r in rows
+    ]
+    print(render_table(["backend", "setting", "boundary", "LAN s", "WAN s", "MB"], table))
+    return 0
+
+
+def _cmd_secure_infer(args) -> int:
+    from . import nn
+    from .models.layered import LayeredModel
+    from .mpc import SecureInferenceEngine
+    from .mpc.backends import CheetahSuite, DelphiSuite
+
+    rng = np.random.default_rng(0)
+    body = [
+        nn.Conv2d(2, 3, 3, padding=1), nn.ReLU(),
+        nn.MaxPool2d(2, 2),
+        nn.Conv2d(3, 4, 3, padding=1), nn.ReLU(),
+    ]
+    model = LayeredModel(body, "demo-convnet", (2, 8, 8))
+    for parameter in model.parameters():
+        parameter.data = rng.normal(0, 0.3, parameter.data.shape).astype(np.float32)
+    model.eval()
+
+    suites = {
+        "dealer": lambda: None,
+        "delphi": lambda: DelphiSuite(np.random.default_rng(1), key_bits=256),
+        "cheetah": lambda: CheetahSuite(np.random.default_rng(2), ring_dim=256),
+    }
+    image = np.random.default_rng(3).normal(0, 0.5, (1, 2, 8, 8)).astype(np.float32)
+    with nn.no_grad():
+        reference = model.forward_to(nn.Tensor(image), args.boundary).data
+    engine = SecureInferenceEngine(model, args.boundary, suite=suites[args.suite]())
+    result = engine.run(image)
+    error = float(np.abs(result.reconstruct() - reference).max())
+    print(f"suite={args.suite}  boundary={args.boundary}")
+    print(f"  traffic : {result.total_bytes / 1e6:.3f} MB in {result.rounds} rounds")
+    print(f"  max err : {error:.5f} vs plaintext")
+    for tally in result.tallies:
+        print(f"    {tally.kind:<8} {tally.name:<16} "
+              f"{tally.traffic.total_bytes / 1e3:10.1f} KB  "
+              f"{tally.traffic.rounds:4d} rounds  {tally.compute_s * 1e3:8.1f} ms")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "train": _cmd_train,
+    "attack": _cmd_attack,
+    "boundary": _cmd_boundary,
+    "costs": _cmd_costs,
+    "secure-infer": _cmd_secure_infer,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""``repro.core`` — the C2PI contribution: noise, boundary search, pipeline."""
+
+from .boundary import BoundarySearch, BoundarySearchConfig, BoundarySearchResult
+from .c2pi import C2PIPipeline, C2PIResult, full_pi_tallies
+from .defenses import (
+    Defense,
+    GaussianNoiseDefense,
+    QuantizationDefense,
+    TopKPruningDefense,
+    UniformNoiseDefense,
+    defended_accuracy,
+)
+from .noise import NoiseMechanism, noised_accuracy
+
+__all__ = [
+    "NoiseMechanism",
+    "noised_accuracy",
+    "BoundarySearch",
+    "BoundarySearchConfig",
+    "BoundarySearchResult",
+    "C2PIPipeline",
+    "C2PIResult",
+    "full_pi_tallies",
+    "Defense",
+    "UniformNoiseDefense",
+    "GaussianNoiseDefense",
+    "TopKPruningDefense",
+    "QuantizationDefense",
+    "defended_accuracy",
+]

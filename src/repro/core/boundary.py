@@ -1,0 +1,165 @@
+"""Crypto-clear boundary search — Algorithm 1 of the paper.
+
+Phase 1 sweeps layers from the tail toward the head, attacking each with
+the configured IDPA, until the attack starts *succeeding* (average SSIM at
+or above the failure threshold sigma); the candidate boundary is one layer
+later. Phase 2 verifies that injecting the client's uniform noise at the
+candidate boundary keeps accuracy above the agreed threshold delta, pushing
+the boundary later until it does.
+
+In the semi-honest threat model the server executes this faithfully (a
+third-party notary can audit it); the reproduction exposes every
+intermediate measurement in :class:`BoundarySearchResult` so the audit
+trail — and Figure 8 — can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..attacks.evaluation import AttackFactory
+from ..models.layered import LayeredModel
+from .noise import noised_accuracy
+
+__all__ = ["BoundarySearchConfig", "BoundarySearchResult", "BoundarySearch"]
+
+
+@dataclass
+class BoundarySearchConfig:
+    """Parameters of Algorithm 1.
+
+    Attributes
+    ----------
+    ssim_threshold:
+        sigma — the IDPA failure threshold (paper: 0.2 or 0.3).
+    accuracy_drop:
+        delta expressed as the tolerated drop below the noise-free baseline
+        (paper: 2.5 percentage points, after Cho et al. 2022).
+    noise_magnitude:
+        lambda — the client's uniform-noise magnitude (paper: 0.1).
+    layer_ids:
+        Candidate boundary positions, ascending. Defaults to the victim's
+        conv ids (the granularity of the paper's figures); pass
+        ``model.layer_ids`` for the finest (x.5) granularity.
+    """
+
+    ssim_threshold: float = 0.3
+    accuracy_drop: float = 0.025
+    noise_magnitude: float = 0.1
+    layer_ids: list[float] | None = None
+    seed: int = 0
+
+
+@dataclass
+class BoundarySearchResult:
+    """Everything Algorithm 1 measured on its way to the boundary."""
+
+    boundary: float
+    phase1_layer: float  # l' where the IDPA first succeeds (tail sweep)
+    baseline_accuracy: float
+    ssim_per_layer: dict[float, float] = field(default_factory=dict)
+    accuracy_per_layer: dict[float, float] = field(default_factory=dict)
+
+    @property
+    def boundary_accuracy(self) -> float:
+        return self.accuracy_per_layer[self.boundary]
+
+
+class BoundarySearch:
+    """Runs Algorithm 1 for one victim model and one attack family."""
+
+    def __init__(
+        self,
+        model: LayeredModel,
+        attack_factory: AttackFactory,
+        attacker_images: np.ndarray,
+        eval_images: np.ndarray,
+        test_images: np.ndarray,
+        test_labels: np.ndarray,
+        config: BoundarySearchConfig | None = None,
+    ):
+        self.model = model
+        self.attack_factory = attack_factory
+        self.attacker_images = attacker_images
+        self.eval_images = eval_images
+        self.test_images = test_images
+        self.test_labels = test_labels
+        self.config = config or BoundarySearchConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._ssim_cache: dict[float, float] = {}
+
+    # ------------------------------------------------------------------
+    def _attack_ssim(self, layer_id: float) -> float:
+        """IDPA(l) of Algorithm 1: average SSIM of the attack at a layer."""
+        if layer_id not in self._ssim_cache:
+            attack = self.attack_factory(self.model, layer_id)
+            attack.prepare(self.attacker_images)
+            result = attack.evaluate(
+                self.eval_images,
+                noise_magnitude=self.config.noise_magnitude,
+                rng=self._rng,
+            )
+            self._ssim_cache[layer_id] = result.avg_ssim
+        return self._ssim_cache[layer_id]
+
+    def _accuracy(self, layer_id: float) -> float:
+        return noised_accuracy(
+            self.model,
+            layer_id,
+            self.config.noise_magnitude,
+            self.test_images,
+            self.test_labels,
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> BoundarySearchResult:
+        layers = (
+            self.config.layer_ids
+            if self.config.layer_ids is not None
+            else [float(i) for i in self.model.conv_ids]
+        )
+        layers = sorted(layers)
+        if not layers:
+            raise ValueError("no candidate layers to search")
+        sigma = self.config.ssim_threshold
+
+        # Phase 1 (lines 1-6): sweep from the tail while the attack fails.
+        ssim_per_layer: dict[float, float] = {}
+        index = len(layers) - 1
+        score = self._attack_ssim(layers[index])
+        ssim_per_layer[layers[index]] = score
+        while score < sigma and index > 0:
+            index -= 1
+            score = self._attack_ssim(layers[index])
+            ssim_per_layer[layers[index]] = score
+        phase1_layer = layers[index]
+
+        # Line 7: the candidate boundary is one layer after the first
+        # success (or the first layer if the attack never succeeds).
+        if score >= sigma and index < len(layers) - 1:
+            index += 1
+
+        # Phase 2 (lines 8-12): push the boundary later until the noised
+        # accuracy is acceptable.
+        baseline = noised_accuracy(
+            self.model, layers[-1], 0.0, self.test_images, self.test_labels
+        )
+        threshold = baseline - self.config.accuracy_drop
+        accuracy_per_layer: dict[float, float] = {}
+        accuracy = self._accuracy(layers[index])
+        accuracy_per_layer[layers[index]] = accuracy
+        while accuracy < threshold and index < len(layers) - 1:
+            index += 1
+            accuracy = self._accuracy(layers[index])
+            accuracy_per_layer[layers[index]] = accuracy
+
+        return BoundarySearchResult(
+            boundary=layers[index],
+            phase1_layer=phase1_layer,
+            baseline_accuracy=baseline,
+            ssim_per_layer=ssim_per_layer,
+            accuracy_per_layer=accuracy_per_layer,
+        )

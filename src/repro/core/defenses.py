@@ -1,0 +1,153 @@
+"""Client-side defences against inference-data-privacy attacks.
+
+The paper's C2PI uses uniform additive noise (Section III-A); its
+conclusion lists "exploring and applying more defenses against IDPA" as
+future work. This module implements that extension: a common
+:class:`Defense` interface with the paper's uniform mechanism plus three
+alternatives from the split-learning defence literature, all applicable at
+the boundary reveal:
+
+* :class:`UniformNoiseDefense` — the paper's mechanism (wraps
+  :class:`~repro.core.noise.NoiseMechanism`);
+* :class:`GaussianNoiseDefense` — Gaussian perturbation (Titcombe et al.);
+* :class:`TopKPruningDefense` — keep only the k largest activations per
+  sample, zeroing the rest (feature pruning);
+* :class:`QuantizationDefense` — coarse activation quantisation
+  (the binarised-split-learning direction of Pham et al., generalised to
+  b-bit levels).
+
+``benchmarks/test_ablation_defenses.py`` compares them on equal footing:
+DINA SSIM vs accuracy at a fixed boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..models.layered import LayeredModel
+
+__all__ = [
+    "Defense",
+    "UniformNoiseDefense",
+    "GaussianNoiseDefense",
+    "TopKPruningDefense",
+    "QuantizationDefense",
+    "defended_accuracy",
+]
+
+
+class Defense:
+    """Perturbs the boundary activation the server gets to see."""
+
+    name = "identity"
+
+    def apply(self, activation: np.ndarray) -> np.ndarray:
+        """Return the server-visible version of the activation."""
+        return activation
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class UniformNoiseDefense(Defense):
+    """The paper's mechanism: elementwise U(-magnitude, +magnitude) noise."""
+
+    name = "uniform"
+
+    def __init__(self, magnitude: float, seed: int = 0):
+        if magnitude < 0:
+            raise ValueError("magnitude must be non-negative")
+        self.magnitude = magnitude
+        self.rng = np.random.default_rng(seed)
+
+    def apply(self, activation: np.ndarray) -> np.ndarray:
+        noise = self.rng.uniform(-self.magnitude, self.magnitude, activation.shape)
+        return (activation + noise.astype(activation.dtype)).astype(activation.dtype)
+
+
+class GaussianNoiseDefense(Defense):
+    """Zero-mean Gaussian perturbation with standard deviation sigma."""
+
+    name = "gaussian"
+
+    def __init__(self, sigma: float, seed: int = 0):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+        self.rng = np.random.default_rng(seed)
+
+    def apply(self, activation: np.ndarray) -> np.ndarray:
+        noise = self.rng.normal(0.0, self.sigma, activation.shape)
+        return (activation + noise.astype(activation.dtype)).astype(activation.dtype)
+
+
+class TopKPruningDefense(Defense):
+    """Keep the fraction ``keep_ratio`` of largest-magnitude activations.
+
+    Pruning destroys the low-magnitude structure inversion networks feed
+    on while preserving the dominant features classification needs.
+    """
+
+    name = "topk"
+
+    def __init__(self, keep_ratio: float):
+        if not 0.0 < keep_ratio <= 1.0:
+            raise ValueError("keep_ratio must be in (0, 1]")
+        self.keep_ratio = keep_ratio
+
+    def apply(self, activation: np.ndarray) -> np.ndarray:
+        flat = activation.reshape(activation.shape[0], -1)
+        keep = max(1, int(round(self.keep_ratio * flat.shape[1])))
+        output = np.zeros_like(flat)
+        index = np.argpartition(np.abs(flat), -keep, axis=1)[:, -keep:]
+        rows = np.arange(flat.shape[0])[:, None]
+        output[rows, index] = flat[rows, index]
+        return output.reshape(activation.shape)
+
+
+class QuantizationDefense(Defense):
+    """Quantise activations to ``2**bits`` uniform levels over their range."""
+
+    name = "quantize"
+
+    def __init__(self, bits: int):
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.bits = bits
+
+    def apply(self, activation: np.ndarray) -> np.ndarray:
+        levels = (1 << self.bits) - 1
+        low = activation.min(axis=tuple(range(1, activation.ndim)), keepdims=True)
+        high = activation.max(axis=tuple(range(1, activation.ndim)), keepdims=True)
+        span = np.where(high > low, high - low, 1.0)
+        normalised = (activation - low) / span
+        quantised = np.round(normalised * levels) / levels
+        return (quantised * span + low).astype(activation.dtype)
+
+
+def defended_accuracy(
+    model: LayeredModel,
+    layer_id: float,
+    defense: Defense,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 128,
+) -> float:
+    """Accuracy when the defended activation enters the clear layers."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    try:
+        with nn.no_grad():
+            for start in range(0, len(labels), batch_size):
+                batch = images[start : start + batch_size]
+                h = model.forward_to(nn.Tensor(batch), layer_id).data
+                h = defense.apply(h)
+                logits = model.forward_from(nn.Tensor(h), layer_id).data
+                correct += int(
+                    (logits.argmax(axis=1) == labels[start : start + batch_size]).sum()
+                )
+    finally:
+        model.train(was_training)
+    return correct / len(labels)

@@ -1,0 +1,91 @@
+"""The client-side noise mechanism of C2PI.
+
+Before revealing its share of the boundary activation to the server, the
+client adds uniform noise ``Delta ~ U(-lambda, lambda)`` elementwise
+(Section III-A, following Titcombe et al. and Pham et al.). The server then
+reconstructs ``M_l(x) + Delta`` — the perturbation simultaneously degrades
+IDPAs (Figure 6) and, if too large, the inference accuracy (Figure 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..metrics import evaluate_accuracy
+from ..models.layered import LayeredModel
+from ..mpc.fixedpoint import FixedPointConfig
+
+__all__ = ["NoiseMechanism", "noised_accuracy"]
+
+
+class NoiseMechanism:
+    """Uniform noise generator applied by the client.
+
+    Works in both domains: on float activations (for attack simulations)
+    and on fixed-point ring shares (inside the C2PI pipeline, where the
+    noise is added to the client's share before the reveal).
+    """
+
+    def __init__(self, magnitude: float, seed: int = 0):
+        if magnitude < 0:
+            raise ValueError(f"noise magnitude must be non-negative, got {magnitude}")
+        self.magnitude = float(magnitude)
+        self.rng = np.random.default_rng(seed)
+
+    def sample(self, shape) -> np.ndarray:
+        """Draw a noise tensor Delta ~ U(-lambda, lambda)."""
+        if self.magnitude == 0.0:
+            return np.zeros(shape, dtype=np.float32)
+        return self.rng.uniform(-self.magnitude, self.magnitude, size=shape).astype(
+            np.float32
+        )
+
+    def perturb(self, activation: np.ndarray) -> np.ndarray:
+        """Float-domain perturbation (attack simulations, Figures 6-7)."""
+        return activation + self.sample(activation.shape)
+
+    def perturb_share(
+        self, share: np.ndarray, config: FixedPointConfig
+    ) -> np.ndarray:
+        """Ring-domain perturbation of the client's additive share.
+
+        Adding ``encode(Delta)`` to one share shifts the reconstructed
+        value by exactly ``Delta`` (up to encoding precision).
+        """
+        noise = config.encode(self.sample(share.shape))
+        return (share + noise).astype(np.uint64)
+
+
+def noised_accuracy(
+    model: LayeredModel,
+    layer_id: float,
+    magnitude: float,
+    images: np.ndarray,
+    labels: np.ndarray,
+    seed: int = 0,
+    batch_size: int = 128,
+) -> float:
+    """Accuracy when the activation entering the clear layers is noised.
+
+    This is the quantity ``accuracy(l, lambda)`` of Algorithm 1 and the
+    y-axis of Figure 7: feed ``M_l(x) + Delta`` into the remaining layers
+    and measure top-1 accuracy.
+    """
+    mechanism = NoiseMechanism(magnitude, seed=seed)
+    was_training = model.training
+    model.eval()
+    correct = 0
+    try:
+        with nn.no_grad():
+            for start in range(0, len(labels), batch_size):
+                batch = images[start : start + batch_size]
+                h = model.forward_to(nn.Tensor(batch), layer_id).data
+                h = mechanism.perturb(h)
+                logits = model.forward_from(nn.Tensor(h), layer_id).data
+                correct += int(
+                    (logits.argmax(axis=1) == labels[start : start + batch_size]).sum()
+                )
+    finally:
+        model.train(was_training)
+    return correct / len(labels)

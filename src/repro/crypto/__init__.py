@@ -1,0 +1,82 @@
+"""``repro.crypto`` — concrete cryptographic primitives for the PI backends.
+
+The dealer model in :mod:`repro.mpc` abstracts the *preprocessing* of the
+PI frameworks the paper builds on. This package provides the concrete
+instantiations, so small-scale inferences can run with the real primitive
+stack end to end:
+
+* :mod:`~repro.crypto.prg` — hash-based pseudorandom generator and the
+  tweakable hash used as the garbling KDF;
+* :mod:`~repro.crypto.numbertheory` — Miller-Rabin, prime generation,
+  modular arithmetic helpers;
+* :mod:`~repro.crypto.baseot` — Chou-Orlandi base oblivious transfer over
+  a multiplicative group;
+* :mod:`~repro.crypto.otext` — IKNP oblivious-transfer extension (chosen,
+  random and correlated variants);
+* :mod:`~repro.crypto.circuit` / :mod:`~repro.crypto.garble` — boolean
+  circuits and a free-XOR + point-and-permute garbling scheme (Delphi's
+  ReLU protocol);
+* :mod:`~repro.crypto.gc_protocol` — the two-party garbled-circuit ReLU on
+  additive shares;
+* :mod:`~repro.crypto.paillier` — Paillier additively homomorphic
+  encryption (Delphi's linear-layer preprocessing);
+* :mod:`~repro.crypto.rlwe` — a BFV-style RLWE scheme with Cheetah's
+  coefficient packing for linear layers;
+* :mod:`~repro.crypto.millionaire` — OT-based comparison, DReLU, B2A and
+  multiplexing (Cheetah/CrypTFlow2's non-linear protocol family).
+
+Everything is implemented from scratch on numpy + ``hashlib``; no external
+cryptography dependency. The schemes target the semi-honest model of the
+paper and favour clarity over constant-time behaviour.
+"""
+
+from .baseot import BaseOTReceiver, BaseOTSender, base_ot_batch
+from .circuit import Circuit, evaluate_plain, relu_share_circuit
+from .garble import GarbledCircuit, evaluate_garbled, garble
+from .gc_protocol import GarbledReluProtocol
+from .millionaire import (
+    b2a_via_ot,
+    millionaire_compare,
+    ot_bit_triples,
+    secure_drelu_ot,
+    secure_mux_via_ot,
+    secure_relu_ot,
+)
+from .numbertheory import generate_prime, is_probable_prime, modinv
+from .otext import IknpOtExtension
+from .paillier import PaillierCiphertext, PaillierKeyPair, paillier_keygen
+from .prg import PRG, hash_label
+from .rlwe import RlweCiphertext, RlweContext, RlweKeyPair, pack_matvec_plain, rlwe_keygen
+
+__all__ = [
+    "PRG",
+    "hash_label",
+    "is_probable_prime",
+    "generate_prime",
+    "modinv",
+    "BaseOTSender",
+    "BaseOTReceiver",
+    "base_ot_batch",
+    "IknpOtExtension",
+    "Circuit",
+    "relu_share_circuit",
+    "evaluate_plain",
+    "garble",
+    "evaluate_garbled",
+    "GarbledCircuit",
+    "GarbledReluProtocol",
+    "paillier_keygen",
+    "PaillierKeyPair",
+    "PaillierCiphertext",
+    "RlweContext",
+    "RlweKeyPair",
+    "RlweCiphertext",
+    "rlwe_keygen",
+    "pack_matvec_plain",
+    "millionaire_compare",
+    "ot_bit_triples",
+    "b2a_via_ot",
+    "secure_drelu_ot",
+    "secure_mux_via_ot",
+    "secure_relu_ot",
+]

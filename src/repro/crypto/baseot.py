@@ -1,0 +1,157 @@
+"""Chou-Orlandi "simplest OT" base oblivious transfers.
+
+The IKNP extension (:mod:`repro.crypto.otext`) needs a small, fixed number
+of *base* OTs — typically 128 — whose cost amortises away. This module
+implements the Chou-Orlandi protocol in the semi-honest model over the
+multiplicative group of a safe prime:
+
+* sender: ``a ← Z_q``, publishes ``A = g^a``;
+* receiver with choice bit ``c``: ``b ← Z_q``, publishes
+  ``B = g^b`` (c = 0) or ``B = A · g^b`` (c = 1);
+* sender derives pads ``k0 = H(B^a)`` and ``k1 = H((B/A)^a)``; the
+  receiver derives ``k_c = H(A^b)`` — exactly one of the two.
+
+The group is the 1536-bit MODP group of RFC 3526 by default, with ``g = 4``
+(a quadratic residue, hence a generator of the prime-order subgroup); a
+small toy group is available to keep unit tests fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # Channel is used only in annotations; a runtime
+    # import would create a cycle through repro.mpc's engine/backends.
+    from ..mpc.network import Channel
+from .prg import LABEL_BYTES, hash_label, xor_bytes
+
+__all__ = ["DhGroup", "RFC3526_1536", "TOY_GROUP", "BaseOTSender", "BaseOTReceiver",
+           "base_ot_batch"]
+
+
+@dataclass(frozen=True)
+class DhGroup:
+    """A prime-order subgroup of Z_p^* described by (p, q, g)."""
+
+    p: int  # safe prime
+    q: int  # subgroup order, (p - 1) // 2
+    g: int  # generator of the order-q subgroup
+
+    @property
+    def element_bytes(self) -> int:
+        return (self.p.bit_length() + 7) // 8
+
+    def encode(self, element: int) -> bytes:
+        return element.to_bytes(self.element_bytes, "little")
+
+
+# RFC 3526 group 5 (1536-bit MODP). p is a safe prime; 4 = 2^2 generates
+# the quadratic-residue subgroup of order (p-1)/2.
+_P_1536 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF",
+    16,
+)
+RFC3526_1536 = DhGroup(p=_P_1536, q=(_P_1536 - 1) // 2, g=4)
+
+# A deliberately small safe-prime group for fast tests (NOT secure).
+_P_TOY = 0x8A63E30A29A3061433A7C803110F2F4F  # 128-bit safe prime
+TOY_GROUP = DhGroup(p=_P_TOY, q=(_P_TOY - 1) // 2, g=4)
+
+
+class BaseOTSender:
+    """Sender side of a batch of Chou-Orlandi OTs (holds message pairs)."""
+
+    def __init__(self, group: DhGroup, rng: np.random.Generator):
+        self.group = group
+        self._a = int(rng.integers(2, 2**62)) % group.q or 2
+        self.big_a = pow(group.g, self._a, group.p)
+
+    def pads(self, big_b: int, index: int) -> tuple[bytes, bytes]:
+        """Derive the two one-time pads from the receiver's element."""
+        group = self.group
+        shared0 = pow(big_b, self._a, group.p)
+        big_a_inv = pow(self.big_a, -1, group.p)
+        shared1 = pow(big_b * big_a_inv % group.p, self._a, group.p)
+        pad0 = hash_label(group.encode(shared0), tweak=index)
+        pad1 = hash_label(group.encode(shared1), tweak=index)
+        return pad0, pad1
+
+
+class BaseOTReceiver:
+    """Receiver side: one group element per choice bit."""
+
+    def __init__(self, group: DhGroup, rng: np.random.Generator):
+        self.group = group
+        self._rng = rng
+
+    def respond(self, big_a: int, choice: int) -> tuple[int, int]:
+        """Return (B, b) for one transfer with the given choice bit."""
+        group = self.group
+        b = int(self._rng.integers(2, 2**62)) % group.q or 3
+        big_b = pow(group.g, b, group.p)
+        if choice:
+            big_b = big_b * big_a % group.p
+        return big_b, b
+
+    def pad(self, big_a: int, b: int, index: int) -> bytes:
+        """The pad for the chosen message."""
+        shared = pow(big_a, b, self.group.p)
+        return hash_label(self.group.encode(shared), tweak=index)
+
+
+def base_ot_batch(
+    messages0: list[bytes],
+    messages1: list[bytes],
+    choices: np.ndarray,
+    rng: np.random.Generator,
+    channel: Channel | None = None,
+    group: DhGroup = TOY_GROUP,
+) -> list[bytes]:
+    """Run ``len(choices)`` base OTs, returning the chosen messages.
+
+    Both parties run in-process; all protocol messages are charged to
+    ``channel``. Message lengths must equal :data:`~repro.crypto.prg.LABEL_BYTES`
+    — base OTs only ever carry PRG seeds here.
+    """
+    count = len(choices)
+    if len(messages0) != count or len(messages1) != count:
+        raise ValueError("message lists and choices must have equal length")
+    for m in (*messages0, *messages1):
+        if len(m) != LABEL_BYTES:
+            raise ValueError(f"base OT messages must be {LABEL_BYTES} bytes")
+
+    sender = BaseOTSender(group, rng)
+    receiver = BaseOTReceiver(group, rng)
+    if channel is not None:
+        channel.send(1, group.element_bytes, label="baseot-A")  # A broadcast once
+        channel.tick_round("baseot-A")
+
+    received: list[bytes] = []
+    response_bytes = 0
+    payload_bytes = 0
+    for i in range(count):
+        big_b, secret_b = receiver.respond(sender.big_a, int(choices[i]))
+        response_bytes += group.element_bytes
+        pad0, pad1 = sender.pads(big_b, i)
+        cipher0 = xor_bytes(messages0[i], pad0)
+        cipher1 = xor_bytes(messages1[i], pad1)
+        payload_bytes += len(cipher0) + len(cipher1)
+        chosen_pad = receiver.pad(sender.big_a, secret_b, i)
+        chosen_cipher = cipher1 if choices[i] else cipher0
+        received.append(xor_bytes(chosen_cipher, chosen_pad))
+
+    if channel is not None:
+        channel.send(0, response_bytes, label="baseot-B")
+        channel.tick_round("baseot-B")
+        channel.send(1, payload_bytes, label="baseot-ciphertexts")
+        channel.tick_round("baseot-ciphertexts")
+    return received

@@ -1,0 +1,179 @@
+"""Boolean circuits for garbling: XOR/AND/INV gates plus arithmetic builders.
+
+Delphi evaluates ReLU inside a garbled circuit that (1) reconstructs the
+value from the two additive shares with a ripple-carry adder, (2) derives
+the DReLU bit from the sign, (3) multiplexes the value against zero and
+(4) re-masks the result with the garbler's fresh share. The builders here
+produce exactly that circuit (:func:`relu_share_circuit`), in a gate basis
+chosen for free-XOR garbling: only AND gates cost communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Gate",
+    "Circuit",
+    "add_mod_2k",
+    "relu_share_circuit",
+    "drelu_share_circuit",
+    "evaluate_plain",
+]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: ``op`` in {"XOR", "AND", "INV"}; INV ignores ``b``."""
+
+    op: str
+    a: int
+    b: int
+    out: int
+
+
+@dataclass
+class Circuit:
+    """A straight-line boolean circuit over numbered wires.
+
+    Wires are allocated densely: inputs first (garbler then evaluator),
+    then one wire per gate output. ``outputs`` lists the wires whose values
+    the evaluator may decode.
+    """
+
+    garbler_inputs: list[int] = field(default_factory=list)
+    evaluator_inputs: list[int] = field(default_factory=list)
+    gates: list[Gate] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    n_wires: int = 0
+
+    # -- wire allocation -------------------------------------------------
+    def new_garbler_input(self) -> int:
+        wire = self._alloc()
+        self.garbler_inputs.append(wire)
+        return wire
+
+    def new_evaluator_input(self) -> int:
+        wire = self._alloc()
+        self.evaluator_inputs.append(wire)
+        return wire
+
+    def _alloc(self) -> int:
+        wire = self.n_wires
+        self.n_wires += 1
+        return wire
+
+    # -- gate builders ----------------------------------------------------
+    def xor(self, a: int, b: int) -> int:
+        out = self._alloc()
+        self.gates.append(Gate("XOR", a, b, out))
+        return out
+
+    def and_(self, a: int, b: int) -> int:
+        out = self._alloc()
+        self.gates.append(Gate("AND", a, b, out))
+        return out
+
+    def inv(self, a: int) -> int:
+        out = self._alloc()
+        self.gates.append(Gate("INV", a, a, out))
+        return out
+
+    @property
+    def and_count(self) -> int:
+        """Number of AND gates — the only gates with garbling cost."""
+        return sum(1 for g in self.gates if g.op == "AND")
+
+
+def add_mod_2k(circuit: Circuit, xs: list[int], ys: list[int]) -> list[int]:
+    """Ripple-carry addition modulo ``2^k`` (little-endian wire lists).
+
+    Uses the one-AND full adder: ``sum = a ⊕ b ⊕ c`` and
+    ``carry' = ((a ⊕ c) ∧ (b ⊕ c)) ⊕ c``. The final carry is dropped.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("operand widths differ")
+    k = len(xs)
+    sums: list[int] = []
+    carry: int | None = None
+    for i in range(k):
+        a, b = xs[i], ys[i]
+        if carry is None:
+            sums.append(circuit.xor(a, b))
+            if i < k - 1:
+                carry = circuit.and_(a, b)
+        else:
+            a_xor_c = circuit.xor(a, carry)
+            b_xor_c = circuit.xor(b, carry)
+            sums.append(circuit.xor(a_xor_c, b))  # a ⊕ cin ⊕ b
+            if i < k - 1:
+                carry = circuit.xor(circuit.and_(a_xor_c, b_xor_c), carry)
+    return sums
+
+
+def relu_share_circuit(bits: int) -> Circuit:
+    """Delphi's ReLU-on-shares circuit over a ``2^bits`` ring.
+
+    Inputs: garbler share ``a`` and fresh output mask ``r`` (garbler wires),
+    evaluator share ``b``. The circuit computes ``x = a + b``,
+    ``y = x if x >= 0 else 0`` (two's-complement sign test) and outputs
+    ``y + r`` — the evaluator's fresh additive share; the garbler keeps
+    ``-r``. AND-gate count: ``3·bits - 2``.
+    """
+    circuit = Circuit()
+    a = [circuit.new_garbler_input() for _ in range(bits)]
+    r = [circuit.new_garbler_input() for _ in range(bits)]
+    b = [circuit.new_evaluator_input() for _ in range(bits)]
+    x = add_mod_2k(circuit, a, b)
+    keep = circuit.inv(x[-1])  # sign bit 0 -> keep the value
+    y = [circuit.and_(bit, keep) for bit in x]
+    masked = add_mod_2k(circuit, y, r)
+    circuit.outputs = masked
+    return circuit
+
+
+def drelu_share_circuit(bits: int) -> Circuit:
+    """DReLU only: outputs the single bit ``1{a + b >= 0}`` re-masked.
+
+    Inputs: garbler share ``a`` and a one-bit mask ``m``; evaluator share
+    ``b``. Output: ``drelu ⊕ m`` so neither party alone learns the sign.
+    """
+    circuit = Circuit()
+    a = [circuit.new_garbler_input() for _ in range(bits)]
+    mask = circuit.new_garbler_input()
+    b = [circuit.new_evaluator_input() for _ in range(bits)]
+    x = add_mod_2k(circuit, a, b)
+    keep = circuit.inv(x[-1])
+    circuit.outputs = [circuit.xor(keep, mask)]
+    return circuit
+
+
+def evaluate_plain(circuit: Circuit, assignment: dict[int, int]) -> list[int]:
+    """Evaluate the circuit on a plaintext 0/1 assignment of input wires."""
+    values = dict(assignment)
+    missing = [w for w in (*circuit.garbler_inputs, *circuit.evaluator_inputs)
+               if w not in values]
+    if missing:
+        raise ValueError(f"unassigned input wires: {missing[:8]}")
+    for gate in circuit.gates:
+        if gate.op == "XOR":
+            values[gate.out] = values[gate.a] ^ values[gate.b]
+        elif gate.op == "AND":
+            values[gate.out] = values[gate.a] & values[gate.b]
+        elif gate.op == "INV":
+            values[gate.out] = 1 - values[gate.a]
+        else:  # pragma: no cover - gate ops are fixed at construction
+            raise ValueError(f"unknown gate op {gate.op!r}")
+    return [values[w] for w in circuit.outputs]
+
+
+def bits_of(value: int, bits: int) -> np.ndarray:
+    """Little-endian bit vector of ``value`` (helper for tests/protocols)."""
+    return np.array([(value >> i) & 1 for i in range(bits)], dtype=np.uint8)
+
+
+def int_of(bit_list) -> int:
+    """Inverse of :func:`bits_of`."""
+    return int(sum(int(b) << i for i, b in enumerate(bit_list)))

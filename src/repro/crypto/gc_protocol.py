@@ -1,0 +1,123 @@
+"""Delphi's garbled-circuit ReLU on additive shares, end to end.
+
+The server garbles :func:`~repro.crypto.circuit.relu_share_circuit` per
+activation element, sends tables plus its own input labels, and transfers
+the client's input labels through the IKNP OT extension. The client
+evaluates and decodes ``ReLU(x) + r`` — its fresh additive share — while
+the server keeps ``-r``. All bytes (tables, labels, OT traffic) are charged
+to the :class:`~repro.mpc.network.Channel`, so the micro-benchmarks can
+compare this against Cheetah's OT-based ReLU with real counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # Channel is used only in annotations; a runtime
+    # import would create a cycle through repro.mpc's engine/backends.
+    from ..mpc.network import Channel
+from .circuit import relu_share_circuit
+from .garble import evaluate_garbled, garble
+from .otext import SECURITY_PARAM, IknpOtExtension
+from .prg import LABEL_BYTES, PRG
+
+__all__ = ["GarbledReluProtocol"]
+
+
+class GarbledReluProtocol:
+    """Batched garbled-circuit ReLU over the ``2^bits`` ring.
+
+    Parameters
+    ----------
+    rng:
+        Source for garbling labels and output masks (server-side secret).
+    channel:
+        Byte/round accounting (may be ``None`` for pure correctness tests).
+    bits:
+        Ring width. 64 matches :mod:`repro.mpc.fixedpoint`; tests may use
+        narrower rings for speed.
+    security:
+        IKNP column count, see :data:`~repro.crypto.otext.SECURITY_PARAM`.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        channel: Channel | None = None,
+        bits: int = 64,
+        security: int = SECURITY_PARAM,
+    ):
+        if not 2 <= bits <= 64:
+            raise ValueError("bits must be between 2 and 64")
+        self.bits = bits
+        self.channel = channel
+        self.circuit = relu_share_circuit(bits)
+        self._prg = PRG(int(rng.integers(0, 2**62)))
+        self._mask_rng = rng
+        self._ot = IknpOtExtension(rng, channel, sender=1, security=security)
+
+    # ------------------------------------------------------------------
+    def run(self, shares: tuple[np.ndarray, np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """ReLU a flat pair of additive share arrays; returns fresh shares.
+
+        ``shares[0]`` belongs to the client (evaluator), ``shares[1]`` to
+        the server (garbler). Values are interpreted in the two's-complement
+        ``2^bits`` ring.
+        """
+        client, server = (np.asarray(s).reshape(-1) for s in shares)
+        if client.shape != server.shape:
+            raise ValueError("share shapes differ")
+        count = client.size
+        bits = self.bits
+        mask = (1 << bits) - 1
+
+        garbled = []
+        masks = []
+        table_bytes = 0
+        garbler_label_bytes = 0
+        # Per element: fresh garbling, garbler inputs = (a bits, r bits).
+        for i in range(count):
+            gc = garble(self.circuit, self._prg)
+            garbled.append(gc)
+            r = int(self._mask_rng.integers(0, 2**62)) & mask
+            masks.append(r)
+            table_bytes += gc.table_bytes
+            garbler_label_bytes += 2 * bits * LABEL_BYTES
+        if self.channel is not None:
+            self.channel.send(1, table_bytes + garbler_label_bytes + count * (bits + 7) // 8,
+                              label="gc-tables")
+            self.channel.tick_round("gc-tables")
+
+        # Client input labels through one batched OT (bits per element).
+        messages0: list[bytes] = []
+        messages1: list[bytes] = []
+        choices = np.zeros(count * bits, dtype=np.uint8)
+        for i, gc in enumerate(garbled):
+            b_value = int(client[i]) & mask
+            for j, wire in enumerate(self.circuit.evaluator_inputs):
+                messages0.append(gc.input_label(wire, 0))
+                messages1.append(gc.input_label(wire, 1))
+                choices[i * bits + j] = (b_value >> j) & 1
+        received = self._ot.transfer(messages0, messages1, choices)
+
+        out_client = np.zeros(count, dtype=np.uint64)
+        out_server = np.zeros(count, dtype=np.uint64)
+        for i, gc in enumerate(garbled):
+            a_value = int(server[i]) & mask
+            r = masks[i]
+            labels: dict[int, bytes] = {}
+            garbler_wires = self.circuit.garbler_inputs
+            for j in range(bits):  # share bits then mask bits
+                labels[garbler_wires[j]] = gc.input_label(garbler_wires[j], (a_value >> j) & 1)
+                labels[garbler_wires[bits + j]] = gc.input_label(
+                    garbler_wires[bits + j], (r >> j) & 1
+                )
+            for j, wire in enumerate(self.circuit.evaluator_inputs):
+                labels[wire] = received[i * bits + j]
+            out_bits = evaluate_garbled(gc, labels)
+            y_plus_r = sum(bit << j for j, bit in enumerate(out_bits))
+            out_client[i] = np.uint64(y_plus_r)
+            out_server[i] = np.uint64((-r) & mask)
+        return out_client, out_server

@@ -1,0 +1,335 @@
+"""OT-based comparison, DReLU and ReLU — Cheetah/CrypTFlow2's non-linear stack.
+
+Cheetah replaces Delphi's garbled circuits with oblivious-transfer
+protocols. The chain implemented here, batched over activation arrays:
+
+1. :func:`millionaire_compare` — the radix-``2^m`` millionaires' protocol
+   of CrypTFlow2: leaf (gt, eq) bits per block through 1-of-``2^m`` OTs,
+   combined MSB-first with AND gates on XOR shares;
+2. :func:`secure_drelu_ot` — reduces ``msb(x0 + x1)`` to one millionaire
+   carry computation: ``msb(x) = msb(x0) ⊕ msb(x1) ⊕ carry`` with
+   ``carry = 1{low63(x0) > 2^63 - 1 - low63(x1)}``;
+3. :func:`b2a_via_ot` — boolean-to-arithmetic share conversion through one
+   correlated OT per bit;
+4. :func:`secure_mux_via_ot` — multiplexing ``b·x`` with two OTs per
+   element (one in each direction);
+5. :func:`secure_relu_ot` — DReLU then mux, yielding fresh additive shares
+   of ``ReLU(x)``.
+
+Unlike the dealer-based protocols in :mod:`repro.mpc.protocols`, nothing
+here consumes trusted preprocessing: every correlated bit is produced by
+the IKNP sessions, so the byte counts on the channel reflect a complete
+(semi-honest) two-party execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # Channel is used only in annotations; a runtime
+    # import would create a cycle through repro.mpc's engine/backends.
+    from ..mpc.network import Channel
+from .otext import IknpOtExtension
+from .prg import hash_label, xor_bytes
+
+__all__ = [
+    "OtSessionPair",
+    "ot_bit_triples",
+    "and_xor_shares",
+    "one_of_n_ot",
+    "millionaire_compare",
+    "secure_drelu_ot",
+    "b2a_via_ot",
+    "secure_mux_via_ot",
+    "secure_relu_ot",
+]
+
+
+@dataclass
+class OtSessionPair:
+    """One IKNP session per direction (both parties act as sender once)."""
+
+    server_sends: IknpOtExtension  # server = sender (party 1)
+    client_sends: IknpOtExtension  # client = sender (party 0)
+
+    @classmethod
+    def create(
+        cls, rng: np.random.Generator, channel: Channel | None, security: int = 128
+    ) -> "OtSessionPair":
+        return cls(
+            server_sends=IknpOtExtension(rng, channel, sender=1, security=security),
+            client_sends=IknpOtExtension(rng, channel, sender=0, security=security),
+        )
+
+
+def _bit_bytes(bits: np.ndarray) -> list[bytes]:
+    return [bytes([int(b) & 1]) for b in bits]
+
+
+def ot_bit_triples(
+    sessions: OtSessionPair, count: int, rng: np.random.Generator
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Generate XOR-shared AND triples ``c = a ∧ b`` from two OT batches.
+
+    Returns ``((a0, a1), (b0, b1), (c0, c1))`` uint8 arrays. The two cross
+    terms ``a0·b1`` and ``a1·b0`` each consume one OT (Gilboa's product
+    sharing specialised to bits).
+    """
+    a0 = rng.integers(0, 2, count, dtype=np.uint8)
+    b0 = rng.integers(0, 2, count, dtype=np.uint8)
+    a1 = rng.integers(0, 2, count, dtype=np.uint8)
+    b1 = rng.integers(0, 2, count, dtype=np.uint8)
+    # a0·b1 — server sends (t, t ⊕ b1); client chooses with a0.
+    t = rng.integers(0, 2, count, dtype=np.uint8)
+    received0 = sessions.server_sends.transfer(
+        _bit_bytes(t), _bit_bytes(t ^ b1), a0
+    )
+    p0 = np.array([m[0] & 1 for m in received0], dtype=np.uint8)  # t ⊕ a0·b1
+    # a1·b0 — client sends (u, u ⊕ b0); server chooses with a1.
+    u = rng.integers(0, 2, count, dtype=np.uint8)
+    received1 = sessions.client_sends.transfer(
+        _bit_bytes(u), _bit_bytes(u ^ b0), a1
+    )
+    q1 = np.array([m[0] & 1 for m in received1], dtype=np.uint8)  # u ⊕ a1·b0
+    c0 = (a0 & b0) ^ p0 ^ u
+    c1 = (a1 & b1) ^ t ^ q1
+    return (a0, a1), (b0, b1), (c0, c1)
+
+
+def and_xor_shares(
+    x: tuple[np.ndarray, np.ndarray],
+    y: tuple[np.ndarray, np.ndarray],
+    triples,
+    channel: Channel | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """AND of XOR-shared bit arrays using Beaver bit triples.
+
+    Opens ``d = x ⊕ a`` and ``e = y ⊕ b`` (one exchange round), then
+    ``z = c ⊕ d·b ⊕ e·a ⊕ d·e`` with party 0 adding the public ``d·e``.
+    """
+    (a0, a1), (b0, b1), (c0, c1) = triples
+    d = (x[0] ^ a0) ^ (x[1] ^ a1)
+    e = (y[0] ^ b0) ^ (y[1] ^ b1)
+    if channel is not None:
+        opened = 2 * ((d.size + 7) // 8)
+        channel.exchange(opened, label="bit-open")
+    z0 = c0 ^ (d & b0) ^ (e & a0) ^ (d & e)
+    z1 = c1 ^ (d & b1) ^ (e & a1)
+    return z0, z1
+
+
+def one_of_n_ot(
+    session: IknpOtExtension,
+    tables: np.ndarray,
+    choices: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Batched 1-of-N OT for byte entries, built from ``log2 N`` 1-of-2 OTs.
+
+    ``tables`` has shape (instances, N); ``choices`` holds one index per
+    instance. Per instance the sender samples ``log2 N`` key pairs; entry
+    ``v`` is encrypted under the combination of keys matching ``v``'s bits,
+    and the receiver decrypts exactly its chosen entry.
+    """
+    instances, n_entries = tables.shape
+    digits = int(np.log2(n_entries))
+    if 2**digits != n_entries:
+        raise ValueError("table width must be a power of two")
+    keys0: list[list[bytes]] = []
+    keys1: list[list[bytes]] = []
+    flat0: list[bytes] = []
+    flat1: list[bytes] = []
+    flat_choices = np.zeros(instances * digits, dtype=np.uint8)
+    for i in range(instances):
+        k0 = [hash_label(rng.bytes(16), tweak=2 * j) for j in range(digits)]
+        k1 = [hash_label(rng.bytes(16), tweak=2 * j + 1) for j in range(digits)]
+        keys0.append(k0)
+        keys1.append(k1)
+        for j in range(digits):
+            flat0.append(k0[j])
+            flat1.append(k1[j])
+            flat_choices[i * digits + j] = (int(choices[i]) >> j) & 1
+    received_keys = session.transfer(flat0, flat1, flat_choices)
+
+    payload = 0
+    out = np.zeros(instances, dtype=np.uint8)
+    for i in range(instances):
+        ciphertexts = []
+        for v in range(n_entries):
+            key_material = b"".join(
+                (keys1[i][j] if (v >> j) & 1 else keys0[i][j]) for j in range(digits)
+            )
+            pad = hash_label(key_material, tweak=v, out_bytes=1)
+            ciphertexts.append(xor_bytes(bytes([int(tables[i, v]) & 0xFF]), pad))
+        payload += n_entries
+        v = int(choices[i])
+        chosen_material = b"".join(received_keys[i * digits + j] for j in range(digits))
+        pad = hash_label(chosen_material, tweak=v, out_bytes=1)
+        out[i] = xor_bytes(ciphertexts[v], pad)[0]
+    if session.channel is not None:
+        session.channel.send(session.sender, payload, label="1ofN-entries")
+        session.channel.tick_round("1ofN-entries")
+    return out
+
+
+def millionaire_compare(
+    x_client: np.ndarray,
+    y_server: np.ndarray,
+    sessions: OtSessionPair,
+    rng: np.random.Generator,
+    bits: int = 63,
+    block_bits: int = 4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """XOR shares of ``1{x > y}`` where the client holds x, the server y.
+
+    The CrypTFlow2 recursion, MSB-first over ``ceil(bits / block_bits)``
+    radix blocks: ``gt = gt_hi ⊕ (eq_hi ∧ gt_lo)``.
+    """
+    x_client = np.asarray(x_client, dtype=np.uint64).reshape(-1)
+    y_server = np.asarray(y_server, dtype=np.uint64).reshape(-1)
+    count = x_client.size
+    blocks = (bits + block_bits - 1) // block_bits
+    n_entries = 1 << block_bits
+    channel = sessions.server_sends.channel
+
+    # Leaf tables: server masks 1{v > y_blk} and 1{v == y_blk} with its
+    # random share bits; the client obliviously fetches entry x_blk.
+    gt_server = rng.integers(0, 2, (count, blocks), dtype=np.uint8)
+    eq_server = rng.integers(0, 2, (count, blocks), dtype=np.uint8)
+    tables = np.zeros((count * blocks, n_entries), dtype=np.uint8)
+    choices = np.zeros(count * blocks, dtype=np.uint8)
+    for i in range(count):
+        for blk in range(blocks):
+            shift = np.uint64(blk * block_bits)
+            mask = np.uint64(n_entries - 1)
+            y_blk = int((y_server[i] >> shift) & mask)
+            x_blk = int((x_client[i] >> shift) & mask)
+            row = i * blocks + blk
+            choices[row] = x_blk
+            for v in range(n_entries):
+                gt_bit = (1 if v > y_blk else 0) ^ int(gt_server[i, blk])
+                eq_bit = (1 if v == y_blk else 0) ^ int(eq_server[i, blk])
+                tables[row, v] = gt_bit | (eq_bit << 1)
+    fetched = one_of_n_ot(sessions.server_sends, tables, choices, rng)
+    gt_client = (fetched & 1).reshape(count, blocks)
+    eq_client = ((fetched >> 1) & 1).reshape(count, blocks)
+
+    # MSB-first fold: two ANDs per merge step, batched across elements.
+    gt = (gt_client[:, blocks - 1].copy(), gt_server[:, blocks - 1].copy())
+    eq = (eq_client[:, blocks - 1].copy(), eq_server[:, blocks - 1].copy())
+    for blk in range(blocks - 2, -1, -1):
+        lower_gt = (gt_client[:, blk], gt_server[:, blk])
+        lower_eq = (eq_client[:, blk], eq_server[:, blk])
+        masked = and_xor_shares(
+            eq, lower_gt, ot_bit_triples(sessions, count, rng), channel
+        )
+        gt = (gt[0] ^ masked[0], gt[1] ^ masked[1])
+        if blk > 0:  # the final eq is never used again
+            eq = and_xor_shares(
+                eq, lower_eq, ot_bit_triples(sessions, count, rng), channel
+            )
+    return gt
+
+
+def secure_drelu_ot(
+    shares: tuple[np.ndarray, np.ndarray],
+    sessions: OtSessionPair,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """XOR shares of ``DReLU(x) = 1{x >= 0}`` over Z_2^64 from one carry.
+
+    ``msb(x0 + x1) = msb(x0) ⊕ msb(x1) ⊕ carry`` where the carry out of
+    the low 63 bits is ``1{a > 2^63 - 1 - b}`` — one millionaire instance
+    with the client holding ``a = low63(x0)``.
+    """
+    x0 = np.asarray(shares[0], dtype=np.uint64).reshape(-1)
+    x1 = np.asarray(shares[1], dtype=np.uint64).reshape(-1)
+    low_mask = np.uint64((1 << 63) - 1)
+    a = x0 & low_mask
+    complement = (low_mask - (x1 & low_mask)).astype(np.uint64)
+    carry = millionaire_compare(a, complement, sessions, rng, bits=63)
+    msb0 = (x0 >> np.uint64(63)).astype(np.uint8)
+    msb1 = (x1 >> np.uint64(63)).astype(np.uint8)
+    # drelu = NOT msb: client folds the constant 1 into its share.
+    return (msb0 ^ carry[0] ^ 1, msb1 ^ carry[1])
+
+
+def _uint64_bytes(values: np.ndarray) -> list[bytes]:
+    return [int(v).to_bytes(8, "little") for v in np.asarray(values, dtype=np.uint64)]
+
+
+def b2a_via_ot(
+    bit_shares: tuple[np.ndarray, np.ndarray],
+    sessions: OtSessionPair,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convert XOR-shared bits to additive shares over Z_2^64.
+
+    ``b = b0 + b1 - 2·b0·b1``; the cross product comes from one OT where
+    the server offers ``(t, t + b1)`` and the client selects with ``b0``.
+    """
+    b0 = np.asarray(bit_shares[0], dtype=np.uint8).reshape(-1)
+    b1 = np.asarray(bit_shares[1], dtype=np.uint8).reshape(-1)
+    t = rng.integers(0, 2**63, b0.size, dtype=np.uint64)
+    plus = (t + b1.astype(np.uint64)).astype(np.uint64)
+    received = sessions.server_sends.transfer(_uint64_bytes(t), _uint64_bytes(plus), b0)
+    cross_client = np.array(
+        [int.from_bytes(m, "little") for m in received], dtype=np.uint64
+    )  # t + b0·b1
+    two = np.uint64(2)
+    y0 = (b0.astype(np.uint64) - two * cross_client).astype(np.uint64)
+    y1 = (b1.astype(np.uint64) + two * t).astype(np.uint64)
+    return y0, y1
+
+
+def secure_mux_via_ot(
+    value_shares: tuple[np.ndarray, np.ndarray],
+    bit_shares: tuple[np.ndarray, np.ndarray],
+    sessions: OtSessionPair,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Additive shares of ``b · x`` (b XOR-shared, x additively shared).
+
+    Two OTs per element: each party offers ``(b_i·x_i - r_i,
+    (1-b_i)·x_i - r_i)`` and the other selects with its own bit, learning
+    ``(b0 ⊕ b1)·x_i - r_i``.
+    """
+    x0 = np.asarray(value_shares[0], dtype=np.uint64).reshape(-1)
+    x1 = np.asarray(value_shares[1], dtype=np.uint64).reshape(-1)
+    b0 = np.asarray(bit_shares[0], dtype=np.uint8).reshape(-1)
+    b1 = np.asarray(bit_shares[1], dtype=np.uint8).reshape(-1)
+
+    # Server offers the function of (b1, x1); client picks with b0.
+    r1 = rng.integers(0, 2**63, x1.size, dtype=np.uint64)
+    m0 = (b1.astype(np.uint64) * x1 - r1).astype(np.uint64)  # b0 = 0 -> b = b1
+    m1 = ((1 - b1).astype(np.uint64) * x1 - r1).astype(np.uint64)
+    got0 = sessions.server_sends.transfer(_uint64_bytes(m0), _uint64_bytes(m1), b0)
+    v_client = np.array([int.from_bytes(m, "little") for m in got0], dtype=np.uint64)
+
+    # Client offers the function of (b0, x0); server picks with b1.
+    r0 = rng.integers(0, 2**63, x0.size, dtype=np.uint64)
+    m0c = (b0.astype(np.uint64) * x0 - r0).astype(np.uint64)
+    m1c = ((1 - b0).astype(np.uint64) * x0 - r0).astype(np.uint64)
+    got1 = sessions.client_sends.transfer(_uint64_bytes(m0c), _uint64_bytes(m1c), b1)
+    v_server = np.array([int.from_bytes(m, "little") for m in got1], dtype=np.uint64)
+
+    y0 = (v_client + r0).astype(np.uint64)
+    y1 = (v_server + r1).astype(np.uint64)
+    return y0, y1
+
+
+def secure_relu_ot(
+    shares: tuple[np.ndarray, np.ndarray],
+    sessions: OtSessionPair,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cheetah-style ReLU: OT DReLU followed by an OT multiplexer."""
+    original_shape = np.asarray(shares[0]).shape
+    flat = (np.asarray(shares[0]).reshape(-1), np.asarray(shares[1]).reshape(-1))
+    drelu = secure_drelu_ot(flat, sessions, rng)
+    y0, y1 = secure_mux_via_ot(flat, drelu, sessions, rng)
+    return y0.reshape(original_shape), y1.reshape(original_shape)

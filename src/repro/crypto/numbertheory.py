@@ -1,0 +1,93 @@
+"""Number-theoretic helpers: primality, prime generation, modular inverse.
+
+Supports :mod:`~repro.crypto.paillier` (RSA-style modulus generation) and
+:mod:`~repro.crypto.baseot` (group parameter validation). Pure Python over
+arbitrary-precision ints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["is_probable_prime", "generate_prime", "modinv", "lcm", "crt_pair"]
+
+# Deterministic Miller-Rabin witness sets (Sinclair/Jaeschke bounds).
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def _miller_rabin(n: int, witness: int) -> bool:
+    """One Miller-Rabin round; True means "possibly prime"."""
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(witness % n, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = x * x % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rng: np.random.Generator | None = None, rounds: int = 24) -> bool:
+    """Miller-Rabin primality test.
+
+    Deterministic (and exact) below ~3.3e24 using the fixed witness set;
+    probabilistic with ``rounds`` random witnesses above it.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    if n < _DETERMINISTIC_BOUND:
+        return all(_miller_rabin(n, w) for w in _DETERMINISTIC_WITNESSES)
+    rng = rng or np.random.default_rng()
+    for _ in range(rounds):
+        witness = int(rng.integers(2, min(n - 2, 2**63 - 1)))
+        if not _miller_rabin(n, witness):
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: np.random.Generator) -> int:
+    """A random prime with exactly ``bits`` bits (top bit set, odd)."""
+    if bits < 3:
+        raise ValueError("need at least 3 bits for a prime candidate range")
+    while True:
+        words = (bits + 63) // 64
+        raw = int.from_bytes(rng.integers(0, 2**63, words, dtype=np.uint64).tobytes(), "little")
+        candidate = raw & ((1 << bits) - 1)
+        candidate |= (1 << (bits - 1)) | 1  # force size and oddness
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def modinv(a: int, modulus: int) -> int:
+    """Modular inverse; raises ``ValueError`` when gcd(a, modulus) != 1."""
+    return pow(a, -1, modulus)
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple (used for Paillier's λ)."""
+    import math
+
+    return a // math.gcd(a, b) * b
+
+
+def crt_pair(residue_p: int, residue_q: int, p: int, q: int) -> int:
+    """Chinese-remainder combination for two coprime moduli."""
+    q_inv = modinv(q, p)
+    diff = (residue_p - residue_q) % p
+    return (residue_q + q * ((diff * q_inv) % p)) % (p * q)

@@ -1,0 +1,195 @@
+"""IKNP oblivious-transfer extension.
+
+Turns :data:`SECURITY_PARAM` base OTs into millions of fast OTs using only
+PRG expansion and hashing (Ishai-Kilian-Nissim-Petrank, CRYPTO'03). This is
+the OT workhorse behind Cheetah's non-linear protocols and behind the
+evaluator-input labels of Delphi's garbled circuits.
+
+Protocol sketch (semi-honest), for ``m`` extended OTs on choice bits ``r``:
+
+1. The parties run ``k`` base OTs in the *reverse* direction: the extension
+   receiver acts as base-OT sender with random seed pairs ``(s_i^0, s_i^1)``;
+   the extension sender uses its secret ``Δ ∈ {0,1}^k`` as the base choice
+   bits, learning ``s_i^{Δ_i}``.
+2. The receiver expands both seeds per column: ``t_i = PRG(s_i^0)`` and
+   sends ``u_i = PRG(s_i^0) ⊕ PRG(s_i^1) ⊕ r``.
+3. The sender computes ``q_i = PRG(s_i^{Δ_i}) ⊕ Δ_i·u_i``; row-wise this
+   gives ``q_j = t_j ⊕ r_j·Δ``.
+4. Pads: sender uses ``H(j, q_j)`` and ``H(j, q_j ⊕ Δ)``; the receiver
+   knows exactly ``H(j, t_j)`` — the pad of its chosen message.
+
+Three flavours are exposed:
+
+* :meth:`IknpOtExtension.transfer` — chosen-message 1-of-2 OT;
+* :meth:`IknpOtExtension.random` — random OT (sender gets two random
+  messages, receiver the chosen one) — no payload transfer at all;
+* :meth:`IknpOtExtension.correlated` — correlated OT for a caller-supplied
+  correlation function (the B2A and multiplexer protocols use this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # Channel is used only in annotations; a runtime
+    # import would create a cycle through repro.mpc's engine/backends.
+    from ..mpc.network import Channel
+from .baseot import TOY_GROUP, DhGroup, base_ot_batch
+from .prg import LABEL_BYTES, PRG, hash_label, xor_bytes
+
+__all__ = ["SECURITY_PARAM", "IknpOtExtension"]
+
+#: Computational security parameter (number of base OTs / matrix columns).
+SECURITY_PARAM = 128
+
+
+def _pack_columns(columns: list[np.ndarray]) -> np.ndarray:
+    """Stack k bit-columns of length m into an (m, k) uint8 matrix."""
+    return np.stack(columns, axis=1)
+
+
+class IknpOtExtension:
+    """A reusable IKNP session between the two in-process parties.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source for base OTs and the sender secret.
+    channel:
+        Traffic accounting; base-OT and extension bytes are charged here.
+    sender:
+        Which party (0 = client, 1 = server) plays the OT *sender* in this
+        session. Affects only the accounting direction.
+    security:
+        Column count; lowering it below :data:`SECURITY_PARAM` is only
+        acceptable inside unit tests.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        channel: Channel | None = None,
+        sender: int = 1,
+        security: int = SECURITY_PARAM,
+        group: DhGroup = TOY_GROUP,
+    ):
+        self.channel = channel
+        self.sender = sender
+        self.security = security
+        self._rng = rng
+        # Step 1 — reversed base OTs. The extension sender's secret Δ:
+        self._delta = rng.integers(0, 2, size=security, dtype=np.uint8)
+        seeds0 = [PRG(int(rng.integers(0, 2**62)) << 1).label() for _ in range(security)]
+        seeds1 = [PRG((int(rng.integers(0, 2**62)) << 1) | 1).label() for _ in range(security)]
+        chosen = base_ot_batch(seeds0, seeds1, self._delta, rng, channel, group)
+        self._receiver_seeds = list(zip(seeds0, seeds1))
+        self._sender_seeds = chosen
+        self._uses = 0  # stream offset so one session serves many calls
+
+    # ------------------------------------------------------------------
+    def _extend(self, choices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Core extension: returns (q_matrix, t_matrix) rows for this batch."""
+        m = len(choices)
+        offset = self._uses
+        self._uses += 1
+        t_cols: list[np.ndarray] = []
+        q_cols: list[np.ndarray] = []
+        u_bytes = 0
+        for i in range(self.security):
+            s0, s1 = self._receiver_seeds[i]
+            t_i = PRG(hash_label(s0, tweak=offset)).bits(m)
+            v_i = PRG(hash_label(s1, tweak=offset)).bits(m)
+            u_i = t_i ^ v_i ^ choices
+            u_bytes += (m + 7) // 8
+            # Sender side: expand its chosen seed and unmask with Δ_i · u_i.
+            expanded = PRG(hash_label(self._sender_seeds[i], tweak=offset)).bits(m)
+            q_i = expanded ^ (self._delta[i] * u_i)
+            t_cols.append(t_i)
+            q_cols.append(q_i)
+        if self.channel is not None:
+            self.channel.send(1 - self.sender, u_bytes, label="iknp-u")
+            self.channel.tick_round("iknp-u")
+        return _pack_columns(q_cols), _pack_columns(t_cols)
+
+    def _pads(self, choices: np.ndarray) -> tuple[list[bytes], list[bytes], list[bytes]]:
+        """Derive (pad0, pad1, chosen_pad) per extended OT."""
+        q_rows, t_rows = self._extend(choices)
+        delta_packed = np.packbits(self._delta, bitorder="little").tobytes()
+        pads0: list[bytes] = []
+        pads1: list[bytes] = []
+        chosen: list[bytes] = []
+        for j in range(len(choices)):
+            q_packed = np.packbits(q_rows[j], bitorder="little").tobytes()
+            q_delta = xor_bytes(q_packed, delta_packed)
+            pads0.append(hash_label(q_packed, tweak=j))
+            pads1.append(hash_label(q_delta, tweak=j))
+            t_packed = np.packbits(t_rows[j], bitorder="little").tobytes()
+            chosen.append(hash_label(t_packed, tweak=j))
+        return pads0, pads1, chosen
+
+    # ------------------------------------------------------------------
+    def transfer(
+        self, messages0: list[bytes], messages1: list[bytes], choices: np.ndarray
+    ) -> list[bytes]:
+        """Chosen-message OT: receiver gets ``messages[choices[j]][j]``."""
+        choices = np.asarray(choices, dtype=np.uint8)
+        if len(messages0) != len(messages1) or len(messages0) != len(choices):
+            raise ValueError("message lists and choices must have equal length")
+        pads0, pads1, chosen_pads = self._pads(choices)
+        received: list[bytes] = []
+        payload = 0
+        for j, choice in enumerate(choices):
+            width = max(len(messages0[j]), len(messages1[j]), LABEL_BYTES)
+            pad0 = hash_label(pads0[j], tweak=j, out_bytes=width)
+            pad1 = hash_label(pads1[j], tweak=j, out_bytes=width)
+            c0 = xor_bytes(messages0[j].ljust(width, b"\0"), pad0)
+            c1 = xor_bytes(messages1[j].ljust(width, b"\0"), pad1)
+            payload += 2 * width
+            pad_c = hash_label(chosen_pads[j], tweak=j, out_bytes=width)
+            cipher = c1 if choice else c0
+            received.append(xor_bytes(cipher, pad_c)[: len(messages1[j] if choice else messages0[j])])
+        if self.channel is not None:
+            self.channel.send(self.sender, payload, label="iknp-payload")
+            self.channel.tick_round("iknp-payload")
+        return received
+
+    def random(self, count: int, choices: np.ndarray) -> tuple[list[bytes], list[bytes], list[bytes]]:
+        """Random OT: no payload moves; pads *are* the messages.
+
+        Returns ``(r0, r1, r_chosen)`` where the sender holds the first two
+        lists and the receiver the third, with ``r_chosen[j] ==
+        (r1 if choices[j] else r0)[j]``.
+        """
+        choices = np.asarray(choices, dtype=np.uint8)
+        if len(choices) != count:
+            raise ValueError("choices length must equal count")
+        return self._pads(choices)
+
+    def correlated(
+        self, correlation, count: int, choices: np.ndarray
+    ) -> tuple[list[bytes], list[bytes]]:
+        """Correlated OT: sender's messages are (x_j, correlation(x_j)).
+
+        ``correlation`` maps 16-byte pads to 16-byte messages. The sender
+        learns the ``x_j`` (random); the receiver learns its chosen one.
+        Only one ciphertext per transfer crosses the wire (the correction).
+        """
+        choices = np.asarray(choices, dtype=np.uint8)
+        pads0, pads1, chosen_pads = self._pads(choices)
+        corrections = 0
+        received: list[bytes] = []
+        for j, choice in enumerate(choices):
+            x_j = pads0[j]
+            corrected = correlation(x_j)
+            cipher = xor_bytes(corrected, pads1[j])
+            corrections += len(cipher)
+            if choice:
+                received.append(xor_bytes(cipher, chosen_pads[j]))
+            else:
+                received.append(chosen_pads[j])
+        if self.channel is not None:
+            self.channel.send(self.sender, corrections, label="iknp-cot")
+            self.channel.tick_round("iknp-cot")
+        return [pads0[j] for j in range(count)], received

@@ -1,0 +1,104 @@
+"""Hash-based pseudorandom generation and the garbling KDF.
+
+Both the OT extension and the garbling scheme need a length-extendable PRG
+and a tweakable hash. We build both from ``blake2b`` (available in
+``hashlib`` everywhere, no OpenSSL dependency): the PRG runs blake2b in
+counter mode under a fixed seed, and :func:`hash_label` implements the
+tweakable KDF ``H(label_a [, label_b], tweak)`` used to derive garbled-table
+pads and OT message pads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["PRG", "hash_label", "xor_bytes", "LABEL_BYTES"]
+
+#: Size of wire labels and OT pads (128-bit security level).
+LABEL_BYTES = 16
+
+_BLOCK_BYTES = 64  # blake2b output size
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"xor_bytes length mismatch: {len(a)} vs {len(b)}")
+    return (int.from_bytes(a, "little") ^ int.from_bytes(b, "little")).to_bytes(
+        len(a), "little"
+    )
+
+
+def hash_label(*parts: bytes, tweak: int = 0, out_bytes: int = LABEL_BYTES) -> bytes:
+    """Tweakable hash ``H(parts, tweak)`` truncated to ``out_bytes``.
+
+    The tweak (gate id, OT index, ...) is folded into the blake2b *person*
+    slot-equivalent by prefixing it to the message, which suffices for the
+    semi-honest random-oracle usage here.
+    """
+    # Fixed 64-byte digests truncated to out_bytes, so outputs of different
+    # lengths under the same inputs are prefix-consistent.
+    h = hashlib.blake2b(digest_size=_BLOCK_BYTES)
+    h.update(tweak.to_bytes(8, "little", signed=False))
+    for part in parts:
+        h.update(len(part).to_bytes(4, "little"))
+        h.update(part)
+    digest = h.digest()
+    while len(digest) < out_bytes:  # extend for long pads
+        h = hashlib.blake2b(digest_size=_BLOCK_BYTES)
+        h.update(digest)
+        digest += h.digest()
+    return digest[:out_bytes]
+
+
+class PRG:
+    """blake2b counter-mode PRG.
+
+    A ``PRG`` is deterministic in its seed: two instances built from the
+    same seed produce identical streams. That property is what the IKNP
+    extension exploits (both parties expand the same base-OT seed).
+    """
+
+    def __init__(self, seed: bytes | int):
+        if isinstance(seed, int):
+            seed = seed.to_bytes(32, "little", signed=False)
+        if not isinstance(seed, (bytes, bytearray)):
+            raise TypeError(f"seed must be bytes or int, got {type(seed).__name__}")
+        self._seed = bytes(seed)
+        self._counter = 0
+
+    def bytes(self, n: int) -> bytes:
+        """Next ``n`` pseudorandom bytes."""
+        if n < 0:
+            raise ValueError("cannot generate a negative number of bytes")
+        out = bytearray()
+        while len(out) < n:
+            h = hashlib.blake2b(self._seed, digest_size=_BLOCK_BYTES)
+            h.update(self._counter.to_bytes(8, "little"))
+            out += h.digest()
+            self._counter += 1
+        return bytes(out[:n])
+
+    def bits(self, n: int) -> np.ndarray:
+        """Next ``n`` pseudorandom bits as a uint8 0/1 array."""
+        raw = np.frombuffer(self.bytes((n + 7) // 8), dtype=np.uint8)
+        return np.unpackbits(raw, bitorder="little")[:n].copy()
+
+    def uint64(self, shape) -> np.ndarray:
+        """Pseudorandom uint64 array of the given shape."""
+        count = int(np.prod(shape)) if shape else 1
+        raw = np.frombuffer(self.bytes(8 * count), dtype=np.uint64)
+        return raw.reshape(shape).copy()
+
+    def integer(self, bits: int) -> int:
+        """Pseudorandom integer with at most ``bits`` bits."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        raw = int.from_bytes(self.bytes((bits + 7) // 8), "little")
+        return raw & ((1 << bits) - 1)
+
+    def label(self) -> bytes:
+        """A fresh :data:`LABEL_BYTES`-byte wire label / key."""
+        return self.bytes(LABEL_BYTES)

@@ -1,0 +1,224 @@
+"""BFV-style RLWE homomorphic encryption with Cheetah's coefficient packing.
+
+Cheetah evaluates linear layers by encoding activations and weights as
+polynomial *coefficients* (not SIMD slots), so one negacyclic product
+computes a whole matrix-vector product without any rotation keys. This
+module implements the needed fragment of BFV:
+
+* ring ``R_q = Z_q[x] / (x^n + 1)`` with power-of-two ``n``;
+* secret/public key generation with ternary secrets and discrete-Gaussian
+  errors;
+* encryption, decryption, ciphertext addition, plaintext addition and
+  plaintext-polynomial multiplication;
+* the coefficient-packing encode/decode for matrix-vector products
+  (:func:`encode_vector`, :func:`encode_matrix`, :func:`extract_matvec`).
+
+Coefficient arithmetic uses Python integers (numpy ``object`` arrays), so
+``q`` can be large enough (≥ 2^90) to support a ``t = 2^64`` plaintext ring
+matching :mod:`repro.mpc.fixedpoint` — exactness over speed, which suits
+the functional small-scale backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RlweContext",
+    "RlweKeyPair",
+    "RlweCiphertext",
+    "rlwe_keygen",
+    "negacyclic_multiply",
+    "encode_vector",
+    "encode_matrix",
+    "extract_matvec",
+    "pack_matvec_plain",
+]
+
+
+def _centered(coeffs: np.ndarray, modulus: int) -> np.ndarray:
+    """Map coefficients into the centered interval (-q/2, q/2]."""
+    half = modulus // 2
+    return np.array([c - modulus if c > half else c for c in coeffs], dtype=object)
+
+
+def negacyclic_multiply(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Product in ``Z_modulus[x] / (x^n + 1)`` (object-dtype schoolbook)."""
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("polynomial degrees differ")
+    full = np.convolve(a, b)  # length 2n - 1, exact over Python ints
+    folded = full[:n].copy()
+    folded[: n - 1] -= full[n:]
+    return np.array([int(c) % modulus for c in folded], dtype=object)
+
+
+@dataclass(frozen=True)
+class RlweContext:
+    """Ring parameters. ``q`` must leave log2(q/t) headroom above the noise."""
+
+    n: int = 1024
+    q: int = 1 << 120
+    t: int = 1 << 64
+    sigma: float = 3.2
+
+    def __post_init__(self):
+        if self.n & (self.n - 1):
+            raise ValueError("n must be a power of two")
+        if self.q <= self.t:
+            raise ValueError("q must exceed the plaintext modulus t")
+
+    @property
+    def delta(self) -> int:
+        return self.q // self.t
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        """Serialised size of one ciphertext (two mod-q polynomials)."""
+        return 2 * self.n * ((self.q.bit_length() + 7) // 8)
+
+    # -- samplers -------------------------------------------------------
+    def uniform_poly(self, rng: np.random.Generator) -> np.ndarray:
+        words = (self.q.bit_length() + 62) // 63
+        out = np.zeros(self.n, dtype=object)
+        for i in range(self.n):
+            raw = 0
+            for w in range(words):
+                raw |= int(rng.integers(0, 2**63)) << (63 * w)
+            out[i] = raw % self.q
+        return out
+
+    def ternary_poly(self, rng: np.random.Generator) -> np.ndarray:
+        return np.array([int(v) for v in rng.integers(-1, 2, self.n)], dtype=object)
+
+    def error_poly(self, rng: np.random.Generator) -> np.ndarray:
+        return np.array(
+            [int(round(v)) for v in rng.normal(0.0, self.sigma, self.n)], dtype=object
+        )
+
+
+@dataclass(frozen=True)
+class RlweKeyPair:
+    context: RlweContext
+    secret: np.ndarray  # ternary polynomial
+    pk0: np.ndarray  # -(a·s + e) mod q
+    pk1: np.ndarray  # a
+
+    def encrypt(self, plain: np.ndarray, rng: np.random.Generator) -> "RlweCiphertext":
+        """Encrypt a length-n plaintext polynomial with coefficients in Z_t."""
+        ctx = self.context
+        plain = np.array([int(c) % ctx.t for c in np.asarray(plain, dtype=object)], dtype=object)
+        if len(plain) != ctx.n:
+            raise ValueError(f"plaintext must have {ctx.n} coefficients")
+        u = ctx.ternary_poly(rng)
+        e1, e2 = ctx.error_poly(rng), ctx.error_poly(rng)
+        c0 = (negacyclic_multiply(self.pk0, u, ctx.q) + e1 + ctx.delta * plain) % ctx.q
+        c1 = (negacyclic_multiply(self.pk1, u, ctx.q) + e2) % ctx.q
+        return RlweCiphertext(ctx, c0 % ctx.q, c1 % ctx.q)
+
+    def decrypt(self, cipher: "RlweCiphertext") -> np.ndarray:
+        """Decrypt to coefficients in ``[0, t)``; raises on noise overflow."""
+        ctx = self.context
+        raw = (cipher.c0 + negacyclic_multiply(cipher.c1, self.secret, ctx.q)) % ctx.q
+        centered = _centered(raw, ctx.q)
+        out = np.zeros(ctx.n, dtype=object)
+        for i, value in enumerate(centered):
+            scaled, remainder = divmod(int(value) * ctx.t + ctx.q // 2, ctx.q)
+            del remainder
+            out[i] = scaled % ctx.t
+        return out
+
+
+@dataclass(frozen=True)
+class RlweCiphertext:
+    context: RlweContext
+    c0: np.ndarray
+    c1: np.ndarray
+
+    def __add__(self, other: "RlweCiphertext") -> "RlweCiphertext":
+        ctx = self.context
+        return RlweCiphertext(ctx, (self.c0 + other.c0) % ctx.q, (self.c1 + other.c1) % ctx.q)
+
+    def add_plain(self, plain: np.ndarray) -> "RlweCiphertext":
+        """Add a plaintext polynomial (coefficients in Z_t)."""
+        ctx = self.context
+        plain = np.array([int(c) % ctx.t for c in np.asarray(plain, dtype=object)], dtype=object)
+        return RlweCiphertext(ctx, (self.c0 + ctx.delta * plain) % ctx.q, self.c1)
+
+    def mul_plain(self, plain: np.ndarray) -> "RlweCiphertext":
+        """Multiply by a plaintext polynomial with *centered* coefficients.
+
+        The multiplier's coefficients must be small signed integers (e.g.
+        centered representatives from :func:`encode_matrix`): noise grows
+        with their absolute magnitude, so they are deliberately NOT reduced
+        into [0, q) before the convolution.
+        """
+        ctx = self.context
+        plain = np.asarray(plain, dtype=object)
+        return RlweCiphertext(
+            ctx,
+            negacyclic_multiply(self.c0, plain, ctx.q),
+            negacyclic_multiply(self.c1, plain, ctx.q),
+        )
+
+
+def rlwe_keygen(context: RlweContext, rng: np.random.Generator) -> RlweKeyPair:
+    """Sample (secret, public) keys for the given ring."""
+    s = context.ternary_poly(rng)
+    a = context.uniform_poly(rng)
+    e = context.error_poly(rng)
+    pk0 = (-(negacyclic_multiply(a, s, context.q) + e)) % context.q
+    return RlweKeyPair(context=context, secret=s, pk0=pk0, pk1=a)
+
+
+# ----------------------------------------------------------------------
+# Cheetah coefficient packing for y = W @ x
+# ----------------------------------------------------------------------
+def encode_vector(x: np.ndarray, n: int) -> np.ndarray:
+    """Input packing: coefficient ``j`` carries ``x[j]``."""
+    x = np.asarray(x)
+    if x.size > n:
+        raise ValueError(f"vector of {x.size} does not fit ring dimension {n}")
+    out = np.zeros(n, dtype=object)
+    for j, value in enumerate(x.reshape(-1)):
+        out[j] = int(value)
+    return out
+
+
+def encode_matrix(weights: np.ndarray, n: int, t: int) -> np.ndarray:
+    """Weight packing: row ``r`` lands at coefficients ``r·i .. r·i+i-1``.
+
+    With ``w_poly[r·i + (i-1-j)] = W[r, j]``, the negacyclic product with
+    :func:`encode_vector` places ``dot(W[r], x)`` at coefficient
+    ``r·i + i - 1`` — provided ``o·i <= n`` so nothing wraps around.
+    Coefficients are *centered* mod ``t``: ring-encoded negative weights
+    come out as small signed integers, keeping the noise growth of
+    :meth:`RlweCiphertext.mul_plain` proportional to the true weight
+    magnitude rather than to ``t``.
+    """
+    o, i = weights.shape
+    if o * i > n:
+        raise ValueError(f"matrix {o}x{i} exceeds ring dimension {n}")
+    half = t // 2
+    out = np.zeros(n, dtype=object)
+    for r in range(o):
+        for j in range(i):
+            value = int(weights[r, j]) % t
+            out[r * i + (i - 1 - j)] = value - t if value > half else value
+    return out
+
+
+def extract_matvec(product: np.ndarray, o: int, i: int, t: int) -> np.ndarray:
+    """Read the ``o`` dot products out of the packed product polynomial."""
+    return np.array([int(product[r * i + i - 1]) % t for r in range(o)], dtype=object)
+
+
+def pack_matvec_plain(weights: np.ndarray, x: np.ndarray, n: int, t: int) -> np.ndarray:
+    """Plaintext reference of the packed computation (for tests/benches)."""
+    o, i = weights.shape
+    w_poly = encode_matrix(weights, n, t)
+    x_poly = encode_vector(x, n)
+    product = negacyclic_multiply(w_poly, x_poly, t)
+    return extract_matvec(product, o, i, t)

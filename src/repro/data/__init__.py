@@ -1,0 +1,15 @@
+"""``repro.data`` — deterministic synthetic datasets (CIFAR stand-ins)."""
+
+from .synthetic import (
+    SyntheticImageDataset,
+    iterate_minibatches,
+    make_cifar10,
+    make_cifar100,
+)
+
+__all__ = [
+    "SyntheticImageDataset",
+    "iterate_minibatches",
+    "make_cifar10",
+    "make_cifar100",
+]

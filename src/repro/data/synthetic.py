@@ -1,0 +1,236 @@
+"""Deterministic synthetic CIFAR-10/100 stand-ins.
+
+The offline environment has no access to the real CIFAR datasets, so this
+module procedurally generates labelled 3x32x32 images with the properties
+the C2PI experiments require:
+
+* **learnable class structure** — every class has a distinctive shape,
+  colour palette and texture, so the victim networks reach accuracies far
+  above chance;
+* **perceptual structure** — images contain luminance, contrast and spatial
+  structure, so the SSIM between an input and an attack reconstruction is a
+  meaningful notion of "recognisable";
+* **instance diversity** — position, scale, rotation-like phase,
+  background gradients and pixel noise vary per image, so inversion attacks
+  must learn genuine inverses rather than memorise a constant.
+
+Classes are built from ten base shapes crossed with palette families; the
+100-class variant combines shape and palette indices. All randomness is
+drawn from a single seeded generator, so datasets are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SyntheticImageDataset", "make_cifar10", "make_cifar100", "iterate_minibatches"]
+
+_NUM_SHAPES = 10
+
+
+@dataclass
+class SyntheticImageDataset:
+    """A labelled image dataset with train/test splits.
+
+    Attributes
+    ----------
+    train_images, test_images:
+        float32 arrays of shape (N, 3, S, S) with values in [0, 1].
+    train_labels, test_labels:
+        int64 class ids.
+    num_classes:
+        Number of distinct labels.
+    name:
+        ``"cifar10-syn"`` or ``"cifar100-syn"``.
+    """
+
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    test_images: np.ndarray
+    test_labels: np.ndarray
+    num_classes: int
+    name: str
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        return tuple(self.train_images.shape[1:])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SyntheticImageDataset({self.name}, train={len(self.train_labels)}, "
+            f"test={len(self.test_labels)}, classes={self.num_classes})"
+        )
+
+
+def _shape_mask(shape_id: int, size: int, cx: float, cy: float, radius: float,
+                phase: float) -> np.ndarray:
+    """Binary-ish (anti-aliased) mask of one of ten base shapes."""
+    ys, xs = np.mgrid[0:size, 0:size].astype(np.float32)
+    xs = (xs - cx) / radius
+    ys = (ys - cy) / radius
+    rr = np.sqrt(xs * xs + ys * ys)
+    smooth = 4.0  # anti-alias softness in normalised units
+
+    def soft(d):
+        return np.clip(0.5 - d * smooth, 0.0, 1.0)
+
+    if shape_id == 0:  # disk
+        return soft(rr - 1.0)
+    if shape_id == 1:  # ring
+        return soft(np.abs(rr - 0.8) - 0.25)
+    if shape_id == 2:  # square
+        return soft(np.maximum(np.abs(xs), np.abs(ys)) - 0.9)
+    if shape_id == 3:  # diamond
+        return soft(np.abs(xs) + np.abs(ys) - 1.1)
+    if shape_id == 4:  # cross
+        bar_w = 0.35
+        horizontal = soft(np.maximum(np.abs(ys) - bar_w, np.abs(xs) - 1.1))
+        vertical = soft(np.maximum(np.abs(xs) - bar_w, np.abs(ys) - 1.1))
+        return np.maximum(horizontal, vertical)
+    if shape_id == 5:  # horizontal stripes
+        return 0.5 + 0.5 * np.sin(ys * 4.0 + phase) * soft(rr - 1.2)
+    if shape_id == 6:  # vertical stripes
+        return 0.5 + 0.5 * np.sin(xs * 4.0 + phase) * soft(rr - 1.2)
+    if shape_id == 7:  # checkerboard
+        return (0.5 + 0.5 * np.sign(np.sin(xs * 3.5 + phase) * np.sin(ys * 3.5 + phase))) * soft(
+            rr - 1.2
+        )
+    if shape_id == 8:  # triangle (upward)
+        inside = np.maximum(np.abs(xs) * 1.3 + ys * 0.8 - 0.7, -ys - 0.9)
+        return soft(inside)
+    if shape_id == 9:  # two blobs
+        blob1 = soft(np.sqrt((xs - 0.55) ** 2 + (ys - 0.35) ** 2) - 0.55)
+        blob2 = soft(np.sqrt((xs + 0.55) ** 2 + (ys + 0.35) ** 2) - 0.55)
+        return np.maximum(blob1, blob2)
+    raise ValueError(f"unknown shape id {shape_id}")
+
+
+def _palette(palette_id: int, num_palettes: int, rng: np.random.Generator
+             ) -> tuple[np.ndarray, np.ndarray]:
+    """Foreground/background RGB pairs, well separated in hue."""
+    hue = palette_id / max(num_palettes, 1)
+    base = np.array(
+        [
+            0.5 + 0.5 * np.cos(2 * np.pi * (hue + 0.00)),
+            0.5 + 0.5 * np.cos(2 * np.pi * (hue + 0.33)),
+            0.5 + 0.5 * np.cos(2 * np.pi * (hue + 0.67)),
+        ],
+        dtype=np.float32,
+    )
+    foreground = 0.25 + 0.7 * base
+    background = 0.9 - 0.7 * base
+    return foreground, background
+
+
+def _render_image(
+    size: int,
+    shape_id: int,
+    palette_id: int,
+    num_palettes: int,
+    rng: np.random.Generator,
+    noise_std: float,
+) -> np.ndarray:
+    foreground, background = _palette(palette_id, num_palettes, rng)
+    cx = size / 2 + rng.uniform(-size / 8, size / 8)
+    cy = size / 2 + rng.uniform(-size / 8, size / 8)
+    radius = size * rng.uniform(0.28, 0.4)
+    phase = rng.uniform(0, 2 * np.pi)
+    mask = _shape_mask(shape_id, size, cx, cy, radius, phase)
+
+    # Background: gentle linear gradient in a random direction.
+    ys, xs = np.mgrid[0:size, 0:size].astype(np.float32) / size
+    direction = rng.uniform(0, 2 * np.pi)
+    gradient = 0.3 * (np.cos(direction) * xs + np.sin(direction) * ys)
+    bg = background[:, None, None] * (0.85 + gradient[None])
+
+    # Per-instance colour jitter keeps classes learnable but not trivial.
+    fg = foreground * (1.0 + rng.uniform(-0.12, 0.12, size=3).astype(np.float32))
+    image = bg * (1.0 - mask[None]) + fg[:, None, None] * mask[None]
+    image += rng.normal(0.0, noise_std, size=image.shape).astype(np.float32)
+    return np.clip(image, 0.0, 1.0).astype(np.float32)
+
+
+def _class_factors(label: int, num_classes: int) -> tuple[int, int, int]:
+    """Map a label to (shape_id, palette_id, num_palettes)."""
+    if num_classes <= _NUM_SHAPES:
+        return label % _NUM_SHAPES, label, num_classes
+    palettes = (num_classes + _NUM_SHAPES - 1) // _NUM_SHAPES
+    return label % _NUM_SHAPES, label // _NUM_SHAPES, palettes
+
+
+def _generate_split(
+    num_images: int,
+    num_classes: int,
+    size: int,
+    rng: np.random.Generator,
+    noise_std: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    labels = rng.integers(0, num_classes, size=num_images).astype(np.int64)
+    images = np.empty((num_images, 3, size, size), dtype=np.float32)
+    for i, label in enumerate(labels):
+        shape_id, palette_id, palettes = _class_factors(int(label), num_classes)
+        images[i] = _render_image(size, shape_id, palette_id, palettes, rng, noise_std)
+    return images, labels
+
+
+def _make_dataset(
+    name: str,
+    num_classes: int,
+    train_size: int,
+    test_size: int,
+    seed: int,
+    image_size: int,
+    noise_std: float,
+) -> SyntheticImageDataset:
+    rng = np.random.default_rng(seed)
+    train_images, train_labels = _generate_split(train_size, num_classes, image_size, rng, noise_std)
+    test_images, test_labels = _generate_split(test_size, num_classes, image_size, rng, noise_std)
+    return SyntheticImageDataset(
+        train_images=train_images,
+        train_labels=train_labels,
+        test_images=test_images,
+        test_labels=test_labels,
+        num_classes=num_classes,
+        name=name,
+    )
+
+
+def make_cifar10(
+    train_size: int = 2000,
+    test_size: int = 500,
+    seed: int = 0,
+    image_size: int = 32,
+    noise_std: float = 0.04,
+) -> SyntheticImageDataset:
+    """Synthetic 10-class stand-in for CIFAR-10."""
+    return _make_dataset("cifar10-syn", 10, train_size, test_size, seed, image_size, noise_std)
+
+
+def make_cifar100(
+    train_size: int = 2000,
+    test_size: int = 500,
+    seed: int = 1,
+    image_size: int = 32,
+    noise_std: float = 0.04,
+) -> SyntheticImageDataset:
+    """Synthetic 100-class stand-in for CIFAR-100 (shape x palette grid)."""
+    return _make_dataset("cifar100-syn", 100, train_size, test_size, seed, image_size, noise_std)
+
+
+def iterate_minibatches(
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+):
+    """Yield (image_batch, label_batch) pairs covering the dataset once."""
+    count = len(labels)
+    order = np.arange(count)
+    if shuffle:
+        (rng or np.random.default_rng()).shuffle(order)
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        yield images[index], labels[index]

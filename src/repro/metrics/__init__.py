@@ -1,0 +1,6 @@
+"""``repro.metrics`` — SSIM (the paper's privacy metric), PSNR, accuracy."""
+
+from .accuracy import accuracy, evaluate_accuracy
+from .ssim import psnr, ssim, ssim_batch
+
+__all__ = ["ssim", "ssim_batch", "psnr", "accuracy", "evaluate_accuracy"]

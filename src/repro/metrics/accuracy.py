@@ -1,0 +1,41 @@
+"""Classification accuracy helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["accuracy", "evaluate_accuracy"]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of a logits batch."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def evaluate_accuracy(
+    model: nn.Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 128,
+) -> float:
+    """Top-1 accuracy of ``model`` over a dataset, evaluated batch-wise.
+
+    The model is switched to ``eval`` mode (frozen batch-norm statistics)
+    and restored to its previous mode afterwards.
+    """
+    was_training = model.training
+    model.eval()
+    correct = 0
+    try:
+        with nn.no_grad():
+            for start in range(0, len(labels), batch_size):
+                batch = nn.Tensor(images[start : start + batch_size])
+                logits = model(batch).data
+                correct += int((logits.argmax(axis=1) == labels[start : start + batch_size]).sum())
+    finally:
+        model.train(was_training)
+    return correct / len(labels)

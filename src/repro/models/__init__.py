@@ -1,0 +1,40 @@
+"""``repro.models`` — victim networks, inversion architectures, indexing."""
+
+from .alexnet import alexnet
+from .inverse import (
+    BasicInverseBlock,
+    InversionModel,
+    Reshape,
+    ResNetBasicBlock,
+    build_inversion_model,
+    distillation_features,
+)
+from .layered import LayeredModel, LayerIndexError, SubBlock
+from .resnet import ResidualBlock, make_resnet, resnet20, resnet32, resnet_tallies
+from .training import TrainingResult, train_classifier
+from .vgg import VGG16_LAYOUT, VGG19_LAYOUT, make_vgg, vgg16, vgg19
+
+__all__ = [
+    "LayeredModel",
+    "LayerIndexError",
+    "SubBlock",
+    "alexnet",
+    "vgg16",
+    "vgg19",
+    "resnet20",
+    "resnet32",
+    "make_resnet",
+    "ResidualBlock",
+    "resnet_tallies",
+    "make_vgg",
+    "VGG16_LAYOUT",
+    "VGG19_LAYOUT",
+    "ResNetBasicBlock",
+    "BasicInverseBlock",
+    "InversionModel",
+    "Reshape",
+    "build_inversion_model",
+    "distillation_features",
+    "train_classifier",
+    "TrainingResult",
+]

@@ -1,0 +1,59 @@
+"""CIFAR-scale AlexNet victim model (Krizhevsky et al. 2012).
+
+The CIFAR adaptation uses five 3x3 convolutions and a two-layer classifier,
+giving seven indexed linear layers — matching the seven "Conv. id" positions
+on the AlexNet axes of the paper's Figure 8 (boundaries at id 4 on CIFAR-10
+and id 5 on CIFAR-100).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .layered import LayeredModel
+
+__all__ = ["alexnet"]
+
+
+def _scaled(channels: int, width_mult: float) -> int:
+    return max(4, int(round(channels * width_mult)))
+
+
+def alexnet(
+    num_classes: int = 10,
+    width_mult: float = 1.0,
+    batch_norm: bool = True,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    rng: np.random.Generator | None = None,
+) -> LayeredModel:
+    """AlexNet for CIFAR: 5 conv layers + 2 fully-connected layers."""
+    rng = rng or np.random.default_rng(0)
+    conv_channels = [_scaled(c, width_mult) for c in (64, 192, 384, 256, 256)]
+    hidden = _scaled(512, width_mult)
+
+    def conv(in_c: int, out_c: int) -> list[nn.Module]:
+        block: list[nn.Module] = [nn.Conv2d(in_c, out_c, 3, padding=1, rng=rng)]
+        if batch_norm:
+            block.append(nn.BatchNorm2d(out_c))
+        block.append(nn.ReLU())
+        return block
+
+    spatial = input_shape[1]
+    modules: list[nn.Module] = []
+    modules += conv(input_shape[0], conv_channels[0])
+    modules.append(nn.MaxPool2d(2))
+    spatial //= 2
+    modules += conv(conv_channels[0], conv_channels[1])
+    modules.append(nn.MaxPool2d(2))
+    spatial //= 2
+    modules += conv(conv_channels[1], conv_channels[2])
+    modules += conv(conv_channels[2], conv_channels[3])
+    modules += conv(conv_channels[3], conv_channels[4])
+    modules.append(nn.MaxPool2d(2))
+    spatial //= 2
+    modules.append(nn.Flatten())
+    modules.append(nn.Linear(conv_channels[4] * spatial * spatial, hidden, rng=rng))
+    modules.append(nn.ReLU())
+    modules.append(nn.Linear(hidden, num_classes, rng=rng))
+    return LayeredModel(modules, name=f"AlexNet(w={width_mult})", input_shape=input_shape)

@@ -1,0 +1,275 @@
+"""Inversion-attack model architectures (paper Sections II and III-B).
+
+Three generations of inverse networks are reproduced:
+
+* **INA** (He et al. 2019) — a plain convolutional decoder.
+* **EINA** (Li et al. 2022) — the same topology with ResNet basic blocks.
+* **DINA** (this paper) — one *basic inverse block* (ResNet basic block +
+  dilated convolution) per victim sub-block, trained with distillation
+  points between blocks (Figure 3).
+
+The builders consume a :class:`~repro.models.layered.LayeredModel` and a
+target layer id, derive the sub-block decomposition (each sub-block contains
+exactly one ReLU), and mirror it with one inverse stage per sub-block. A
+DINA model exposes the inputs of its inverse stages so the training loss can
+pull them toward the victim's distillation-point feature maps (Eq. 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .layered import LayeredModel, SubBlock
+
+__all__ = [
+    "ResNetBasicBlock",
+    "BasicInverseBlock",
+    "Reshape",
+    "InversionModel",
+    "build_inversion_model",
+    "distillation_features",
+]
+
+
+class Reshape(nn.Module):
+    """Reshape to a fixed per-sample shape (used to undo Flatten)."""
+
+    def __init__(self, shape: tuple[int, ...]):
+        super().__init__()
+        self.shape = tuple(shape)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return x.reshape(x.shape[0], *self.shape)
+
+    def __repr__(self) -> str:
+        return f"Reshape{self.shape}"
+
+
+class ResNetBasicBlock(nn.Module):
+    """The standard two-convolution residual block of He et al. (2016).
+
+    A 1x1 projection aligns the skip path when the channel count changes.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, padding=1, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if in_channels != out_channels:
+            self.projection = nn.Conv2d(in_channels, out_channels, 1, rng=rng)
+        else:
+            self.projection = nn.Identity()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        residual = self.projection(x)
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + residual).relu()
+
+
+class BasicInverseBlock(nn.Module):
+    """DINA's unit of inversion: ResNet basic block + dilated convolution.
+
+    If the victim sub-block it inverts contains pooling, a nearest-neighbour
+    upsample restores the spatial size first. The dilated convolution widens
+    the receptive field so one block can undo the spatial mixing of a
+    convolution + pooling pair.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        upsample: int,
+        rng: np.random.Generator,
+        dilation: int = 2,
+    ):
+        super().__init__()
+        self.upsample = nn.UpsampleNearest2d(upsample) if upsample > 1 else nn.Identity()
+        self.residual = ResNetBasicBlock(in_channels, in_channels, rng)
+        self.dilated = nn.Conv2d(
+            in_channels, out_channels, 3, padding=dilation, dilation=dilation, rng=rng
+        )
+        self.activation = nn.ReLU()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = self.upsample(x)
+        x = self.residual(x)
+        return self.activation(self.dilated(x))
+
+
+class _PlainInverseStage(nn.Module):
+    """INA stage: upsample + two plain convolutions."""
+
+    def __init__(self, in_channels: int, out_channels: int, upsample: int, rng):
+        super().__init__()
+        self.upsample = nn.UpsampleNearest2d(upsample) if upsample > 1 else nn.Identity()
+        self.conv1 = nn.Conv2d(in_channels, in_channels, 3, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(in_channels, out_channels, 3, padding=1, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = self.upsample(x)
+        x = self.conv1(x).relu()
+        return self.conv2(x).relu()
+
+
+class _ResidualInverseStage(nn.Module):
+    """EINA stage: upsample + ResNet basic block."""
+
+    def __init__(self, in_channels: int, out_channels: int, upsample: int, rng):
+        super().__init__()
+        self.upsample = nn.UpsampleNearest2d(upsample) if upsample > 1 else nn.Identity()
+        self.block = ResNetBasicBlock(in_channels, out_channels, rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.block(self.upsample(x))
+
+
+class _FlatInverseStage(nn.Module):
+    """Inverts a sub-block whose output is flat (fully-connected tail)."""
+
+    def __init__(self, in_features: int, out_shape: tuple[int, ...], rng):
+        super().__init__()
+        out_features = int(np.prod(out_shape))
+        self.linear = nn.Linear(in_features, out_features, rng=rng)
+        self.reshape = Reshape(out_shape) if len(out_shape) > 1 else nn.Identity()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.reshape(self.linear(x).relu())
+
+
+class InversionModel(nn.Module):
+    """A stack of inverse stages mapping a boundary activation to an image.
+
+    Stage ``k`` (0-based, executed first) inverts victim sub-block
+    ``N - k``; the input of stage ``k >= 1`` is the model's approximation of
+    the victim feature map at distillation point ``N - k`` (paper notation
+    ``I_j``). :meth:`forward_with_intermediates` exposes those inputs for
+    DINA's distillation loss.
+    """
+
+    def __init__(self, stages: list[nn.Module], head: nn.Module, kind: str):
+        super().__init__()
+        self.stages = nn.Sequential(*stages)
+        self.head = head
+        self.kind = kind
+
+    def forward(self, h: nn.Tensor) -> nn.Tensor:
+        for stage in self.stages:
+            h = stage(h)
+        return self.head(h)
+
+    def forward_with_intermediates(self, h: nn.Tensor) -> tuple[nn.Tensor, list[nn.Tensor]]:
+        """Return ``(x_hat, [I_{N-1}, ..., I_1])``.
+
+        ``I_j`` is the input of the inverse stage that inverts victim
+        sub-block ``j``; it approximates the victim feature after sub-block
+        ``j`` (distillation point ``D_j``).
+        """
+        intermediates: list[nn.Tensor] = []
+        for k, stage in enumerate(self.stages):
+            if k > 0:
+                intermediates.append(h)
+            h = stage(h)
+        return self.head(h), intermediates
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+
+class _SigmoidHead(nn.Module):
+    """Final 3x3 convolution + sigmoid mapping features to [0, 1] pixels."""
+
+    def __init__(self, in_channels: int, image_channels: int, rng):
+        super().__init__()
+        self.conv = nn.Conv2d(in_channels, image_channels, 3, padding=1, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.conv(x).sigmoid()
+
+
+def _block_shapes(model: LayeredModel, blocks: list[SubBlock]) -> list[tuple[tuple, tuple]]:
+    """(input_shape, output_shape) per sub-block, excluding the batch axis."""
+    shapes = []
+    with nn.no_grad():
+        x = nn.Tensor(np.zeros((1, *model.input_shape), dtype=np.float32))
+        for block in blocks:
+            in_shape = x.shape[1:]
+            x = block.forward(x)
+            shapes.append((in_shape, x.shape[1:]))
+    return shapes
+
+
+def build_inversion_model(
+    model: LayeredModel,
+    layer_id: float,
+    kind: str = "dina",
+    rng: np.random.Generator | None = None,
+    width: int | None = None,
+) -> InversionModel:
+    """Construct an INA/EINA/DINA inversion model for ``M_l`` of ``model``.
+
+    Parameters
+    ----------
+    model:
+        The victim network.
+    layer_id:
+        The attacked layer id (the attacker observes ``M_l(x)``).
+    kind:
+        ``"ina"``, ``"eina"`` or ``"dina"``.
+    width:
+        Unused hook for over/under-parameterising stages; stages size
+        themselves from the victim sub-block shapes by default.
+    """
+    kind = kind.lower()
+    if kind not in ("ina", "eina", "dina"):
+        raise ValueError(f"unknown inversion kind {kind!r}")
+    rng = rng or np.random.default_rng(0)
+    blocks = model.sub_blocks(layer_id)
+    shapes = _block_shapes(model, blocks)
+
+    stages: list[nn.Module] = []
+    for block, (in_shape, out_shape) in zip(reversed(blocks), reversed(shapes)):
+        flat_output = len(out_shape) == 1
+        flat_input = len(in_shape) == 1
+        if flat_output:
+            stages.append(_FlatInverseStage(out_shape[0], in_shape, rng))
+            continue
+        if flat_input:
+            raise ValueError("sub-block with flat input but spatial output is unsupported")
+        upsample = block.pool_factor
+        in_channels = out_shape[0]
+        out_channels = in_shape[0]
+        if kind == "ina":
+            stages.append(_PlainInverseStage(in_channels, out_channels, upsample, rng))
+        elif kind == "eina":
+            stages.append(_ResidualInverseStage(in_channels, out_channels, upsample, rng))
+        else:
+            stages.append(BasicInverseBlock(in_channels, out_channels, upsample, rng))
+    head = _SigmoidHead(model.input_shape[0], model.input_shape[0], rng)
+    return InversionModel(stages, head, kind=kind)
+
+
+def distillation_features(
+    model: LayeredModel, layer_id: float, x: nn.Tensor
+) -> tuple[nn.Tensor, list[nn.Tensor]]:
+    """Victim-side features for DINA training.
+
+    Returns ``(M_l(x), [D_1, ..., D_{N-1}])`` where ``D_j`` is the feature
+    map after victim sub-block ``j`` (the distillation points of Figure 3).
+    Gradients are not needed on the victim side, so this runs under
+    ``no_grad`` and returns detached tensors.
+    """
+    blocks = model.sub_blocks(layer_id)
+    points: list[nn.Tensor] = []
+    with nn.no_grad():
+        h = x
+        for block in blocks[:-1]:
+            h = block.forward(h)
+            points.append(h.detach())
+        boundary = blocks[-1].forward(h).detach()
+    return boundary, points

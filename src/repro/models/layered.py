@@ -1,0 +1,285 @@
+"""Layer-indexed models: the paper's "layer 3 / layer 3.5" notation.
+
+C2PI reasons about a network as a sequence of *indexed linear operations*
+(convolutions and fully-connected layers). Layer ``l`` denotes the output of
+the ``l``-th linear operation; layer ``l.5`` denotes the output after the
+non-linear tail that follows it (ReLU, and any pooling before the next
+linear operation). The boundary returned by Algorithm 1 is such an index,
+so everything downstream — prefix evaluation ``M_l(x)``, crypto/clear
+partitioning, DINA's sub-block decomposition — is built on this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["LayeredModel", "SubBlock", "LayerIndexError", "linear_ops_of", "ends_with_relu"]
+
+
+class LayerIndexError(ValueError):
+    """Raised when a layer id does not exist in the model."""
+
+
+_LINEAR_TYPES = (nn.Conv2d, nn.Linear)
+_NONLINEAR_TYPES = (nn.ReLU, nn.MaxPool2d, nn.AvgPool2d, nn.AdaptiveAvgPool2d,
+                    nn.Flatten, nn.Dropout, nn.BatchNorm2d)
+
+
+def linear_ops_of(module: nn.Module) -> int:
+    """How many indexed linear operations a module contributes.
+
+    Conv/Linear modules count as one. Composite modules (e.g. the residual
+    blocks of :mod:`repro.models.resnet`) advertise their internal count
+    through a ``linear_ops`` attribute and are treated as atomic: the block
+    boundary is addressable, its interior is not.
+    """
+    if isinstance(module, _LINEAR_TYPES):
+        return 1
+    return int(getattr(module, "linear_ops", 0))
+
+
+def ends_with_relu(module: nn.Module) -> bool:
+    """Whether a module's output passes through a trailing ReLU.
+
+    True for plain ``nn.ReLU`` and for composite blocks that declare
+    ``ends_with_relu`` (residual blocks finish with the post-addition
+    ReLU), which makes them close a DINA sub-block.
+    """
+    if isinstance(module, nn.ReLU):
+        return True
+    return bool(getattr(module, "ends_with_relu", False))
+
+
+@dataclass
+class SubBlock:
+    """A maximal run of modules containing exactly one ReLU.
+
+    DINA (paper Section III-B) partitions the tentative crypto layers into
+    sub-blocks that each end with a ReLU; one *basic inverse block* of the
+    attack model is then trained to invert each sub-block.
+    """
+
+    modules: list[nn.Module]
+    start_layer: float
+    end_layer: float
+    in_channels: int | None = None
+    out_channels: int | None = None
+    pool_factor: int = 1
+    linear_ids: list[int] = field(default_factory=list)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+class LayeredModel(nn.Module):
+    """A sequential network with the paper's fractional layer indexing.
+
+    Parameters
+    ----------
+    body:
+        Flat list of modules in execution order.
+    name:
+        Human-readable identifier (used in reports).
+    input_shape:
+        CHW shape of one input sample, e.g. ``(3, 32, 32)``.
+    """
+
+    def __init__(self, body: list[nn.Module], name: str, input_shape: tuple[int, int, int]):
+        super().__init__()
+        self.body = nn.Sequential(*body)
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        # layer id (float) -> index in body *after* which the id's output
+        # is available, i.e. body[:cut] computes M_l.
+        self._cuts: dict[float, int] = {}
+        self._index_layers()
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def _index_layers(self) -> None:
+        linear_count = 0
+        modules = list(self.body)
+        for position, module in enumerate(modules):
+            ops = linear_ops_of(module)
+            if ops:
+                linear_count += ops
+                self._cuts[float(linear_count)] = position + 1
+            if ends_with_relu(module) and linear_count > 0:
+                # The .5 id covers the ReLU plus any pooling/flatten that
+                # follows before the next linear op. Composite blocks with a
+                # trailing ReLU get a .5 id at the same position (the block
+                # output already is the rectified activation).
+                end = position + 1
+                probe = position + 1
+                while probe < len(modules) and isinstance(
+                    modules[probe], (nn.MaxPool2d, nn.AvgPool2d, nn.AdaptiveAvgPool2d, nn.Flatten)
+                ):
+                    end = probe + 1
+                    probe += 1
+                self._cuts[linear_count + 0.5] = end
+        if linear_count == 0:
+            raise ValueError("model has no linear layers to index")
+        self._num_linear = linear_count
+
+    @property
+    def num_linear_layers(self) -> int:
+        """Number of indexed linear (conv/fc) layers."""
+        return self._num_linear
+
+    @property
+    def layer_ids(self) -> list[float]:
+        """All valid layer ids in ascending order."""
+        return sorted(self._cuts)
+
+    @property
+    def conv_ids(self) -> list[int]:
+        """Integer ids of convolutional layers (the x-axis of the paper's figures).
+
+        For composite blocks (all-convolutional by construction) only the
+        block's final id is addressable, so that id represents the block.
+        """
+        ids = []
+        count = 0
+        for module in self.body:
+            ops = linear_ops_of(module)
+            if not ops:
+                continue
+            count += ops
+            if isinstance(module, nn.Conv2d) or not isinstance(module, _LINEAR_TYPES):
+                ids.append(count)
+        return ids
+
+    def cut_position(self, layer_id: float) -> int:
+        if layer_id not in self._cuts:
+            raise LayerIndexError(
+                f"{self.name} has no layer {layer_id}; valid ids: {self.layer_ids}"
+            )
+        return self._cuts[layer_id]
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.body(x)
+
+    def forward_to(self, x: nn.Tensor, layer_id: float) -> nn.Tensor:
+        """Compute ``M_l(x)``: the output of the first ``layer_id`` layers."""
+        cut = self.cut_position(layer_id)
+        for module in list(self.body)[:cut]:
+            x = module(x)
+        return x
+
+    def forward_from(self, h: nn.Tensor, layer_id: float) -> nn.Tensor:
+        """Continue inference from the activation at ``layer_id`` to the output."""
+        cut = self.cut_position(layer_id)
+        for module in list(self.body)[cut:]:
+            h = module(h)
+        return h
+
+    def prefix(self, layer_id: float) -> nn.Sequential:
+        """The crypto-layer segment ``M_1..l`` as a Sequential."""
+        return self.body[: self.cut_position(layer_id)]
+
+    def suffix(self, layer_id: float) -> nn.Sequential:
+        """The clear-layer segment after ``layer_id`` as a Sequential."""
+        return self.body[self.cut_position(layer_id):]
+
+    def activation_shape(self, layer_id: float, batch: int = 1) -> tuple[int, ...]:
+        """Shape of ``M_l(x)`` for a given batch size (computed by tracing)."""
+        with nn.no_grad():
+            probe = nn.Tensor(np.zeros((batch, *self.input_shape), dtype=np.float32))
+            return self.forward_to(probe, layer_id).shape
+
+    # ------------------------------------------------------------------
+    # DINA sub-blocks
+    # ------------------------------------------------------------------
+    def sub_blocks(self, layer_id: float) -> list[SubBlock]:
+        """Partition the prefix up to ``layer_id`` into one-ReLU sub-blocks.
+
+        Each sub-block contains exactly one ReLU (plus the linear ops and
+        pooling around it), matching the decomposition DINA inverts with one
+        basic inverse block per sub-block. A trailing run with no ReLU (a
+        boundary placed directly after a linear op) is appended to the last
+        block.
+        """
+        cut = self.cut_position(layer_id)
+        modules = list(self.body)[:cut]
+        blocks: list[SubBlock] = []
+        current: list[nn.Module] = []
+        linear_seen = 0
+        block_start = 0.0
+        current_ids: list[int] = []
+        for module in modules:
+            current.append(module)
+            ops = linear_ops_of(module)
+            if ops:
+                linear_seen += ops
+                current_ids.append(linear_seen)
+            if ends_with_relu(module):
+                blocks.append(
+                    SubBlock(
+                        modules=current,
+                        start_layer=block_start,
+                        end_layer=linear_seen + 0.5,
+                        linear_ids=list(current_ids),
+                    )
+                )
+                block_start = linear_seen + 0.5
+                current = []
+                current_ids = []
+        if current:
+            if blocks:
+                blocks[-1].modules.extend(current)
+                if current_ids:
+                    # Trailing linear ops (a boundary placed right after a
+                    # conv/fc) extend the last block past its ReLU.
+                    blocks[-1].end_layer = float(linear_seen)
+                    blocks[-1].linear_ids.extend(current_ids)
+            else:
+                blocks.append(
+                    SubBlock(
+                        modules=current,
+                        start_layer=0.0,
+                        end_layer=float(linear_seen),
+                        linear_ids=list(current_ids),
+                    )
+                )
+        self._annotate_blocks(blocks)
+        return blocks
+
+    def _annotate_blocks(self, blocks: list[SubBlock]) -> None:
+        """Record channel counts and pooling factors by shape-tracing."""
+        with nn.no_grad():
+            x = nn.Tensor(np.zeros((1, *self.input_shape), dtype=np.float32))
+            for block in blocks:
+                in_shape = x.shape
+                for module in block.modules:
+                    x = module(x)
+                block.in_channels = in_shape[1] if len(in_shape) == 4 else None
+                block.out_channels = x.shape[1] if len(x.shape) == 4 else None
+                if len(in_shape) == 4 and len(x.shape) == 4:
+                    block.pool_factor = in_shape[2] // x.shape[2] if x.shape[2] else 1
+
+    def describe(self) -> str:
+        """Multi-line structural summary used by the examples and reports."""
+        lines = [f"{self.name} (input {self.input_shape})"]
+        count = 0
+        for module in self.body:
+            tag = ""
+            ops = linear_ops_of(module)
+            if ops == 1:
+                count += 1
+                tag = f"  [layer {count}]"
+            elif ops > 1:
+                first = count + 1
+                count += ops
+                tag = f"  [layers {first}-{count}]"
+            lines.append(f"  {module!r}{tag}")
+        return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""CIFAR ResNets as layer-indexed models (paper-extension experiment).
+
+The paper evaluates plain feed-forward victims (AlexNet, VGG16/19) and
+leaves broader architectures to future work. This module provides that
+extension: He et al.'s CIFAR ResNet family (ResNet-20-style stages of
+:class:`ResidualBlock`) wrapped as a :class:`~repro.models.layered.LayeredModel`.
+
+Residual blocks are *atomic* for layer indexing: a skip connection cannot
+be cut in the middle, so each block advertises ``linear_ops = 2`` (or 3
+with a downsampling projection) and ``ends_with_relu = True``, making the
+block boundary — the only architecturally meaningful cut point —
+addressable by Algorithm 1 and by the attacks. The secure engine does not
+execute residual blocks (C2PI would run them with the same linear + ReLU
+protocols plus one share addition; the cost models cover this via
+:func:`resnet_tallies`), but boundary search, DINA/MLA attacks and the
+noise/accuracy trade-off all run unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .layered import LayeredModel
+
+__all__ = ["ResidualBlock", "resnet20", "resnet32", "make_resnet", "resnet_tallies"]
+
+
+class ResidualBlock(nn.Module):
+    """Two 3x3 conv-BN pairs with an identity (or projected) skip.
+
+    Declares itself atomic to the layer indexer: ``linear_ops`` linear
+    operations, output passing through the post-addition ReLU.
+    """
+
+    ends_with_relu = True
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride,
+                               padding=1, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.relu1 = nn.ReLU()
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.relu2 = nn.ReLU()
+        self.projection: nn.Module | None = None
+        if stride != 1 or in_channels != out_channels:
+            self.projection = nn.Conv2d(in_channels, out_channels, 1,
+                                        stride=stride, rng=rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+
+    @property
+    def linear_ops(self) -> int:
+        return 2 if self.projection is None else 3
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        identity = x if self.projection is None else self.projection(x)
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu2(out + identity)
+
+    def __repr__(self) -> str:
+        proj = ", projected" if self.projection is not None else ""
+        return (f"ResidualBlock({self.in_channels}->{self.out_channels}, "
+                f"stride={self.stride}{proj})")
+
+
+def make_resnet(
+    blocks_per_stage: int,
+    name: str,
+    num_classes: int = 10,
+    width_mult: float = 1.0,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    rng: np.random.Generator | None = None,
+) -> LayeredModel:
+    """He et al.'s CIFAR ResNet: stem conv + 3 stages + pooled classifier.
+
+    Total linear ops: ``1 + 6·blocks_per_stage + projections + 1``.
+    ``resnet20`` corresponds to ``blocks_per_stage = 3``.
+    """
+    rng = rng or np.random.default_rng(0)
+    widths = [max(4, int(round(c * width_mult))) for c in (16, 32, 64)]
+    modules: list[nn.Module] = [
+        nn.Conv2d(input_shape[0], widths[0], 3, padding=1, rng=rng),
+        nn.BatchNorm2d(widths[0]),
+        nn.ReLU(),
+    ]
+    in_channels = widths[0]
+    for stage, width in enumerate(widths):
+        for index in range(blocks_per_stage):
+            stride = 2 if stage > 0 and index == 0 else 1
+            modules.append(ResidualBlock(in_channels, width, stride=stride, rng=rng))
+            in_channels = width
+    modules.append(nn.AdaptiveAvgPool2d(1))
+    modules.append(nn.Flatten())
+    modules.append(nn.Linear(in_channels, num_classes, rng=rng))
+    return LayeredModel(modules, name=name, input_shape=input_shape)
+
+
+def resnet20(
+    num_classes: int = 10,
+    width_mult: float = 1.0,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    rng: np.random.Generator | None = None,
+) -> LayeredModel:
+    """ResNet-20 for CIFAR (3 residual blocks per stage)."""
+    return make_resnet(3, f"ResNet20(w={width_mult})", num_classes=num_classes,
+                       width_mult=width_mult, input_shape=input_shape, rng=rng)
+
+
+def resnet_tallies(model: LayeredModel, boundary: float, batch: int = 1):
+    """Shape-derived :class:`~repro.mpc.engine.LayerTally` records for a ResNet.
+
+    Expands each residual block into its conv + ReLU (+ share addition,
+    which is communication-free) operations so the Delphi/Cheetah cost
+    models can price ResNet crypto segments the engine itself does not
+    execute. Mirrors :func:`repro.mpc.engine.static_layer_tallies`.
+    """
+    from ..mpc.engine import LayerTally
+
+    tallies: list[LayerTally] = []
+    shape = (batch, *model.input_shape)
+    cut = model.cut_position(boundary)
+    for module in list(model.body)[:cut]:
+        if isinstance(module, ResidualBlock):
+            n, _, h, w = shape
+            out_h = (h + module.stride - 1) // module.stride
+            for conv in filter(None, (module.conv1, module.conv2, module.projection)):
+                out_elements = n * conv.out_channels * out_h * out_h
+                tallies.append(
+                    LayerTally(
+                        kind="conv",
+                        name=f"conv{conv.in_channels}x{conv.out_channels}",
+                        elements=out_elements,
+                        in_elements=n * conv.in_channels * h * w,
+                        out_elements=out_elements,
+                        c_in=conv.in_channels,
+                        c_out=conv.out_channels,
+                        kernel=conv.kernel_size,
+                        macs=out_elements * conv.in_channels * conv.kernel_size**2,
+                    )
+                )
+            relu_elements = n * module.out_channels * out_h * out_h
+            tallies.append(LayerTally(kind="relu", name="relu", elements=relu_elements))
+            tallies.append(LayerTally(kind="relu", name="relu", elements=relu_elements))
+            shape = (n, module.out_channels, out_h, out_h)
+        else:
+            tally, shape = _single_module_tally(module, shape)
+            if tally is not None:
+                tallies.append(tally)
+    return tallies
+
+
+def _single_module_tally(module: nn.Module, shape):
+    """Tally one plain module (delegating to the engine's static rules)."""
+    from ..mpc.engine import LayerTally
+    from ..nn.functional import conv_output_size
+
+    if isinstance(module, nn.Conv2d):
+        n, _, h, w = shape
+        out_h = conv_output_size(h, module.kernel_size, module.stride,
+                                 module.padding, module.dilation)
+        out_w = conv_output_size(w, module.kernel_size, module.stride,
+                                 module.padding, module.dilation)
+        out_elements = n * module.out_channels * out_h * out_w
+        tally = LayerTally(
+            kind="conv",
+            name=f"conv{module.in_channels}x{module.out_channels}",
+            elements=out_elements,
+            in_elements=int(np.prod(shape)),
+            out_elements=out_elements,
+            c_in=module.in_channels,
+            c_out=module.out_channels,
+            kernel=module.kernel_size,
+            macs=out_elements * module.in_channels * module.kernel_size**2,
+        )
+        return tally, (n, module.out_channels, out_h, out_w)
+    if isinstance(module, nn.Linear):
+        n = shape[0]
+        out_elements = n * module.out_features
+        tally = LayerTally(
+            kind="linear",
+            name=f"fc{module.in_features}x{module.out_features}",
+            elements=out_elements,
+            in_elements=int(np.prod(shape)),
+            out_elements=out_elements,
+            c_in=module.in_features,
+            c_out=module.out_features,
+            kernel=1,
+            macs=out_elements * module.in_features,
+        )
+        return tally, (n, module.out_features)
+    if isinstance(module, nn.ReLU):
+        return LayerTally(kind="relu", name="relu",
+                          elements=int(np.prod(shape))), shape
+    if isinstance(module, nn.AdaptiveAvgPool2d):
+        n, c = shape[0], shape[1]
+        tally = LayerTally(kind="avgpool", name="avgpool", windows=n * c,
+                           window_size=shape[2] * shape[3], elements=n * c)
+        return tally, (n, c, 1, 1)
+    if isinstance(module, nn.Flatten):
+        return LayerTally(kind="flatten", name="flatten"), (shape[0], int(np.prod(shape[1:])))
+    if isinstance(module, (nn.BatchNorm2d, nn.Dropout, nn.Identity)):
+        return None, shape
+    raise ValueError(f"unsupported module in ResNet tally: {module!r}")
+
+
+def resnet32(
+    num_classes: int = 10,
+    width_mult: float = 1.0,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    rng: np.random.Generator | None = None,
+) -> LayeredModel:
+    """ResNet-32 for CIFAR (5 residual blocks per stage)."""
+    return make_resnet(5, f"ResNet32(w={width_mult})", num_classes=num_classes,
+                       width_mult=width_mult, input_shape=input_shape, rng=rng)

@@ -1,0 +1,100 @@
+"""CIFAR-scale VGG16 and VGG19 victim models (Simonyan & Zisserman 2014).
+
+The paper evaluates C2PI on VGG16 (13 conv layers) and VGG19 (16 conv
+layers) variants trained on CIFAR-10/100. The classifier head is the single
+fully-connected layer customary for 32x32 CIFAR VGGs, so VGG16 has layer ids
+1..14 (13 conv + 1 fc) and VGG19 has 1..17.
+
+A ``width_mult`` knob scales every channel count; the scaled-down profiles
+used for CPU-only reproduction runs set it below 1 (see
+:mod:`repro.bench.scale`). Batch normalisation is enabled by default for
+trainability and is folded into the preceding convolution by the MPC engine,
+so it does not change private-inference costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .layered import LayeredModel
+
+__all__ = ["vgg16", "vgg19", "make_vgg", "VGG16_LAYOUT", "VGG19_LAYOUT"]
+
+# 'M' entries are 2x2 max-pool operations.
+VGG16_LAYOUT = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+                512, 512, 512, "M", 512, 512, 512, "M"]
+VGG19_LAYOUT = [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+                512, 512, 512, 512, "M", 512, 512, 512, 512, "M"]
+
+
+def _scaled(channels: int, width_mult: float) -> int:
+    return max(4, int(round(channels * width_mult)))
+
+
+def make_vgg(
+    layout: list,
+    name: str,
+    num_classes: int = 10,
+    width_mult: float = 1.0,
+    batch_norm: bool = True,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    rng: np.random.Generator | None = None,
+) -> LayeredModel:
+    """Build a VGG-style :class:`LayeredModel` from a layout list."""
+    rng = rng or np.random.default_rng(0)
+    modules: list[nn.Module] = []
+    in_channels = input_shape[0]
+    spatial = input_shape[1]
+    for entry in layout:
+        if entry == "M":
+            modules.append(nn.MaxPool2d(2))
+            spatial //= 2
+            continue
+        out_channels = _scaled(entry, width_mult)
+        modules.append(nn.Conv2d(in_channels, out_channels, 3, padding=1, rng=rng))
+        if batch_norm:
+            modules.append(nn.BatchNorm2d(out_channels))
+        modules.append(nn.ReLU())
+        in_channels = out_channels
+    modules.append(nn.Flatten())
+    modules.append(nn.Linear(in_channels * spatial * spatial, num_classes, rng=rng))
+    return LayeredModel(modules, name=name, input_shape=input_shape)
+
+
+def vgg16(
+    num_classes: int = 10,
+    width_mult: float = 1.0,
+    batch_norm: bool = True,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    rng: np.random.Generator | None = None,
+) -> LayeredModel:
+    """VGG16 for CIFAR: 13 conv layers + 1 fully-connected classifier."""
+    return make_vgg(
+        VGG16_LAYOUT,
+        name=f"VGG16(w={width_mult})",
+        num_classes=num_classes,
+        width_mult=width_mult,
+        batch_norm=batch_norm,
+        input_shape=input_shape,
+        rng=rng,
+    )
+
+
+def vgg19(
+    num_classes: int = 10,
+    width_mult: float = 1.0,
+    batch_norm: bool = True,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    rng: np.random.Generator | None = None,
+) -> LayeredModel:
+    """VGG19 for CIFAR: 16 conv layers + 1 fully-connected classifier."""
+    return make_vgg(
+        VGG19_LAYOUT,
+        name=f"VGG19(w={width_mult})",
+        num_classes=num_classes,
+        width_mult=width_mult,
+        batch_norm=batch_norm,
+        input_shape=input_shape,
+        rng=rng,
+    )

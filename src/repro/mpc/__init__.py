@@ -1,0 +1,83 @@
+"""``repro.mpc`` — semi-honest two-party secure computation substrate.
+
+Layers (bottom-up):
+
+* :mod:`repro.mpc.fixedpoint` — Z_2^64 fixed-point encoding;
+* :mod:`repro.mpc.sharing` — additive / boolean secret sharing;
+* :mod:`repro.mpc.dealer` — trusted dealer (preprocessing stand-in);
+* :mod:`repro.mpc.network` — channel traffic accounting, LAN/WAN models;
+* :mod:`repro.mpc.protocols` — Beaver multiplication, masked-reveal
+  comparison, DReLU/ReLU/max, Delphi-style linear layers, truncation;
+* :mod:`repro.mpc.engine` — secure evaluation of a model prefix under a
+  pluggable protocol suite (:mod:`repro.mpc.backends`: trusted dealer,
+  functional Delphi, functional Cheetah);
+* :mod:`repro.mpc.authenticated` — SPDZ-style MAC'd shares (the
+  malicious-client extension);
+* :mod:`repro.mpc.costs` — calibrated Delphi/CrypTFlow2/Cheetah cost
+  profiles.
+"""
+
+from .authenticated import (
+    AuthenticatedDealer,
+    AuthenticatedShares,
+    MacCheckError,
+    authenticated_multiply,
+    verified_open,
+)
+from .costs import (
+    BackendCostModel,
+    CostEstimate,
+    OpCost,
+    cheetah_costs,
+    cryptflow2_costs,
+    delphi_costs,
+)
+from .dealer import TrustedDealer
+from .engine import (
+    LayerTally,
+    SecureExecutionResult,
+    SecureInferenceEngine,
+    fold_batch_norm,
+    static_layer_tallies,
+)
+from .fixedpoint import DEFAULT_CONFIG, FixedPointConfig
+from .network import LAN, WAN, Channel, NetworkModel, TrafficSnapshot
+from .sharing import (
+    bit_decompose,
+    reconstruct_additive,
+    reconstruct_boolean,
+    share_additive,
+    share_boolean,
+)
+
+__all__ = [
+    "FixedPointConfig",
+    "DEFAULT_CONFIG",
+    "share_additive",
+    "reconstruct_additive",
+    "share_boolean",
+    "reconstruct_boolean",
+    "bit_decompose",
+    "TrustedDealer",
+    "Channel",
+    "NetworkModel",
+    "TrafficSnapshot",
+    "LAN",
+    "WAN",
+    "SecureInferenceEngine",
+    "SecureExecutionResult",
+    "LayerTally",
+    "fold_batch_norm",
+    "static_layer_tallies",
+    "BackendCostModel",
+    "CostEstimate",
+    "OpCost",
+    "delphi_costs",
+    "cryptflow2_costs",
+    "cheetah_costs",
+    "AuthenticatedDealer",
+    "AuthenticatedShares",
+    "MacCheckError",
+    "authenticated_multiply",
+    "verified_open",
+]

@@ -1,0 +1,234 @@
+"""SPDZ-style authenticated shares — the malicious-client extension.
+
+The paper's conclusion lists "embedding C2PI with PI methods that go
+beyond the semi-honest threat model, e.g., the malicious-client threat
+model" as future work. SIMC and MUSE (the works it cites) protect the
+*server* against a cheating client by authenticating every value the
+client can influence. This module implements the arithmetic layer of that
+protection, in the standard SPDZ construction:
+
+* a global MAC key ``delta`` is additively shared between the parties;
+* every shared value ``x`` carries a share of its MAC ``delta * x``;
+* opening a value runs a **MAC check**: both parties commit to
+  ``z_i = mac_i - delta_i * x_opened`` and verify ``z_0 + z_1 = 0``.
+  A client that shifts an opened value by ``e != 0`` must guess
+  ``delta * e`` — probability ``2^-64`` over the ring;
+* Beaver multiplication propagates MACs linearly, so whole linear layers
+  stay authenticated without extra interaction.
+
+Like SIMC, non-linear layers would switch to garbled circuits (which
+authenticate implicitly through the label structure —
+:mod:`repro.crypto.gc_protocol` provides them); this module supplies the
+authenticated arithmetic substrate plus the verified-open primitive that
+the C2PI boundary reveal needs: the server accepts the client's revealed
+share only if its MAC verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dealer import TrustedDealer
+from .fixedpoint import FixedPointConfig
+from .network import Channel
+from .sharing import reconstruct_additive, share_additive
+
+__all__ = [
+    "MacCheckError",
+    "AuthenticatedShares",
+    "AuthenticatedDealer",
+    "verified_open",
+    "authenticated_multiply",
+    "authenticated_linear_combination",
+]
+
+
+class MacCheckError(RuntimeError):
+    """A MAC check failed: some party deviated from the protocol."""
+
+
+@dataclass
+class AuthenticatedShares:
+    """Additive shares of a value together with shares of its MAC.
+
+    ``value[i]`` and ``mac[i]`` belong to party ``i``;
+    ``mac[0] + mac[1] = delta * (value[0] + value[1])`` over Z_2^64.
+    """
+
+    value: tuple[np.ndarray, np.ndarray]
+    mac: tuple[np.ndarray, np.ndarray]
+
+    @property
+    def shape(self):
+        return self.value[0].shape
+
+    def __add__(self, other: "AuthenticatedShares") -> "AuthenticatedShares":
+        """Addition is local: values and MACs are both linear."""
+        return AuthenticatedShares(
+            value=(
+                (self.value[0] + other.value[0]).astype(np.uint64),
+                (self.value[1] + other.value[1]).astype(np.uint64),
+            ),
+            mac=(
+                (self.mac[0] + other.mac[0]).astype(np.uint64),
+                (self.mac[1] + other.mac[1]).astype(np.uint64),
+            ),
+        )
+
+    def scale(self, constant: int | np.ndarray) -> "AuthenticatedShares":
+        """Multiplication by a public ring constant (local)."""
+        c = np.uint64(constant) if np.isscalar(constant) else np.asarray(
+            constant, dtype=np.uint64
+        )
+        return AuthenticatedShares(
+            value=(
+                (self.value[0] * c).astype(np.uint64),
+                (self.value[1] * c).astype(np.uint64),
+            ),
+            mac=((self.mac[0] * c).astype(np.uint64), (self.mac[1] * c).astype(np.uint64)),
+        )
+
+    def __sub__(self, other: "AuthenticatedShares") -> "AuthenticatedShares":
+        """Subtraction is local: negate (×(2^64-1)) and add."""
+        return self + other.scale(np.uint64(0xFFFFFFFFFFFFFFFF))
+
+
+@dataclass
+class AuthenticatedTriple:
+    """Beaver triple whose components all carry MACs."""
+
+    a: AuthenticatedShares
+    b: AuthenticatedShares
+    c: AuthenticatedShares
+
+
+class AuthenticatedDealer:
+    """Issues the MAC key and MAC'd correlated randomness.
+
+    Wraps a :class:`~repro.mpc.dealer.TrustedDealer`-style trusted setup:
+    in SIMC/MUSE this preprocessing is replaced by OT/HE protocols secure
+    against the malicious client; the online MAC arithmetic — what this
+    module implements — is identical.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        # An odd key: every non-zero additive error e then has delta*e != 0.
+        self._delta = self._rng.integers(0, 2**64, dtype=np.uint64) | np.uint64(1)
+        self.key_shares = share_additive(
+            np.array(self._delta, dtype=np.uint64), self._rng
+        )
+        self.authenticated_issued = 0
+        self.triples_issued = 0
+
+    @property
+    def delta(self) -> np.uint64:
+        """The global key — test/demo introspection only."""
+        return self._delta
+
+    def authenticate(self, secret: np.ndarray) -> AuthenticatedShares:
+        """Share a secret together with its MAC (dealer-side input step)."""
+        secret = np.asarray(secret, dtype=np.uint64)
+        mac = (secret * self._delta).astype(np.uint64)
+        self.authenticated_issued += int(np.prod(secret.shape))
+        return AuthenticatedShares(
+            value=share_additive(secret, self._rng),
+            mac=share_additive(mac, self._rng),
+        )
+
+    def beaver_triples(self, shape) -> AuthenticatedTriple:
+        """Elementwise multiplication triples with MACs on a, b and c."""
+        rng = self._rng
+        a = FixedPointConfig.random_ring(rng, shape)
+        b = FixedPointConfig.random_ring(rng, shape)
+        c = (a * b).astype(np.uint64)
+        self.triples_issued += int(np.prod(shape))
+        return AuthenticatedTriple(
+            a=self.authenticate(a), b=self.authenticate(b), c=self.authenticate(c)
+        )
+
+
+def _commit_and_open(
+    z0: np.ndarray, z1: np.ndarray, channel: Channel | None
+) -> np.ndarray:
+    """Commit-then-reveal of the MAC-check differences (modelled traffic).
+
+    In-process both values are available; the channel is charged for the
+    hash commitments plus the openings, and one extra round for the
+    commitment phase (preventing the rushing adversary from adapting its
+    ``z`` to the other party's).
+    """
+    if channel is not None:
+        channel.exchange(32, label="mac-commit")  # hash commitments
+        channel.exchange(z0.nbytes, label="mac-open")
+    return (z0 + z1).astype(np.uint64)
+
+
+def verified_open(
+    shares: AuthenticatedShares,
+    key_shares: tuple[np.ndarray, np.ndarray],
+    channel: Channel | None = None,
+    tamper: np.ndarray | None = None,
+) -> np.ndarray:
+    """Open a value and verify its MAC; raises :class:`MacCheckError`.
+
+    ``tamper`` (tests/demos) is an additive error a malicious client
+    injects into its value share *at opening time* — exactly the attack
+    the MAC catches: the check passes only if the client could also shift
+    its MAC share by ``delta * tamper``, which requires guessing ``delta``.
+    """
+    x0 = shares.value[0]
+    if tamper is not None:
+        x0 = (x0 + np.asarray(tamper, dtype=np.uint64)).astype(np.uint64)
+    if channel is not None:
+        channel.exchange(x0.nbytes, label="open")
+    opened = reconstruct_additive(x0, shares.value[1])
+
+    z0 = (shares.mac[0] - key_shares[0] * opened).astype(np.uint64)
+    z1 = (shares.mac[1] - key_shares[1] * opened).astype(np.uint64)
+    difference = _commit_and_open(z0, z1, channel)
+    if np.any(difference != 0):
+        raise MacCheckError(
+            f"MAC check failed on {int(np.count_nonzero(difference))} element(s)"
+        )
+    return opened
+
+
+def authenticated_multiply(
+    x: AuthenticatedShares,
+    y: AuthenticatedShares,
+    dealer: AuthenticatedDealer,
+    channel: Channel | None = None,
+) -> AuthenticatedShares:
+    """Beaver multiplication preserving MACs (SPDZ online step).
+
+    Opens ``d = x - a`` and ``e = y - b`` with MAC checks, then combines
+    ``z = c + d*b + e*a + d*e`` locally — including the MAC shares, where
+    the public ``d*e`` term is keyed with each party's ``delta`` share.
+    """
+    triple = dealer.beaver_triples(x.shape)
+    d = verified_open(x - triple.a, dealer.key_shares, channel)
+    e = verified_open(y - triple.b, dealer.key_shares, channel)
+
+    result = triple.c + triple.b.scale(d) + triple.a.scale(e)
+    de = (d * e).astype(np.uint64)
+    value = (result.value[0] + de).astype(np.uint64), result.value[1]
+    mac = (
+        (result.mac[0] + dealer.key_shares[0] * de).astype(np.uint64),
+        (result.mac[1] + dealer.key_shares[1] * de).astype(np.uint64),
+    )
+    return AuthenticatedShares(value=value, mac=mac)
+
+
+def authenticated_linear_combination(
+    terms: list[tuple[int | np.ndarray, AuthenticatedShares]],
+) -> AuthenticatedShares:
+    """Public-coefficient linear combination (local, MACs preserved)."""
+    if not terms:
+        raise ValueError("need at least one term")
+    accumulated = terms[0][1].scale(terms[0][0])
+    for coefficient, shares in terms[1:]:
+        accumulated = accumulated + shares.scale(coefficient)
+    return accumulated

@@ -1,0 +1,83 @@
+"""Protocol-suite interface and the default trusted-dealer implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dealer import TrustedDealer
+from ..network import Channel
+from ..protocols import secure_linear, secure_maximum, secure_relu
+
+__all__ = ["ProtocolSuite", "DealerSuite", "linear_map_matrix"]
+
+Shares = tuple[np.ndarray, np.ndarray]
+
+
+class ProtocolSuite:
+    """The three secure operations the engine composes layers from.
+
+    A suite owns whatever preprocessing state its protocols need (dealer,
+    OT sessions, HE keys). Shares are ``(client, server)`` uint64 arrays
+    over Z_2^64; ``bias`` arrives pre-encoded at double fixed-point scale
+    (or ``None``).
+    """
+
+    name = "abstract"
+
+    def linear(self, shares: Shares, ring_fn, bias, channel: Channel) -> Shares:
+        """Shares of ``f(x) + bias`` for the server-known linear map f."""
+        raise NotImplementedError
+
+    def relu(self, shares: Shares, channel: Channel) -> Shares:
+        """Shares of ``ReLU(x)`` elementwise."""
+        raise NotImplementedError
+
+    def maximum(self, left: Shares, right: Shares, channel: Channel) -> Shares:
+        """Shares of ``max(left, right)`` via ``right + ReLU(left - right)``.
+
+        Suites with a cheaper dedicated comparison may override this.
+        """
+        diff = (
+            (left[0] - right[0]).astype(np.uint64),
+            (left[1] - right[1]).astype(np.uint64),
+        )
+        rectified = self.relu(diff, channel)
+        return (
+            (rectified[0] + right[0]).astype(np.uint64),
+            (rectified[1] + right[1]).astype(np.uint64),
+        )
+
+
+class DealerSuite(ProtocolSuite):
+    """Trusted-dealer protocols (:mod:`repro.mpc.protocols`) — the default."""
+
+    name = "dealer"
+
+    def __init__(self, dealer: TrustedDealer):
+        self.dealer = dealer
+
+    def linear(self, shares, ring_fn, bias, channel):
+        return secure_linear(shares, ring_fn, bias, self.dealer, channel)
+
+    def relu(self, shares, channel):
+        flat = (shares[0].reshape(-1), shares[1].reshape(-1))
+        y = secure_relu(flat, self.dealer, channel)
+        return y[0].reshape(shares[0].shape), y[1].reshape(shares[1].shape)
+
+    def maximum(self, left, right, channel):
+        return secure_maximum(left, right, self.dealer, channel)
+
+
+def linear_map_matrix(ring_fn, sample_shape: tuple[int, ...]) -> np.ndarray:
+    """Extract the explicit ring matrix of a linear map by basis probing.
+
+    ``sample_shape`` is the per-sample input shape (no batch dim). Feeding
+    the identity as a batch of one-hot inputs through ``ring_fn`` yields
+    every column of the ``out_elements x in_elements`` matrix in a single
+    call — the homomorphic backends evaluate this matrix explicitly, the
+    way Delphi/Cheetah operate on im2col'd layer matrices.
+    """
+    in_elements = int(np.prod(sample_shape))
+    probe = np.eye(in_elements, dtype=np.uint64).reshape(in_elements, *sample_shape)
+    columns = ring_fn(probe).reshape(in_elements, -1)
+    return np.ascontiguousarray(columns.T)

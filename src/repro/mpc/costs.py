@@ -1,0 +1,243 @@
+"""Calibrated cost profiles for the Delphi and Cheetah PI backends.
+
+The functional engine in :mod:`repro.mpc.engine` proves *what* is computed
+and on which shares; this module models *what it costs* when the same layer
+sequence is executed by the two frameworks the paper benchmarks
+(Table II):
+
+* **Delphi** (Mishra et al., USENIX Security 2020) — linear layers with
+  linearly homomorphic encryption in an offline phase; ReLUs with garbled
+  circuits. Per-ReLU communication is dominated by the offline garbled
+  circuit (~17.5 KB) plus ~2 KB of online labels; compute is dominated by
+  the HE evaluation of the linear layers, whose rotation count grows with
+  ``c_in * c_out``, plus per-ReLU garbling.
+* **Cheetah** (Huang et al., USENIX Security 2022) — lattice-based linear
+  layers without rotations and VOLE-style OT for comparisons, roughly two
+  orders of magnitude leaner per ReLU.
+
+Calibration: the per-op constants are fitted so the *full-PI* rows of
+Table II for VGG16/CIFAR-10 are approximately reproduced at paper scale
+(Delphi ~6100 s LAN / ~5.1 GB; Cheetah ~14 s LAN / ~180 MB); the C2PI rows
+then emerge from the boundary truncation with no further tuning. The
+paper's own Delphi-VGG19 row is anomalous relative to any per-operation
+additive model (likely memory pressure on the authors' 11 GB machine, as
+discussed in EXPERIMENTS.md) and is not fitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import LayerTally
+from .network import NetworkModel
+
+__all__ = [
+    "OpCost",
+    "BackendCostModel",
+    "delphi_costs",
+    "cheetah_costs",
+    "cryptflow2_costs",
+    "CostEstimate",
+]
+
+
+@dataclass
+class OpCost:
+    """Modeled cost of one operation."""
+
+    offline_bytes: float = 0.0
+    online_bytes: float = 0.0
+    rounds: float = 0.0
+    compute_s: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.offline_bytes + self.online_bytes
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            self.offline_bytes + other.offline_bytes,
+            self.online_bytes + other.online_bytes,
+            self.rounds + other.rounds,
+            self.compute_s + other.compute_s,
+        )
+
+
+@dataclass(frozen=True)
+class BackendCostModel:
+    """Per-operation cost constants of a PI framework.
+
+    Attributes (units: bytes, seconds, dimensionless rounds)
+    ---------------------------------------------------------
+    relu_offline_bytes / relu_online_bytes:
+        Per-ReLU communication.
+    relu_compute_s:
+        Per-ReLU cryptographic compute (garbling+evaluation for Delphi,
+        OT extension for Cheetah).
+    relu_rounds:
+        Online rounds per ReLU *layer* (amortised over the batch of
+        comparisons in the layer).
+    linear_unit_compute_s:
+        Compute per ``c_in*c_out`` channel-pair unit — the quantity HE
+        rotation counts track for 3x3 CIFAR-scale convolutions.
+    linear_element_bytes:
+        Ciphertext bytes per (input + output) activation element.
+    linear_unit_bytes:
+        Ciphertext bytes per channel-pair unit (packing overhead of wide
+        layers).
+    maxpool_comparison_factor:
+        Cost of one max-pool comparison relative to one ReLU.
+    """
+
+    name: str
+    relu_offline_bytes: float
+    relu_online_bytes: float
+    relu_compute_s: float
+    relu_rounds: float
+    linear_unit_compute_s: float
+    linear_element_bytes: float
+    linear_unit_bytes: float
+    linear_rounds: float
+    maxpool_comparison_factor: float = 0.8
+
+    # ------------------------------------------------------------------
+    def linear_cost(self, tally: LayerTally) -> OpCost:
+        units = tally.c_in * tally.c_out
+        offline = (
+            tally.in_elements + tally.out_elements
+        ) * self.linear_element_bytes + units * self.linear_unit_bytes
+        return OpCost(
+            offline_bytes=offline,
+            online_bytes=0.0,  # Delphi-style share arrangement: no online msg
+            rounds=self.linear_rounds,
+            compute_s=units * self.linear_unit_compute_s,
+        )
+
+    def relu_cost(self, n_elements: int) -> OpCost:
+        return OpCost(
+            offline_bytes=n_elements * self.relu_offline_bytes,
+            online_bytes=n_elements * self.relu_online_bytes,
+            rounds=self.relu_rounds,
+            compute_s=n_elements * self.relu_compute_s,
+        )
+
+    def maxpool_cost(self, windows: int, window_size: int) -> OpCost:
+        comparisons = windows * (window_size - 1)
+        factor = self.maxpool_comparison_factor
+        # A k*k tournament runs ceil(log2(k*k)) sequential comparison levels.
+        levels = max(1, (window_size - 1).bit_length())
+        return OpCost(
+            offline_bytes=comparisons * self.relu_offline_bytes * factor,
+            online_bytes=comparisons * self.relu_online_bytes * factor,
+            rounds=self.relu_rounds * levels,
+            compute_s=comparisons * self.relu_compute_s * factor,
+        )
+
+    def avgpool_cost(self, windows: int) -> OpCost:
+        # Average pooling is linear: local sums plus a shared truncation.
+        return OpCost(online_bytes=windows * 2.0, rounds=0.0, compute_s=windows * 1e-8)
+
+    def cost_of(self, tally: LayerTally) -> OpCost:
+        if tally.kind in ("conv", "linear"):
+            return self.linear_cost(tally)
+        if tally.kind == "relu":
+            return self.relu_cost(tally.elements)
+        if tally.kind == "maxpool":
+            return self.maxpool_cost(tally.windows, tally.window_size)
+        if tally.kind == "avgpool":
+            return self.avgpool_cost(tally.windows)
+        if tally.kind == "flatten":
+            return OpCost()
+        raise ValueError(f"unknown tally kind {tally.kind!r}")
+
+
+def delphi_costs() -> BackendCostModel:
+    """Delphi constants (see module docstring for the calibration targets)."""
+    return BackendCostModel(
+        name="Delphi",
+        relu_offline_bytes=17_500.0,  # garbled circuit for a 41-gate ReLU
+        relu_online_bytes=2_048.0,  # input/output wire labels
+        relu_compute_s=1.0e-3,  # garble + evaluate, amortised
+        relu_rounds=2.0,
+        linear_unit_compute_s=3.2e-3,  # HE rotations track c_in*c_out
+        linear_element_bytes=32.0,  # offline ciphertexts for masks
+        linear_unit_bytes=0.0,
+        linear_rounds=1.0,
+    )
+
+
+def cryptflow2_costs() -> BackendCostModel:
+    """CrypTFlow2 constants (Rathee et al., CCS 2020) — not in Table II.
+
+    The paper positions CrypTFlow2 between Delphi and Cheetah: its OT-based
+    millionaire ReLU replaces Delphi's garbled circuits (>20x faster PI
+    end-to-end per the paper's Section II) while Cheetah's VOLE-style OT and
+    rotation-free linear layers gain another 2-5x. The constants here encode
+    that ordering: ~1.5 KB per ReLU (classic IKNP millionaire with B2A and
+    mux, as implemented functionally in :mod:`repro.crypto.millionaire`)
+    versus Delphi's ~19.5 KB and Cheetah's ~0.12 KB.
+    """
+    return BackendCostModel(
+        name="CrypTFlow2",
+        relu_offline_bytes=0.0,  # one-shot protocol, like Cheetah
+        relu_online_bytes=1_500.0,  # IKNP millionaire + B2A + mux
+        relu_compute_s=8.0e-5,
+        relu_rounds=10.0,  # log-depth block tree plus conversions
+        linear_unit_compute_s=2.4e-4,  # SIMD HE with rotations, improved packing
+        linear_element_bytes=16.0,
+        linear_unit_bytes=16.0,
+        linear_rounds=2.0,
+    )
+
+
+def cheetah_costs() -> BackendCostModel:
+    """Cheetah constants (see module docstring for the calibration targets)."""
+    return BackendCostModel(
+        name="Cheetah",
+        relu_offline_bytes=0.0,  # Cheetah is a one-shot (online-only) protocol
+        relu_online_bytes=120.0,  # VOLE-OT millionaire, ~k*lambda bits
+        relu_compute_s=2.0e-5,
+        relu_rounds=8.0,
+        linear_unit_compute_s=4.2e-6,
+        linear_element_bytes=8.0,  # RLWE ciphertext coefficients
+        linear_unit_bytes=82.0,  # per channel-pair packing overhead
+        linear_rounds=2.0,
+    )
+
+
+@dataclass
+class CostEstimate:
+    """Aggregated modeled cost of a (partial) secure inference."""
+
+    backend: str
+    offline_bytes: float = 0.0
+    online_bytes: float = 0.0
+    rounds: float = 0.0
+    compute_s: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.offline_bytes + self.online_bytes
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / 1e6
+
+    def add(self, op: OpCost) -> None:
+        self.offline_bytes += op.offline_bytes
+        self.online_bytes += op.online_bytes
+        self.rounds += op.rounds
+        self.compute_s += op.compute_s
+
+    def latency(self, network: NetworkModel) -> float:
+        """End-to-end latency under a network model (seconds)."""
+        return network.latency(self.total_bytes, self.rounds, self.compute_s)
+
+    @classmethod
+    def from_tallies(
+        cls, tallies: list[LayerTally], backend: BackendCostModel
+    ) -> "CostEstimate":
+        estimate = cls(backend=backend.name)
+        for tally in tallies:
+            estimate.add(backend.cost_of(tally))
+        return estimate

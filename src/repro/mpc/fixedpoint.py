@@ -1,0 +1,84 @@
+"""Fixed-point encoding over the ring Z_2^64.
+
+All secure computation in :mod:`repro.mpc` happens on 64-bit ring elements
+(numpy ``uint64``, which wraps modulo 2^64 exactly like the protocols
+require). Real values are embedded as two's-complement fixed-point numbers
+with ``frac_bits`` fractional bits, the representation used by Delphi,
+CrypTFlow2 and Cheetah alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointConfig", "DEFAULT_CONFIG"]
+
+_RING_BITS = 64
+_MODULUS = 1 << _RING_BITS
+
+
+@dataclass(frozen=True)
+class FixedPointConfig:
+    """Ring and precision parameters for the secure engine.
+
+    Attributes
+    ----------
+    frac_bits:
+        Number of fractional bits ``f``. Products of two encoded values
+        carry ``2f`` fractional bits and are re-scaled with the local
+        truncation protocol.
+    """
+
+    frac_bits: int = 12
+
+    @property
+    def ring_bits(self) -> int:
+        return _RING_BITS
+
+    @property
+    def scale(self) -> float:
+        return float(1 << self.frac_bits)
+
+    # ------------------------------------------------------------------
+    # encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, values: np.ndarray, frac_bits: int | None = None) -> np.ndarray:
+        """Encode float values as two's-complement ring elements."""
+        frac_bits = self.frac_bits if frac_bits is None else frac_bits
+        scaled = np.rint(np.asarray(values, dtype=np.float64) * (1 << frac_bits))
+        bound = float(1 << (_RING_BITS - 2))
+        if np.any(np.abs(scaled) >= bound):
+            raise OverflowError(
+                "value too large for fixed-point encoding; "
+                f"max |scaled| = {np.abs(scaled).max():.3e}"
+            )
+        return scaled.astype(np.int64).astype(np.uint64)
+
+    def decode(self, ring_values: np.ndarray, frac_bits: int | None = None) -> np.ndarray:
+        """Decode ring elements back to floats (signed interpretation)."""
+        frac_bits = self.frac_bits if frac_bits is None else frac_bits
+        signed = np.asarray(ring_values, dtype=np.uint64).astype(np.int64)
+        return (signed.astype(np.float64) / (1 << frac_bits)).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # ring helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def random_ring(rng: np.random.Generator, shape) -> np.ndarray:
+        """Uniform ring elements (perfect masks for additive sharing)."""
+        return rng.integers(0, _MODULUS, size=shape, dtype=np.uint64)
+
+    @staticmethod
+    def neg(values: np.ndarray) -> np.ndarray:
+        """Additive inverse modulo 2^64."""
+        return (~values + np.uint64(1)).astype(np.uint64)
+
+    @staticmethod
+    def msb(values: np.ndarray) -> np.ndarray:
+        """Most significant bit (the sign bit of the encoding)."""
+        return (values >> np.uint64(_RING_BITS - 1)).astype(np.uint8)
+
+
+DEFAULT_CONFIG = FixedPointConfig()

@@ -1,0 +1,106 @@
+"""Network model and traffic accounting for the two-party engine.
+
+The paper benchmarks on two settings taken from Cheetah's evaluation:
+LAN (384 MB/s bandwidth, 0.3 ms round-trip time) and WAN (44 MB/s, 40 ms).
+The :class:`Channel` records every byte the in-process protocol actually
+moves between the two simulated parties plus the number of communication
+rounds, and a :class:`NetworkModel` turns (bytes, rounds, compute seconds)
+into an end-to-end latency estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkModel", "LAN", "WAN", "Channel", "TrafficSnapshot"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Bandwidth/latency description of the link between the parties."""
+
+    name: str
+    bandwidth_bytes_per_s: float
+    rtt_s: float
+
+    def latency(self, total_bytes: float, rounds: float, compute_s: float = 0.0) -> float:
+        """End-to-end time: serialisation + propagation + computation."""
+        return compute_s + total_bytes / self.bandwidth_bytes_per_s + rounds * self.rtt_s
+
+
+# The paper's Section IV-E settings (bandwidth in MB/s, RTT in seconds).
+LAN = NetworkModel("LAN", bandwidth_bytes_per_s=384e6, rtt_s=0.3e-3)
+WAN = NetworkModel("WAN", bandwidth_bytes_per_s=44e6, rtt_s=40e-3)
+
+
+@dataclass
+class TrafficSnapshot:
+    """Immutable copy of a channel's counters."""
+
+    bytes_client_to_server: int = 0
+    bytes_server_to_client: int = 0
+    rounds: int = 0
+    messages: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_client_to_server + self.bytes_server_to_client
+
+
+@dataclass
+class Channel:
+    """Byte/round accounting between the client (party 0) and server (party 1).
+
+    Protocols call :meth:`send` for one-directional messages and
+    :meth:`tick_round` once per synchronous communication round (a round may
+    carry messages in both directions, as in a simultaneous exchange).
+    """
+
+    bytes_client_to_server: int = 0
+    bytes_server_to_client: int = 0
+    rounds: int = 0
+    messages: int = 0
+    _round_log: list[str] = field(default_factory=list)
+
+    def send(self, sender: int, num_bytes: int, label: str = "") -> None:
+        if sender not in (0, 1):
+            raise ValueError(f"sender must be 0 (client) or 1 (server), got {sender}")
+        if num_bytes < 0:
+            raise ValueError("message size cannot be negative")
+        if sender == 0:
+            self.bytes_client_to_server += int(num_bytes)
+        else:
+            self.bytes_server_to_client += int(num_bytes)
+        self.messages += 1
+
+    def exchange(self, bytes_each_way: int, label: str = "") -> None:
+        """A simultaneous exchange: both parties send, one round elapses."""
+        self.send(0, bytes_each_way, label)
+        self.send(1, bytes_each_way, label)
+        self.tick_round(label)
+
+    def tick_round(self, label: str = "") -> None:
+        self.rounds += 1
+        if label:
+            self._round_log.append(label)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_client_to_server + self.bytes_server_to_client
+
+    def snapshot(self) -> TrafficSnapshot:
+        return TrafficSnapshot(
+            bytes_client_to_server=self.bytes_client_to_server,
+            bytes_server_to_client=self.bytes_server_to_client,
+            rounds=self.rounds,
+            messages=self.messages,
+        )
+
+    def diff(self, before: TrafficSnapshot) -> TrafficSnapshot:
+        """Traffic since ``before`` (used for per-layer accounting)."""
+        return TrafficSnapshot(
+            bytes_client_to_server=self.bytes_client_to_server - before.bytes_client_to_server,
+            bytes_server_to_client=self.bytes_server_to_client - before.bytes_server_to_client,
+            rounds=self.rounds - before.rounds,
+            messages=self.messages - before.messages,
+        )

@@ -1,0 +1,28 @@
+"""Online 2PC protocols: Beaver multiplication, comparison/ReLU, linear."""
+
+from .beaver import beaver_multiply, boolean_and
+from .comparison import (
+    bit_to_arithmetic,
+    open_shares,
+    public_less_than_shared,
+    secure_drelu,
+    secure_maximum,
+    secure_msb,
+    secure_relu,
+)
+from .linear import multiply_public_constant, secure_linear, truncate_shares
+
+__all__ = [
+    "beaver_multiply",
+    "boolean_and",
+    "open_shares",
+    "public_less_than_shared",
+    "secure_msb",
+    "secure_drelu",
+    "bit_to_arithmetic",
+    "secure_relu",
+    "secure_maximum",
+    "secure_linear",
+    "truncate_shares",
+    "multiply_public_constant",
+]

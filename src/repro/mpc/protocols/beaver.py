@@ -1,0 +1,79 @@
+"""Beaver-triple multiplication protocols (arithmetic and boolean).
+
+Both protocols follow the classic pattern: mask the operands with the
+dealer's random triple, open the masked values (uniformly random, hence
+safe), and combine locally. Opening is one communication round in which
+both parties send their share of (d, e).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dealer import TrustedDealer
+from ..network import Channel
+from ..sharing import reconstruct_additive, reconstruct_boolean
+
+__all__ = ["beaver_multiply", "boolean_and"]
+
+
+def beaver_multiply(
+    x: tuple[np.ndarray, np.ndarray],
+    y: tuple[np.ndarray, np.ndarray],
+    dealer: TrustedDealer,
+    channel: Channel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Elementwise product of two additively shared arrays over Z_2^64.
+
+    Returns fresh shares of ``x * y`` (no truncation — callers re-scale
+    fixed-point products themselves when both operands carry fractions).
+    """
+    shape = x[0].shape
+    triple = dealer.beaver_triples(shape)
+
+    d0 = (x[0] - triple.a[0]).astype(np.uint64)
+    d1 = (x[1] - triple.a[1]).astype(np.uint64)
+    e0 = (y[0] - triple.b[0]).astype(np.uint64)
+    e1 = (y[1] - triple.b[1]).astype(np.uint64)
+
+    # One round: both parties broadcast their (d, e) shares.
+    payload = d0.nbytes + e0.nbytes
+    channel.exchange(payload, label="beaver-open")
+
+    d = reconstruct_additive(d0, d1)
+    e = reconstruct_additive(e0, e1)
+
+    z0 = (triple.c[0] + d * triple.b[0] + e * triple.a[0] + d * e).astype(np.uint64)
+    z1 = (triple.c[1] + d * triple.b[1] + e * triple.a[1]).astype(np.uint64)
+    return z0, z1
+
+
+def boolean_and(
+    x: tuple[np.ndarray, np.ndarray],
+    y: tuple[np.ndarray, np.ndarray],
+    dealer: TrustedDealer,
+    channel: Channel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """AND of two XOR-shared bit arrays via a GF(2) Beaver triple.
+
+    All AND gates in one call are evaluated in a single batched round; the
+    comparison circuit relies on this to keep its round count logarithmic.
+    """
+    shape = x[0].shape
+    triple = dealer.bit_triples(shape)
+
+    d0 = (x[0] ^ triple.a[0]).astype(np.uint8)
+    d1 = (x[1] ^ triple.a[1]).astype(np.uint8)
+    e0 = (y[0] ^ triple.b[0]).astype(np.uint8)
+    e1 = (y[1] ^ triple.b[1]).astype(np.uint8)
+
+    # Bits travel packed: 2 bits per gate per direction.
+    payload = max(1, (int(np.prod(shape)) * 2 + 7) // 8)
+    channel.exchange(payload, label="and-open")
+
+    d = reconstruct_boolean(d0, d1)
+    e = reconstruct_boolean(e0, e1)
+
+    z0 = (triple.c[0] ^ (d & triple.b[0]) ^ (e & triple.a[0]) ^ (d & e)).astype(np.uint8)
+    z1 = (triple.c[1] ^ (d & triple.b[1]) ^ (e & triple.a[1])).astype(np.uint8)
+    return z0, z1

@@ -1,0 +1,186 @@
+"""Secure comparison, DReLU and ReLU via masked reveal.
+
+The sign-extraction protocol (used for every ReLU and max-pool comparison):
+
+1. *Masked reveal.* The dealer hands the parties additive shares of a
+   uniform ring mask ``r`` plus boolean shares of r's bits. The parties
+   open ``z = x + r`` — uniformly distributed, so the reveal leaks nothing
+   about ``x``.
+2. *Borrow computation.* Writing ``x = z - r (mod 2^64)``, the sign bit is
+   ``MSB(x) = z_63 XOR r_63 XOR borrow`` with
+   ``borrow = [z mod 2^63 < r mod 2^63]``. The comparison of the *public*
+   ``z`` against the *bit-shared* ``r`` is evaluated inside GF(2) with a
+   log-depth suffix-AND circuit (6 batched AND rounds for 63 bits).
+3. ``DReLU(x) = 1 - MSB(x)``; a daBit converts the boolean result to an
+   arithmetic sharing, and ``ReLU(x) = x * DReLU(x)`` costs one Beaver
+   multiplication.
+
+This is the ABY/SecureML lineage of comparison; Delphi's garbled circuits
+and Cheetah's VOLE-OT millionaire realise the same functionality with
+different cost profiles (see :mod:`repro.mpc.costs`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dealer import TrustedDealer
+from ..network import Channel
+from ..sharing import reconstruct_additive, reconstruct_boolean
+from .beaver import beaver_multiply, boolean_and
+
+__all__ = [
+    "open_shares",
+    "public_less_than_shared",
+    "secure_msb",
+    "secure_drelu",
+    "bit_to_arithmetic",
+    "secure_relu",
+    "secure_maximum",
+]
+
+
+def open_shares(
+    shares: tuple[np.ndarray, np.ndarray], channel: Channel, label: str = "open"
+) -> np.ndarray:
+    """Open an additively shared value to both parties (one round)."""
+    channel.exchange(shares[0].nbytes, label=label)
+    return reconstruct_additive(shares[0], shares[1])
+
+
+def public_less_than_shared(
+    z_bits: np.ndarray,
+    r_bit_shares: tuple[np.ndarray, np.ndarray],
+    dealer: TrustedDealer,
+    channel: Channel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """XOR shares of ``[Z < R]`` for public Z and bit-shared R.
+
+    ``z_bits``/``r_bit_shares`` are little-endian with shape (..., k).
+    The standard decomposition is used: ``Z < R`` iff there is a bit
+    position i with ``R_i = 1, Z_i = 0`` and all higher bits equal; the
+    events are disjoint so the OR collapses to a free XOR.
+    """
+    k = z_bits.shape[-1]
+
+    # t_i = r_i AND (NOT z_i): affine in the shared bit (z public).
+    not_z = (1 - z_bits).astype(np.uint8)
+    t0 = (r_bit_shares[0] & not_z).astype(np.uint8)
+    t1 = (r_bit_shares[1] & not_z).astype(np.uint8)
+
+    # eq_i = 1 XOR z_i XOR r_i: party 0 absorbs the public part.
+    eq0 = ((1 ^ z_bits) ^ r_bit_shares[0]).astype(np.uint8)
+    eq1 = r_bit_shares[1].copy()
+
+    # Inclusive suffix-AND by doubling: after the loop,
+    # suffix_i = AND_{j >= i} eq_j. Positions past k-1 behave as public 1
+    # (share pattern: party0 = 1, party1 = 0).
+    suffix0, suffix1 = eq0, eq1
+    step = 1
+    while step < k:
+        pad0 = np.ones_like(suffix0[..., :step])
+        pad1 = np.zeros_like(suffix1[..., :step])
+        shifted0 = np.concatenate([suffix0[..., step:], pad0], axis=-1)
+        shifted1 = np.concatenate([suffix1[..., step:], pad1], axis=-1)
+        suffix0, suffix1 = boolean_and(
+            (suffix0, suffix1), (shifted0, shifted1), dealer, channel
+        )
+        step *= 2
+
+    # strict_i = AND_{j > i} eq_j = inclusive suffix shifted by one.
+    ones0 = np.ones_like(suffix0[..., :1])
+    zeros1 = np.zeros_like(suffix1[..., :1])
+    strict0 = np.concatenate([suffix0[..., 1:], ones0], axis=-1)
+    strict1 = np.concatenate([suffix1[..., 1:], zeros1], axis=-1)
+
+    term0, term1 = boolean_and((t0, t1), (strict0, strict1), dealer, channel)
+
+    # Disjoint OR == XOR == parity along the bit axis.
+    lt0 = np.bitwise_xor.reduce(term0, axis=-1).astype(np.uint8)
+    lt1 = np.bitwise_xor.reduce(term1, axis=-1).astype(np.uint8)
+    return lt0, lt1
+
+
+def secure_msb(
+    x: tuple[np.ndarray, np.ndarray],
+    dealer: TrustedDealer,
+    channel: Channel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """XOR shares of the sign bit of an additively shared array."""
+    mask = dealer.comparison_masks(x[0].shape)
+
+    z0 = (x[0] + mask.r_shares[0]).astype(np.uint64)
+    z1 = (x[1] + mask.r_shares[1]).astype(np.uint64)
+    channel.exchange(z0.nbytes, label="masked-reveal")
+    z = reconstruct_additive(z0, z1)
+
+    z_low_bits = ((z[..., None] >> np.arange(63, dtype=np.uint64)) & np.uint64(1)).astype(
+        np.uint8
+    )
+    borrow = public_less_than_shared(z_low_bits, mask.low_bits, dealer, channel)
+
+    z_msb = ((z >> np.uint64(63)) & np.uint64(1)).astype(np.uint8)
+    msb0 = (z_msb ^ mask.msb[0] ^ borrow[0]).astype(np.uint8)
+    msb1 = (mask.msb[1] ^ borrow[1]).astype(np.uint8)
+    return msb0, msb1
+
+
+def secure_drelu(
+    x: tuple[np.ndarray, np.ndarray],
+    dealer: TrustedDealer,
+    channel: Channel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """XOR shares of ``DReLU(x) = 1 - MSB(x)`` (1 where x >= 0)."""
+    msb0, msb1 = secure_msb(x, dealer, channel)
+    return (1 ^ msb0).astype(np.uint8), msb1
+
+
+def bit_to_arithmetic(
+    b: tuple[np.ndarray, np.ndarray],
+    dealer: TrustedDealer,
+    channel: Channel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convert XOR-shared bits to additive shares over Z_2^64 (daBit B2A)."""
+    dabit = dealer.dabits(b[0].shape)
+
+    e0 = (b[0] ^ dabit.boolean[0]).astype(np.uint8)
+    e1 = (b[1] ^ dabit.boolean[1]).astype(np.uint8)
+    payload = max(1, (int(np.prod(b[0].shape)) + 7) // 8)
+    channel.exchange(payload, label="b2a-open")
+    e = reconstruct_boolean(e0, e1).astype(np.uint64)
+
+    # b = e XOR d = e + d - 2 e d, with e public.
+    flip = (np.uint64(1) - np.uint64(2) * e).astype(np.uint64)  # 1 or -1 mod 2^64
+    b0 = (e + flip * dabit.arithmetic[0]).astype(np.uint64)
+    b1 = (flip * dabit.arithmetic[1]).astype(np.uint64)
+    return b0, b1
+
+
+def secure_relu(
+    x: tuple[np.ndarray, np.ndarray],
+    dealer: TrustedDealer,
+    channel: Channel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fresh additive shares of ``ReLU(x)``.
+
+    The multiplication by the 0/1 indicator is scale-free, so no truncation
+    is required afterwards.
+    """
+    drelu_bits = secure_drelu(x, dealer, channel)
+    indicator = bit_to_arithmetic(drelu_bits, dealer, channel)
+    return beaver_multiply(x, indicator, dealer, channel)
+
+
+def secure_maximum(
+    a: tuple[np.ndarray, np.ndarray],
+    b: tuple[np.ndarray, np.ndarray],
+    dealer: TrustedDealer,
+    channel: Channel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shares of ``max(a, b) = b + ReLU(a - b)`` (the max-pool primitive)."""
+    diff = ((a[0] - b[0]).astype(np.uint64), (a[1] - b[1]).astype(np.uint64))
+    relu_diff = secure_relu(diff, dealer, channel)
+    return (
+        (b[0] + relu_diff[0]).astype(np.uint64),
+        (b[1] + relu_diff[1]).astype(np.uint64),
+    )

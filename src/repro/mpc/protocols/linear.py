@@ -1,0 +1,88 @@
+"""Secure linear layers (server-known weights) and fixed-point truncation.
+
+The linear protocol is Delphi's, with the dealer standing in for the
+offline homomorphic exchange (see :mod:`repro.mpc.dealer`):
+
+* offline — client holds mask ``m`` and ``f(m) - s``; server holds ``s``;
+* online — client sends ``x0 - m`` (uniformly distributed, one message),
+  the server evaluates the integer linear map on ``(x0 - m) + x1``, adds
+  its offset and the bias; the client's share of the output is its offline
+  offset.
+
+Both parties then run the SecureML *local truncation*: each re-scales its
+own share, introducing at most one unit of error in the last fractional
+bit except with probability ~|x| / 2^62 (negligible at our scales).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..dealer import TrustedDealer
+from ..fixedpoint import FixedPointConfig
+from ..network import Channel
+
+__all__ = ["secure_linear", "truncate_shares", "RingLinearFunction"]
+
+RingLinearFunction = Callable[[np.ndarray], np.ndarray]
+
+
+def secure_linear(
+    x: tuple[np.ndarray, np.ndarray],
+    ring_linear_fn: RingLinearFunction,
+    bias_2f: np.ndarray | None,
+    dealer: TrustedDealer,
+    channel: Channel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shares of ``f(x) + bias`` for a server-known linear map ``f``.
+
+    ``bias_2f`` must be encoded at double scale (2f fractional bits) to
+    match the un-truncated product; pass ``None`` for bias-free layers.
+    """
+    correlation = dealer.linear_correlation(x[0].shape, ring_linear_fn)
+
+    masked = (x[0] - correlation.mask).astype(np.uint64)
+    channel.send(0, masked.nbytes, label="linear-masked-input")
+    channel.tick_round("linear")
+
+    server_input = (masked + x[1]).astype(np.uint64)
+    y_server = (ring_linear_fn(server_input) + correlation.server_offset).astype(np.uint64)
+    if bias_2f is not None:
+        y_server = (y_server + bias_2f).astype(np.uint64)
+    y_client = correlation.client_offset
+    return y_client, y_server
+
+
+def truncate_shares(
+    shares: tuple[np.ndarray, np.ndarray], frac_bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Local probabilistic truncation by ``frac_bits`` (SecureML).
+
+    Party 0 logically shifts its share; party 1 negates, shifts, negates —
+    which together divide the underlying signed value by ``2^f`` up to one
+    LSB, provided ``|x|`` is far from the ring boundary.
+    """
+    shift = np.uint64(frac_bits)
+    t0 = (shares[0] >> shift).astype(np.uint64)
+    neg1 = FixedPointConfig.neg(shares[1])
+    t1 = FixedPointConfig.neg((neg1 >> shift).astype(np.uint64))
+    return t0, t1
+
+
+def multiply_public_constant(
+    shares: tuple[np.ndarray, np.ndarray], constant_f: np.ndarray | int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Multiply shares by a public fixed-point constant (local operation).
+
+    The result carries doubled fractional scale; callers follow up with
+    :func:`truncate_shares`. Used by average pooling (constant ``1/k^2``).
+    """
+    constant = np.uint64(constant_f) if np.isscalar(constant_f) else np.asarray(
+        constant_f, dtype=np.uint64
+    )
+    return (
+        (shares[0] * constant).astype(np.uint64),
+        (shares[1] * constant).astype(np.uint64),
+    )

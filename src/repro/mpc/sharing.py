@@ -1,0 +1,65 @@
+"""Additive and boolean secret sharing.
+
+Arithmetic shares live in Z_2^64 (``uint64``): ``x = x0 + x1 (mod 2^64)``.
+Boolean shares live in GF(2) per bit (``uint8`` containing 0/1):
+``b = b0 XOR b1``. Both are information-theoretically hiding: a single
+share is uniformly distributed and independent of the secret.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fixedpoint import FixedPointConfig
+
+__all__ = [
+    "share_additive",
+    "reconstruct_additive",
+    "share_boolean",
+    "reconstruct_boolean",
+    "bit_decompose",
+]
+
+
+def share_additive(
+    secret: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a uint64 array into two uniformly random additive shares."""
+    secret = np.asarray(secret, dtype=np.uint64)
+    share0 = FixedPointConfig.random_ring(rng, secret.shape)
+    share1 = (secret - share0).astype(np.uint64)
+    return share0, share1
+
+
+def reconstruct_additive(share0: np.ndarray, share1: np.ndarray) -> np.ndarray:
+    """Recombine additive shares: ``x = x0 + x1 (mod 2^64)``."""
+    return (np.asarray(share0, dtype=np.uint64) + np.asarray(share1, dtype=np.uint64)).astype(
+        np.uint64
+    )
+
+
+def share_boolean(
+    bits: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a 0/1 uint8 array into two XOR shares."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    share0 = rng.integers(0, 2, size=bits.shape, dtype=np.uint8)
+    share1 = (bits ^ share0).astype(np.uint8)
+    return share0, share1
+
+
+def reconstruct_boolean(share0: np.ndarray, share1: np.ndarray) -> np.ndarray:
+    """Recombine XOR shares."""
+    return (np.asarray(share0, dtype=np.uint8) ^ np.asarray(share1, dtype=np.uint8)).astype(
+        np.uint8
+    )
+
+
+def bit_decompose(values: np.ndarray, bits: int) -> np.ndarray:
+    """Little-endian bit decomposition: result[..., i] is bit ``i``.
+
+    Used by the dealer to produce boolean shares of the comparison masks.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    positions = np.arange(bits, dtype=np.uint64)
+    return ((values[..., None] >> positions) & np.uint64(1)).astype(np.uint8)

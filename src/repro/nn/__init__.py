@@ -1,0 +1,72 @@
+"""``repro.nn`` — a from-scratch numpy deep-learning substrate.
+
+The C2PI paper assumes a full DL framework (PyTorch) for training victim
+networks, running inversion attacks and measuring accuracy. This package
+provides the equivalent capability offline: an autograd engine
+(:mod:`repro.nn.tensor`), differentiable primitives
+(:mod:`repro.nn.functional`), layers (:mod:`repro.nn.layers`), optimizers,
+losses, initialisation and serialisation.
+"""
+
+from . import functional, init
+from .layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    Dropout,
+    Flatten,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    UpsampleNearest2d,
+)
+from .losses import cross_entropy, l2_loss, mse_loss, nll_loss
+from .optim import SGD, Adam, Optimizer
+from .serialization import load_model, save_model
+from .tensor import Tensor, is_grad_enabled, no_grad, ones, randn, tensor, zeros
+
+__all__ = [
+    "functional",
+    "init",
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Sequential",
+    "Conv2d",
+    "ConvTranspose2d",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "UpsampleNearest2d",
+    "BatchNorm2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "mse_loss",
+    "l2_loss",
+    "cross_entropy",
+    "nll_loss",
+    "save_model",
+    "load_model",
+]

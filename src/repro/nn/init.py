@@ -1,0 +1,50 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so every
+experiment in the reproduction is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "kaiming_uniform", "xavier_uniform", "zeros", "ones"]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # linear (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # conv (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He-normal init, the standard for ReLU networks (VGG/AlexNet here)."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

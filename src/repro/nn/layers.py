@@ -1,0 +1,416 @@
+"""Layer (``Module``) abstractions built on the autograd tensor.
+
+The module system intentionally mirrors the familiar torch.nn surface —
+``parameters()``, ``train()``/``eval()``, ``state_dict()`` — because the
+paper's workloads (VGG/AlexNet training, inversion-network training, layer
+slicing for the crypto/clear partition) are most naturally expressed that
+way. Layers store parameters as :class:`~repro.nn.tensor.Tensor` with
+``requires_grad=True`` and non-trainable state (batch-norm running
+statistics) as plain numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Sequential",
+    "Conv2d",
+    "ConvTranspose2d",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "UpsampleNearest2d",
+    "BatchNorm2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+]
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self):
+        self._parameters: dict[str, Tensor] = {}
+        self._buffers: dict[str, np.ndarray] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training: bool = True
+
+    # -- attribute plumbing --------------------------------------------
+    def __setattr__(self, name, value):
+        if isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, value: Tensor) -> Tensor:
+        value.requires_grad = True
+        value.name = name
+        self._parameters[name] = value
+        object.__setattr__(self, name, value)
+        return value
+
+    def register_buffer(self, name: str, value: np.ndarray) -> np.ndarray:
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+        return value
+
+    # -- traversal ------------------------------------------------------
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix + child_name + ".")
+
+    def parameters(self) -> list[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield prefix + name, buf
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix + child_name + ".")
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- mode switching ---------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state dict -------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        state.update({name: b.copy() for name, b in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        missing = (set(own_params) | set(own_buffers)) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing keys: {sorted(missing)}")
+        for name, param in own_params.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {param.data.shape} vs {state[name].shape}"
+                )
+            param.data = state[name].astype(param.data.dtype).copy()
+        for name, buf in own_buffers.items():
+            buf[...] = state[name]
+
+    # -- call protocol ------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain of modules. Supports indexing and slicing, which the C2PI
+    partitioner uses to carve a model into crypto and clear segments."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(self.layers):
+            self._modules[str(i)] = layer
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Sequential(*self.layers[index])
+        return self.layers[index]
+
+    def append(self, layer: Module) -> None:
+        self._modules[str(len(self.layers))] = layer
+        self.layers.append(layer)
+
+
+class Conv2d(Module):
+    """2-D convolution layer (NCHW in, OIHW weights)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        dilation: int = 1,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.dilation = dilation
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.register_parameter("weight", Tensor(init.kaiming_normal(shape, rng)))
+        if bias:
+            self.register_parameter("bias", Tensor(init.zeros((out_channels,))))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            dilation=self.dilation,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding}, d={self.dilation})"
+        )
+
+
+class ConvTranspose2d(Module):
+    """Transposed convolution; weights use the (in, out, kh, kw) layout."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        output_padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.output_padding = output_padding
+        shape = (in_channels, out_channels, kernel_size, kernel_size)
+        # Fan-in for the transposed direction is per-output-pixel
+        # contribution count, approximated by the forward-conv formula on the
+        # swapped layout.
+        weight = init.kaiming_normal(
+            (out_channels, in_channels, kernel_size, kernel_size), rng
+        ).transpose(1, 0, 2, 3)
+        self.register_parameter("weight", Tensor(np.ascontiguousarray(weight)))
+        if bias:
+            self.register_parameter("bias", Tensor(init.zeros((out_channels,))))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv_transpose2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            output_padding=self.output_padding,
+        )
+
+
+class Linear(Module):
+    """Fully connected layer with (out, in)-shaped weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.register_parameter(
+            "weight", Tensor(init.kaiming_uniform((out_features, in_features), rng))
+        )
+        if bias:
+            self.register_parameter("bias", Tensor(init.zeros((out_features,))))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class AdaptiveAvgPool2d(Module):
+    """Average-pool to a fixed spatial size (only exact divisors supported)."""
+
+    def __init__(self, output_size: int = 1):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = x.shape[2]
+        if h % self.output_size != 0:
+            raise ValueError(f"adaptive pool needs divisible sizes, got {h}->{self.output_size}")
+        k = h // self.output_size
+        return F.avg_pool2d(x, k, k)
+
+
+class UpsampleNearest2d(Module):
+    def __init__(self, scale: int = 2):
+        super().__init__()
+        self.scale = scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.upsample_nearest2d(x, self.scale)
+
+
+class BatchNorm2d(Module):
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.register_parameter("gamma", Tensor(init.ones((num_features,))))
+        self.register_parameter("beta", Tensor(init.zeros((num_features,))))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm2d(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class Flatten(Module):
+    def __init__(self, start_dim: int = 1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+    def __repr__(self) -> str:
+        return "Flatten()"
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"

@@ -1,0 +1,47 @@
+"""Loss functions used across the reproduction.
+
+``mse_loss`` is the workhorse: both the MLA objective
+``||M_l(x̂) - M_l(x)||²`` and every term of DINA's distillation loss
+(Eq. 1 of the paper) are (weighted) mean-squared distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = ["mse_loss", "l2_loss", "cross_entropy", "nll_loss"]
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error over all elements."""
+    if not isinstance(target, Tensor):
+        target = Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l2_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Summed squared error ``||prediction - target||²₂`` (paper's notation)."""
+    if not isinstance(target, Tensor):
+        target = Tensor(target)
+    diff = prediction - target
+    return (diff * diff).sum()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer class labels."""
+    labels = np.asarray(labels)
+    log_probs = F.log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), labels]
+    return -picked.mean()
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    labels = np.asarray(labels)
+    batch = log_probs.shape[0]
+    picked = log_probs[np.arange(batch), labels]
+    return -picked.mean()

@@ -1,0 +1,27 @@
+"""Saving and loading model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: Module, path: str) -> None:
+    """Serialise a model's full state dict to a compressed ``.npz`` file."""
+    state = model.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_model(model: Module, path: str) -> Module:
+    """Load parameters saved by :func:`save_model` into ``model`` in place."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model

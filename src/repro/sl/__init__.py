@@ -1,0 +1,13 @@
+"""``repro.sl`` — split-learning collaborative inference (paper Section II).
+
+The IDPA threat model originates in split learning: an *edge* device holds
+the first layers ``M1``, a *cloud* holds the rest ``M2``, and the cloud
+tries to invert the intermediate feature it receives. The paper notes
+C2PI's DINA directly strengthens privacy evaluation in this setting too
+("DINA also helps address the privacy issue in split learning"); this
+subpackage provides the deployment simulator that closes that loop.
+"""
+
+from .deployment import SplitInferenceResult, SplitLearningDeployment
+
+__all__ = ["SplitLearningDeployment", "SplitInferenceResult"]

@@ -1,0 +1,119 @@
+"""Split-learning inference deployment (edge/cloud).
+
+The mirror image of C2PI's client/server arrangement (see the comparison
+in the paper's Section II):
+
+* **split learning** — the *edge* owns the input *and* the prefix ``M1``;
+  it computes ``M1(x)`` locally (optionally applying a defence) and ships
+  the feature to the *cloud*, which owns ``M2`` and finishes the
+  inference. The honest-but-curious cloud is the attacker.
+* **C2PI** — the *server* owns the whole network; the prefix runs under
+  2PC because the edge/client must not learn the weights.
+
+Both settings expose the same object to the adversary — an intermediate
+activation — so the attacks and defences of :mod:`repro.attacks` and
+:mod:`repro.core.defenses` apply unchanged; only the trust and cost
+structures differ. This deployment simulator tracks the bytes the edge
+uploads and evaluates cloud-side IDPAs against the split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..attacks.base import AttackResult
+from ..attacks.evaluation import AttackFactory
+from ..core.defenses import Defense
+from ..models.layered import LayeredModel
+
+__all__ = ["SplitInferenceResult", "SplitLearningDeployment"]
+
+
+@dataclass
+class SplitInferenceResult:
+    """Outcome of one edge->cloud inference."""
+
+    logits: np.ndarray
+    cloud_view: np.ndarray  # the (defended) feature the cloud received
+    uploaded_bytes: int
+    edge_macs: int
+    cloud_macs: int
+
+    @property
+    def prediction(self) -> np.ndarray:
+        return self.logits.argmax(axis=1)
+
+
+class SplitLearningDeployment:
+    """An ``M1``/``M2`` split of a trained model at ``split_layer``.
+
+    Parameters
+    ----------
+    model:
+        The trained network (conceptually co-owned: the edge has M1's
+        weights, the cloud M2's).
+    split_layer:
+        Layer id at which the activation crosses the network boundary.
+    defense:
+        Optional edge-side perturbation applied before upload.
+    """
+
+    def __init__(
+        self,
+        model: LayeredModel,
+        split_layer: float,
+        defense: Defense | None = None,
+    ):
+        self.model = model
+        self.split_layer = split_layer
+        self.defense = defense or Defense()
+        # Validate the split once, eagerly.
+        model.cut_position(split_layer)
+
+    # ------------------------------------------------------------------
+    def infer(self, images: np.ndarray) -> SplitInferenceResult:
+        """Run one collaborative inference for an NCHW float batch."""
+        with nn.no_grad():
+            feature = self.model.forward_to(nn.Tensor(images), self.split_layer).data
+            uploaded = self.defense.apply(feature)
+            logits = self.model.forward_from(
+                nn.Tensor(uploaded), self.split_layer
+            ).data
+        edge_macs, cloud_macs = self._mac_split(images.shape[0])
+        return SplitInferenceResult(
+            logits=logits,
+            cloud_view=uploaded,
+            uploaded_bytes=int(uploaded.astype(np.float32).nbytes),
+            edge_macs=edge_macs,
+            cloud_macs=cloud_macs,
+        )
+
+    def _mac_split(self, batch: int) -> tuple[int, int]:
+        from ..mpc.engine import static_layer_tallies
+
+        last = self.model.layer_ids[-1]
+        total = sum(t.macs for t in static_layer_tallies(self.model, last, batch=batch))
+        edge = sum(
+            t.macs
+            for t in static_layer_tallies(self.model, self.split_layer, batch=batch)
+        )
+        return edge, total - edge
+
+    # ------------------------------------------------------------------
+    def evaluate_privacy(
+        self,
+        attack_factory: AttackFactory,
+        attacker_images: np.ndarray,
+        eval_images: np.ndarray,
+    ) -> AttackResult:
+        """The curious cloud's best reconstruction of the edge's inputs.
+
+        The cloud trains the attack on its own data (same distribution),
+        then inverts the defended features uploaded for ``eval_images``.
+        """
+        attack = attack_factory(self.model, self.split_layer)
+        attack.prepare(attacker_images)
+        return attack.evaluate_with_defense(eval_images, self.defense)

@@ -1,0 +1,205 @@
+"""Tests for the IDPA implementations (MLA, INA, EINA, DINA)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    DINA,
+    EINA,
+    INA,
+    MLA,
+    AttackResult,
+    attack_layer_sweep,
+    dina_coefficients,
+    observed_activations,
+)
+from repro.data import make_cifar10
+from repro.models import train_classifier, vgg16
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """A small trained victim + data, shared across the attack tests."""
+    dataset = make_cifar10(train_size=160, test_size=48, seed=0)
+    model = vgg16(width_mult=0.125, rng=np.random.default_rng(0))
+    train_classifier(model, dataset, epochs=1, batch_size=32, lr=2e-3, seed=0)
+    model.eval()
+    return model, dataset
+
+
+class TestObservedActivations:
+    def test_matches_forward_to(self, setup):
+        model, dataset = setup
+        images = dataset.test_images[:2]
+        from repro import nn
+
+        expected = model.forward_to(nn.Tensor(images), 3.0).data
+        observed = observed_activations(model, 3.0, images)
+        np.testing.assert_allclose(observed, expected, atol=1e-6)
+
+    def test_noise_bounded_by_magnitude(self, setup):
+        model, dataset = setup
+        images = dataset.test_images[:2]
+        clean = observed_activations(model, 3.0, images)
+        noised = observed_activations(
+            model, 3.0, images, noise_magnitude=0.2, rng=np.random.default_rng(0)
+        )
+        delta = np.abs(noised - clean)
+        assert delta.max() <= 0.2 + 1e-6
+        assert delta.mean() > 0.01  # noise actually applied
+
+
+class TestAttackResult:
+    def test_avg_and_threshold(self):
+        rng = np.random.default_rng(0)
+        images = rng.random((3, 3, 8, 8)).astype(np.float32)
+        result = AttackResult.from_images(2.0, images, images)
+        assert result.avg_ssim == pytest.approx(1.0)
+        assert result.succeeded(0.3)
+
+    def test_failed_recovery(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((3, 3, 16, 16)).astype(np.float32)
+        b = rng.random((3, 3, 16, 16)).astype(np.float32)
+        result = AttackResult.from_images(2.0, a, b)
+        assert not result.succeeded(0.3)
+
+
+class TestMLA:
+    def test_recovers_shallow_layer(self, setup):
+        model, dataset = setup
+        attack = MLA(model, 1.0, iterations=150, lr=0.08, seed=1)
+        result = attack.evaluate(dataset.test_images[:2])
+        assert result.avg_ssim > 0.5  # recognisable recovery before any ReLU
+
+    def test_fails_at_deep_layer(self, setup):
+        model, dataset = setup
+        attack = MLA(model, 11.0, iterations=60, lr=0.08, seed=1)
+        result = attack.evaluate(dataset.test_images[:2])
+        assert result.avg_ssim < 0.3
+
+    def test_output_in_pixel_range(self, setup):
+        model, dataset = setup
+        attack = MLA(model, 2.0, iterations=20, seed=1)
+        recovered = attack.recover(observed_activations(model, 2.0, dataset.test_images[:1]))
+        assert recovered.min() >= 0.0 and recovered.max() <= 1.0
+
+    def test_loss_decreases(self, setup):
+        model, dataset = setup
+        attack = MLA(model, 2.0, iterations=50, seed=1)
+        attack.evaluate(dataset.test_images[:1])
+        assert attack.loss_history[-1] < attack.loss_history[0]
+
+    def test_invalid_init_raises(self, setup):
+        model, _ = setup
+        with pytest.raises(ValueError):
+            MLA(model, 2.0, init="fancy")
+
+    def test_noise_degrades_recovery(self, setup):
+        model, dataset = setup
+        images = dataset.test_images[:2]
+        clean = MLA(model, 1.0, iterations=120, lr=0.08, seed=1).evaluate(images)
+        noised = MLA(model, 1.0, iterations=120, lr=0.08, seed=1).evaluate(
+            images, noise_magnitude=0.5, rng=np.random.default_rng(2)
+        )
+        assert noised.avg_ssim < clean.avg_ssim
+
+
+class TestDinaCoefficients:
+    def test_paper_schedule(self):
+        assert dina_coefficients(4) == [1.0, 3.0, 6.0, 12.0, 24.0]
+
+    def test_monotonically_increasing(self):
+        alphas = dina_coefficients(6)
+        assert all(a < b for a, b in zip(alphas, alphas[1:]))
+
+    def test_uniform_schedule(self):
+        assert dina_coefficients(3, "uniform") == [1.0, 1.0, 1.0, 1.0]
+
+    def test_zero_points(self):
+        assert dina_coefficients(0) == [1.0]
+
+    def test_unknown_schedule_raises(self):
+        with pytest.raises(ValueError):
+            dina_coefficients(2, "decreasing")
+
+
+class TestInversionAttacks:
+    @pytest.mark.parametrize("attack_cls", [INA, EINA, DINA])
+    def test_training_reduces_loss(self, setup, attack_cls):
+        model, dataset = setup
+        attack = attack_cls(model, 2.5, epochs=2, batch_size=16, seed=0)
+        attack.prepare(dataset.train_images[:48])
+        assert len(attack.loss_history) == 2
+        assert attack.loss_history[-1] < attack.loss_history[0]
+
+    def test_recover_shapes_and_range(self, setup):
+        model, dataset = setup
+        attack = EINA(model, 3.5, epochs=1, batch_size=16, seed=0)
+        attack.prepare(dataset.train_images[:32])
+        result = attack.evaluate(dataset.test_images[:3])
+        assert result.recovered.shape == dataset.test_images[:3].shape
+        assert result.recovered.min() >= 0.0 and result.recovered.max() <= 1.0
+
+    def test_trained_attack_beats_untrained(self, setup):
+        model, dataset = setup
+        images = dataset.test_images[:4]
+        untrained = DINA(model, 2.5, epochs=3, batch_size=16, seed=0)
+        before = untrained.evaluate(images).avg_ssim
+        untrained.prepare(dataset.train_images[:64])
+        after = untrained.evaluate(images).avg_ssim
+        assert after > before
+
+    def test_dina_uses_distillation_points(self, setup):
+        """DINA's loss must depend on the distillation coefficients."""
+        model, dataset = setup
+        batch = dataset.train_images[:8]
+        a = DINA(model, 3.5, seed=0, coefficient_schedule="increasing")
+        b = DINA(model, 3.5, seed=0, coefficient_schedule="uniform")
+        loss_a = float(a._loss(batch).data)
+        loss_b = float(b._loss(batch).data)
+        assert loss_a != pytest.approx(loss_b)
+
+    def test_noise_augmentation_changes_training(self, setup):
+        model, dataset = setup
+        clean = DINA(model, 2.5, seed=0, noise_magnitude=0.0)
+        noisy = DINA(model, 2.5, seed=0, noise_magnitude=0.3)
+        batch = dataset.train_images[:8]
+        assert float(clean._loss(batch).data) != pytest.approx(
+            float(noisy._loss(batch).data)
+        )
+
+
+class TestSweep:
+    def test_sweep_structure(self, setup):
+        model, dataset = setup
+        sweep = attack_layer_sweep(
+            model,
+            lambda m, l: MLA(m, l, iterations=25, seed=0),
+            attacker_images=dataset.train_images[:8],
+            eval_images=dataset.test_images[:2],
+            layer_ids=[1.0, 6.0, 11.0],
+            attack_name="mla",
+        )
+        assert sweep.layer_ids == [1.0, 6.0, 11.0]
+        assert len(sweep.avg_ssim) == 3
+        assert all(-1.0 <= s <= 1.0 for s in sweep.avg_ssim)
+
+    def test_potential_boundary_from_tail(self):
+        from repro.attacks.evaluation import SweepResult
+
+        sweep = SweepResult(
+            attack_name="x",
+            layer_ids=[1.0, 2.0, 3.0, 4.0, 5.0],
+            avg_ssim=[0.9, 0.6, 0.4, 0.2, 0.1],
+        )
+        # Walking from the tail, layers 5 and 4 fail; 3 succeeds.
+        assert sweep.potential_boundary(0.3) == 4.0
+
+    def test_potential_boundary_none_when_attack_always_wins(self):
+        from repro.attacks.evaluation import SweepResult
+
+        sweep = SweepResult(
+            attack_name="x", layer_ids=[1.0, 2.0], avg_ssim=[0.9, 0.8]
+        )
+        assert sweep.potential_boundary(0.3) is None

@@ -1,0 +1,181 @@
+"""Tests for the benchmark harness (scales, victims, runners, paper data)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    PROFILES,
+    build_victim,
+    current_scale,
+    get_dataset,
+    make_attack_factory,
+    render_table,
+    run_cost_comparison,
+    run_noise_accuracy,
+)
+from repro.bench.paper_data import (
+    FIG8_BOUNDARIES,
+    TABLE1,
+    TABLE2,
+    TABLE2_BOUNDARIES,
+)
+from repro.bench.scale import ScaleProfile
+from repro.models import vgg16
+
+
+class TestScaleProfiles:
+    def test_default_is_smoke(self, monkeypatch):
+        monkeypatch.delenv("C2PI_SCALE", raising=False)
+        assert current_scale().name == "smoke"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("C2PI_SCALE", "small")
+        assert current_scale().name == "small"
+
+    def test_unknown_scale_raises(self, monkeypatch):
+        monkeypatch.setenv("C2PI_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_profiles_strictly_ordered(self):
+        smoke, small, paper = PROFILES["smoke"], PROFILES["small"], PROFILES["paper"]
+        for attr in ("width_mult", "train_size", "attacker_images", "mla_iterations"):
+            assert getattr(smoke, attr) <= getattr(small, attr) <= getattr(paper, attr)
+
+    def test_conv_grid_keeps_endpoints(self):
+        profile = ScaleProfile(
+            name="x", width_mult=1, train_size=1, test_size=1, victim_epochs=1,
+            victim_batch=1, attacker_images=1, eval_images=1, attack_epochs=1,
+            attack_batch=1, mla_iterations=1, layer_stride=2,
+        )
+        grid = profile.conv_grid(list(range(1, 14)))
+        assert grid[0] == 1.0 and grid[-1] == 13.0
+        assert 7.0 in grid
+
+    def test_paper_profile_matches_paper_budgets(self):
+        paper = PROFILES["paper"]
+        assert paper.width_mult == 1.0
+        assert paper.mla_iterations == 10000
+        assert paper.eval_images == 1000
+
+
+class TestPaperData:
+    def test_table1_covers_all_combinations(self):
+        assert len(TABLE1) == 6
+        for entry in TABLE1.values():
+            assert {"baseline", 0.2, 0.3} <= set(entry)
+
+    def test_fig8_boundaries_match_table1_sigma03(self):
+        for (dataset, arch), conv_id in FIG8_BOUNDARIES.items():
+            table_boundary = TABLE1[(dataset, arch)][0.3]["boundary"]
+            assert int(table_boundary) == conv_id
+
+    def test_table2_boundaries_match_table1(self):
+        for (arch, sigma), boundary in TABLE2_BOUNDARIES.items():
+            assert TABLE1[("cifar10", arch)][sigma]["boundary"] == boundary
+
+    def test_table2_full_pi_dominates_c2pi(self):
+        for rows in TABLE2.values():
+            assert rows["full"]["lan_s"] >= rows[0.3]["lan_s"] * 0.99
+
+    def test_sigma02_boundary_never_earlier_than_sigma03(self):
+        for entry in TABLE1.values():
+            assert entry[0.2]["boundary"] >= entry[0.3]["boundary"]
+
+
+class TestVictimProvisioning:
+    def test_unknown_architecture_raises(self):
+        with pytest.raises(ValueError):
+            build_victim("resnet", 10, PROFILES["smoke"])
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ValueError):
+            get_dataset("imagenet")
+
+    def test_dataset_shapes(self):
+        ds = get_dataset("cifar10", PROFILES["smoke"])
+        assert ds.num_classes == 10
+        assert ds.train_images.shape[0] == PROFILES["smoke"].train_size
+
+    def test_cifar100_gets_larger_budget(self):
+        ds = get_dataset("cifar100", PROFILES["smoke"])
+        assert ds.train_images.shape[0] == 3 * PROFILES["smoke"].train_size
+
+    def test_build_victim_uses_width(self):
+        model = build_victim("vgg16", 10, PROFILES["smoke"])
+        assert model.body[0].out_channels == 16  # 64 * 0.25
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def tiny_victim(self):
+        from repro.data import make_cifar10
+        from repro.models import train_classifier
+
+        dataset = make_cifar10(train_size=96, test_size=48, seed=0)
+        model = vgg16(width_mult=0.125, rng=np.random.default_rng(0))
+        train_classifier(model, dataset, epochs=1, batch_size=32, lr=2e-3)
+        return model.eval(), dataset
+
+    def test_attack_factory_kinds(self, tiny_victim):
+        model, _ = tiny_victim
+        scale = PROFILES["smoke"]
+        for kind, expected in (("mla", "mla"), ("ina", "ina"), ("eina", "eina"), ("dina", "dina")):
+            attack = make_attack_factory(kind, scale)(model, 2.0)
+            assert attack.name == expected
+
+    def test_attack_factory_unknown_kind(self, tiny_victim):
+        model, _ = tiny_victim
+        with pytest.raises(ValueError):
+            make_attack_factory("gan", PROFILES["smoke"])(model, 2.0)
+
+    def test_run_noise_accuracy_structure(self, tiny_victim):
+        model, dataset = tiny_victim
+        table = run_noise_accuracy(
+            model, dataset, magnitudes=(0.1, 0.5), layer_ids=[2.0, 4.0]
+        )
+        assert set(table) == {0.1, 0.5}
+        assert all(len(v) == 2 for v in table.values())
+        assert all(0.0 <= a <= 1.0 for v in table.values() for a in v)
+
+    def test_run_cost_comparison_rows(self, tiny_victim):
+        model, _ = tiny_victim
+        rows = run_cost_comparison(model, {"sigma=0.3": 4.0})
+        assert len(rows) == 4  # (full + 1 setting) x 2 backends
+        settings = {(r.backend, r.setting) for r in rows}
+        assert ("Delphi", "full") in settings and ("Cheetah", "sigma=0.3") in settings
+        full = next(r for r in rows if r.backend == "Cheetah" and r.setting == "full")
+        c2pi = next(
+            r for r in rows if r.backend == "Cheetah" and r.setting == "sigma=0.3"
+        )
+        assert c2pi.lan_s < full.lan_s
+        assert c2pi.comm_mb < full.comm_mb
+
+    def test_run_cost_comparison_custom_backends(self, tiny_victim):
+        from repro.mpc.costs import cheetah_costs, cryptflow2_costs, delphi_costs
+
+        model, _ = tiny_victim
+        rows = run_cost_comparison(
+            model,
+            {"sigma=0.3": 4.0},
+            backends=(delphi_costs(), cryptflow2_costs(), cheetah_costs()),
+        )
+        assert len(rows) == 6  # (full + 1 setting) x 3 backends
+        names = {r.backend for r in rows}
+        assert names == {"Delphi", "CrypTFlow2", "Cheetah"}
+        full_lan = {r.backend: r.lan_s for r in rows if r.setting == "full"}
+        # The paper's framework ordering must survive the cost models.
+        assert full_lan["Delphi"] > full_lan["CrypTFlow2"] > full_lan["Cheetah"]
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        assert len({len(line) for line in lines}) == 1  # fixed width
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.123456]])
+        assert "0.123" in text

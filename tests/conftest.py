@@ -1,0 +1,53 @@
+"""Shared test utilities: numerical gradient checking and fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(fn, arrays: list[np.ndarray], index: int, eps: float = 1e-4) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*arrays)`` w.r.t. one input."""
+    base = [a.astype(np.float64).copy() for a in arrays]
+    grad = np.zeros_like(base[index])
+    flat = base[index].reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*base))
+        flat[i] = original - eps
+        minus = float(fn(*base))
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def assert_gradients_close(build_loss, arrays: list[np.ndarray], atol: float = 1e-3, rtol: float = 1e-2):
+    """Check autograd gradients of ``build_loss`` against finite differences.
+
+    ``build_loss`` maps a list of Tensors to a scalar Tensor; ``arrays`` are
+    the leaf values. All leaves receive ``requires_grad=True``.
+    """
+    tensors = [Tensor(a.astype(np.float64), requires_grad=True, dtype=np.float64) for a in arrays]
+    loss = build_loss(*tensors)
+    loss.backward()
+
+    def scalar_fn(*values):
+        ts = [Tensor(v, dtype=np.float64) for v in values]
+        return build_loss(*ts).data
+
+    for i, tensor in enumerate(tensors):
+        expected = numerical_gradient(scalar_fn, arrays, i)
+        assert tensor.grad is not None, f"input {i} received no gradient"
+        np.testing.assert_allclose(
+            tensor.grad, expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for input {i}",
+        )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

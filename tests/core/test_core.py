@@ -1,0 +1,219 @@
+"""Tests for the C2PI core: noise mechanism, Algorithm 1, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    BoundarySearch,
+    BoundarySearchConfig,
+    C2PIPipeline,
+    NoiseMechanism,
+    full_pi_tallies,
+    noised_accuracy,
+)
+from repro.data import make_cifar10
+from repro.metrics import evaluate_accuracy
+from repro.models import train_classifier, vgg16
+from repro.mpc import DEFAULT_CONFIG, LAN, cheetah_costs, delphi_costs
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = make_cifar10(train_size=160, test_size=64, seed=0)
+    model = vgg16(width_mult=0.125, rng=np.random.default_rng(0))
+    train_classifier(model, dataset, epochs=1, batch_size=32, lr=2e-3, seed=0)
+    model.eval()
+    return model, dataset
+
+
+class TestNoiseMechanism:
+    def test_bounds(self):
+        mech = NoiseMechanism(0.25, seed=0)
+        sample = mech.sample((1000,))
+        assert np.abs(sample).max() <= 0.25
+        assert np.abs(sample).mean() > 0.05
+
+    def test_zero_magnitude_is_identity(self):
+        mech = NoiseMechanism(0.0)
+        x = np.ones((10,), np.float32)
+        np.testing.assert_array_equal(mech.perturb(x), x)
+
+    def test_negative_magnitude_raises(self):
+        with pytest.raises(ValueError):
+            NoiseMechanism(-0.1)
+
+    def test_share_perturbation_shifts_reconstruction(self):
+        """Adding encode(noise) to one share shifts the opened value by
+        exactly the noise (up to encoding precision)."""
+        from repro.mpc.sharing import reconstruct_additive, share_additive
+
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-2, 2, (64,)).astype(np.float32)
+        shares = share_additive(DEFAULT_CONFIG.encode(values), rng)
+        mech = NoiseMechanism(0.2, seed=1)
+        noised_share = mech.perturb_share(shares[0], DEFAULT_CONFIG)
+        opened = DEFAULT_CONFIG.decode(reconstruct_additive(noised_share, shares[1]))
+        delta = opened - values
+        assert np.abs(delta).max() <= 0.2 + 1e-3
+        assert np.abs(delta).mean() > 0.02
+
+    def test_determinism_by_seed(self):
+        a = NoiseMechanism(0.1, seed=5).sample((16,))
+        b = NoiseMechanism(0.1, seed=5).sample((16,))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestNoisedAccuracy:
+    def test_zero_noise_matches_plain_accuracy(self, setup):
+        model, dataset = setup
+        plain = evaluate_accuracy(model, dataset.test_images, dataset.test_labels)
+        noised = noised_accuracy(
+            model, 3.0, 0.0, dataset.test_images, dataset.test_labels
+        )
+        assert noised == pytest.approx(plain)
+
+    def test_large_noise_hurts_accuracy(self, setup):
+        model, dataset = setup
+        small = noised_accuracy(model, 2.0, 0.05, dataset.test_images, dataset.test_labels)
+        huge = noised_accuracy(model, 2.0, 5.0, dataset.test_images, dataset.test_labels)
+        assert huge < small
+
+
+class TestC2PIPipeline:
+    def test_noise_free_matches_plaintext(self, setup):
+        model, dataset = setup
+        pipeline = C2PIPipeline(model, boundary=3.0, noise_magnitude=0.0)
+        result = pipeline.infer(dataset.test_images[:2])
+        plain = model(nn.Tensor(dataset.test_images[:2])).data
+        np.testing.assert_allclose(result.logits, plain, atol=5e-2)
+        np.testing.assert_array_equal(result.prediction, plain.argmax(axis=1))
+
+    def test_server_view_is_noised_boundary(self, setup):
+        model, dataset = setup
+        pipeline = C2PIPipeline(model, boundary=2.5, noise_magnitude=0.1, seed=3)
+        result = pipeline.infer(dataset.test_images[:2])
+        clean = model.forward_to(nn.Tensor(dataset.test_images[:2]), 2.5).data
+        delta = np.abs(result.server_view - clean)
+        assert delta.max() <= 0.1 + 5e-3  # noise bound + fixed-point error
+        assert delta.mean() > 0.01
+
+    def test_accuracy_survives_pipeline(self, setup):
+        model, dataset = setup
+        pipeline = C2PIPipeline(model, boundary=4.0, noise_magnitude=0.1, seed=0)
+        result = pipeline.infer(dataset.test_images[:32])
+        accuracy = (result.prediction == dataset.test_labels[:32]).mean()
+        plain_acc = evaluate_accuracy(
+            model, dataset.test_images[:32], dataset.test_labels[:32]
+        )
+        assert accuracy >= plain_acc - 0.15
+
+    def test_reveal_counts_boundary_bytes(self, setup):
+        model, dataset = setup
+        pipeline = C2PIPipeline(model, boundary=2.5, noise_magnitude=0.1)
+        result = pipeline.infer(dataset.test_images[:1])
+        boundary_elems = int(np.prod(model.activation_shape(2.5, batch=1)))
+        assert result.reveal_bytes == boundary_elems * 8
+
+    def test_cost_estimate_cheaper_than_full(self, setup):
+        model, _ = setup
+        pipeline = C2PIPipeline(model, boundary=4.0)
+        from repro.mpc import CostEstimate
+
+        for backend in (delphi_costs(), cheetah_costs()):
+            c2pi = pipeline.cost_estimate(backend)
+            full = CostEstimate.from_tallies(full_pi_tallies(model), backend)
+            assert c2pi.latency(LAN) < full.latency(LAN)
+            assert c2pi.total_bytes < full.total_bytes
+
+    def test_full_pi_tallies_cover_whole_model(self, setup):
+        model, _ = setup
+        tallies = full_pi_tallies(model)
+        convs = sum(1 for t in tallies if t.kind == "conv")
+        fcs = sum(1 for t in tallies if t.kind == "linear")
+        assert convs == 13 and fcs == 1
+
+
+def _cheap_attack_factory(scores: dict[float, float]):
+    """An IDPA stub returning canned SSIM values — lets the Algorithm 1
+    control flow be tested exactly without training real attacks."""
+    from repro.attacks.base import AttackResult, InferenceDataPrivacyAttack
+
+    class CannedAttack(InferenceDataPrivacyAttack):
+        def recover(self, activations):  # pragma: no cover - not used
+            raise NotImplementedError
+
+        def evaluate(self, eval_images, noise_magnitude=0.0, rng=None):
+            score = scores[self.layer_id]
+            # Two dummy images whose ssim we control by blending.
+            base = np.zeros((1, 3, 16, 16), np.float32)
+            result = AttackResult(
+                layer_id=self.layer_id,
+                recovered=base,
+                targets=base,
+                per_image_ssim=[score],
+            )
+            return result
+
+    return lambda model, layer_id: CannedAttack(model, layer_id)
+
+
+class TestBoundarySearch:
+    def _search(self, setup, scores, sigma=0.3, drop=0.025, noise=0.1, layers=None):
+        model, dataset = setup
+        config = BoundarySearchConfig(
+            ssim_threshold=sigma,
+            accuracy_drop=drop,
+            noise_magnitude=noise,
+            layer_ids=layers
+            if layers is not None
+            else [float(i) for i in model.conv_ids],
+        )
+        return BoundarySearch(
+            model,
+            _cheap_attack_factory(scores),
+            attacker_images=dataset.train_images[:8],
+            eval_images=dataset.test_images[:2],
+            test_images=dataset.test_images,
+            test_labels=dataset.test_labels,
+            config=config,
+        ).run()
+
+    def test_boundary_one_after_first_success(self, setup):
+        scores = {float(i): (0.8 if i <= 5 else 0.1) for i in range(1, 14)}
+        result = self._search(setup, scores)
+        assert result.phase1_layer == 5.0
+        assert result.boundary == 6.0  # accuracy is fine at 6 with lambda=0.1
+
+    def test_phase1_only_walks_while_failing(self, setup):
+        scores = {float(i): (0.8 if i <= 5 else 0.1) for i in range(1, 14)}
+        result = self._search(setup, scores)
+        assert set(result.ssim_per_layer) == {float(i) for i in range(5, 14)}
+
+    def test_attack_never_succeeds_gives_first_layer(self, setup):
+        scores = {float(i): 0.05 for i in range(1, 14)}
+        result = self._search(setup, scores)
+        assert result.boundary == 1.0
+
+    def test_attack_always_succeeds_gives_last_layer(self, setup):
+        scores = {float(i): 0.9 for i in range(1, 14)}
+        result = self._search(setup, scores)
+        assert result.boundary == 13.0
+
+    def test_phase2_pushes_boundary_on_accuracy_failure(self, setup):
+        """With destructive noise, phase 2 must move the boundary later."""
+        scores = {float(i): (0.8 if i <= 2 else 0.1) for i in range(1, 14)}
+        result = self._search(setup, scores, noise=3.0, drop=0.02)
+        assert result.boundary > 3.0
+        assert len(result.accuracy_per_layer) > 1
+
+    def test_result_contains_baseline(self, setup):
+        model, dataset = setup
+        scores = {float(i): 0.05 for i in range(1, 14)}
+        result = self._search(setup, scores)
+        expected = evaluate_accuracy(model, dataset.test_images, dataset.test_labels)
+        assert result.baseline_accuracy == pytest.approx(expected)
+
+    def test_empty_layers_raises(self, setup):
+        with pytest.raises(ValueError):
+            self._search(setup, {}, layers=[])

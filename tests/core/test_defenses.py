@@ -1,0 +1,141 @@
+"""Tests for the defence extensions (beyond the paper's uniform noise)."""
+
+import numpy as np
+import pytest
+
+from repro.core.defenses import (
+    Defense,
+    GaussianNoiseDefense,
+    QuantizationDefense,
+    TopKPruningDefense,
+    UniformNoiseDefense,
+    defended_accuracy,
+)
+
+
+@pytest.fixture
+def activation(rng):
+    return rng.standard_normal((4, 8, 4, 4)).astype(np.float32)
+
+
+class TestIdentityDefense:
+    def test_identity(self, activation):
+        np.testing.assert_array_equal(Defense().apply(activation), activation)
+
+
+class TestUniformNoise:
+    def test_bounded(self, activation):
+        defended = UniformNoiseDefense(0.2, seed=0).apply(activation)
+        assert np.abs(defended - activation).max() <= 0.2
+
+    def test_zero_magnitude(self, activation):
+        defended = UniformNoiseDefense(0.0).apply(activation)
+        np.testing.assert_array_equal(defended, activation)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            UniformNoiseDefense(-1.0)
+
+    def test_deterministic_by_seed(self, activation):
+        a = UniformNoiseDefense(0.1, seed=3).apply(activation)
+        b = UniformNoiseDefense(0.1, seed=3).apply(activation)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGaussianNoise:
+    def test_statistics(self):
+        x = np.zeros((1, 100000), np.float32)
+        defended = GaussianNoiseDefense(0.5, seed=0).apply(x)
+        assert abs(defended.std() - 0.5) < 0.01
+        assert abs(defended.mean()) < 0.01
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            GaussianNoiseDefense(-0.1)
+
+
+class TestTopKPruning:
+    def test_keeps_exactly_k(self, activation):
+        defended = TopKPruningDefense(0.25).apply(activation)
+        per_sample = defended.reshape(4, -1)
+        expected = int(round(0.25 * per_sample.shape[1]))
+        for row in per_sample:
+            assert (row != 0).sum() <= expected
+
+    def test_kept_values_unchanged(self, activation):
+        defended = TopKPruningDefense(0.5).apply(activation)
+        mask = defended != 0
+        np.testing.assert_array_equal(defended[mask], activation[mask])
+
+    def test_keeps_largest_magnitudes(self):
+        x = np.array([[1.0, -5.0, 0.1, 3.0]], np.float32)
+        defended = TopKPruningDefense(0.5).apply(x)
+        np.testing.assert_array_equal(defended, [[0.0, -5.0, 0.0, 3.0]])
+
+    def test_keep_all_is_identity(self, activation):
+        defended = TopKPruningDefense(1.0).apply(activation)
+        np.testing.assert_allclose(defended, activation)
+
+    @pytest.mark.parametrize("ratio", [0.0, 1.5, -0.2])
+    def test_invalid_ratio_raises(self, ratio):
+        with pytest.raises(ValueError):
+            TopKPruningDefense(ratio)
+
+
+class TestQuantization:
+    def test_level_count(self, activation):
+        defended = QuantizationDefense(2).apply(activation)
+        for sample in defended:
+            assert len(np.unique(sample)) <= 4  # 2 bits -> 4 levels
+
+    def test_high_bits_near_identity(self, activation):
+        defended = QuantizationDefense(16).apply(activation)
+        np.testing.assert_allclose(defended, activation, atol=1e-3)
+
+    def test_preserves_range(self, activation):
+        defended = QuantizationDefense(3).apply(activation)
+        assert defended.min() >= activation.min() - 1e-5
+        assert defended.max() <= activation.max() + 1e-5
+
+    def test_invalid_bits_raises(self):
+        with pytest.raises(ValueError):
+            QuantizationDefense(0)
+
+    def test_constant_input_stable(self):
+        x = np.full((2, 8), 0.7, np.float32)
+        defended = QuantizationDefense(4).apply(x)
+        np.testing.assert_allclose(defended, x, atol=1e-6)
+
+
+class TestDefendedAccuracy:
+    @pytest.fixture(scope="class")
+    def victim(self):
+        from repro.data import make_cifar10
+        from repro.models import train_classifier, vgg16
+
+        dataset = make_cifar10(train_size=128, test_size=64, seed=0)
+        model = vgg16(width_mult=0.125, rng=np.random.default_rng(0))
+        train_classifier(model, dataset, epochs=1, batch_size=32, lr=2e-3)
+        return model.eval(), dataset
+
+    def test_identity_matches_plain(self, victim):
+        from repro.metrics import evaluate_accuracy
+
+        model, dataset = victim
+        plain = evaluate_accuracy(model, dataset.test_images, dataset.test_labels)
+        defended = defended_accuracy(
+            model, 3.0, Defense(), dataset.test_images, dataset.test_labels
+        )
+        assert defended == pytest.approx(plain)
+
+    def test_destructive_defense_hurts(self, victim):
+        model, dataset = victim
+        gentle = defended_accuracy(
+            model, 3.0, UniformNoiseDefense(0.05, seed=0),
+            dataset.test_images, dataset.test_labels,
+        )
+        harsh = defended_accuracy(
+            model, 3.0, GaussianNoiseDefense(5.0, seed=0),
+            dataset.test_images, dataset.test_labels,
+        )
+        assert harsh < gentle

@@ -1,0 +1,94 @@
+"""Tests for the split-learning deployment simulator."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks import EINA
+from repro.core.defenses import Defense, UniformNoiseDefense
+from repro.data import make_cifar10
+from repro.models import train_classifier, vgg16
+from repro.sl import SplitLearningDeployment
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = make_cifar10(train_size=128, test_size=48, seed=0)
+    model = vgg16(width_mult=0.125, rng=np.random.default_rng(0))
+    train_classifier(model, dataset, epochs=1, batch_size=32, lr=2e-3)
+    return model.eval(), dataset
+
+
+class TestSplitInference:
+    def test_matches_monolithic_model(self, setup):
+        model, dataset = setup
+        deployment = SplitLearningDeployment(model, split_layer=3.5)
+        result = deployment.infer(dataset.test_images[:4])
+        plain = model(nn.Tensor(dataset.test_images[:4])).data
+        np.testing.assert_allclose(result.logits, plain, atol=1e-5)
+
+    def test_uploaded_bytes_match_feature_size(self, setup):
+        model, dataset = setup
+        deployment = SplitLearningDeployment(model, split_layer=2.5)
+        result = deployment.infer(dataset.test_images[:2])
+        feature_elems = int(np.prod(model.activation_shape(2.5, batch=2)))
+        assert result.uploaded_bytes == feature_elems * 4  # float32 upload
+
+    def test_later_split_shifts_macs_to_edge(self, setup):
+        model, dataset = setup
+        early = SplitLearningDeployment(model, 2.5).infer(dataset.test_images[:1])
+        late = SplitLearningDeployment(model, 9.5).infer(dataset.test_images[:1])
+        assert late.edge_macs > early.edge_macs
+        assert late.cloud_macs < early.cloud_macs
+        assert early.edge_macs + early.cloud_macs == late.edge_macs + late.cloud_macs
+
+    def test_defended_inference_still_classifies(self, setup):
+        model, dataset = setup
+        deployment = SplitLearningDeployment(
+            model, 4.0, defense=UniformNoiseDefense(0.1, seed=0)
+        )
+        result = deployment.infer(dataset.test_images[:32])
+        accuracy = (result.prediction == dataset.test_labels[:32]).mean()
+        assert accuracy > 0.3  # well above chance despite the defence
+
+    def test_invalid_split_raises(self, setup):
+        model, _ = setup
+        with pytest.raises(Exception):
+            SplitLearningDeployment(model, split_layer=99.0)
+
+    def test_cloud_view_is_defended(self, setup):
+        model, dataset = setup
+        clean = SplitLearningDeployment(model, 2.5)
+        noisy = SplitLearningDeployment(model, 2.5, UniformNoiseDefense(0.2, seed=1))
+        batch = dataset.test_images[:2]
+        delta = np.abs(noisy.infer(batch).cloud_view - clean.infer(batch).cloud_view)
+        assert delta.max() > 0.01
+        assert delta.max() <= 0.2 + 1e-6
+
+
+class TestSplitPrivacy:
+    def test_cloud_attack_runs(self, setup):
+        model, dataset = setup
+        deployment = SplitLearningDeployment(model, 2.5)
+        result = deployment.evaluate_privacy(
+            lambda m, l: EINA(m, l, epochs=1, batch_size=16, seed=0),
+            attacker_images=dataset.train_images[:32],
+            eval_images=dataset.test_images[:2],
+        )
+        assert result.recovered.shape == dataset.test_images[:2].shape
+        assert -1.0 <= result.avg_ssim <= 1.0
+
+    def test_defense_reduces_cloud_recovery(self, setup):
+        model, dataset = setup
+        factory = lambda m, l: EINA(m, l, epochs=2, batch_size=16, seed=0)
+        open_deploy = SplitLearningDeployment(model, 1.5, Defense())
+        noisy_deploy = SplitLearningDeployment(
+            model, 1.5, UniformNoiseDefense(0.8, seed=0)
+        )
+        open_ssim = open_deploy.evaluate_privacy(
+            factory, dataset.train_images[:48], dataset.test_images[:3]
+        ).avg_ssim
+        noisy_ssim = noisy_deploy.evaluate_privacy(
+            factory, dataset.train_images[:48], dataset.test_images[:3]
+        ).avg_ssim
+        assert noisy_ssim <= open_ssim + 0.02

@@ -1,0 +1,155 @@
+"""Tests for boolean circuits and the free-XOR garbling scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.circuit import (
+    Circuit,
+    add_mod_2k,
+    drelu_share_circuit,
+    evaluate_plain,
+    int_of,
+    relu_share_circuit,
+)
+from repro.crypto.garble import evaluate_garbled, garble
+from repro.crypto.prg import PRG
+
+
+def _adder_circuit(bits):
+    circuit = Circuit()
+    xs = [circuit.new_garbler_input() for _ in range(bits)]
+    ys = [circuit.new_evaluator_input() for _ in range(bits)]
+    circuit.outputs = add_mod_2k(circuit, xs, ys)
+    return circuit, xs, ys
+
+
+def _assign_int(wires, value):
+    return {w: (value >> i) & 1 for i, w in enumerate(wires)}
+
+
+class TestCircuitBuilders:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_adder_mod_256(self, a, b):
+        circuit, xs, ys = _adder_circuit(8)
+        assign = {**_assign_int(xs, a), **_assign_int(ys, b)}
+        assert int_of(evaluate_plain(circuit, assign)) == (a + b) % 256
+
+    def test_adder_and_count(self):
+        circuit, _, _ = _adder_circuit(8)
+        assert circuit.and_count == 7  # one per bit except the last
+
+    def test_adder_width_mismatch(self):
+        circuit = Circuit()
+        xs = [circuit.new_garbler_input() for _ in range(4)]
+        ys = [circuit.new_evaluator_input() for _ in range(5)]
+        with pytest.raises(ValueError):
+            add_mod_2k(circuit, xs, ys)
+
+    @given(st.integers(-2**14, 2**14 - 1), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_relu_circuit_semantics(self, x, seed):
+        bits, mask = 16, (1 << 16) - 1
+        rng = np.random.default_rng(seed)
+        circuit = relu_share_circuit(bits)
+        a = int(rng.integers(0, 1 << bits))
+        b = (x - a) & mask
+        r = int(rng.integers(0, 1 << bits))
+        assign = {}
+        assign.update(_assign_int(circuit.garbler_inputs[:bits], a))
+        assign.update(_assign_int(circuit.garbler_inputs[bits:], r))
+        assign.update(_assign_int(circuit.evaluator_inputs, b))
+        out = int_of(evaluate_plain(circuit, assign))
+        assert out == (max(x, 0) + r) & mask
+
+    def test_relu_circuit_and_count(self):
+        assert relu_share_circuit(16).and_count == 3 * 16 - 2
+
+    @given(st.integers(-2**14, 2**14 - 1), st.integers(0, 1), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_drelu_circuit_semantics(self, x, mask_bit, seed):
+        bits, mask = 16, (1 << 16) - 1
+        rng = np.random.default_rng(seed)
+        circuit = drelu_share_circuit(bits)
+        a = int(rng.integers(0, 1 << bits))
+        b = (x - a) & mask
+        assign = {}
+        assign.update(_assign_int(circuit.garbler_inputs[:bits], a))
+        assign[circuit.garbler_inputs[bits]] = mask_bit
+        assign.update(_assign_int(circuit.evaluator_inputs, b))
+        (out,) = evaluate_plain(circuit, assign)
+        assert out == (1 if x >= 0 else 0) ^ mask_bit
+
+    def test_unassigned_input_raises(self):
+        circuit, xs, _ = _adder_circuit(4)
+        with pytest.raises(ValueError):
+            evaluate_plain(circuit, _assign_int(xs, 3))
+
+
+class TestGarbling:
+    def _garble_and_eval(self, circuit, assign, seed=0):
+        garbled = garble(circuit, PRG(seed))
+        labels = {
+            w: garbled.input_label(w, assign[w])
+            for w in (*circuit.garbler_inputs, *circuit.evaluator_inputs)
+        }
+        return evaluate_garbled(garbled, labels), garbled
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_garbled_adder_matches_plain(self, a, b, seed):
+        circuit, xs, ys = _adder_circuit(8)
+        assign = {**_assign_int(xs, a), **_assign_int(ys, b)}
+        out, _ = self._garble_and_eval(circuit, assign, seed)
+        assert int_of(out) == (a + b) % 256
+
+    def test_garbled_relu_matches_plain(self):
+        bits, mask = 12, (1 << 12) - 1
+        circuit = relu_share_circuit(bits)
+        rng = np.random.default_rng(0)
+        for x in (-1000, -1, 0, 1, 999):
+            a = int(rng.integers(0, 1 << bits))
+            b = (x - a) & mask
+            r = int(rng.integers(0, 1 << bits))
+            assign = {}
+            assign.update(_assign_int(circuit.garbler_inputs[:bits], a))
+            assign.update(_assign_int(circuit.garbler_inputs[bits:], r))
+            assign.update(_assign_int(circuit.evaluator_inputs, b))
+            out, _ = self._garble_and_eval(circuit, assign, seed=x & 0xFF)
+            assert int_of(out) == (max(x, 0) + r) & mask
+
+    def test_table_size_counts_only_and_gates(self):
+        circuit, _, _ = _adder_circuit(8)
+        garbled = garble(circuit, PRG(1))
+        assert garbled.table_bytes == circuit.and_count * 4 * 16
+
+    def test_labels_differ_by_global_delta(self):
+        circuit, xs, _ = _adder_circuit(4)
+        garbled = garble(circuit, PRG(2))
+        from repro.crypto.prg import xor_bytes
+
+        for w in xs:
+            assert xor_bytes(garbled.input_label(w, 0), garbled.input_label(w, 1)) == \
+                garbled.delta
+
+    def test_point_and_permute_bit_is_set(self):
+        garbled = garble(_adder_circuit(4)[0], PRG(3))
+        assert garbled.delta[0] & 1 == 1
+
+    def test_wrong_labels_give_wrong_output(self):
+        # Evaluating with labels for different inputs must not decode to the
+        # original result (overwhelming probability) - the evaluator cannot
+        # forge outputs it did not receive labels for.
+        circuit, xs, ys = _adder_circuit(8)
+        garbled = garble(circuit, PRG(4))
+        good = {**_assign_int(xs, 100), **_assign_int(ys, 50)}
+        labels = {
+            w: garbled.input_label(w, good[w])
+            for w in (*circuit.garbler_inputs, *circuit.evaluator_inputs)
+        }
+        assert int_of(evaluate_garbled(garbled, labels)) == 150
+        bad = dict(labels)
+        bad[ys[0]] = garbled.input_label(ys[0], 1 - good[ys[0]])
+        assert int_of(evaluate_garbled(garbled, bad)) == 151

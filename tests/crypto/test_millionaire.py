@@ -1,0 +1,164 @@
+"""Tests for the OT-based millionaire / DReLU / B2A / mux stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.millionaire import (
+    OtSessionPair,
+    and_xor_shares,
+    b2a_via_ot,
+    millionaire_compare,
+    one_of_n_ot,
+    ot_bit_triples,
+    secure_drelu_ot,
+    secure_mux_via_ot,
+    secure_relu_ot,
+)
+from repro.crypto.otext import IknpOtExtension
+from repro.mpc.network import Channel
+
+
+def _sessions(seed, channel=None, security=40):
+    rng = np.random.default_rng(seed)
+    return (
+        OtSessionPair(
+            server_sends=IknpOtExtension(rng, channel, sender=1, security=security),
+            client_sends=IknpOtExtension(rng, channel, sender=0, security=security),
+        ),
+        rng,
+    )
+
+
+class TestBitTriples:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=6, deadline=None)
+    def test_triples_satisfy_and_relation(self, seed):
+        sessions, rng = _sessions(seed)
+        (a0, a1), (b0, b1), (c0, c1) = ot_bit_triples(sessions, 32, rng)
+        np.testing.assert_array_equal(c0 ^ c1, (a0 ^ a1) & (b0 ^ b1))
+
+    def test_and_xor_shares_matches_plain(self):
+        sessions, rng = _sessions(1)
+        x_plain = rng.integers(0, 2, 24, dtype=np.uint8)
+        y_plain = rng.integers(0, 2, 24, dtype=np.uint8)
+        x0 = rng.integers(0, 2, 24, dtype=np.uint8)
+        y0 = rng.integers(0, 2, 24, dtype=np.uint8)
+        x = (x0, x_plain ^ x0)
+        y = (y0, y_plain ^ y0)
+        triples = ot_bit_triples(sessions, 24, rng)
+        z0, z1 = and_xor_shares(x, y, triples, None)
+        np.testing.assert_array_equal(z0 ^ z1, x_plain & y_plain)
+
+
+class TestOneOfN:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=6, deadline=None)
+    def test_fetches_chosen_entry(self, seed):
+        rng = np.random.default_rng(seed)
+        session = IknpOtExtension(rng, security=40)
+        tables = rng.integers(0, 256, (10, 16), dtype=np.uint8)
+        choices = rng.integers(0, 16, 10, dtype=np.uint8)
+        got = one_of_n_ot(session, tables, choices, rng)
+        expected = tables[np.arange(10), choices]
+        np.testing.assert_array_equal(got, expected)
+
+    def test_non_power_of_two_rejected(self):
+        rng = np.random.default_rng(0)
+        session = IknpOtExtension(rng, security=40)
+        with pytest.raises(ValueError):
+            one_of_n_ot(session, np.zeros((2, 5), np.uint8), np.zeros(2, np.uint8), rng)
+
+
+class TestMillionaire:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=5, deadline=None)
+    def test_comparison_correctness(self, seed):
+        sessions, rng = _sessions(seed)
+        x = rng.integers(0, 2**63, 8, dtype=np.uint64)
+        y = rng.integers(0, 2**63, 8, dtype=np.uint64)
+        g0, g1 = millionaire_compare(x, y, sessions, rng, bits=63)
+        np.testing.assert_array_equal(g0 ^ g1, (x > y).astype(np.uint8))
+
+    def test_equal_inputs_compare_false(self):
+        sessions, rng = _sessions(7)
+        x = np.array([0, 1, 2**62, 2**63 - 1], dtype=np.uint64)
+        g0, g1 = millionaire_compare(x, x.copy(), sessions, rng, bits=63)
+        np.testing.assert_array_equal(g0 ^ g1, np.zeros(4, np.uint8))
+
+    def test_adjacent_values(self):
+        sessions, rng = _sessions(8)
+        x = np.array([5, 5], dtype=np.uint64)
+        y = np.array([4, 6], dtype=np.uint64)
+        g0, g1 = millionaire_compare(x, y, sessions, rng, bits=63)
+        np.testing.assert_array_equal(g0 ^ g1, np.array([1, 0], np.uint8))
+
+
+class TestConversions:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=6, deadline=None)
+    def test_b2a(self, seed):
+        sessions, rng = _sessions(seed)
+        bits = rng.integers(0, 2, 16, dtype=np.uint8)
+        b0 = rng.integers(0, 2, 16, dtype=np.uint8)
+        y0, y1 = b2a_via_ot((b0, bits ^ b0), sessions, rng)
+        np.testing.assert_array_equal((y0 + y1).astype(np.uint64),
+                                      bits.astype(np.uint64))
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=5, deadline=None)
+    def test_mux(self, seed):
+        sessions, rng = _sessions(seed)
+        values = rng.integers(-1000, 1000, 12).astype(np.int64).astype(np.uint64)
+        bits = rng.integers(0, 2, 12, dtype=np.uint8)
+        x0 = rng.integers(0, 2**63, 12, dtype=np.uint64)
+        b0 = rng.integers(0, 2, 12, dtype=np.uint8)
+        y0, y1 = secure_mux_via_ot(
+            (x0, (values - x0).astype(np.uint64)), (b0, bits ^ b0), sessions, rng
+        )
+        expected = (values * bits.astype(np.uint64)).astype(np.uint64)
+        np.testing.assert_array_equal((y0 + y1).astype(np.uint64), expected)
+
+
+class TestDreluAndRelu:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=5, deadline=None)
+    def test_drelu_matches_sign(self, seed):
+        rng0 = np.random.default_rng(seed)
+        sessions, rng = _sessions(seed + 1)
+        values = rng0.integers(-10_000, 10_000, 10).astype(np.int64)
+        x0 = rng0.integers(0, 2**63, 10, dtype=np.uint64)
+        x1 = (values.astype(np.uint64) - x0).astype(np.uint64)
+        d0, d1 = secure_drelu_ot((x0, x1), sessions, rng)
+        np.testing.assert_array_equal(d0 ^ d1, (values >= 0).astype(np.uint8))
+
+    def test_relu_end_to_end(self):
+        sessions, rng = _sessions(11)
+        values = np.array([-100, -1, 0, 1, 100, 2**40, -(2**40)], dtype=np.int64)
+        x0 = rng.integers(0, 2**63, values.size, dtype=np.uint64)
+        x1 = (values.astype(np.uint64) - x0).astype(np.uint64)
+        y0, y1 = secure_relu_ot((x0, x1), sessions, rng)
+        np.testing.assert_array_equal((y0 + y1).astype(np.int64),
+                                      np.maximum(values, 0))
+
+    def test_relu_preserves_shape(self):
+        sessions, rng = _sessions(12)
+        values = rng.integers(-50, 50, (2, 3)).astype(np.int64)
+        x0 = rng.integers(0, 2**63, (2, 3), dtype=np.uint64)
+        x1 = (values.astype(np.uint64) - x0).astype(np.uint64)
+        y0, y1 = secure_relu_ot((x0, x1), sessions, rng)
+        assert y0.shape == y1.shape == (2, 3)
+        np.testing.assert_array_equal((y0 + y1).astype(np.int64),
+                                      np.maximum(values, 0))
+
+    def test_communication_is_charged(self):
+        channel = Channel()
+        sessions, rng = _sessions(13, channel)
+        values = np.array([1, -1], dtype=np.int64)
+        x0 = rng.integers(0, 2**63, 2, dtype=np.uint64)
+        x1 = (values.astype(np.uint64) - x0).astype(np.uint64)
+        before = channel.total_bytes
+        secure_relu_ot((x0, x1), sessions, rng)
+        assert channel.total_bytes > before
+        assert channel.rounds > 0

@@ -1,0 +1,143 @@
+"""Tests for base OT and the IKNP extension (correctness + accounting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.baseot import RFC3526_1536, TOY_GROUP, base_ot_batch
+from repro.crypto.otext import IknpOtExtension
+from repro.crypto.prg import LABEL_BYTES, PRG
+from repro.mpc.network import Channel
+
+
+def _labels(seed, count):
+    prg = PRG(seed)
+    return [prg.label() for _ in range(count)]
+
+
+class TestBaseOT:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_receiver_gets_chosen_message(self, seed):
+        rng = np.random.default_rng(seed)
+        count = 12
+        m0, m1 = _labels(1, count), _labels(2, count)
+        choices = rng.integers(0, 2, count, dtype=np.uint8)
+        got = base_ot_batch(m0, m1, choices, rng)
+        for i in range(count):
+            assert got[i] == (m1[i] if choices[i] else m0[i])
+
+    def test_group_parameters_are_consistent(self):
+        for group in (TOY_GROUP, RFC3526_1536):
+            assert (group.p - 1) // 2 == group.q
+            # g generates the order-q subgroup: g^q == 1 mod p.
+            assert pow(group.g, group.q, group.p) == 1
+
+    def test_traffic_accounted(self):
+        rng = np.random.default_rng(0)
+        channel = Channel()
+        count = 4
+        base_ot_batch(_labels(1, count), _labels(2, count),
+                      np.zeros(count, dtype=np.uint8), rng, channel)
+        # A + per-OT B responses + two ciphertexts per OT.
+        expected = TOY_GROUP.element_bytes * (1 + count) + 2 * count * LABEL_BYTES
+        assert channel.total_bytes == expected
+        assert channel.rounds == 3
+
+    def test_rejects_wrong_message_size(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            base_ot_batch([b"short"], [b"short"], np.array([0], dtype=np.uint8), rng)
+
+    def test_rejects_length_mismatch(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            base_ot_batch(_labels(1, 2), _labels(2, 3),
+                          np.zeros(2, dtype=np.uint8), rng)
+
+
+class TestIknpExtension:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=8, deadline=None)
+    def test_transfer_correctness(self, seed):
+        rng = np.random.default_rng(seed)
+        ot = IknpOtExtension(rng, security=48)
+        count = 25
+        m0, m1 = _labels(3, count), _labels(4, count)
+        choices = rng.integers(0, 2, count, dtype=np.uint8)
+        got = ot.transfer(m0, m1, choices)
+        for i in range(count):
+            assert got[i] == (m1[i] if choices[i] else m0[i])
+
+    def test_variable_length_messages(self):
+        rng = np.random.default_rng(1)
+        ot = IknpOtExtension(rng, security=48)
+        m0 = [b"a" * 8, b"b" * 33]
+        m1 = [b"c" * 8, b"d" * 33]
+        got = ot.transfer(m0, m1, np.array([1, 0], dtype=np.uint8))
+        assert got == [m1[0], m0[1]]
+
+    def test_session_is_reusable(self):
+        rng = np.random.default_rng(2)
+        ot = IknpOtExtension(rng, security=48)
+        for round_index in range(3):
+            m0, m1 = _labels(round_index, 5), _labels(round_index + 50, 5)
+            choices = rng.integers(0, 2, 5, dtype=np.uint8)
+            got = ot.transfer(m0, m1, choices)
+            for i in range(5):
+                assert got[i] == (m1[i] if choices[i] else m0[i])
+
+    def test_random_ot_pads_match_choice(self):
+        rng = np.random.default_rng(3)
+        ot = IknpOtExtension(rng, security=48)
+        choices = rng.integers(0, 2, 20, dtype=np.uint8)
+        r0, r1, rc = ot.random(20, choices)
+        for j in range(20):
+            expected = r1[j] if choices[j] else r0[j]
+            assert rc[j] == expected
+            assert r0[j] != r1[j]
+
+    def test_correlated_ot_applies_correlation(self):
+        rng = np.random.default_rng(4)
+        ot = IknpOtExtension(rng, security=48)
+        flip = bytes(16)
+
+        def correlation(x: bytes) -> bytes:
+            return bytes(b ^ 0xFF for b in x)
+
+        del flip
+        choices = rng.integers(0, 2, 15, dtype=np.uint8)
+        sent, received = ot.correlated(correlation, 15, choices)
+        for j in range(15):
+            expected = correlation(sent[j]) if choices[j] else sent[j]
+            assert received[j] == expected
+
+    def test_unchosen_message_stays_hidden(self):
+        # The receiver's view (its pads) must not reveal the other message:
+        # decrypting the wrong ciphertext with the chosen pad yields junk.
+        rng = np.random.default_rng(5)
+        ot = IknpOtExtension(rng, security=48)
+        m0, m1 = _labels(7, 10), _labels(8, 10)
+        got = ot.transfer(m0, m1, np.zeros(10, dtype=np.uint8))
+        assert all(g == m for g, m in zip(got, m0))
+        assert all(g != m for g, m in zip(got, m1))
+
+    def test_traffic_scales_with_count(self):
+        rng = np.random.default_rng(6)
+        channel = Channel()
+        ot = IknpOtExtension(rng, channel, security=48)
+        base = channel.total_bytes
+        ot.transfer(_labels(1, 64), _labels(2, 64),
+                    np.zeros(64, dtype=np.uint8))
+        small = channel.total_bytes - base
+        before = channel.total_bytes
+        ot.transfer(_labels(3, 256), _labels(4, 256),
+                    np.zeros(256, dtype=np.uint8))
+        large = channel.total_bytes - before
+        assert large > 2 * small  # 4x messages -> ~4x payload + matrix
+
+    def test_length_mismatch_raises(self):
+        ot = IknpOtExtension(np.random.default_rng(0), security=48)
+        with pytest.raises(ValueError):
+            ot.transfer(_labels(1, 2), _labels(2, 2), np.zeros(3, dtype=np.uint8))

@@ -1,0 +1,93 @@
+"""Tests for Paillier homomorphic encryption."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import paillier_keygen
+
+KEYS = paillier_keygen(192, np.random.default_rng(0))  # module-level: keygen is slow
+
+
+class TestPaillierCore:
+    def test_encrypt_decrypt_roundtrip(self):
+        rng = np.random.default_rng(1)
+        for m in (0, 1, 12345, KEYS.public.n - 1):
+            assert KEYS.secret.decrypt(KEYS.public.encrypt(m, rng)) == m
+
+    @given(st.integers(-2**40, 2**40))
+    @settings(max_examples=25, deadline=None)
+    def test_signed_roundtrip(self, value):
+        rng = np.random.default_rng(abs(value) % 2**31)
+        cipher = KEYS.public.encrypt_signed(value, rng)
+        assert KEYS.secret.decrypt_signed(cipher) == value
+
+    def test_encryption_is_randomised(self):
+        rng = np.random.default_rng(2)
+        c1 = KEYS.public.encrypt(7, rng)
+        c2 = KEYS.public.encrypt(7, rng)
+        assert c1.value != c2.value
+        assert KEYS.secret.decrypt(c1) == KEYS.secret.decrypt(c2) == 7
+
+    def test_keygen_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            paillier_keygen(32, np.random.default_rng(0))
+
+    def test_cross_key_operations_rejected(self):
+        other = paillier_keygen(192, np.random.default_rng(9))
+        rng = np.random.default_rng(3)
+        c1 = KEYS.public.encrypt(1, rng)
+        c2 = other.public.encrypt(2, rng)
+        with pytest.raises(ValueError):
+            _ = c1 + c2
+        with pytest.raises(ValueError):
+            other.secret.decrypt(c1)
+
+
+class TestPaillierHomomorphism:
+    @given(st.integers(-2**30, 2**30), st.integers(-2**30, 2**30))
+    @settings(max_examples=20, deadline=None)
+    def test_additive(self, a, b):
+        rng = np.random.default_rng((a ^ b) % 2**31)
+        total = KEYS.public.encrypt_signed(a, rng) + KEYS.public.encrypt_signed(b, rng)
+        assert KEYS.secret.decrypt_signed(total) == a + b
+
+    @given(st.integers(-2**20, 2**20), st.integers(-2**10, 2**10))
+    @settings(max_examples=20, deadline=None)
+    def test_plaintext_multiplication(self, a, k):
+        rng = np.random.default_rng(abs(a * 31 + k) % 2**31)
+        scaled = KEYS.public.encrypt_signed(a, rng).mul_plain(k)
+        assert KEYS.secret.decrypt_signed(scaled) == a * k
+
+    @given(st.integers(-2**30, 2**30), st.integers(-2**30, 2**30))
+    @settings(max_examples=15, deadline=None)
+    def test_add_plain(self, a, b):
+        rng = np.random.default_rng(abs(a + b) % 2**31)
+        shifted = KEYS.public.encrypt_signed(a, rng).add_plain(b)
+        assert KEYS.secret.decrypt_signed(shifted) == a + b
+
+    def test_negation(self):
+        rng = np.random.default_rng(4)
+        assert KEYS.secret.decrypt_signed(-KEYS.public.encrypt_signed(41, rng)) == -41
+
+    def test_linear_combination_matches_dot_product(self):
+        # The exact shape of Delphi's offline evaluation.
+        rng = np.random.default_rng(5)
+        weights = [3, -2, 0, 7]
+        values = [10, 20, 30, 40]
+        acc = KEYS.public.encrypt(0, rng)
+        for w, v in zip(weights, values):
+            if w:
+                acc = acc + KEYS.public.encrypt_signed(v, rng).mul_plain(w)
+        expected = sum(w * v for w, v in zip(weights, values))
+        assert KEYS.secret.decrypt_signed(acc) == expected
+
+    def test_ring_reduction_matches_uint64_semantics(self):
+        # Values reduced mod 2^64 after decryption must match ring math,
+        # which is how DelphiSuite extracts its shares.
+        rng = np.random.default_rng(6)
+        big = (1 << 64) - 5
+        shift = 1 << 128  # multiple of 2^64
+        cipher = KEYS.public.encrypt(big, rng).add_plain(shift - 123)
+        assert KEYS.secret.decrypt(cipher) % (1 << 64) == (big - 123) % (1 << 64)

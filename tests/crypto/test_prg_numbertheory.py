@@ -1,0 +1,142 @@
+"""Tests for the PRG/KDF and number-theory helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.numbertheory import (
+    crt_pair,
+    generate_prime,
+    is_probable_prime,
+    lcm,
+    modinv,
+)
+from repro.crypto.prg import LABEL_BYTES, PRG, hash_label, xor_bytes
+
+
+class TestPRG:
+    def test_deterministic_in_seed(self):
+        assert PRG(42).bytes(100) == PRG(42).bytes(100)
+
+    def test_different_seeds_differ(self):
+        assert PRG(1).bytes(32) != PRG(2).bytes(32)
+
+    def test_stream_is_stateful(self):
+        prg = PRG(7)
+        first = prg.bytes(16)
+        second = prg.bytes(16)
+        assert first != second
+        # One shot of 32 bytes equals the concatenation of two 16-byte reads
+        # only when reads align with block boundaries - not guaranteed; but
+        # a fresh PRG reproduces the same prefix stream.
+        assert PRG(7).bytes(16) == first
+
+    @given(st.integers(0, 2**32), st.integers(0, 513))
+    @settings(max_examples=25, deadline=None)
+    def test_bytes_length(self, seed, n):
+        assert len(PRG(seed).bytes(n)) == n
+
+    def test_bits_are_binary_and_sized(self):
+        bits = PRG(3).bits(1003)
+        assert bits.shape == (1003,)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_bits_roughly_balanced(self):
+        bits = PRG(11).bits(20_000)
+        assert 0.45 < bits.mean() < 0.55
+
+    def test_uint64_shape_and_range(self):
+        arr = PRG(5).uint64((3, 4))
+        assert arr.shape == (3, 4)
+        assert arr.dtype == np.uint64
+
+    def test_integer_respects_bit_bound(self):
+        for bits in (1, 7, 64, 200):
+            value = PRG(9).integer(bits)
+            assert 0 <= value < (1 << bits)
+
+    def test_label_size(self):
+        assert len(PRG(0).label()) == LABEL_BYTES
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            PRG(0).bytes(-1)
+
+    def test_rejects_bad_seed_type(self):
+        with pytest.raises(TypeError):
+            PRG(3.14)  # type: ignore[arg-type]
+
+
+class TestHashLabel:
+    def test_deterministic(self):
+        assert hash_label(b"abc", tweak=5) == hash_label(b"abc", tweak=5)
+
+    def test_tweak_separates(self):
+        assert hash_label(b"abc", tweak=0) != hash_label(b"abc", tweak=1)
+
+    def test_parts_are_length_framed(self):
+        # (b"ab", b"c") must differ from (b"a", b"bc").
+        assert hash_label(b"ab", b"c") != hash_label(b"a", b"bc")
+
+    def test_extendable_output(self):
+        long = hash_label(b"x", out_bytes=100)
+        assert len(long) == 100
+        assert long[:16] == hash_label(b"x", out_bytes=16)
+
+    def test_xor_bytes_involution(self):
+        a, b = PRG(1).bytes(24), PRG(2).bytes(24)
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_xor_bytes_length_check(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+
+class TestPrimality:
+    def test_small_primes_and_composites(self):
+        primes = [2, 3, 5, 7, 97, 65_537, 2_147_483_647]
+        composites = [0, 1, 4, 100, 561, 65_535, 2_147_483_649]
+        assert all(is_probable_prime(p) for p in primes)
+        assert not any(is_probable_prime(c) for c in composites)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 2465, 41041, 825265):
+            assert not is_probable_prime(n)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_primes_have_requested_size(self, seed):
+        rng = np.random.default_rng(seed)
+        p = generate_prime(48, rng)
+        assert p.bit_length() == 48
+        assert is_probable_prime(p)
+
+    def test_generate_prime_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            generate_prime(2, np.random.default_rng(0))
+
+
+class TestModularArithmetic:
+    @given(st.integers(2, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_modinv_roundtrip(self, a):
+        modulus = 2_147_483_647  # prime
+        inv = modinv(a % modulus or 1, modulus)
+        assert (a % modulus or 1) * inv % modulus == 1
+
+    def test_modinv_raises_on_non_coprime(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    def test_lcm(self):
+        assert lcm(4, 6) == 12
+        assert lcm(7, 13) == 91
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_crt_pair_reconstructs(self, x, y):
+        p, q = 10_007, 10_009
+        n = crt_pair(x % p, y % q, p, q)
+        assert n % p == x % p
+        assert n % q == y % q

@@ -1,0 +1,152 @@
+"""Tests for the BFV-lite RLWE scheme and Cheetah coefficient packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rlwe import (
+    RlweContext,
+    encode_matrix,
+    encode_vector,
+    extract_matvec,
+    negacyclic_multiply,
+    pack_matvec_plain,
+    rlwe_keygen,
+)
+
+CTX = RlweContext(n=64, q=1 << 110, t=1 << 64)
+KEYS = rlwe_keygen(CTX, np.random.default_rng(0))
+
+
+def _poly(values, n):
+    out = np.zeros(n, dtype=object)
+    for i, v in enumerate(values):
+        out[i] = int(v)
+    return out
+
+
+class TestNegacyclicRing:
+    def test_x_to_the_n_equals_minus_one(self):
+        n, q = 8, 97
+        x1 = _poly([0, 1], n)  # the monomial x
+        result = x1.copy()
+        for _ in range(n - 1):
+            result = negacyclic_multiply(result, x1, q)
+        # x^n == -1 mod (x^n + 1)
+        expected = _poly([q - 1], n)
+        assert np.array_equal(result, expected)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_multiplication_is_commutative(self, seed):
+        rng = np.random.default_rng(seed)
+        n, q = 16, 12_289
+        a = _poly(rng.integers(0, q, n), n)
+        b = _poly(rng.integers(0, q, n), n)
+        assert np.array_equal(negacyclic_multiply(a, b, q), negacyclic_multiply(b, a, q))
+
+    def test_multiplication_by_one_is_identity(self):
+        rng = np.random.default_rng(1)
+        n, q = 16, 12_289
+        a = _poly(rng.integers(0, q, n), n)
+        one = _poly([1], n)
+        assert np.array_equal(negacyclic_multiply(a, one, q), a)
+
+    def test_degree_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            negacyclic_multiply(_poly([1], 4), _poly([1], 8), 97)
+
+
+class TestRlweScheme:
+    def test_encrypt_decrypt_roundtrip(self):
+        rng = np.random.default_rng(2)
+        plain = _poly(rng.integers(0, 2**63, CTX.n, dtype=np.uint64), CTX.n)
+        assert np.array_equal(KEYS.decrypt(KEYS.encrypt(plain, rng)), plain)
+
+    def test_full_range_plaintext(self):
+        # t = 2^64: every uint64 ring element must survive the trip.
+        rng = np.random.default_rng(3)
+        plain = _poly([(1 << 64) - 1, 0, 1 << 63, 12345], CTX.n)
+        assert np.array_equal(KEYS.decrypt(KEYS.encrypt(plain, rng)), plain)
+
+    def test_homomorphic_addition(self):
+        rng = np.random.default_rng(4)
+        a = _poly(rng.integers(0, 2**62, CTX.n, dtype=np.uint64), CTX.n)
+        b = _poly(rng.integers(0, 2**62, CTX.n, dtype=np.uint64), CTX.n)
+        total = KEYS.encrypt(a, rng) + KEYS.encrypt(b, rng)
+        expected = np.array([(int(x) + int(y)) % CTX.t for x, y in zip(a, b)], dtype=object)
+        assert np.array_equal(KEYS.decrypt(total), expected)
+
+    def test_add_plain(self):
+        rng = np.random.default_rng(5)
+        a = _poly([10, 20], CTX.n)
+        b = _poly([1, (1 << 64) - 5], CTX.n)
+        shifted = KEYS.encrypt(a, rng).add_plain(b)
+        expected = np.array([(int(x) + int(y)) % CTX.t for x, y in zip(a, b)], dtype=object)
+        assert np.array_equal(KEYS.decrypt(shifted), expected)
+
+    def test_mul_plain_small_multiplier(self):
+        rng = np.random.default_rng(6)
+        a = _poly(rng.integers(0, 2**62, CTX.n, dtype=np.uint64), CTX.n)
+        w = np.zeros(CTX.n, dtype=object)
+        w[0] = 3
+        scaled = KEYS.encrypt(a, rng).mul_plain(w)
+        expected = np.array([(3 * int(x)) % CTX.t for x in a], dtype=object)
+        assert np.array_equal(KEYS.decrypt(scaled), expected)
+
+    def test_encryption_randomised(self):
+        rng = np.random.default_rng(7)
+        plain = _poly([42], CTX.n)
+        c1, c2 = KEYS.encrypt(plain, rng), KEYS.encrypt(plain, rng)
+        assert not np.array_equal(c1.c0, c2.c0)
+
+    def test_context_validation(self):
+        with pytest.raises(ValueError):
+            RlweContext(n=100)  # not a power of two
+        with pytest.raises(ValueError):
+            RlweContext(n=64, q=100, t=200)  # q <= t
+
+    def test_wrong_length_plaintext_rejected(self):
+        with pytest.raises(ValueError):
+            KEYS.encrypt(_poly([1], CTX.n // 2), np.random.default_rng(0))
+
+
+class TestCoefficientPacking:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_plain_packing_matches_matvec(self, seed):
+        rng = np.random.default_rng(seed)
+        o, i = 4, 8
+        weights = rng.integers(-50, 50, (o, i))
+        x = rng.integers(-100, 100, i)
+        packed = pack_matvec_plain(weights, x, 64, 1 << 64)
+        expected = (weights.astype(object) @ x.astype(object)) % (1 << 64)
+        assert np.array_equal(np.array([int(v) for v in packed], dtype=object), expected)
+
+    def test_encrypted_packing_matches_matvec(self):
+        rng = np.random.default_rng(8)
+        o, i = 4, 8
+        weights = rng.integers(-1000, 1000, (o, i))
+        x = rng.integers(0, 2**62, i, dtype=np.uint64)
+        cipher = KEYS.encrypt(encode_vector(x, CTX.n), rng)
+        product = cipher.mul_plain(encode_matrix(weights, CTX.n, CTX.t))
+        got = extract_matvec(KEYS.decrypt(product), o, i, CTX.t)
+        expected = (weights.astype(object) @ x.astype(object)) % CTX.t
+        assert np.array_equal(np.array([int(v) for v in got], dtype=object), expected)
+
+    def test_matrix_centering_keeps_coefficients_small(self):
+        # Ring-encoded negatives (near 2^64) must center to small values,
+        # otherwise mul_plain noise would exceed the decryption budget.
+        weights = np.array([[np.uint64(2**64 - 7), np.uint64(5)]], dtype=np.uint64)
+        poly = encode_matrix(weights, 16, 1 << 64)
+        magnitudes = [abs(int(c)) for c in poly if int(c)]
+        assert max(magnitudes) == 7
+
+    def test_oversized_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            encode_matrix(np.ones((8, 9)), 64, 1 << 64)
+
+    def test_oversized_vector_rejected(self):
+        with pytest.raises(ValueError):
+            encode_vector(np.ones(65), 64)

@@ -1,0 +1,119 @@
+"""Tests for the synthetic CIFAR stand-ins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import iterate_minibatches, make_cifar10, make_cifar100
+from repro.metrics import ssim
+
+
+class TestGeneration:
+    def test_shapes_and_range(self):
+        ds = make_cifar10(train_size=32, test_size=16, seed=0)
+        assert ds.train_images.shape == (32, 3, 32, 32)
+        assert ds.test_images.shape == (16, 3, 32, 32)
+        assert ds.train_images.dtype == np.float32
+        assert 0.0 <= ds.train_images.min() and ds.train_images.max() <= 1.0
+
+    def test_determinism(self):
+        a = make_cifar10(train_size=16, test_size=8, seed=7)
+        b = make_cifar10(train_size=16, test_size=8, seed=7)
+        np.testing.assert_array_equal(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_seed_changes_content(self):
+        a = make_cifar10(train_size=16, test_size=8, seed=1)
+        b = make_cifar10(train_size=16, test_size=8, seed=2)
+        assert not np.array_equal(a.train_images, b.train_images)
+
+    def test_cifar100_label_space(self):
+        ds = make_cifar100(train_size=400, test_size=50, seed=0)
+        assert ds.num_classes == 100
+        assert ds.train_labels.max() < 100
+        assert len(np.unique(ds.train_labels)) > 60  # most classes appear
+
+    def test_labels_cover_cifar10_classes(self):
+        ds = make_cifar10(train_size=300, test_size=30, seed=0)
+        assert set(np.unique(ds.train_labels)) == set(range(10))
+
+    def test_images_have_structure(self):
+        """Class-consistent structure: same-class pairs are more similar."""
+        ds = make_cifar10(train_size=400, test_size=10, seed=3)
+        same, cross = [], []
+        for c in range(4):
+            idx = np.where(ds.train_labels == c)[0][:4]
+            other = np.where(ds.train_labels == (c + 1) % 10)[0][:4]
+            for i in range(len(idx) - 1):
+                same.append(ssim(ds.train_images[idx[i]], ds.train_images[idx[i + 1]]))
+            for i, j in zip(idx, other):
+                cross.append(ssim(ds.train_images[i], ds.train_images[j]))
+        assert np.mean(same) > np.mean(cross)
+
+    def test_nonzero_variance_per_image(self):
+        ds = make_cifar10(train_size=24, test_size=4, seed=0)
+        per_image_std = ds.train_images.reshape(24, -1).std(axis=1)
+        assert (per_image_std > 0.02).all()
+
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=10, deadline=None)
+    def test_arbitrary_sizes(self, n):
+        ds = make_cifar10(train_size=n, test_size=1, seed=0)
+        assert len(ds.train_labels) == n
+
+
+class TestMinibatches:
+    def test_covers_dataset_once(self):
+        ds = make_cifar10(train_size=50, test_size=5, seed=0)
+        seen = 0
+        for images, labels in iterate_minibatches(ds.train_images, ds.train_labels, 16):
+            assert len(images) == len(labels)
+            seen += len(labels)
+        assert seen == 50
+
+    def test_shuffle_determinism_with_rng(self):
+        ds = make_cifar10(train_size=30, test_size=5, seed=0)
+        batches_a = [
+            labels
+            for _, labels in iterate_minibatches(
+                ds.train_images, ds.train_labels, 8, np.random.default_rng(5)
+            )
+        ]
+        batches_b = [
+            labels
+            for _, labels in iterate_minibatches(
+                ds.train_images, ds.train_labels, 8, np.random.default_rng(5)
+            )
+        ]
+        for a, b in zip(batches_a, batches_b):
+            np.testing.assert_array_equal(a, b)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = make_cifar10(train_size=20, test_size=5, seed=0)
+        collected = []
+        for _, labels in iterate_minibatches(
+            ds.train_images, ds.train_labels, 7, shuffle=False
+        ):
+            collected.extend(labels.tolist())
+        np.testing.assert_array_equal(collected, ds.train_labels)
+
+
+class TestLearnability:
+    def test_linear_probe_beats_chance(self):
+        """A tiny linear model must learn the classes — the victim networks
+        depend on the dataset being learnable."""
+        from repro import nn
+
+        ds = make_cifar10(train_size=300, test_size=100, seed=0)
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(nn.Flatten(), nn.Linear(3 * 32 * 32, 10, rng=rng))
+        opt = nn.Adam(model.parameters(), lr=1e-2)
+        x = nn.Tensor(ds.train_images)
+        for _ in range(60):
+            opt.zero_grad()
+            nn.cross_entropy(model(x), ds.train_labels).backward()
+            opt.step()
+        test_logits = model(nn.Tensor(ds.test_images)).data
+        acc = (test_logits.argmax(1) == ds.test_labels).mean()
+        assert acc > 0.5  # well above the 0.1 chance level

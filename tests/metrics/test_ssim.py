@@ -1,0 +1,123 @@
+"""Tests for SSIM/PSNR, including hypothesis properties on the identities
+the paper's privacy metric relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import accuracy, psnr, ssim, ssim_batch
+
+images = st.integers(min_value=0, max_value=2**31 - 1).map(
+    lambda seed: np.random.default_rng(seed).random((3, 16, 16)).astype(np.float32)
+)
+
+
+class TestSSIMIdentities:
+    def test_identical_images_give_one(self):
+        x = np.random.default_rng(0).random((3, 32, 32))
+        assert ssim(x, x) == pytest.approx(1.0)
+
+    def test_constant_images_give_one(self):
+        x = np.full((3, 16, 16), 0.5)
+        assert ssim(x, x.copy()) == pytest.approx(1.0)
+
+    @given(images, images)
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry(self, x, y):
+        assert ssim(x, y) == pytest.approx(ssim(y, x), abs=1e-9)
+
+    @given(images, images)
+    @settings(max_examples=25, deadline=None)
+    def test_bounded(self, x, y):
+        value = ssim(x, y)
+        assert -1.0 <= value <= 1.0
+
+    @given(images)
+    @settings(max_examples=25, deadline=None)
+    def test_self_similarity_is_maximal(self, x):
+        other = np.random.default_rng(0).random(x.shape).astype(np.float32)
+        assert ssim(x, x) >= ssim(x, other)
+
+    def test_monotone_degradation_with_noise(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((3, 32, 32))
+        values = []
+        for magnitude in (0.0, 0.1, 0.3, 0.6):
+            noisy = np.clip(x + rng.normal(0, magnitude, x.shape), 0, 1)
+            values.append(ssim(x, noisy))
+        assert values[0] == pytest.approx(1.0)
+        assert values == sorted(values, reverse=True)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((3, 8, 8)), np.zeros((3, 9, 9)))
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((2, 3, 8, 8)), np.zeros((2, 3, 8, 8)))
+
+    def test_grayscale_supported(self):
+        x = np.random.default_rng(0).random((16, 16))
+        assert ssim(x, x) == pytest.approx(1.0)
+
+    def test_unrelated_noise_is_near_zero(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.random((3, 32, 32)), rng.random((3, 32, 32))
+        assert abs(ssim(x, y)) < 0.15
+
+    def test_structure_dominates_luminance_shift(self):
+        """A small constant brightness shift barely lowers SSIM, while
+        destroying structure (shuffling) collapses it — the property that
+        makes SSIM a 'recognisability' metric in the IDPA literature."""
+        rng = np.random.default_rng(0)
+        x = rng.random((3, 32, 32)) * 0.8
+        shifted = np.clip(x + 0.05, 0, 1)
+        shuffled = rng.permutation(x.reshape(3, -1).T).T.reshape(x.shape)
+        assert ssim(x, shifted) > 0.8
+        assert ssim(x, shuffled) < 0.3
+
+
+class TestBatchSSIM:
+    def test_matches_mean_of_singles(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((4, 3, 16, 16))
+        b = rng.random((4, 3, 16, 16))
+        expected = np.mean([ssim(a[i], b[i]) for i in range(4)])
+        assert ssim_batch(a, b) == pytest.approx(expected)
+
+    def test_requires_4d(self):
+        with pytest.raises(ValueError):
+            ssim_batch(np.zeros((3, 8, 8)), np.zeros((3, 8, 8)))
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self):
+        x = np.random.default_rng(0).random((3, 8, 8))
+        assert psnr(x, x) == float("inf")
+
+    def test_known_value(self):
+        x = np.zeros((8, 8))
+        y = np.full((8, 8), 0.1)
+        assert psnr(x, y) == pytest.approx(20.0, abs=1e-6)
+
+    def test_more_noise_lower_psnr(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((3, 16, 16))
+        small = np.clip(x + rng.normal(0, 0.05, x.shape), 0, 1)
+        large = np.clip(x + rng.normal(0, 0.3, x.shape), 0, 1)
+        assert psnr(x, small) > psnr(x, large)
+
+
+class TestAccuracy:
+    def test_perfect_predictions(self):
+        logits = np.eye(4)
+        assert accuracy(logits, np.arange(4)) == 1.0
+
+    def test_chance_level(self):
+        logits = np.zeros((10, 5))
+        logits[:, 0] = 1.0
+        labels = np.zeros(10, dtype=int)
+        assert accuracy(logits, labels) == 1.0
+        labels[5:] = 1
+        assert accuracy(logits, labels) == 0.5

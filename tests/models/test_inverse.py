@@ -1,0 +1,112 @@
+"""Tests for inversion-model construction (INA/EINA/DINA)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    BasicInverseBlock,
+    ResNetBasicBlock,
+    alexnet,
+    build_inversion_model,
+    distillation_features,
+    vgg16,
+)
+
+
+@pytest.fixture(scope="module")
+def victim():
+    return vgg16(width_mult=0.125, rng=np.random.default_rng(0)).eval()
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return nn.Tensor(np.random.default_rng(2).random((2, 3, 32, 32), dtype=np.float32))
+
+
+class TestResNetBasicBlock:
+    def test_preserves_shape_same_channels(self, rng):
+        block = ResNetBasicBlock(8, 8, np.random.default_rng(0))
+        x = nn.Tensor(rng.standard_normal((2, 8, 16, 16)).astype(np.float32))
+        assert block(x).shape == x.shape
+
+    def test_projection_on_channel_change(self, rng):
+        block = ResNetBasicBlock(8, 4, np.random.default_rng(0))
+        x = nn.Tensor(rng.standard_normal((2, 8, 16, 16)).astype(np.float32))
+        assert block(x).shape == (2, 4, 16, 16)
+
+    def test_gradient_flows_through_skip(self, rng):
+        block = ResNetBasicBlock(4, 4, np.random.default_rng(0))
+        x = nn.Tensor(rng.standard_normal((1, 4, 8, 8)).astype(np.float32), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+
+class TestBasicInverseBlock:
+    def test_upsample_and_channel_map(self, rng):
+        block = BasicInverseBlock(16, 8, upsample=2, rng=np.random.default_rng(0))
+        x = nn.Tensor(rng.standard_normal((2, 16, 8, 8)).astype(np.float32))
+        assert block(x).shape == (2, 8, 16, 16)
+
+    def test_contains_dilated_conv(self):
+        block = BasicInverseBlock(8, 8, upsample=1, rng=np.random.default_rng(0))
+        assert block.dilated.dilation == 2
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("kind", ["ina", "eina", "dina"])
+    def test_reconstruction_shape(self, victim, batch, kind):
+        inverse = build_inversion_model(victim, 4.5, kind, rng=np.random.default_rng(1))
+        h = victim.forward_to(batch, 4.5)
+        recovered = inverse(h.detach())
+        assert recovered.shape == batch.shape
+
+    def test_output_in_unit_interval(self, victim, batch):
+        inverse = build_inversion_model(victim, 3.5, "dina", rng=np.random.default_rng(1))
+        h = victim.forward_to(batch, 3.5)
+        recovered = inverse(h.detach()).data
+        assert recovered.min() >= 0.0 and recovered.max() <= 1.0
+
+    def test_one_stage_per_sub_block(self, victim):
+        blocks = victim.sub_blocks(6.5)
+        inverse = build_inversion_model(victim, 6.5, "dina", rng=np.random.default_rng(1))
+        assert inverse.num_stages == len(blocks)
+
+    def test_unknown_kind_raises(self, victim):
+        with pytest.raises(ValueError):
+            build_inversion_model(victim, 3.5, "gan")
+
+    def test_fc_boundary_supported(self, batch):
+        model = alexnet(width_mult=0.25, rng=np.random.default_rng(0)).eval()
+        layer = model.num_linear_layers - 1 + 0.5  # penultimate fc + ReLU
+        inverse = build_inversion_model(model, layer, "dina", rng=np.random.default_rng(1))
+        h = model.forward_to(batch, layer)
+        assert inverse(h.detach()).shape == batch.shape
+
+
+class TestIntermediatesAndDistillation:
+    def test_intermediate_count(self, victim, batch):
+        inverse = build_inversion_model(victim, 5.5, "dina", rng=np.random.default_rng(1))
+        h = victim.forward_to(batch, 5.5)
+        _, intermediates = inverse.forward_with_intermediates(h.detach())
+        assert len(intermediates) == inverse.num_stages - 1
+
+    def test_intermediates_match_distillation_points(self, victim, batch):
+        """I_j (reversed) must be shape-compatible with D_j for Eq. 1."""
+        layer = 5.5
+        inverse = build_inversion_model(victim, layer, "dina", rng=np.random.default_rng(1))
+        boundary, points = distillation_features(victim, layer, batch)
+        _, intermediates = inverse.forward_with_intermediates(boundary)
+        assert len(points) == len(intermediates)
+        for victim_feature, attack_feature in zip(reversed(points), intermediates):
+            assert victim_feature.shape == attack_feature.shape
+
+    def test_distillation_points_detached(self, victim, batch):
+        boundary, points = distillation_features(victim, 4.5, batch)
+        assert not boundary.requires_grad
+        assert all(not p.requires_grad for p in points)
+
+    def test_boundary_matches_forward_to(self, victim, batch):
+        boundary, _ = distillation_features(victim, 4.5, batch)
+        expected = victim.forward_to(batch, 4.5)
+        np.testing.assert_allclose(boundary.data, expected.data, atol=1e-5)

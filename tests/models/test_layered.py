@@ -1,0 +1,122 @@
+"""Tests for layer indexing, prefix/suffix evaluation and sub-blocks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import LayerIndexError, alexnet, vgg16, vgg19
+
+
+@pytest.fixture(scope="module")
+def small_vgg16():
+    return vgg16(width_mult=0.125, rng=np.random.default_rng(0)).eval()
+
+
+@pytest.fixture(scope="module")
+def image_batch():
+    return nn.Tensor(np.random.default_rng(1).random((2, 3, 32, 32), dtype=np.float32))
+
+
+class TestLayerCounts:
+    def test_vgg16_has_13_convs(self, small_vgg16):
+        assert small_vgg16.conv_ids == list(range(1, 14))
+        assert small_vgg16.num_linear_layers == 14  # 13 conv + 1 fc
+
+    def test_vgg19_has_16_convs(self):
+        model = vgg19(width_mult=0.125, rng=np.random.default_rng(0))
+        assert model.conv_ids == list(range(1, 17))
+        assert model.num_linear_layers == 17
+
+    def test_alexnet_has_5_convs_7_linear(self):
+        model = alexnet(width_mult=0.25, rng=np.random.default_rng(0))
+        assert model.conv_ids == [1, 2, 3, 4, 5]
+        assert model.num_linear_layers == 7
+
+    def test_layer_ids_include_half_steps(self, small_vgg16):
+        ids = small_vgg16.layer_ids
+        assert 1.0 in ids and 1.5 in ids and 13.5 in ids
+        # The final classifier linear has no trailing ReLU.
+        assert 14.0 in ids and 14.5 not in ids
+
+    def test_unknown_layer_raises(self, small_vgg16, image_batch):
+        with pytest.raises(LayerIndexError):
+            small_vgg16.forward_to(image_batch, 99.0)
+        with pytest.raises(LayerIndexError):
+            small_vgg16.forward_to(image_batch, 1.25)
+
+
+class TestPrefixSuffix:
+    @pytest.mark.parametrize("layer_id", [1.0, 1.5, 2.5, 4.0, 4.5, 9.0, 13.5, 14.0])
+    def test_compose_to_full_forward(self, small_vgg16, image_batch, layer_id):
+        full = small_vgg16(image_batch).data
+        h = small_vgg16.forward_to(image_batch, layer_id)
+        recomposed = small_vgg16.forward_from(h, layer_id).data
+        np.testing.assert_allclose(full, recomposed, atol=1e-5)
+
+    def test_prefix_suffix_module_partition(self, small_vgg16):
+        prefix = small_vgg16.prefix(4.5)
+        suffix = small_vgg16.suffix(4.5)
+        assert len(prefix) + len(suffix) == len(small_vgg16.body)
+
+    def test_half_cut_includes_pooling(self, small_vgg16, image_batch):
+        # Layer 2.5 in VGG16 ends the first pooled stage: 32x32 -> 16x16.
+        h = small_vgg16.forward_to(image_batch, 2.5)
+        assert h.shape[2] == 16
+
+    def test_integer_cut_is_pre_activation(self, small_vgg16, image_batch):
+        h = small_vgg16.forward_to(image_batch, 2.0)
+        # Pre-ReLU activations should contain negative entries.
+        assert (h.data < 0).any()
+        assert h.shape[2] == 32
+
+    def test_activation_shape_matches_forward(self, small_vgg16, image_batch):
+        shape = small_vgg16.activation_shape(4.5, batch=2)
+        h = small_vgg16.forward_to(image_batch, 4.5)
+        assert tuple(shape) == tuple(h.shape)
+
+
+class TestSubBlocks:
+    def test_each_block_has_one_relu(self, small_vgg16):
+        blocks = small_vgg16.sub_blocks(6.5)
+        for block in blocks:
+            relus = sum(isinstance(m, nn.ReLU) for m in block.modules)
+            assert relus == 1
+
+    def test_blocks_tile_the_prefix(self, small_vgg16):
+        blocks = small_vgg16.sub_blocks(6.5)
+        total = sum(len(b.modules) for b in blocks)
+        assert total == small_vgg16.cut_position(6.5)
+
+    def test_block_boundaries_are_contiguous(self, small_vgg16):
+        blocks = small_vgg16.sub_blocks(9.5)
+        for previous, current in zip(blocks, blocks[1:]):
+            assert previous.end_layer == current.start_layer
+
+    def test_half_boundary_keeps_end_layer(self, small_vgg16):
+        # Boundary at 4.5 ends with ReLU4 + pool; the trailing pool must not
+        # relabel the block as ending at 4.0.
+        blocks = small_vgg16.sub_blocks(4.5)
+        assert blocks[-1].end_layer == 4.5
+
+    def test_integer_boundary_extends_last_block(self, small_vgg16):
+        blocks = small_vgg16.sub_blocks(4.0)
+        assert blocks[-1].end_layer == 4.0
+        # conv4 (and its batch-norm) are folded into the 3.5 block.
+        assert 4 in blocks[-1].linear_ids
+
+    def test_blocks_compose_to_prefix(self, small_vgg16, image_batch):
+        blocks = small_vgg16.sub_blocks(5.5)
+        h = image_batch
+        for block in blocks:
+            h = block.forward(h)
+        expected = small_vgg16.forward_to(image_batch, 5.5)
+        np.testing.assert_allclose(h.data, expected.data, atol=1e-5)
+
+    def test_pool_factor_annotation(self, small_vgg16):
+        blocks = small_vgg16.sub_blocks(2.5)
+        assert blocks[0].pool_factor == 1
+        assert blocks[1].pool_factor == 2  # pool after conv2's ReLU
+
+    def test_describe_mentions_layers(self, small_vgg16):
+        text = small_vgg16.describe()
+        assert "[layer 1]" in text and "[layer 14]" in text

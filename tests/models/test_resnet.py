@@ -1,0 +1,140 @@
+"""Tests for the CIFAR ResNet extension and composite-module indexing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import ResidualBlock, make_resnet, resnet20, resnet32, resnet_tallies
+from repro.models.layered import ends_with_relu, linear_ops_of
+from repro.mpc.costs import CostEstimate, cheetah_costs, cryptflow2_costs, delphi_costs
+
+
+@pytest.fixture(scope="module")
+def small_resnet():
+    return resnet20(width_mult=0.25, rng=np.random.default_rng(0))
+
+
+class TestResidualBlock:
+    def test_identity_block_shape(self):
+        block = ResidualBlock(8, 8)
+        x = nn.Tensor(np.random.default_rng(0).normal(0, 1, (2, 8, 8, 8)).astype(np.float32))
+        assert block(x).shape == (2, 8, 8, 8)
+
+    def test_downsampling_block_shape_and_projection(self):
+        block = ResidualBlock(8, 16, stride=2)
+        assert block.projection is not None
+        x = nn.Tensor(np.zeros((1, 8, 8, 8), dtype=np.float32))
+        assert block(x).shape == (1, 16, 4, 4)
+
+    def test_linear_ops_accounting(self):
+        assert ResidualBlock(8, 8).linear_ops == 2
+        assert ResidualBlock(8, 16, stride=2).linear_ops == 3
+        assert linear_ops_of(ResidualBlock(8, 8)) == 2
+        assert linear_ops_of(nn.Conv2d(3, 8, 3)) == 1
+        assert linear_ops_of(nn.ReLU()) == 0
+
+    def test_ends_with_relu_protocol(self):
+        assert ends_with_relu(ResidualBlock(4, 4))
+        assert ends_with_relu(nn.ReLU())
+        assert not ends_with_relu(nn.Conv2d(3, 8, 3))
+
+    def test_output_is_rectified(self):
+        block = ResidualBlock(4, 4, rng=np.random.default_rng(1))
+        x = nn.Tensor(np.random.default_rng(2).normal(0, 2, (2, 4, 6, 6)).astype(np.float32))
+        with nn.no_grad():
+            assert float(block(x).data.min()) >= 0.0
+
+    def test_skip_connection_contributes(self):
+        # Zeroing the residual path must leave the identity visible.
+        block = ResidualBlock(4, 4, rng=np.random.default_rng(3))
+        for p in (*block.conv1.parameters(), *block.conv2.parameters()):
+            p.data = np.zeros_like(p.data)
+        x_data = np.abs(np.random.default_rng(4).normal(0, 1, (1, 4, 5, 5))).astype(np.float32)
+        with nn.no_grad():
+            out = block(nn.Tensor(x_data)).data
+        np.testing.assert_allclose(out, x_data, atol=1e-5)
+
+
+class TestResNetIndexing:
+    def test_linear_layer_count(self, small_resnet):
+        # stem + 9 blocks (2 convs each) + 2 stage projections + classifier.
+        assert small_resnet.num_linear_layers == 1 + 9 * 2 + 2 + 1
+
+    def test_block_boundaries_are_addressable(self, small_resnet):
+        ids = small_resnet.layer_ids
+        assert 1.0 in ids and 1.5 in ids  # the stem conv + its ReLU
+        assert 3.5 in ids  # first residual block boundary
+        # mid-block ids must NOT be addressable (atomic blocks).
+        assert 2.0 not in ids and 4.0 not in ids
+
+    def test_forward_split_resume(self, small_resnet):
+        x = nn.Tensor(np.random.default_rng(1).normal(0, 1, (2, 3, 32, 32)).astype(np.float32))
+        with nn.no_grad():
+            direct = small_resnet(x).data
+            h = small_resnet.forward_to(x, 7.5)
+            resumed = small_resnet.forward_from(h, 7.5).data
+        np.testing.assert_allclose(resumed, direct, atol=1e-4)
+
+    def test_sub_blocks_one_block_per_residual(self, small_resnet):
+        blocks = small_resnet.sub_blocks(7.5)
+        # stem (conv+relu) + 3 residual blocks.
+        assert len(blocks) == 4
+        assert blocks[-1].end_layer == 7.5
+
+    def test_resnet32_is_deeper(self):
+        deep = resnet32(width_mult=0.25)
+        shallow = resnet20(width_mult=0.25)
+        assert deep.num_linear_layers > shallow.num_linear_layers
+
+    def test_training_produces_gradients(self, small_resnet):
+        small_resnet.train()
+        x = nn.Tensor(np.random.default_rng(2).normal(0, 1, (2, 3, 32, 32)).astype(np.float32))
+        loss = nn.cross_entropy(small_resnet(x), np.array([0, 1]))
+        loss.backward()
+        assert all(p.grad is not None for p in small_resnet.parameters())
+        small_resnet.eval()
+
+    def test_describe_mentions_block_ranges(self, small_resnet):
+        text = small_resnet.describe()
+        assert "ResidualBlock" in text
+        assert "[layers 2-3]" in text
+
+
+class TestResNetCosts:
+    def test_tallies_cover_all_convs(self, small_resnet):
+        tallies = resnet_tallies(small_resnet, 7.5)
+        convs = [t for t in tallies if t.kind == "conv"]
+        # stem + 3 identity blocks x 2 convs.
+        assert len(convs) == 1 + 3 * 2
+        relus = [t for t in tallies if t.kind == "relu"]
+        assert len(relus) == 1 + 3 * 2
+
+    def test_tallies_reach_classifier(self, small_resnet):
+        tallies = resnet_tallies(small_resnet, 22.0)
+        kinds = {t.kind for t in tallies}
+        assert "linear" in kinds and "avgpool" in kinds
+
+    def test_cost_ordering_matches_paper(self, small_resnet):
+        tallies = resnet_tallies(small_resnet, 10.5)
+        estimates = {
+            model.name: CostEstimate.from_tallies(tallies, model)
+            for model in (delphi_costs(), cryptflow2_costs(), cheetah_costs())
+        }
+        assert (estimates["Delphi"].total_bytes
+                > estimates["CrypTFlow2"].total_bytes
+                > estimates["Cheetah"].total_bytes)
+
+
+class TestCryptflow2Positioning:
+    def test_per_relu_byte_ordering(self):
+        delphi = delphi_costs()
+        cf2 = cryptflow2_costs()
+        cheetah = cheetah_costs()
+        relu_bytes = lambda m: m.relu_offline_bytes + m.relu_online_bytes  # noqa: E731
+        assert relu_bytes(delphi) > 10 * relu_bytes(cf2)
+        assert relu_bytes(cf2) > 10 * relu_bytes(cheetah)
+
+    def test_compute_ordering(self):
+        assert (delphi_costs().linear_unit_compute_s
+                > cryptflow2_costs().linear_unit_compute_s
+                > cheetah_costs().linear_unit_compute_s)

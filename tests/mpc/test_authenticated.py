@@ -1,0 +1,154 @@
+"""Tests for SPDZ-style authenticated shares (malicious-client extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.authenticated import (
+    AuthenticatedDealer,
+    MacCheckError,
+    authenticated_linear_combination,
+    authenticated_multiply,
+    verified_open,
+)
+from repro.mpc.network import Channel
+from repro.mpc.sharing import reconstruct_additive
+
+
+def _dealer(seed=0):
+    return AuthenticatedDealer(seed=seed)
+
+
+class TestAuthentication:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_mac_relation_holds(self, seed):
+        dealer = _dealer(seed)
+        rng = np.random.default_rng(seed + 1)
+        secret = rng.integers(0, 2**64, 16, dtype=np.uint64)
+        shares = dealer.authenticate(secret)
+        value = reconstruct_additive(*shares.value)
+        mac = reconstruct_additive(*shares.mac)
+        np.testing.assert_array_equal(mac, (value * dealer.delta).astype(np.uint64))
+        np.testing.assert_array_equal(value, secret)
+
+    def test_key_shares_reconstruct_delta(self):
+        dealer = _dealer(3)
+        assert reconstruct_additive(*dealer.key_shares) == dealer.delta
+
+    def test_single_share_is_uniformly_masked(self):
+        dealer = _dealer(4)
+        shares = dealer.authenticate(np.zeros(256, dtype=np.uint64))
+        # Shares of zero must still look random (no structure leaks).
+        assert len(np.unique(shares.value[0])) > 250
+        assert len(np.unique(shares.mac[0])) > 250
+
+
+class TestVerifiedOpen:
+    def test_honest_open_succeeds(self):
+        dealer = _dealer(0)
+        secret = np.arange(8, dtype=np.uint64)
+        opened = verified_open(dealer.authenticate(secret), dealer.key_shares)
+        np.testing.assert_array_equal(opened, secret)
+
+    @given(st.integers(1, 2**63))
+    @settings(max_examples=20, deadline=None)
+    def test_tampered_open_is_caught(self, error):
+        dealer = _dealer(1)
+        shares = dealer.authenticate(np.array([42], dtype=np.uint64))
+        with pytest.raises(MacCheckError):
+            verified_open(
+                shares, dealer.key_shares,
+                tamper=np.array([error], dtype=np.uint64),
+            )
+
+    def test_partial_tamper_reports_failure(self):
+        dealer = _dealer(2)
+        shares = dealer.authenticate(np.zeros(4, dtype=np.uint64))
+        tamper = np.array([0, 7, 0, 9], dtype=np.uint64)
+        with pytest.raises(MacCheckError, match="2 element"):
+            verified_open(shares, dealer.key_shares, tamper=tamper)
+
+    def test_open_charges_commitment_round(self):
+        dealer = _dealer(5)
+        channel = Channel()
+        verified_open(dealer.authenticate(np.zeros(4, dtype=np.uint64)),
+                      dealer.key_shares, channel)
+        assert channel.rounds == 3  # open + commit + reveal
+        assert channel.total_bytes > 0
+
+
+class TestAuthenticatedArithmetic:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_addition_preserves_macs(self, seed):
+        dealer = _dealer(seed)
+        rng = np.random.default_rng(seed + 9)
+        x = rng.integers(0, 2**64, 8, dtype=np.uint64)
+        y = rng.integers(0, 2**64, 8, dtype=np.uint64)
+        total = dealer.authenticate(x) + dealer.authenticate(y)
+        opened = verified_open(total, dealer.key_shares)
+        np.testing.assert_array_equal(opened, (x + y).astype(np.uint64))
+
+    def test_subtraction(self):
+        dealer = _dealer(6)
+        x = np.array([10, 0, 5], dtype=np.uint64)
+        y = np.array([3, 1, 5], dtype=np.uint64)
+        opened = verified_open(
+            dealer.authenticate(x) - dealer.authenticate(y), dealer.key_shares
+        )
+        np.testing.assert_array_equal(opened, (x - y).astype(np.uint64))
+
+    def test_public_scaling(self):
+        dealer = _dealer(7)
+        x = np.array([1, 2, 3], dtype=np.uint64)
+        opened = verified_open(
+            dealer.authenticate(x).scale(1000), dealer.key_shares
+        )
+        np.testing.assert_array_equal(opened, x * np.uint64(1000))
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_multiplication_matches_ring_product(self, seed):
+        dealer = _dealer(seed)
+        rng = np.random.default_rng(seed + 77)
+        x = rng.integers(0, 2**64, 8, dtype=np.uint64)
+        y = rng.integers(0, 2**64, 8, dtype=np.uint64)
+        product = authenticated_multiply(
+            dealer.authenticate(x), dealer.authenticate(y), dealer
+        )
+        opened = verified_open(product, dealer.key_shares)
+        np.testing.assert_array_equal(opened, (x * y).astype(np.uint64))
+
+    def test_multiplication_output_still_authenticated(self):
+        # Tampering with the *product's* opening must also be caught.
+        dealer = _dealer(8)
+        x = np.array([5], dtype=np.uint64)
+        product = authenticated_multiply(
+            dealer.authenticate(x), dealer.authenticate(x), dealer
+        )
+        with pytest.raises(MacCheckError):
+            verified_open(product, dealer.key_shares,
+                          tamper=np.array([1], dtype=np.uint64))
+
+    def test_linear_combination(self):
+        dealer = _dealer(9)
+        x = np.array([1, 2], dtype=np.uint64)
+        y = np.array([10, 20], dtype=np.uint64)
+        combo = authenticated_linear_combination(
+            [(3, dealer.authenticate(x)), (2, dealer.authenticate(y))]
+        )
+        opened = verified_open(combo, dealer.key_shares)
+        np.testing.assert_array_equal(opened, (3 * x + 2 * y).astype(np.uint64))
+
+    def test_linear_combination_rejects_empty(self):
+        with pytest.raises(ValueError):
+            authenticated_linear_combination([])
+
+    def test_multiply_charges_two_verified_opens(self):
+        dealer = _dealer(10)
+        channel = Channel()
+        x = dealer.authenticate(np.zeros(4, dtype=np.uint64))
+        authenticated_multiply(x, x, dealer, channel)
+        assert channel.rounds == 6  # two verified opens, 3 rounds each

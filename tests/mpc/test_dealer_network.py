@@ -1,0 +1,117 @@
+"""Tests for the trusted dealer's correlations and the network accounting."""
+
+import numpy as np
+import pytest
+
+from repro.mpc import LAN, WAN, Channel, NetworkModel, TrustedDealer
+from repro.mpc.sharing import reconstruct_additive, reconstruct_boolean
+
+
+class TestDealer:
+    def test_beaver_triples_are_consistent(self):
+        dealer = TrustedDealer(seed=0)
+        triple = dealer.beaver_triples((128,))
+        a = reconstruct_additive(*triple.a)
+        b = reconstruct_additive(*triple.b)
+        c = reconstruct_additive(*triple.c)
+        np.testing.assert_array_equal(c, (a * b).astype(np.uint64))
+
+    def test_bit_triples_are_consistent(self):
+        dealer = TrustedDealer(seed=1)
+        triple = dealer.bit_triples((256,))
+        a = reconstruct_boolean(*triple.a)
+        b = reconstruct_boolean(*triple.b)
+        c = reconstruct_boolean(*triple.c)
+        np.testing.assert_array_equal(c, a & b)
+
+    def test_dabits_agree_across_domains(self):
+        dealer = TrustedDealer(seed=2)
+        dabit = dealer.dabits((512,))
+        boolean = reconstruct_boolean(*dabit.boolean)
+        arithmetic = reconstruct_additive(*dabit.arithmetic)
+        np.testing.assert_array_equal(arithmetic, boolean.astype(np.uint64))
+
+    def test_comparison_mask_bits_match_mask(self):
+        dealer = TrustedDealer(seed=3)
+        mask = dealer.comparison_masks((64,))
+        r = reconstruct_additive(*mask.r_shares)
+        low = reconstruct_boolean(*mask.low_bits)
+        msb = reconstruct_boolean(*mask.msb)
+        recomposed = np.zeros_like(r)
+        for i in range(63):
+            recomposed |= low[:, i].astype(np.uint64) << np.uint64(i)
+        recomposed |= msb.astype(np.uint64) << np.uint64(63)
+        np.testing.assert_array_equal(recomposed, r)
+
+    def test_linear_correlation_identity(self):
+        dealer = TrustedDealer(seed=4)
+        corr = dealer.linear_correlation((32,), lambda v: (v * np.uint64(3)).astype(np.uint64))
+        expected = (corr.mask * np.uint64(3)).astype(np.uint64)
+        total = (corr.client_offset + corr.server_offset).astype(np.uint64)
+        np.testing.assert_array_equal(total, expected)
+
+    def test_determinism_by_seed(self):
+        a = TrustedDealer(seed=9).beaver_triples((16,))
+        b = TrustedDealer(seed=9).beaver_triples((16,))
+        np.testing.assert_array_equal(a.a[0], b.a[0])
+
+    def test_issue_counters(self):
+        dealer = TrustedDealer(seed=0)
+        dealer.beaver_triples((10,))
+        dealer.bit_triples((20,))
+        dealer.dabits((30,))
+        dealer.comparison_masks((40,))
+        assert dealer.triples_issued == 10
+        assert dealer.bit_triples_issued == 20
+        assert dealer.dabits_issued == 30
+        assert dealer.comparison_masks_issued == 40
+
+
+class TestChannel:
+    def test_directional_accounting(self):
+        channel = Channel()
+        channel.send(0, 100)
+        channel.send(1, 40)
+        assert channel.bytes_client_to_server == 100
+        assert channel.bytes_server_to_client == 40
+        assert channel.total_bytes == 140
+        assert channel.messages == 2
+
+    def test_exchange_counts_round(self):
+        channel = Channel()
+        channel.exchange(64)
+        assert channel.rounds == 1
+        assert channel.total_bytes == 128
+
+    def test_invalid_sender_raises(self):
+        with pytest.raises(ValueError):
+            Channel().send(2, 10)
+
+    def test_negative_bytes_raises(self):
+        with pytest.raises(ValueError):
+            Channel().send(0, -1)
+
+    def test_snapshot_diff(self):
+        channel = Channel()
+        channel.exchange(10)
+        before = channel.snapshot()
+        channel.exchange(5)
+        delta = channel.diff(before)
+        assert delta.total_bytes == 10
+        assert delta.rounds == 1
+
+
+class TestNetworkModel:
+    def test_paper_settings(self):
+        assert LAN.bandwidth_bytes_per_s == 384e6 and LAN.rtt_s == 0.3e-3
+        assert WAN.bandwidth_bytes_per_s == 44e6 and WAN.rtt_s == 40e-3
+
+    def test_latency_composition(self):
+        net = NetworkModel("test", bandwidth_bytes_per_s=1e6, rtt_s=0.01)
+        assert net.latency(2e6, 10, 1.0) == pytest.approx(1.0 + 2.0 + 0.1)
+
+    def test_wan_slower_than_lan(self):
+        assert WAN.latency(1e8, 100) > LAN.latency(1e8, 100)
+
+    def test_zero_traffic_costs_compute_only(self):
+        assert LAN.latency(0, 0, 2.5) == 2.5

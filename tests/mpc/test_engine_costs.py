@@ -1,0 +1,176 @@
+"""Integration tests: secure engine vs plaintext; cost-model properties."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import alexnet, vgg16
+from repro.mpc import (
+    LAN,
+    WAN,
+    CostEstimate,
+    SecureInferenceEngine,
+    cheetah_costs,
+    delphi_costs,
+    fold_batch_norm,
+    static_layer_tallies,
+)
+
+
+@pytest.fixture(scope="module")
+def victim():
+    model = vgg16(width_mult=0.125, rng=np.random.default_rng(0)).eval()
+    rng = np.random.default_rng(5)
+    # Give batch norms non-trivial inference statistics so folding is tested.
+    for module in model.modules():
+        if isinstance(module, nn.BatchNorm2d):
+            module.running_mean[:] = rng.normal(0, 0.2, module.num_features)
+            module.running_var[:] = rng.uniform(0.5, 2.0, module.num_features)
+    return model
+
+
+@pytest.fixture(scope="module")
+def image():
+    return np.random.default_rng(7).random((1, 3, 32, 32), dtype=np.float32)
+
+
+class TestFoldBatchNorm:
+    def test_folding_preserves_function(self, victim, image):
+        conv = victim.body[0]
+        bn = victim.body[1]
+        weight, bias = fold_batch_norm(conv, bn)
+        folded = nn.Conv2d(conv.in_channels, conv.out_channels, conv.kernel_size,
+                           stride=conv.stride, padding=conv.padding)
+        folded.weight.data = weight
+        folded.bias.data = bias
+        x = nn.Tensor(image)
+        bn.eval()
+        expected = bn(conv(x)).data
+        np.testing.assert_allclose(folded(x).data, expected, atol=1e-4)
+
+
+class TestSecureEngine:
+    @pytest.mark.parametrize("boundary", [1.0, 1.5, 2.5, 4.5])
+    def test_matches_plaintext_prefix(self, victim, image, boundary):
+        engine = SecureInferenceEngine(victim, boundary)
+        result = engine.run(image)
+        secure = result.reconstruct()
+        plain = victim.forward_to(nn.Tensor(image), boundary).data
+        assert secure.shape == plain.shape
+        np.testing.assert_allclose(secure, plain, atol=2e-2)
+
+    def test_alexnet_through_fc(self, image):
+        model = alexnet(width_mult=0.25, rng=np.random.default_rng(1)).eval()
+        boundary = 6.5  # includes flatten + first fc + its ReLU
+        engine = SecureInferenceEngine(model, boundary)
+        secure = engine.run(image).reconstruct()
+        plain = model.forward_to(nn.Tensor(image), boundary).data
+        np.testing.assert_allclose(secure, plain, atol=5e-2)
+
+    def test_individual_shares_do_not_reveal_activation(self, victim, image):
+        result = SecureInferenceEngine(victim, 2.5).run(image)
+        plain = victim.forward_to(nn.Tensor(image), 2.5).data
+        share0 = result.config.decode(result.shares[0])
+        # A single share decodes to ring noise, not the activation.
+        correlation = np.corrcoef(share0.reshape(-1), plain.reshape(-1))[0, 1]
+        assert abs(correlation) < 0.1
+
+    def test_tally_stream_structure(self, victim, image):
+        result = SecureInferenceEngine(victim, 2.5).run(image)
+        kinds = [t.kind for t in result.tallies]
+        # conv-relu-conv-relu-maxpool for the first VGG block.
+        assert kinds == ["conv", "relu", "conv", "relu", "maxpool"]
+        assert all(t.traffic.total_bytes >= 0 for t in result.tallies)
+        relu_tally = result.tallies[1]
+        assert relu_tally.elements == 8 * 32 * 32  # width 0.125 -> 8 channels
+
+    def test_batched_input(self, victim):
+        batch = np.random.default_rng(8).random((3, 3, 32, 32), dtype=np.float32)
+        result = SecureInferenceEngine(victim, 1.5).run(batch)
+        plain = victim.forward_to(nn.Tensor(batch), 1.5).data
+        np.testing.assert_allclose(result.reconstruct(), plain, atol=2e-2)
+
+    def test_rejects_non_nchw(self, victim):
+        with pytest.raises(ValueError):
+            SecureInferenceEngine(victim, 1.0).run(np.zeros((3, 32, 32), np.float32))
+
+
+class TestStaticTallies:
+    def test_matches_engine_tallies(self, victim, image):
+        result = SecureInferenceEngine(victim, 4.5).run(image)
+        static = static_layer_tallies(victim, 4.5, batch=1)
+        assert len(static) == len(result.tallies)
+        for s, e in zip(static, result.tallies):
+            assert s.kind == e.kind
+            assert s.elements == e.elements
+            assert s.macs == e.macs
+
+    def test_element_counts_scale_with_batch(self, victim):
+        single = static_layer_tallies(victim, 2.5, batch=1)
+        double = static_layer_tallies(victim, 2.5, batch=2)
+        for s, d in zip(single, double):
+            if s.kind != "flatten":
+                assert d.elements == 2 * s.elements
+
+
+class TestCostModels:
+    @pytest.fixture(scope="class")
+    def paper_vgg16(self):
+        return vgg16(width_mult=1.0, rng=np.random.default_rng(0))
+
+    def test_earlier_boundary_is_cheaper(self, paper_vgg16):
+        for backend in (delphi_costs(), cheetah_costs()):
+            costs = [
+                CostEstimate.from_tallies(
+                    static_layer_tallies(paper_vgg16, b), backend
+                ).latency(LAN)
+                for b in (3.5, 6.5, 9.5, 14.0)
+            ]
+            assert costs == sorted(costs)
+
+    def test_delphi_heavier_than_cheetah(self, paper_vgg16):
+        tallies = static_layer_tallies(paper_vgg16, 14.0)
+        delphi = CostEstimate.from_tallies(tallies, delphi_costs())
+        cheetah = CostEstimate.from_tallies(tallies, cheetah_costs())
+        assert delphi.total_bytes > 10 * cheetah.total_bytes
+        assert delphi.latency(LAN) > 10 * cheetah.latency(LAN)
+
+    def test_full_pi_magnitudes_match_paper_scale(self, paper_vgg16):
+        """Calibration check: full-PI VGG16 rows of Table II within ~25%."""
+        tallies = static_layer_tallies(paper_vgg16, 14.0)
+        delphi = CostEstimate.from_tallies(tallies, delphi_costs())
+        cheetah = CostEstimate.from_tallies(tallies, cheetah_costs())
+        assert delphi.latency(LAN) == pytest.approx(6166.47, rel=0.25)
+        assert cheetah.latency(LAN) == pytest.approx(13.72, rel=0.25)
+        assert cheetah.latency(WAN) == pytest.approx(25.27, rel=0.25)
+        assert cheetah.total_mb == pytest.approx(179.64, rel=0.25)
+
+    def test_c2pi_speedup_shape(self, paper_vgg16):
+        """The headline claim: boundary 9 (sigma=0.3) yields >2x Delphi and
+        >1.3x Cheetah speedups with substantial Cheetah comm savings."""
+        full = static_layer_tallies(paper_vgg16, 14.0)
+        crypto = static_layer_tallies(paper_vgg16, 9.0)
+        delphi_full = CostEstimate.from_tallies(full, delphi_costs())
+        delphi_c2pi = CostEstimate.from_tallies(crypto, delphi_costs())
+        assert delphi_full.latency(LAN) / delphi_c2pi.latency(LAN) > 2.0
+        cheetah_full = CostEstimate.from_tallies(full, cheetah_costs())
+        cheetah_c2pi = CostEstimate.from_tallies(crypto, cheetah_costs())
+        assert cheetah_full.latency(LAN) / cheetah_c2pi.latency(LAN) > 1.3
+        assert cheetah_full.total_bytes / cheetah_c2pi.total_bytes > 1.7
+
+    def test_wan_latency_exceeds_lan(self, paper_vgg16):
+        tallies = static_layer_tallies(paper_vgg16, 14.0)
+        for backend in (delphi_costs(), cheetah_costs()):
+            estimate = CostEstimate.from_tallies(tallies, backend)
+            assert estimate.latency(WAN) > estimate.latency(LAN)
+
+    def test_cost_addition(self):
+        from repro.mpc.costs import OpCost
+
+        total = OpCost(1, 2, 3, 4) + OpCost(10, 20, 30, 40)
+        assert (total.offline_bytes, total.online_bytes, total.rounds, total.compute_s) == (
+            11,
+            22,
+            33,
+            44,
+        )

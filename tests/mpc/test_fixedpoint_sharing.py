@@ -1,0 +1,105 @@
+"""Tests for fixed-point encoding and secret sharing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mpc import FixedPointConfig, bit_decompose
+from repro.mpc.sharing import (
+    reconstruct_additive,
+    reconstruct_boolean,
+    share_additive,
+    share_boolean,
+)
+
+float_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=16),
+    elements=st.floats(-1000, 1000, allow_nan=False, width=32),
+)
+
+
+class TestFixedPoint:
+    @given(float_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_roundtrip(self, values):
+        cfg = FixedPointConfig(frac_bits=12)
+        decoded = cfg.decode(cfg.encode(values))
+        np.testing.assert_allclose(decoded, values, atol=1.0 / 4096 + 1e-6)
+
+    def test_negative_values(self):
+        cfg = FixedPointConfig()
+        values = np.array([-1.5, -0.001, 0.0, 0.001, 1.5])
+        np.testing.assert_allclose(cfg.decode(cfg.encode(values)), values, atol=3e-4)
+
+    def test_precision_scales_with_frac_bits(self):
+        value = np.array([1.0 / 3.0])
+        low = FixedPointConfig(frac_bits=4)
+        high = FixedPointConfig(frac_bits=20)
+        err_low = abs(float(low.decode(low.encode(value))[0]) - 1 / 3)
+        err_high = abs(float(high.decode(high.encode(value))[0]) - 1 / 3)
+        assert err_high < err_low
+
+    def test_overflow_raises(self):
+        cfg = FixedPointConfig(frac_bits=12)
+        with pytest.raises(OverflowError):
+            cfg.encode(np.array([1e18]))
+
+    def test_msb_is_sign_bit(self):
+        cfg = FixedPointConfig()
+        encoded = cfg.encode(np.array([-2.0, -0.001, 0.0, 0.001, 2.0]))
+        np.testing.assert_array_equal(FixedPointConfig.msb(encoded), [1, 1, 0, 0, 0])
+
+    def test_neg_is_additive_inverse(self):
+        cfg = FixedPointConfig()
+        x = cfg.encode(np.array([1.25, -3.5, 0.0]))
+        total = (x + FixedPointConfig.neg(x)).astype(np.uint64)
+        np.testing.assert_array_equal(total, 0)
+
+    def test_random_ring_covers_high_bits(self):
+        rng = np.random.default_rng(0)
+        sample = FixedPointConfig.random_ring(rng, (4096,))
+        assert (sample >> np.uint64(63)).mean() == pytest.approx(0.5, abs=0.05)
+
+
+class TestSharing:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_additive_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        secret = FixedPointConfig.random_ring(rng, (32,))
+        s0, s1 = share_additive(secret, rng)
+        np.testing.assert_array_equal(reconstruct_additive(s0, s1), secret)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_boolean_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(64,), dtype=np.uint8)
+        b0, b1 = share_boolean(bits, rng)
+        np.testing.assert_array_equal(reconstruct_boolean(b0, b1), bits)
+
+    def test_single_share_is_unbiased(self):
+        """One share alone is (statistically) independent of the secret."""
+        rng = np.random.default_rng(0)
+        zeros = np.zeros(20000, dtype=np.uint64)
+        ones = np.full(20000, 12345, dtype=np.uint64)
+        s0_zeros, _ = share_additive(zeros, np.random.default_rng(1))
+        s0_ones, _ = share_additive(ones, np.random.default_rng(2))
+        # Compare the top-bit frequency of the shares for the two secrets.
+        f_zeros = (s0_zeros >> np.uint64(63)).mean()
+        f_ones = (s0_ones >> np.uint64(63)).mean()
+        assert abs(f_zeros - 0.5) < 0.02 and abs(f_ones - 0.5) < 0.02
+
+    def test_bit_decompose_little_endian(self):
+        bits = bit_decompose(np.array([0b1011], dtype=np.uint64), 5)
+        np.testing.assert_array_equal(bits[0], [1, 1, 0, 1, 0])
+
+    @given(st.integers(0, 2**63 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_bit_decompose_reconstructs(self, value):
+        bits = bit_decompose(np.array([value], dtype=np.uint64), 63)
+        recomposed = sum(int(b) << i for i, b in enumerate(bits[0]))
+        assert recomposed == value

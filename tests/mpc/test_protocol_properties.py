@@ -1,0 +1,123 @@
+"""Hypothesis property tests for the full secure-op stack.
+
+These complement tests/mpc/test_protocols.py by driving whole-layer ops
+(max-pool windows, avg-pool, ReLU grids) with randomly shaped inputs, and
+by checking protocol-level invariants (traffic monotonicity, share
+freshness).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.mpc import Channel, FixedPointConfig, SecureInferenceEngine, TrustedDealer
+from repro.mpc.protocols import secure_maximum, secure_relu
+from repro.mpc.sharing import reconstruct_additive, share_additive
+from repro.models.layered import LayeredModel
+
+CFG = FixedPointConfig(frac_bits=12)
+
+
+def _tiny_model(seed: int, with_avgpool: bool = False) -> LayeredModel:
+    rng = np.random.default_rng(seed)
+    pool = nn.AvgPool2d(2) if with_avgpool else nn.MaxPool2d(2)
+    modules = [
+        nn.Conv2d(1, 3, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        pool,
+        nn.Conv2d(3, 2, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.Flatten(),
+        nn.Linear(2 * 4 * 4, 4, rng=rng),
+    ]
+    return LayeredModel(modules, name="tiny", input_shape=(1, 8, 8))
+
+
+class TestEngineProperties:
+    @given(st.integers(0, 2**31), st.booleans())
+    @settings(max_examples=8, deadline=None)
+    def test_random_tiny_models_match_plaintext(self, seed, with_avgpool):
+        model = _tiny_model(seed, with_avgpool).eval()
+        rng = np.random.default_rng(seed + 1)
+        x = rng.random((1, 1, 8, 8), dtype=np.float32)
+        boundary = model.layer_ids[-1]
+        engine = SecureInferenceEngine(model, boundary, dealer_seed=seed)
+        secure = engine.run(x).reconstruct()
+        plain = model.forward_to(nn.Tensor(x), boundary).data
+        np.testing.assert_allclose(secure, plain, atol=3e-2)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=6, deadline=None)
+    def test_traffic_grows_with_boundary(self, seed):
+        model = _tiny_model(seed).eval()
+        rng = np.random.default_rng(seed)
+        x = rng.random((1, 1, 8, 8), dtype=np.float32)
+        totals = []
+        for boundary in (1.0, 2.5, 3.0):
+            result = SecureInferenceEngine(model, boundary, dealer_seed=0).run(x)
+            totals.append(result.total_bytes)
+        assert totals == sorted(totals)
+        assert totals[0] < totals[-1]
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=6, deadline=None)
+    def test_output_shares_are_fresh(self, seed):
+        """Output shares must be re-randomised, not input-share reuses."""
+        model = _tiny_model(seed).eval()
+        rng = np.random.default_rng(seed)
+        x = rng.random((1, 1, 8, 8), dtype=np.float32)
+        result = SecureInferenceEngine(model, 1.0, dealer_seed=seed).run(x)
+        # Each share individually decodes to ring-scale noise (huge values),
+        # not to anything on the activation's scale.
+        share_mag = np.abs(result.config.decode(result.shares[0])).mean()
+        value_mag = np.abs(result.reconstruct()).mean() + 1e-9
+        assert share_mag > 1e3 * value_mag
+
+
+class TestProtocolAlgebra:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_relu_plus_negated_relu_is_identity(self, seed):
+        """relu(x) - relu(-x) == x, evaluated entirely under MPC."""
+        dealer = TrustedDealer(seed=seed)
+        channel = Channel()
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-10, 10, (64,)).astype(np.float32)
+        xs = share_additive(CFG.encode(values), rng)
+        neg = (FixedPointConfig.neg(xs[0]), FixedPointConfig.neg(xs[1]))
+        pos_part = secure_relu(xs, dealer, channel)
+        neg_part = secure_relu(neg, dealer, channel)
+        recomposed = (
+            (pos_part[0] - neg_part[0]).astype(np.uint64),
+            (pos_part[1] - neg_part[1]).astype(np.uint64),
+        )
+        decoded = CFG.decode(reconstruct_additive(*recomposed))
+        np.testing.assert_allclose(decoded, values, atol=4e-3)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_max_is_commutative(self, seed):
+        dealer = TrustedDealer(seed=seed)
+        channel = Channel()
+        rng = np.random.default_rng(seed)
+        a_vals = rng.uniform(-5, 5, (32,)).astype(np.float32)
+        b_vals = rng.uniform(-5, 5, (32,)).astype(np.float32)
+        a = share_additive(CFG.encode(a_vals), rng)
+        b = share_additive(CFG.encode(b_vals), rng)
+        ab = CFG.decode(reconstruct_additive(*secure_maximum(a, b, dealer, channel)))
+        ba = CFG.decode(reconstruct_additive(*secure_maximum(b, a, dealer, channel)))
+        np.testing.assert_allclose(ab, ba, atol=4e-3)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_max_idempotent(self, seed):
+        dealer = TrustedDealer(seed=seed)
+        channel = Channel()
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-5, 5, (32,)).astype(np.float32)
+        a = share_additive(CFG.encode(values), rng)
+        result = CFG.decode(
+            reconstruct_additive(*secure_maximum(a, a, dealer, channel))
+        )
+        np.testing.assert_allclose(result, values, atol=4e-3)

@@ -1,0 +1,158 @@
+"""Tests for the Module system and layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def make_small_net(rng):
+    return nn.Sequential(
+        nn.Conv2d(3, 4, 3, padding=1, rng=rng),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(4 * 4 * 4, 10, rng=rng),
+    )
+
+
+class TestModuleSystem:
+    def test_parameter_collection(self, rng):
+        net = make_small_net(rng)
+        names = [n for n, _ in net.named_parameters()]
+        assert "0.weight" in names and "0.bias" in names
+        assert "1.gamma" in names and "5.weight" in names
+        assert len(net.parameters()) == 6
+
+    def test_num_parameters(self, rng):
+        net = make_small_net(rng)
+        expected = 4 * 3 * 9 + 4 + 4 + 4 + 64 * 10 + 10
+        assert net.num_parameters() == expected
+
+    def test_train_eval_propagates(self, rng):
+        net = make_small_net(rng)
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_state_dict_roundtrip(self, rng):
+        net = make_small_net(rng)
+        other = make_small_net(np.random.default_rng(99))
+        other.load_state_dict(net.state_dict())
+        x = nn.Tensor(rng.standard_normal((2, 3, 8, 8)))
+        net.eval(), other.eval()
+        np.testing.assert_allclose(net(x).data, other(x).data, atol=1e-6)
+
+    def test_state_dict_missing_key_raises(self, rng):
+        net = make_small_net(rng)
+        state = net.state_dict()
+        state.pop("0.weight")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self, rng):
+        net = make_small_net(rng)
+        state = net.state_dict()
+        state["0.weight"] = state["0.weight"][:2]
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_zero_grad(self, rng):
+        net = make_small_net(rng)
+        x = nn.Tensor(rng.standard_normal((2, 3, 8, 8)))
+        nn.cross_entropy(net(x), np.array([0, 1])).backward()
+        assert net[0].weight.grad is not None
+        net.zero_grad()
+        assert net[0].weight.grad is None
+
+
+class TestSequentialSlicing:
+    """Slicing Sequential models is how C2PI carves crypto/clear segments."""
+
+    def test_slice_returns_sequential(self, rng):
+        net = make_small_net(rng)
+        prefix = net[:3]
+        assert isinstance(prefix, nn.Sequential)
+        assert len(prefix) == 3
+
+    def test_prefix_suffix_compose_to_whole(self, rng):
+        net = make_small_net(rng).eval()
+        x = nn.Tensor(rng.standard_normal((2, 3, 8, 8)))
+        whole = net(x)
+        split = net[3:](net[:3](x))
+        np.testing.assert_allclose(whole.data, split.data, atol=1e-6)
+
+    def test_append(self, rng):
+        net = nn.Sequential()
+        net.append(nn.Linear(4, 4, rng=rng))
+        net.append(nn.ReLU())
+        assert len(net) == 2
+        assert len(net.parameters()) == 2
+
+
+class TestIndividualLayers:
+    def test_linear_shapes(self, rng):
+        layer = nn.Linear(8, 3, rng=rng)
+        out = layer(nn.Tensor(rng.standard_normal((5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_linear_no_bias(self, rng):
+        layer = nn.Linear(8, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_conv_output_shape(self, rng):
+        layer = nn.Conv2d(3, 16, 3, stride=2, padding=1, rng=rng)
+        out = layer(nn.Tensor(rng.standard_normal((1, 3, 32, 32))))
+        assert out.shape == (1, 16, 16, 16)
+
+    def test_dilated_conv_output_shape(self, rng):
+        layer = nn.Conv2d(2, 2, 3, padding=2, dilation=2, rng=rng)
+        out = layer(nn.Tensor(rng.standard_normal((1, 2, 8, 8))))
+        assert out.shape == (1, 2, 8, 8)
+
+    def test_adaptive_avg_pool(self, rng):
+        layer = nn.AdaptiveAvgPool2d(2)
+        out = layer(nn.Tensor(rng.standard_normal((1, 3, 8, 8))))
+        assert out.shape == (1, 3, 2, 2)
+
+    def test_adaptive_avg_pool_indivisible_raises(self, rng):
+        layer = nn.AdaptiveAvgPool2d(3)
+        with pytest.raises(ValueError):
+            layer(nn.Tensor(rng.standard_normal((1, 3, 8, 8))))
+
+    def test_identity(self, rng):
+        x = nn.Tensor(rng.standard_normal((2, 2)))
+        np.testing.assert_allclose(nn.Identity()(x).data, x.data)
+
+    def test_batchnorm_running_stats_freeze_in_eval(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = nn.Tensor(rng.standard_normal((4, 3, 2, 2)) + 5)
+        bn.train()
+        bn(x)
+        mean_after_train = bn.running_mean.copy()
+        bn.eval()
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, mean_after_train)
+
+    def test_dropout_respects_training_flag(self, rng):
+        layer = nn.Dropout(0.9, rng=rng)
+        x = nn.Tensor(np.ones((100,), dtype=np.float32))
+        layer.eval()
+        np.testing.assert_allclose(layer(x).data, 1.0)
+        layer.train()
+        assert (layer(x).data == 0).sum() > 50
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        net = make_small_net(rng)
+        path = str(tmp_path / "model.npz")
+        nn.save_model(net, path)
+        other = make_small_net(np.random.default_rng(7))
+        nn.load_model(other, path)
+        x = nn.Tensor(rng.standard_normal((1, 3, 8, 8)))
+        net.eval(), other.eval()
+        np.testing.assert_allclose(net(x).data, other(x).data, atol=1e-6)

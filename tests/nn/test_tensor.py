@@ -1,0 +1,189 @@
+"""Unit and property tests for the autograd Tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, no_grad
+from tests.conftest import assert_gradients_close
+
+small_floats = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+    elements=st.floats(-10, 10, allow_nan=False, width=32),
+)
+
+
+class TestBasics:
+    def test_construction_promotes_ints(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float32
+
+    def test_detach_breaks_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_no_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 3
+        assert not y.requires_grad
+        z = x * 3
+        assert z.requires_grad
+
+    def test_backward_requires_scalar(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * x).sum().backward()
+        first = x.grad.copy()
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * first)
+
+    def test_shared_subexpression_grad(self):
+        # d/dx (x*x + x*x) = 4x; the node is reachable by two paths.
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x
+        (y + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4,))
+        assert_gradients_close(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_mul_broadcast(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((3, 1))
+        assert_gradients_close(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_sub_div(self, rng):
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3)) + 3.0
+        assert_gradients_close(lambda x, y: (x / y - y).sum(), [a, b])
+
+    def test_matmul(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        assert_gradients_close(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_batched_matmul(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((2, 4, 5))
+        assert_gradients_close(lambda x, y: ((x @ y) ** 2).sum(), [a, b])
+
+    def test_pow(self, rng):
+        a = np.abs(rng.standard_normal((3,))) + 0.5
+        assert_gradients_close(lambda x: (x**3).sum(), [a])
+
+    def test_neg(self, rng):
+        a = rng.standard_normal((3,))
+        assert_gradients_close(lambda x: (-x * x).sum(), [a])
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize(
+        "op",
+        ["exp", "tanh", "sigmoid", "relu", "abs", "sqrt", "log"],
+    )
+    def test_unary(self, op, rng):
+        a = np.abs(rng.standard_normal((4, 3))) + 0.6  # safe domain for log/sqrt
+        assert_gradients_close(lambda x: getattr(x, op)().sum(), [a])
+
+    def test_clip(self, rng):
+        a = rng.standard_normal((10,)) * 2
+        assert_gradients_close(lambda x: x.clip(-1.0, 1.0).sum(), [a])
+
+    def test_leaky_relu(self, rng):
+        a = rng.standard_normal((10,)) + 0.05
+        assert_gradients_close(lambda x: x.leaky_relu(0.1).sum(), [a])
+
+
+class TestReductionsAndShape:
+    def test_sum_axis(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        assert_gradients_close(lambda x: (x.sum(axis=1) ** 2).sum(), [a])
+
+    def test_mean_axis_keepdims(self, rng):
+        a = rng.standard_normal((2, 3))
+        assert_gradients_close(lambda x: (x.mean(axis=0, keepdims=True) ** 2).sum(), [a])
+
+    def test_max_reduction(self, rng):
+        a = rng.standard_normal((5, 4))
+        assert_gradients_close(lambda x: x.max(axis=1).sum(), [a])
+
+    def test_reshape_transpose(self, rng):
+        a = rng.standard_normal((2, 6))
+        assert_gradients_close(
+            lambda x: (x.reshape(3, 4).transpose() ** 2).sum(), [a]
+        )
+
+    def test_getitem(self, rng):
+        a = rng.standard_normal((4, 4))
+        assert_gradients_close(lambda x: (x[1:3, ::2] ** 2).sum(), [a])
+
+    def test_pad2d(self, rng):
+        a = rng.standard_normal((1, 1, 3, 3))
+        assert_gradients_close(lambda x: (x.pad2d(2) ** 2).sum(), [a])
+
+    def test_concatenate(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((2, 2))
+        assert_gradients_close(
+            lambda x, y: (Tensor.concatenate([x, y], axis=1) ** 2).sum(), [a, b]
+        )
+
+    def test_flatten(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        out = Tensor(a).flatten()
+        assert out.shape == (2, 12)
+
+    def test_var(self, rng):
+        a = rng.standard_normal((3, 5))
+        expected = a.astype(np.float32).var(axis=1)
+        np.testing.assert_allclose(Tensor(a).var(axis=1).data, expected, atol=1e-5)
+
+
+class TestHypothesisProperties:
+    @given(small_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_add_commutes(self, a):
+        x, y = Tensor(a), Tensor(a[::-1].copy() if a.ndim == 1 else a)
+        np.testing.assert_allclose((x + y).data, (y + x).data)
+
+    @given(small_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_relu_idempotent(self, a):
+        x = Tensor(a)
+        once = x.relu().data
+        twice = x.relu().relu().data
+        np.testing.assert_allclose(once, twice)
+
+    @given(small_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_sum_of_relu_pair_is_identity(self, a):
+        # relu(x) - relu(-x) == x: the decomposition the DReLU protocol uses.
+        x = Tensor(a)
+        recomposed = x.relu().data - (-x).relu().data
+        np.testing.assert_allclose(recomposed, a.astype(np.float32), atol=1e-6)
+
+    @given(small_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, a):
+        x = Tensor(a)
+        np.testing.assert_allclose((-(-x)).data, x.data)
+
+    @given(small_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_mean_between_min_max(self, a):
+        x = Tensor(a)
+        m = float(x.mean().data)
+        assert a.min() - 1e-4 <= m <= a.max() + 1e-4

@@ -1,0 +1,83 @@
+"""Tests for the ``c2pi`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_arch(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--arch", "resnet"])
+
+    def test_attack_requires_layer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--arch", "vgg16"])
+
+    def test_costs_accepts_repeated_boundaries(self):
+        args = build_parser().parse_args(
+            ["costs", "--arch", "vgg16", "--boundary", "9", "--boundary", "13.5"]
+        )
+        assert args.boundary == [9.0, 13.5]
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["boundary"])
+        assert args.arch == "vgg16" and args.dataset == "cifar10"
+        assert args.sigma == 0.3 and args.noise == 0.1
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "smoke" in output and "paper" in output
+
+    def test_costs_prints_table(self, capsys):
+        assert main(["costs", "--arch", "vgg16", "--boundary", "9"]) == 0
+        output = capsys.readouterr().out
+        assert "Delphi" in output and "Cheetah" in output and "CrypTFlow2" in output
+        assert "b=9.0" in output
+
+    def test_costs_full_only(self, capsys):
+        assert main(["costs", "--arch", "alexnet"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("full") == 3  # one row per backend (incl. CrypTFlow2)
+
+    def test_secure_infer_dealer(self, capsys):
+        assert main(["secure-infer", "--suite", "dealer", "--boundary", "1.5"]) == 0
+        output = capsys.readouterr().out
+        assert "max err" in output and "rounds" in output
+
+    def test_secure_infer_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["secure-infer", "--suite", "spdz"])
+
+    def test_train_uses_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("C2PI_CACHE_DIR", str(tmp_path))
+        # Shrink the work: reuse the smoke profile but a tiny dataset via
+        # monkeypatched budgets.
+        from repro.bench import scale as scale_module
+
+        tiny = scale_module.ScaleProfile(
+            name="smoke", width_mult=0.125, train_size=64, test_size=32,
+            victim_epochs=1, victim_batch=32, attacker_images=16, eval_images=2,
+            attack_epochs=1, attack_batch=16, mla_iterations=10, layer_stride=4,
+        )
+        monkeypatch.setitem(scale_module.PROFILES, "smoke", tiny)
+        # Clear the in-memory victim cache so the tiny profile takes effect.
+        from repro.bench import victims as victims_module
+
+        monkeypatch.setattr(victims_module, "_memory_cache", {})
+        assert main(["train", "--arch", "alexnet", "--dataset", "cifar10"]) == 0
+        first = capsys.readouterr().out
+        assert "test accuracy" in first
+        # Second call must hit the on-disk cache (same accuracy reported).
+        monkeypatch.setattr(victims_module, "_memory_cache", {})
+        assert main(["train", "--arch", "alexnet", "--dataset", "cifar10"]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[0] == second.splitlines()[0]

@@ -1,0 +1,59 @@
+"""Smoke tests for the fast runnable examples.
+
+Only the examples that complete in seconds run here (the training-heavy
+walkthroughs — quickstart, attack_comparison, resnet_c2pi — are exercised
+by the equivalent benchmarks instead). Each test executes the script's
+``main()`` in-process and checks the printed narrative reaches its final
+section, which catches API drift between the library and the examples.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    namespace = runpy.run_path(str(_EXAMPLES / name), run_name="not_main")
+    namespace["main"]()
+    return capsys.readouterr().out
+
+
+def test_malicious_client_example(capsys):
+    output = _run_example("malicious_client.py", capsys)
+    assert "MAC check passes" in output
+    assert "caught: MAC check failed" in output
+    assert "caught as well" in output
+
+
+@pytest.mark.slow
+def test_garbled_relu_example(capsys):
+    output = _run_example("garbled_relu.py", capsys)
+    assert "AND gates" in output
+    assert "Delphi hurts on bandwidth" in output
+
+
+def test_examples_directory_is_complete():
+    """Every example advertised by the README exists and is importable."""
+    readme = (_EXAMPLES.parent / "README.md").read_text()
+    scripts = sorted(p.name for p in _EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 8
+    for script in scripts:
+        assert script in readme or script == "quickstart.py", (
+            f"{script} missing from README examples section"
+        )
+
+
+def test_examples_have_docstrings_and_main():
+    for path in _EXAMPLES.glob("*.py"):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), f"{path.name}: no module docstring"
+        assert "def main()" in source, f"{path.name}: no main()"
+        assert '__name__' in source, f"{path.name}: no __main__ guard"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(pytest.main([__file__, "-q"]))

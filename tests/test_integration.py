@@ -1,0 +1,114 @@
+"""Cross-module integration tests: the full C2PI story in one place.
+
+These tests tie the substrates together exactly the way the paper's system
+does: victim training -> secure crypto layers -> noised reveal -> clear
+layers -> prediction, with the IDPA consuming the *actual* server view the
+pipeline produced (not a simulated one).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks import DINA, MLA
+from repro.core import C2PIPipeline, UniformNoiseDefense
+from repro.data import make_cifar10
+from repro.metrics import evaluate_accuracy, ssim
+from repro.models import train_classifier, vgg16
+from repro.sl import SplitLearningDeployment
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = make_cifar10(train_size=256, test_size=96, seed=0)
+    model = vgg16(width_mult=0.125, rng=np.random.default_rng(0))
+    result = train_classifier(model, dataset, epochs=2, batch_size=32, lr=2e-3, seed=0)
+    model.eval()
+    return model, dataset, result.test_accuracy
+
+
+class TestEndToEndPrivacyLoop:
+    def test_attack_on_actual_pipeline_view(self, world):
+        """The IDPA must consume what the pipeline really reveals."""
+        model, dataset, _ = world
+        pipeline = C2PIPipeline(model, boundary=2.0, noise_magnitude=0.0, seed=0)
+        images = dataset.test_images[:2]
+        result = pipeline.infer(images)
+
+        attack = MLA(model, 2.0, iterations=120, lr=0.08, seed=1)
+        recovered = attack.recover(result.server_view)
+        scores = [ssim(recovered[i], images[i]) for i in range(len(images))]
+        # At a shallow boundary with no noise, the server recovers inputs —
+        # which is exactly why Algorithm 1 would reject this boundary.
+        assert np.mean(scores) > 0.4
+
+    def test_noise_degrades_pipeline_view_attack(self, world):
+        model, dataset, _ = world
+        images = dataset.test_images[:2]
+        views = {}
+        for magnitude in (0.0, 0.8):
+            pipeline = C2PIPipeline(model, boundary=2.0, noise_magnitude=magnitude, seed=0)
+            views[magnitude] = pipeline.infer(images).server_view
+        attack = MLA(model, 2.0, iterations=120, lr=0.08, seed=1)
+        clean_score = np.mean(
+            [ssim(attack.recover(views[0.0])[i], images[i]) for i in range(2)]
+        )
+        attack2 = MLA(model, 2.0, iterations=120, lr=0.08, seed=1)
+        noisy_score = np.mean(
+            [ssim(attack2.recover(views[0.8])[i], images[i]) for i in range(2)]
+        )
+        assert noisy_score < clean_score
+
+    def test_pipeline_accuracy_tracks_noised_baseline(self, world):
+        model, dataset, baseline = world
+        pipeline = C2PIPipeline(model, boundary=4.0, noise_magnitude=0.1, seed=0)
+        result = pipeline.infer(dataset.test_images[:64])
+        accuracy = (result.prediction == dataset.test_labels[:64]).mean()
+        assert accuracy >= baseline - 0.2
+
+    def test_deep_boundary_resists_even_trained_dina(self, world):
+        """At the network tail the best attack should fail (Figure 8)."""
+        model, dataset, _ = world
+        attack = DINA(model, 12.0, epochs=2, batch_size=32, seed=0)
+        attack.prepare(dataset.train_images[:96])
+        result = attack.evaluate(dataset.test_images[:4])
+        assert result.avg_ssim < 0.3
+
+
+class TestC2PIvsSplitLearning:
+    """Section II's comparison: same adversary artifact, different trust."""
+
+    def test_same_layer_same_view_shape(self, world):
+        model, dataset, _ = world
+        images = dataset.test_images[:2]
+        c2pi = C2PIPipeline(model, boundary=3.5, noise_magnitude=0.1, seed=0)
+        sl = SplitLearningDeployment(
+            model, 3.5, defense=UniformNoiseDefense(0.1, seed=0)
+        )
+        c2pi_view = c2pi.infer(images).server_view
+        sl_view = sl.infer(images).cloud_view
+        assert c2pi_view.shape == sl_view.shape
+        # Both are the same activation up to their (independent) noise.
+        assert np.abs(c2pi_view - sl_view).max() <= 0.2 + 5e-3
+
+    def test_sl_is_cheaper_but_leaks_architecture(self, world):
+        """SL sends one plaintext feature; C2PI pays MPC for the prefix but
+        hides the clear-layer architecture from the client."""
+        model, dataset, _ = world
+        images = dataset.test_images[:1]
+        sl_bytes = SplitLearningDeployment(model, 3.5).infer(images).uploaded_bytes
+        c2pi_bytes = C2PIPipeline(model, 3.5, 0.1).infer(images).total_bytes
+        assert c2pi_bytes > sl_bytes
+
+
+class TestSerializationRoundTripThroughPipeline:
+    def test_saved_victim_serves_identically(self, world, tmp_path):
+        model, dataset, _ = world
+        path = str(tmp_path / "victim.npz")
+        nn.save_model(model, path)
+        clone = vgg16(width_mult=0.125, rng=np.random.default_rng(9))
+        nn.load_model(clone, path)
+        clone.eval()
+        a = C2PIPipeline(model, 3.0, 0.0, seed=0).infer(dataset.test_images[:2])
+        b = C2PIPipeline(clone, 3.0, 0.0, seed=0).infer(dataset.test_images[:2])
+        np.testing.assert_allclose(a.logits, b.logits, atol=1e-4)
