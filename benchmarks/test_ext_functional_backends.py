@@ -12,6 +12,7 @@ checks the two headline cost relationships the paper builds on:
 """
 
 import numpy as np
+import pytest
 
 from repro import nn
 from repro.bench import render_table
@@ -38,6 +39,7 @@ def _run_suite(model, image, suite):
     return engine.run(image)
 
 
+@pytest.mark.slow
 def test_functional_backends_shape(benchmark):
     model = _demo_model()
     image = np.random.default_rng(1).normal(0, 0.5, (1, 2, 8, 8)).astype(np.float32)

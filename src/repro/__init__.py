@@ -20,11 +20,14 @@ Subpackages
 ``repro.core``
     The C2PI contribution: noise mechanism, boundary search (Algorithm 1)
     and the end-to-end crypto-clear inference pipeline.
+``repro.serve``
+    Batched serving: one compiled ``SecureProgram``, warm offline
+    preprocessing pools, request coalescing and throughput metrics.
 ``repro.bench``
     Shared experiment harness behind ``benchmarks/`` with the paper's
     reference numbers.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["nn", "models", "data", "metrics", "attacks", "mpc", "core", "bench"]
+__all__ = ["nn", "models", "data", "metrics", "attacks", "mpc", "core", "serve", "bench"]

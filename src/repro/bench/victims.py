@@ -13,13 +13,18 @@ import os
 import numpy as np
 
 from ..data import SyntheticImageDataset, make_cifar10, make_cifar100
-from ..models import LayeredModel, alexnet, train_classifier, vgg16, vgg19
+from ..models import LayeredModel, alexnet, resnet20, train_classifier, vgg16, vgg19
 from ..nn import load_model, save_model
 from .scale import ScaleProfile, current_scale
 
 __all__ = ["get_dataset", "build_victim", "get_victim", "cache_directory"]
 
-_ARCHITECTURES = {"alexnet": alexnet, "vgg16": vgg16, "vgg19": vgg19}
+_ARCHITECTURES = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "resnet20": resnet20,
+}
 _memory_cache: dict[tuple, tuple[LayeredModel, SyntheticImageDataset, float]] = {}
 
 

@@ -12,6 +12,7 @@ any protocol suite — is reachable without writing Python:
     c2pi boundary --arch vgg16 --dataset cifar10 --sigma 0.3
     c2pi costs --arch vgg16 --boundary 9
     c2pi secure-infer --suite cheetah --boundary 2.5
+    c2pi serve-bench --arch resnet20 --requests 8 --batch 4
 
 All commands respect the ``C2PI_SCALE`` environment variable (smoke /
 small / paper budgets).
@@ -74,11 +75,32 @@ def build_parser() -> argparse.ArgumentParser:
         "stacks (Paillier+GC / RLWE+OT) at demonstration scale",
     )
     secure.add_argument("--boundary", type=float, default=2.5)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="offline/online serving benchmark: batched warm-pool C2PIServer "
+        "vs one-at-a-time inline inference",
+    )
+    _add_victim_args(serve, default_arch="resnet20")
+    serve.add_argument(
+        "--boundary",
+        type=float,
+        default=None,
+        help="crypto/clear boundary (default: 3.5 for resnet20, 2.5 otherwise)",
+    )
+    serve.add_argument("--requests", type=int, default=8)
+    serve.add_argument("--batch", type=int, default=4, help="coalescing width")
+    serve.add_argument("--noise", type=float, default=0.1, help="lambda")
+    serve.add_argument("--output", default=None, help="write the benchmark JSON here")
     return parser
 
 
-def _add_victim_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--arch", default="vgg16", choices=("alexnet", "vgg16", "vgg19"))
+def _add_victim_args(parser: argparse.ArgumentParser, default_arch: str = "vgg16") -> None:
+    parser.add_argument(
+        "--arch",
+        default=default_arch,
+        choices=("alexnet", "vgg16", "vgg19", "resnet20"),
+    )
     parser.add_argument("--dataset", default="cifar10", choices=("cifar10", "cifar100"))
 
 
@@ -214,6 +236,59 @@ def _cmd_secure_infer(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from .bench import get_victim
+    from .serve import benchmark_serving
+
+    model, dataset, accuracy = get_victim(args.arch, args.dataset)
+    boundary = args.boundary
+    if boundary is None:
+        boundary = 3.5 if args.arch == "resnet20" else 2.5
+    images = dataset.test_images[: args.requests]
+    report = benchmark_serving(
+        model,
+        boundary,
+        images,
+        max_batch=args.batch,
+        noise_magnitude=args.noise,
+    )
+    report["victim_accuracy"] = accuracy
+
+    served, baseline = report["served"], report["baseline"]
+    print(
+        f"serve-bench: {model.name} boundary={boundary} "
+        f"requests={report['requests']} batch={report['max_batch']}"
+    )
+    print(
+        f"  seed path   : {baseline['total_s']:.3f} s total "
+        f"({baseline['amortized_s'] * 1e3:.1f} ms/inference, inline preprocessing)"
+    )
+    print(
+        f"  served path : {served['online_s']:.3f} s online "
+        f"({served['amortized_online_s'] * 1e3:.1f} ms/inference) "
+        f"+ {served['offline_s']:.3f} s offline (pooled)"
+    )
+    print(
+        f"  online speedup: {report['speedup_online']:.2f}x  "
+        f"(predictions agree: {report['predictions_agree']})"
+    )
+    generation = served["online_dealer_generation"]
+    print(f"  online dealer generation: {generation} (all zero = clean split)")
+    print("  traffic by label (online):")
+    for label, bucket in report["traffic_by_label"].items():
+        print(
+            f"    {label:<20} {bucket['bytes'] / 1e3:10.1f} KB "
+            f"{bucket['messages']:6d} msgs {bucket['rounds']:5d} rounds"
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"  wrote {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "train": _cmd_train,
@@ -221,6 +296,7 @@ _COMMANDS = {
     "boundary": _cmd_boundary,
     "costs": _cmd_costs,
     "secure-infer": _cmd_secure_infer,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

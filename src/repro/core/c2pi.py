@@ -18,24 +18,30 @@ exactly what the IDPAs of :mod:`repro.attacks` consume, closing the loop
 between the privacy evaluation and the deployed pipeline. Setting the
 boundary to the last layer recovers standard full PI (zero clear layers),
 which is how the Table II baselines are produced.
+
+The pipeline compiles its crypto segment into a
+:class:`~repro.mpc.program.SecureProgram` once at construction and can
+split the work into a real offline/online phase pair:
+:meth:`C2PIPipeline.prepare_offline` fills per-batch preprocessing pools
+(:mod:`repro.mpc.preprocessing`), after which :meth:`C2PIPipeline.infer`
+consumes pooled material and performs zero dealer generation online.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import nn
 from ..models.layered import LayeredModel
 from ..mpc.costs import BackendCostModel, CostEstimate
-from ..mpc.engine import (
-    LayerTally,
-    SecureInferenceEngine,
-    static_layer_tallies,
-)
+from ..mpc.engine import LayerTally, SecureInferenceEngine
 from ..mpc.fixedpoint import DEFAULT_CONFIG, FixedPointConfig
-from ..mpc.network import NetworkModel
+from ..mpc.network import NetworkModel, TrafficSnapshot
+from ..mpc.preprocessing import PreprocessingPool
+from ..mpc.program import SecureProgram, compile_program, split_macs
 from .noise import NoiseMechanism
 
 __all__ = ["C2PIResult", "C2PIPipeline", "full_pi_tallies"]
@@ -52,6 +58,9 @@ class C2PIResult:
     crypto_rounds: int
     reveal_bytes: int
     tallies: list[LayerTally]
+    traffic_by_label: dict[str, TrafficSnapshot] = field(default_factory=dict)
+    online_s: float = 0.0
+    used_pool: bool = False
 
     @property
     def prediction(self) -> np.ndarray:
@@ -72,19 +81,63 @@ class C2PIPipeline:
         noise_magnitude: float = 0.1,
         config: FixedPointConfig = DEFAULT_CONFIG,
         seed: int = 0,
+        program: SecureProgram | None = None,
     ):
         self.model = model
         self.boundary = boundary
         self.config = config
         self.noise = NoiseMechanism(noise_magnitude, seed=seed)
-        self.engine = SecureInferenceEngine(
-            model, boundary, config=config, dealer_seed=seed, share_seed=seed + 1
+        self.program = (
+            program
+            if program is not None
+            else compile_program(model, boundary, config)
         )
+        self.engine = SecureInferenceEngine.from_program(
+            self.program, dealer_seed=seed, share_seed=seed + 1
+        )
+        self._pools: dict[int, PreprocessingPool] = {}
+
+    # ------------------------------------------------------------------
+    def prepare_offline(
+        self, batch: int = 1, bundles: int = 1, background: bool = False
+    ) -> PreprocessingPool:
+        """Run the offline phase: pool ``bundles`` sets of correlated
+        randomness for ``batch``-sized requests.
+
+        The pool's dealer is seeded like the engine's, so warm-pool
+        inference is byte-identical to the single-shot path. With
+        ``background=True`` generation happens in a daemon thread and
+        ``infer`` joins it on demand.
+        """
+        pool = self._pools.get(batch)
+        if pool is None:
+            pool = PreprocessingPool(
+                self.program, batch, dealer_seed=self.engine.dealer_seed
+            )
+            self._pools[batch] = pool
+        if bundles:
+            (pool.refill_async if background else pool.refill)(bundles)
+        return pool
+
+    def pool_stats(self) -> dict[int, dict]:
+        """Offline-phase counters per batch size (serving metrics)."""
+        return {batch: pool.stats.as_dict() for batch, pool in self._pools.items()}
 
     # ------------------------------------------------------------------
     def infer(self, images: np.ndarray) -> C2PIResult:
-        """Run the full protocol on a float NCHW batch."""
-        execution = self.engine.run(images)
+        """Run the full protocol on a float NCHW batch.
+
+        When :meth:`prepare_offline` has pooled material for this batch
+        size, only that material is consumed — the engine's dealer
+        generates nothing online.
+        """
+        pool = self._pools.get(images.shape[0])
+        # Acquisition happens outside the online clock: a pool miss refills
+        # synchronously, and those seconds are offline work (the pool books
+        # them under stats.offline_seconds).
+        material = pool.acquire() if pool is not None else None
+        start = time.perf_counter()
+        execution = self.engine.run(images, material=material)
         crypto_bytes = execution.channel.total_bytes
         crypto_rounds = execution.channel.rounds
 
@@ -108,6 +161,9 @@ class C2PIPipeline:
             crypto_rounds=crypto_rounds,
             reveal_bytes=reveal_bytes,
             tallies=execution.tallies,
+            traffic_by_label=execution.channel.label_breakdown(),
+            online_s=time.perf_counter() - start,
+            used_pool=material is not None,
         )
 
     # ------------------------------------------------------------------
@@ -121,14 +177,11 @@ class C2PIPipeline:
         below the cryptographic per-op costs, matching the paper's framing
         that clear layers are effectively free).
         """
-        tallies = static_layer_tallies(self.model, self.boundary, batch=batch)
-        estimate = CostEstimate.from_tallies(tallies, backend)
-        boundary_elements = int(
-            np.prod(self.model.activation_shape(self.boundary, batch=batch))
-        )
+        estimate = CostEstimate.from_tallies(self.program.tallies(batch), backend)
+        boundary_elements = batch * int(np.prod(self.program.output_shape))
         estimate.online_bytes += boundary_elements * 8  # the noised reveal
         estimate.rounds += 1
-        clear_macs = _suffix_macs(self.model, self.boundary, batch)
+        clear_macs = split_macs(self.model, self.boundary, batch)[1]
         estimate.compute_s += clear_macs * 0.5e-9
         return estimate
 
@@ -143,12 +196,4 @@ def full_pi_tallies(model: LayeredModel, batch: int = 1) -> list[LayerTally]:
     tallies feed the Table II baselines.
     """
     last = model.layer_ids[-1]
-    return static_layer_tallies(model, last, batch=batch)
-
-
-def _suffix_macs(model: LayeredModel, boundary: float, batch: int) -> int:
-    """Multiply-accumulate count of the clear layers (shape-traced)."""
-    last = model.layer_ids[-1]
-    total = sum(t.macs for t in static_layer_tallies(model, last, batch=batch))
-    crypto = sum(t.macs for t in static_layer_tallies(model, boundary, batch=batch))
-    return total - crypto
+    return compile_program(model, last, encode_weights=False).tallies(batch)

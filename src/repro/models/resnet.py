@@ -9,11 +9,11 @@ Residual blocks are *atomic* for layer indexing: a skip connection cannot
 be cut in the middle, so each block advertises ``linear_ops = 2`` (or 3
 with a downsampling projection) and ``ends_with_relu = True``, making the
 block boundary — the only architecturally meaningful cut point —
-addressable by Algorithm 1 and by the attacks. The secure engine does not
-execute residual blocks (C2PI would run them with the same linear + ReLU
-protocols plus one share addition; the cost models cover this via
-:func:`resnet_tallies`), but boundary search, DINA/MLA attacks and the
-noise/accuracy trade-off all run unchanged.
+addressable by Algorithm 1 and by the attacks. The ``SecureProgram``
+compiler (:mod:`repro.mpc.program`) lowers each block into its convs,
+ReLUs and one communication-free share addition, so the secure engine
+executes ResNet crypto segments directly and :func:`resnet_tallies` is
+simply a weight-free compilation of the same ops.
 """
 
 from __future__ import annotations
@@ -119,100 +119,17 @@ def resnet20(
 
 
 def resnet_tallies(model: LayeredModel, boundary: float, batch: int = 1):
-    """Shape-derived :class:`~repro.mpc.engine.LayerTally` records for a ResNet.
+    """Shape-derived :class:`~repro.mpc.program.LayerTally` records for a ResNet.
 
-    Expands each residual block into its conv + ReLU (+ share addition,
-    which is communication-free) operations so the Delphi/Cheetah cost
-    models can price ResNet crypto segments the engine itself does not
-    execute. Mirrors :func:`repro.mpc.engine.static_layer_tallies`.
+    Residual blocks expand into their conv + ReLU (+ communication-free
+    share addition) operations so the Delphi/Cheetah cost models can price
+    ResNet crypto segments. Since the ``SecureProgram`` compiler lowers
+    residual blocks the same way, this is now just a weight-free
+    compilation — the engine executes exactly the ops priced here.
     """
-    from ..mpc.engine import LayerTally
+    from ..mpc.program import compile_program
 
-    tallies: list[LayerTally] = []
-    shape = (batch, *model.input_shape)
-    cut = model.cut_position(boundary)
-    for module in list(model.body)[:cut]:
-        if isinstance(module, ResidualBlock):
-            n, _, h, w = shape
-            out_h = (h + module.stride - 1) // module.stride
-            for conv in filter(None, (module.conv1, module.conv2, module.projection)):
-                out_elements = n * conv.out_channels * out_h * out_h
-                tallies.append(
-                    LayerTally(
-                        kind="conv",
-                        name=f"conv{conv.in_channels}x{conv.out_channels}",
-                        elements=out_elements,
-                        in_elements=n * conv.in_channels * h * w,
-                        out_elements=out_elements,
-                        c_in=conv.in_channels,
-                        c_out=conv.out_channels,
-                        kernel=conv.kernel_size,
-                        macs=out_elements * conv.in_channels * conv.kernel_size**2,
-                    )
-                )
-            relu_elements = n * module.out_channels * out_h * out_h
-            tallies.append(LayerTally(kind="relu", name="relu", elements=relu_elements))
-            tallies.append(LayerTally(kind="relu", name="relu", elements=relu_elements))
-            shape = (n, module.out_channels, out_h, out_h)
-        else:
-            tally, shape = _single_module_tally(module, shape)
-            if tally is not None:
-                tallies.append(tally)
-    return tallies
-
-
-def _single_module_tally(module: nn.Module, shape):
-    """Tally one plain module (delegating to the engine's static rules)."""
-    from ..mpc.engine import LayerTally
-    from ..nn.functional import conv_output_size
-
-    if isinstance(module, nn.Conv2d):
-        n, _, h, w = shape
-        out_h = conv_output_size(h, module.kernel_size, module.stride,
-                                 module.padding, module.dilation)
-        out_w = conv_output_size(w, module.kernel_size, module.stride,
-                                 module.padding, module.dilation)
-        out_elements = n * module.out_channels * out_h * out_w
-        tally = LayerTally(
-            kind="conv",
-            name=f"conv{module.in_channels}x{module.out_channels}",
-            elements=out_elements,
-            in_elements=int(np.prod(shape)),
-            out_elements=out_elements,
-            c_in=module.in_channels,
-            c_out=module.out_channels,
-            kernel=module.kernel_size,
-            macs=out_elements * module.in_channels * module.kernel_size**2,
-        )
-        return tally, (n, module.out_channels, out_h, out_w)
-    if isinstance(module, nn.Linear):
-        n = shape[0]
-        out_elements = n * module.out_features
-        tally = LayerTally(
-            kind="linear",
-            name=f"fc{module.in_features}x{module.out_features}",
-            elements=out_elements,
-            in_elements=int(np.prod(shape)),
-            out_elements=out_elements,
-            c_in=module.in_features,
-            c_out=module.out_features,
-            kernel=1,
-            macs=out_elements * module.in_features,
-        )
-        return tally, (n, module.out_features)
-    if isinstance(module, nn.ReLU):
-        return LayerTally(kind="relu", name="relu",
-                          elements=int(np.prod(shape))), shape
-    if isinstance(module, nn.AdaptiveAvgPool2d):
-        n, c = shape[0], shape[1]
-        tally = LayerTally(kind="avgpool", name="avgpool", windows=n * c,
-                           window_size=shape[2] * shape[3], elements=n * c)
-        return tally, (n, c, 1, 1)
-    if isinstance(module, nn.Flatten):
-        return LayerTally(kind="flatten", name="flatten"), (shape[0], int(np.prod(shape[1:])))
-    if isinstance(module, (nn.BatchNorm2d, nn.Dropout, nn.Identity)):
-        return None, shape
-    raise ValueError(f"unsupported module in ResNet tally: {module!r}")
+    return compile_program(model, boundary, encode_weights=False).tallies(batch)
 
 
 def resnet32(

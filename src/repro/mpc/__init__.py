@@ -8,8 +8,13 @@ Layers (bottom-up):
 * :mod:`repro.mpc.network` — channel traffic accounting, LAN/WAN models;
 * :mod:`repro.mpc.protocols` — Beaver multiplication, masked-reveal
   comparison, DReLU/ReLU/max, Delphi-style linear layers, truncation;
-* :mod:`repro.mpc.engine` — secure evaluation of a model prefix under a
-  pluggable protocol suite (:mod:`repro.mpc.backends`: trusted dealer,
+* :mod:`repro.mpc.program` — the ``SecureProgram`` IR: a model prefix
+  compiled once into typed ops with pre-folded BN, pre-encoded ring
+  weights and traced shapes;
+* :mod:`repro.mpc.preprocessing` — offline pools of correlated
+  randomness, generated per program ahead of the online phase;
+* :mod:`repro.mpc.engine` — online execution of a compiled program under
+  a pluggable protocol suite (:mod:`repro.mpc.backends`: trusted dealer,
   functional Delphi, functional Cheetah);
 * :mod:`repro.mpc.authenticated` — SPDZ-style MAC'd shares (the
   malicious-client extension);
@@ -42,6 +47,14 @@ from .engine import (
 )
 from .fixedpoint import DEFAULT_CONFIG, FixedPointConfig
 from .network import LAN, WAN, Channel, NetworkModel, TrafficSnapshot
+from .preprocessing import (
+    MaterialRequest,
+    PoolExhausted,
+    PoolStats,
+    PreprocessingPool,
+    ReplayDealer,
+)
+from .program import SecureProgram, compile_program, split_macs
 from .sharing import (
     bit_decompose,
     reconstruct_additive,
@@ -69,6 +82,14 @@ __all__ = [
     "LayerTally",
     "fold_batch_norm",
     "static_layer_tallies",
+    "SecureProgram",
+    "compile_program",
+    "split_macs",
+    "PreprocessingPool",
+    "PoolExhausted",
+    "PoolStats",
+    "ReplayDealer",
+    "MaterialRequest",
     "BackendCostModel",
     "CostEstimate",
     "OpCost",

@@ -24,6 +24,17 @@ class ProtocolSuite:
 
     name = "abstract"
 
+    def with_dealer(self, dealer) -> "ProtocolSuite":
+        """A view of this suite drawing correlated randomness from ``dealer``.
+
+        Suites that do not consume dealer material (the functional
+        Delphi/Cheetah stacks run their own preprocessing) return
+        themselves; :class:`DealerSuite` rebinds, which is how the engine
+        swaps in a :class:`~repro.mpc.preprocessing.ReplayDealer` bundle
+        for the online phase.
+        """
+        return self
+
     def linear(self, shares: Shares, ring_fn, bias, channel: Channel) -> Shares:
         """Shares of ``f(x) + bias`` for the server-known linear map f."""
         raise NotImplementedError
@@ -55,6 +66,9 @@ class DealerSuite(ProtocolSuite):
 
     def __init__(self, dealer: TrustedDealer):
         self.dealer = dealer
+
+    def with_dealer(self, dealer) -> "DealerSuite":
+        return DealerSuite(dealer)
 
     def linear(self, shares, ring_fn, bias, channel):
         return secure_linear(shares, ring_fn, bias, self.dealer, channel)

@@ -1,39 +1,59 @@
-"""Secure evaluation of a model prefix on additive shares.
+"""Secure evaluation of a compiled :class:`SecureProgram` on additive shares.
 
-:class:`SecureInferenceEngine` runs the crypto layers of a
-:class:`~repro.models.layered.LayeredModel` under the two-party protocols of
+:class:`SecureInferenceEngine` executes the typed op stream produced by
+:func:`repro.mpc.program.compile_program` under the two-party protocols of
 :mod:`repro.mpc.protocols`, orchestrating both (in-process) parties:
 
 * the **client** (party 0) contributes the input image as a secret;
 * the **server** (party 1) contributes the weights, which never leave it
   (the dealer stands in for the preprocessing exchanges, see
-  :mod:`repro.mpc.dealer`);
-* batch-norm layers are folded into the preceding convolution first — the
-  standard inference-time transformation, which keeps the secure layer
-  sequence identical to what Delphi/Cheetah would execute.
+  :mod:`repro.mpc.dealer` and DESIGN.md);
+* all static work — batch-norm folding, ring encoding of the weights,
+  shape tracing — happened once at compile time, so ``run()`` is the
+  *online phase* only.
+
+``run(x, material=...)`` executes against pre-generated correlated
+randomness from a :class:`~repro.mpc.preprocessing.PreprocessingPool`
+bundle, touching the engine's own dealer not at all — the real
+offline/online split of the Delphi/Cheetah stacks. Without ``material``
+the dealer generates inline (the classic single-shot mode).
 
 The engine also produces a per-layer :class:`LayerTally` stream (element
 counts, MACs, actual traffic) that the cost models in
 :mod:`repro.mpc.costs` turn into Delphi/Cheetah latency and communication
-estimates. :func:`static_layer_tallies` computes the same tallies from
-shapes alone, so paper-scale cost estimation does not require running the
+estimates. :func:`static_layer_tallies` derives the same tallies from the
+program alone, so paper-scale cost estimation does not require running the
 (slower) functional engine at full width.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from .. import nn
 from ..models.layered import LayeredModel
-from ..nn.functional import conv_output_size, im2col
+from ..nn.functional import im2col
 from .backends.suite import DealerSuite, ProtocolSuite
 from .dealer import TrustedDealer
 from .fixedpoint import DEFAULT_CONFIG, FixedPointConfig
-from .network import Channel, TrafficSnapshot
+from .network import Channel
+from .program import (
+    AddOp,
+    AvgPoolOp,
+    ConvOp,
+    FlattenOp,
+    LayerTally,
+    LinearOp,
+    MaxPoolOp,
+    ProgramOp,
+    ReluOp,
+    SaveOp,
+    SecureProgram,
+    compile_program,
+    fold_batch_norm,
+)
 from .protocols import multiply_public_constant, truncate_shares
 from .sharing import reconstruct_additive, share_additive
 
@@ -45,31 +65,14 @@ __all__ = [
     "static_layer_tallies",
 ]
 
-
-@dataclass
-class LayerTally:
-    """Cost-relevant facts about one executed (or statically traced) layer."""
-
-    kind: str  # "conv" | "linear" | "relu" | "maxpool" | "avgpool" | "flatten"
-    name: str
-    elements: int = 0  # activation elements the op produces/consumes
-    in_elements: int = 0
-    out_elements: int = 0
-    c_in: int = 0
-    c_out: int = 0
-    kernel: int = 0
-    macs: int = 0
-    windows: int = 0
-    window_size: int = 0
-    compute_s: float = 0.0
-    traffic: TrafficSnapshot = field(default_factory=TrafficSnapshot)
+Shares = tuple[np.ndarray, np.ndarray]
 
 
 @dataclass
 class SecureExecutionResult:
     """Outcome of a secure prefix evaluation."""
 
-    shares: tuple[np.ndarray, np.ndarray]
+    shares: Shares
     tallies: list[LayerTally]
     channel: Channel
     config: FixedPointConfig
@@ -89,47 +92,6 @@ class SecureExecutionResult:
         return self.channel.rounds
 
 
-def fold_batch_norm(conv: nn.Conv2d, bn: nn.BatchNorm2d) -> tuple[np.ndarray, np.ndarray]:
-    """Fold an eval-mode batch norm into the preceding convolution.
-
-    Returns the adjusted (weight, bias) float arrays:
-    ``W' = W * gamma / sqrt(var + eps)``, ``b' = (b - mean) * gamma /
-    sqrt(var + eps) + beta``.
-    """
-    gamma = bn.gamma.data
-    beta = bn.beta.data
-    mean = bn.running_mean
-    var = bn.running_var
-    inv_std = gamma / np.sqrt(var + bn.eps)
-    weight = conv.weight.data * inv_std[:, None, None, None]
-    bias = conv.bias.data if conv.bias is not None else np.zeros(conv.out_channels, np.float32)
-    bias = (bias - mean) * inv_std + beta
-    return weight.astype(np.float32), bias.astype(np.float32)
-
-
-def _ring_conv_fn(weight_ring: np.ndarray, conv: nn.Conv2d):
-    """Integer convolution over Z_2^64 (numpy uint64 wrap = mod 2^64)."""
-    out_channels = weight_ring.shape[0]
-    w_mat = weight_ring.reshape(out_channels, -1)
-
-    def apply(x: np.ndarray) -> np.ndarray:
-        n = x.shape[0]
-        cols, out_h, out_w = im2col(
-            x, conv.kernel_size, conv.kernel_size, conv.stride, conv.padding, conv.dilation
-        )
-        out = np.matmul(w_mat, cols)  # uint64 matmul wraps mod 2^64
-        return out.reshape(n, out_channels, out_h, out_w)
-
-    return apply
-
-
-def _ring_linear_fn(weight_ring: np.ndarray):
-    def apply(x: np.ndarray) -> np.ndarray:
-        return np.matmul(x, weight_ring.T)
-
-    return apply
-
-
 class SecureInferenceEngine:
     """Run ``model``'s crypto layers (up to ``boundary``) under 2PC.
 
@@ -137,7 +99,9 @@ class SecureInferenceEngine:
     (:class:`~repro.mpc.backends.suite.ProtocolSuite`): the default
     trusted-dealer suite is fast enough for paper-scale runs, while the
     functional Delphi/Cheetah suites execute the real primitive stacks at
-    demonstration scale.
+    demonstration scale. Pass a pre-compiled ``program`` to share one
+    compilation across engines (the serve-many path); otherwise the model
+    prefix is compiled here, once, at construction.
     """
 
     def __init__(
@@ -148,77 +112,73 @@ class SecureInferenceEngine:
         dealer_seed: int = 0,
         share_seed: int = 1,
         suite: ProtocolSuite | None = None,
+        program: SecureProgram | None = None,
     ):
+        if program is None:
+            program = compile_program(model, boundary, config)
+        elif not program.encoded:
+            raise ValueError("engine needs a program compiled with encode_weights=True")
         self.model = model
         self.boundary = boundary
         self.config = config
+        self.program = program
+        self.dealer_seed = dealer_seed
         self.dealer = TrustedDealer(seed=dealer_seed)
         self.suite = suite if suite is not None else DealerSuite(self.dealer)
         self._share_rng = np.random.default_rng(share_seed)
-        self._modules = list(model.prefix(boundary))
+
+    @classmethod
+    def from_program(
+        cls,
+        program: SecureProgram,
+        dealer_seed: int = 0,
+        share_seed: int = 1,
+        suite: ProtocolSuite | None = None,
+    ) -> "SecureInferenceEngine":
+        """An executor over an already-compiled program (compile once, serve many)."""
+        return cls(
+            program.model,
+            program.boundary,
+            config=program.config,
+            dealer_seed=dealer_seed,
+            share_seed=share_seed,
+            suite=suite,
+            program=program,
+        )
 
     # ------------------------------------------------------------------
-    def run(self, x: np.ndarray) -> SecureExecutionResult:
-        """Securely evaluate the prefix on a float NCHW input batch."""
+    def run(self, x: np.ndarray, material=None) -> SecureExecutionResult:
+        """Securely evaluate the program on a float NCHW input batch.
+
+        ``material`` is an optional dealer-like source of pre-generated
+        correlated randomness (a :class:`~repro.mpc.preprocessing.ReplayDealer`);
+        when given, the online phase performs **zero** dealer generation and
+        the engine's own dealer counters do not move.
+        """
         if x.ndim != 4:
             raise ValueError(f"expected NCHW input, got shape {x.shape}")
+        if tuple(x.shape[1:]) != self.program.input_shape:
+            raise ValueError(
+                f"expected per-sample shape {self.program.input_shape}, "
+                f"got {tuple(x.shape[1:])}"
+            )
+        suite = self.suite if material is None else self.suite.with_dealer(material)
         channel = Channel()
         shares = share_additive(self.config.encode(x), self._share_rng)
         # The initial sharing is one client->server message of input size.
         channel.send(0, shares[1].nbytes, label="input-share")
         channel.tick_round("input-share")
 
+        registers: dict[str, Shares] = {}
         tallies: list[LayerTally] = []
-        index = 0
-        while index < len(self._modules):
-            module = self._modules[index]
+        for op in self.program.ops:
             before = channel.snapshot()
             start = time.perf_counter()
-
-            if isinstance(module, nn.Conv2d):
-                follower = (
-                    self._modules[index + 1] if index + 1 < len(self._modules) else None
-                )
-                if isinstance(follower, nn.BatchNorm2d):
-                    weight, bias = fold_batch_norm(module, follower)
-                    index += 1  # consume the folded BN
-                else:
-                    weight = module.weight.data
-                    bias = (
-                        module.bias.data
-                        if module.bias is not None
-                        else np.zeros(module.out_channels, np.float32)
-                    )
-                shares, tally = self._conv(shares, module, weight, bias, channel)
-            elif isinstance(module, nn.Linear):
-                shares, tally = self._fc(shares, module, channel)
-            elif isinstance(module, nn.ReLU):
-                shares, tally = self._relu(shares, channel)
-            elif isinstance(module, nn.MaxPool2d):
-                shares, tally = self._maxpool(shares, module, channel)
-            elif isinstance(module, nn.AvgPool2d):
-                shares, tally = self._avgpool(shares, module, channel)
-            elif isinstance(module, nn.Flatten):
-                shares = (
-                    shares[0].reshape(shares[0].shape[0], -1),
-                    shares[1].reshape(shares[1].shape[0], -1),
-                )
-                tally = LayerTally(kind="flatten", name="flatten")
-            elif isinstance(module, (nn.Dropout, nn.Identity)):
-                index += 1
-                continue
-            elif isinstance(module, nn.BatchNorm2d):
-                raise ValueError(
-                    "standalone BatchNorm2d in the crypto segment; batch norms "
-                    "must directly follow a convolution so they can be folded"
-                )
-            else:
-                raise ValueError(f"unsupported module in crypto segment: {module!r}")
-
-            tally.compute_s = time.perf_counter() - start
-            tally.traffic = channel.diff(before)
-            tallies.append(tally)
-            index += 1
+            shares, tally = self._execute(op, shares, registers, suite, channel)
+            if tally is not None:
+                tally.compute_s = time.perf_counter() - start
+                tally.traffic = channel.diff(before)
+                tallies.append(tally)
 
         return SecureExecutionResult(
             shares=shares,
@@ -231,64 +191,56 @@ class SecureInferenceEngine:
     # ------------------------------------------------------------------
     # per-op handlers
     # ------------------------------------------------------------------
-    def _conv(self, shares, conv: nn.Conv2d, weight, bias, channel):
-        f = self.config.frac_bits
-        weight_ring = self.config.encode(weight)
-        bias_ring = self.config.encode(bias, frac_bits=2 * f)
-        n, _, h, w = shares[0].shape
-        out_h = conv_output_size(h, conv.kernel_size, conv.stride, conv.padding, conv.dilation)
-        out_w = conv_output_size(w, conv.kernel_size, conv.stride, conv.padding, conv.dilation)
+    def _execute(
+        self,
+        op: ProgramOp,
+        shares: Shares,
+        registers: dict[str, Shares],
+        suite: ProtocolSuite,
+        channel: Channel,
+    ) -> tuple[Shares, LayerTally | None]:
+        if isinstance(op, (ConvOp, LinearOp)):
+            if op.slot != "main":
+                y = self._linear_like(op, registers[op.slot], suite, channel)
+                registers[op.slot] = y
+                return shares, op.tally(shares[0].shape[0])
+            batch = shares[0].shape[0]
+            return self._linear_like(op, shares, suite, channel), op.tally(batch)
+        if isinstance(op, ReluOp):
+            return suite.relu(shares, channel), op.tally(shares[0].shape[0])
+        if isinstance(op, MaxPoolOp):
+            return self._maxpool(op, shares, suite, channel), op.tally(shares[0].shape[0])
+        if isinstance(op, AvgPoolOp):
+            return self._avgpool(op, shares), op.tally(shares[0].shape[0])
+        if isinstance(op, FlattenOp):
+            flat = (
+                shares[0].reshape(shares[0].shape[0], -1),
+                shares[1].reshape(shares[1].shape[0], -1),
+            )
+            return flat, op.tally(shares[0].shape[0])
+        if isinstance(op, SaveOp):
+            registers[op.slot] = shares
+            return shares, None
+        if isinstance(op, AddOp):
+            other = registers.pop(op.slot)
+            summed = (
+                (shares[0] + other[0]).astype(np.uint64),
+                (shares[1] + other[1]).astype(np.uint64),
+            )
+            return summed, None
+        raise ValueError(f"unsupported program op: {op!r}")
+
+    def _linear_like(self, op, shares: Shares, suite: ProtocolSuite, channel: Channel) -> Shares:
+        n = shares[0].shape[0]
         bias_full = np.broadcast_to(
-            bias_ring.reshape(1, -1, 1, 1), (n, conv.out_channels, out_h, out_w)
+            op.bias_ring.reshape(1, *([-1] + [1] * (len(op.out_shape) - 1))),
+            (n, *op.out_shape),
         ).astype(np.uint64)
-        y = self.suite.linear(shares, _ring_conv_fn(weight_ring, conv), bias_full, channel)
-        y = truncate_shares(y, f)
-        in_elements = int(np.prod(shares[0].shape))
-        out_elements = int(np.prod(y[0].shape))
-        macs = out_elements * conv.in_channels * conv.kernel_size**2
-        tally = LayerTally(
-            kind="conv",
-            name=f"conv{conv.in_channels}x{conv.out_channels}",
-            elements=out_elements,
-            in_elements=in_elements,
-            out_elements=out_elements,
-            c_in=conv.in_channels,
-            c_out=conv.out_channels,
-            kernel=conv.kernel_size,
-            macs=macs,
-        )
-        return y, tally
+        y = suite.linear(shares, op.ring_fn(), bias_full, channel)
+        return truncate_shares(y, self.config.frac_bits)
 
-    def _fc(self, shares, layer: nn.Linear, channel):
-        f = self.config.frac_bits
-        weight_ring = self.config.encode(layer.weight.data)
-        bias = layer.bias.data if layer.bias is not None else np.zeros(layer.out_features)
-        bias_ring = self.config.encode(bias, frac_bits=2 * f)
-        bias_full = np.broadcast_to(
-            bias_ring, (shares[0].shape[0], layer.out_features)
-        ).astype(np.uint64)
-        y = self.suite.linear(shares, _ring_linear_fn(weight_ring), bias_full, channel)
-        y = truncate_shares(y, f)
-        tally = LayerTally(
-            kind="linear",
-            name=f"fc{layer.in_features}x{layer.out_features}",
-            elements=int(np.prod(y[0].shape)),
-            in_elements=int(np.prod(shares[0].shape)),
-            out_elements=int(np.prod(y[0].shape)),
-            c_in=layer.in_features,
-            c_out=layer.out_features,
-            kernel=1,
-            macs=int(np.prod(y[0].shape)) * layer.in_features,
-        )
-        return y, tally
-
-    def _relu(self, shares, channel):
-        y = self.suite.relu(shares, channel)
-        n = int(np.prod(shares[0].shape))
-        return y, LayerTally(kind="relu", name="relu", elements=n)
-
-    def _maxpool(self, shares, pool: nn.MaxPool2d, channel):
-        k, stride = pool.kernel_size, pool.stride
+    def _maxpool(self, op: MaxPoolOp, shares: Shares, suite: ProtocolSuite, channel: Channel) -> Shares:
+        k, stride = op.kernel_size, op.stride
         n, c, h, w = shares[0].shape
         cols0, out_h, out_w = im2col(shares[0].reshape(n * c, 1, h, w), k, k, stride)
         cols1, _, _ = im2col(shares[1].reshape(n * c, 1, h, w), k, k, stride)
@@ -300,22 +252,14 @@ class SecureInferenceEngine:
             half = len(cand0) // 2
             left = (np.stack(cand0[:half]), np.stack(cand1[:half]))
             right = (np.stack(cand0[half : 2 * half]), np.stack(cand1[half : 2 * half]))
-            merged = self.suite.maximum(left, right, channel)
+            merged = suite.maximum(left, right, channel)
             cand0 = [merged[0][i] for i in range(half)] + cand0[2 * half :]
             cand1 = [merged[1][i] for i in range(half)] + cand1[2 * half :]
         out_shape = (n, c, out_h, out_w)
-        y = (cand0[0].reshape(out_shape), cand1[0].reshape(out_shape))
-        windows = n * c * out_h * out_w
-        return y, LayerTally(
-            kind="maxpool",
-            name=f"maxpool{k}",
-            elements=windows,
-            windows=windows,
-            window_size=k * k,
-        )
+        return cand0[0].reshape(out_shape), cand1[0].reshape(out_shape)
 
-    def _avgpool(self, shares, pool: nn.AvgPool2d, channel):
-        k, stride = pool.kernel_size, pool.stride
+    def _avgpool(self, op: AvgPoolOp, shares: Shares) -> Shares:
+        k, stride = op.kernel_size, op.stride
         n, c, h, w = shares[0].shape
         cols0, out_h, out_w = im2col(shares[0].reshape(n * c, 1, h, w), k, k, stride)
         cols1, _, _ = im2col(shares[1].reshape(n * c, 1, h, w), k, k, stride)
@@ -325,91 +269,16 @@ class SecureInferenceEngine:
         scaled = multiply_public_constant((sum0, sum1), inv)
         t0, t1 = truncate_shares(scaled, self.config.frac_bits)
         out_shape = (n, c, out_h, out_w)
-        y = (t0.reshape(out_shape), t1.reshape(out_shape))
-        windows = n * c * out_h * out_w
-        return y, LayerTally(
-            kind="avgpool",
-            name=f"avgpool{k}",
-            elements=windows,
-            windows=windows,
-            window_size=k * k,
-        )
+        return t0.reshape(out_shape), t1.reshape(out_shape)
 
 
 def static_layer_tallies(model: LayeredModel, boundary: float, batch: int = 1) -> list[LayerTally]:
     """Shape-derived tallies for the crypto segment — no secure execution.
 
     Produces the same ``LayerTally`` records the engine would (minus actual
-    traffic/compute measurements), so paper-scale cost estimation stays
-    cheap. Batch-norm layers vanish (folded); dropout/identity are skipped.
+    traffic/compute measurements) by compiling a weight-free program, so
+    paper-scale cost estimation stays cheap. Batch-norm layers vanish
+    (folded); dropout/identity are skipped; residual blocks expand into
+    their convs and ReLUs.
     """
-    tallies: list[LayerTally] = []
-    shape = (batch, *model.input_shape)
-    for module in model.prefix(boundary):
-        if isinstance(module, nn.Conv2d):
-            n, _, h, w = shape
-            out_h = conv_output_size(h, module.kernel_size, module.stride, module.padding,
-                                     module.dilation)
-            out_w = conv_output_size(w, module.kernel_size, module.stride, module.padding,
-                                     module.dilation)
-            out_elements = n * module.out_channels * out_h * out_w
-            tallies.append(
-                LayerTally(
-                    kind="conv",
-                    name=f"conv{module.in_channels}x{module.out_channels}",
-                    elements=out_elements,
-                    in_elements=int(np.prod(shape)),
-                    out_elements=out_elements,
-                    c_in=module.in_channels,
-                    c_out=module.out_channels,
-                    kernel=module.kernel_size,
-                    macs=out_elements * module.in_channels * module.kernel_size**2,
-                )
-            )
-            shape = (n, module.out_channels, out_h, out_w)
-        elif isinstance(module, nn.Linear):
-            n = shape[0]
-            out_elements = n * module.out_features
-            tallies.append(
-                LayerTally(
-                    kind="linear",
-                    name=f"fc{module.in_features}x{module.out_features}",
-                    elements=out_elements,
-                    in_elements=int(np.prod(shape)),
-                    out_elements=out_elements,
-                    c_in=module.in_features,
-                    c_out=module.out_features,
-                    kernel=1,
-                    macs=out_elements * module.in_features,
-                )
-            )
-            shape = (n, module.out_features)
-        elif isinstance(module, nn.ReLU):
-            tallies.append(
-                LayerTally(kind="relu", name="relu", elements=int(np.prod(shape)))
-            )
-        elif isinstance(module, (nn.MaxPool2d, nn.AvgPool2d)):
-            k, stride = module.kernel_size, module.stride
-            n, c, h, w = shape
-            out_h = (h - k) // stride + 1
-            out_w = (w - k) // stride + 1
-            windows = n * c * out_h * out_w
-            kind = "maxpool" if isinstance(module, nn.MaxPool2d) else "avgpool"
-            tallies.append(
-                LayerTally(
-                    kind=kind,
-                    name=f"{kind}{k}",
-                    elements=windows,
-                    windows=windows,
-                    window_size=k * k,
-                )
-            )
-            shape = (n, c, out_h, out_w)
-        elif isinstance(module, nn.Flatten):
-            tallies.append(LayerTally(kind="flatten", name="flatten"))
-            shape = (shape[0], int(np.prod(shape[1:])))
-        elif isinstance(module, (nn.BatchNorm2d, nn.Dropout, nn.Identity)):
-            continue
-        else:
-            raise ValueError(f"unsupported module in crypto segment: {module!r}")
-    return tallies
+    return compile_program(model, boundary, encode_weights=False).tallies(batch)

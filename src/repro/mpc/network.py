@@ -10,7 +10,7 @@ into an end-to-end latency estimate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 __all__ = ["NetworkModel", "LAN", "WAN", "Channel", "TrafficSnapshot"]
 
@@ -54,12 +54,16 @@ class Channel:
     Protocols call :meth:`send` for one-directional messages and
     :meth:`tick_round` once per synchronous communication round (a round may
     carry messages in both directions, as in a simultaneous exchange).
+    Every message's ``label`` feeds a per-label breakdown (``by_label``),
+    so results and serving metrics can attribute traffic to protocol steps
+    (``input-share``, ``masked-reveal``, ``beaver-open``, ...).
     """
 
     bytes_client_to_server: int = 0
     bytes_server_to_client: int = 0
     rounds: int = 0
     messages: int = 0
+    by_label: dict[str, TrafficSnapshot] = field(default_factory=dict)
     _round_log: list[str] = field(default_factory=list)
 
     def send(self, sender: int, num_bytes: int, label: str = "") -> None:
@@ -67,11 +71,15 @@ class Channel:
             raise ValueError(f"sender must be 0 (client) or 1 (server), got {sender}")
         if num_bytes < 0:
             raise ValueError("message size cannot be negative")
+        bucket = self.by_label.setdefault(label or "unlabeled", TrafficSnapshot())
         if sender == 0:
             self.bytes_client_to_server += int(num_bytes)
+            bucket.bytes_client_to_server += int(num_bytes)
         else:
             self.bytes_server_to_client += int(num_bytes)
+            bucket.bytes_server_to_client += int(num_bytes)
         self.messages += 1
+        bucket.messages += 1
 
     def exchange(self, bytes_each_way: int, label: str = "") -> None:
         """A simultaneous exchange: both parties send, one round elapses."""
@@ -83,6 +91,16 @@ class Channel:
         self.rounds += 1
         if label:
             self._round_log.append(label)
+            self.by_label.setdefault(label, TrafficSnapshot()).rounds += 1
+
+    def label_breakdown(self) -> dict[str, TrafficSnapshot]:
+        """Immutable per-label traffic copies, heaviest labels first."""
+        return {
+            label: replace(snapshot)
+            for label, snapshot in sorted(
+                self.by_label.items(), key=lambda kv: -kv[1].total_bytes
+            )
+        }
 
     @property
     def total_bytes(self) -> int:

@@ -1,0 +1,335 @@
+"""Offline preprocessing pools: generate correlated randomness ahead of time.
+
+The PI protocols C2PI builds on (Delphi, Cheetah, CrypTFlow2) all split
+inference into an *offline* phase — independent of the client's input —
+and a cheap *online* phase. The trusted dealer of :mod:`repro.mpc.dealer`
+models the offline cryptography, but the seed engine invoked it lazily,
+in the middle of the online protocol stream. This module makes the split
+real:
+
+* :class:`PreprocessingPool` owns a compiled
+  :class:`~repro.mpc.program.SecureProgram` and a batch size. It derives
+  the program's exact material needs from the op shapes alone
+  (:func:`material_plan` — the protocols are data-oblivious, so the
+  request stream depends only on shapes) and generates whole
+  per-inference **bundles** of
+  :class:`~repro.mpc.dealer.LinearCorrelation` /
+  :class:`~repro.mpc.dealer.ComparisonMask` / triple material, eagerly or
+  in a background thread.
+* :class:`ReplayDealer` serves one bundle back in consumption order. The
+  online ``SecureInferenceEngine.run(x, material=bundle)`` then performs
+  zero dealer generation — its own dealer counters do not move.
+
+Determinism: a pool seeded like the engine's inline dealer generates the
+byte-identical material stream the engine would have generated lazily, so
+warm-pool inference reproduces the single-shot results bit for bit (see
+the equivalence tests).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .dealer import TrustedDealer
+from .program import AvgPoolOp, ConvOp, LinearOp, MaxPoolOp, ReluOp, SecureProgram
+
+__all__ = [
+    "MaterialRequest",
+    "MaterialMismatch",
+    "PoolExhausted",
+    "RecordingDealer",
+    "ReplayDealer",
+    "PoolStats",
+    "PreprocessingPool",
+    "material_plan",
+]
+
+
+@dataclass(frozen=True)
+class MaterialRequest:
+    """One dealer request in a program's (deterministic) consumption order."""
+
+    method: str  # beaver_triples | bit_triples | dabits | comparison_masks | linear_correlation
+    shape: tuple[int, ...]
+    ring_fn: Callable[[np.ndarray], np.ndarray] | None = None
+
+
+class MaterialMismatch(RuntimeError):
+    """A replayed bundle was asked for material it does not hold next."""
+
+
+class PoolExhausted(RuntimeError):
+    """``acquire()`` on an empty pool with automatic refill disabled."""
+
+
+class RecordingDealer:
+    """Wraps a real dealer and records every request, in order."""
+
+    def __init__(self, base: TrustedDealer):
+        self.base = base
+        self.trace: list[MaterialRequest] = []
+
+    def beaver_triples(self, shape):
+        self.trace.append(MaterialRequest("beaver_triples", tuple(shape)))
+        return self.base.beaver_triples(shape)
+
+    def bit_triples(self, shape):
+        self.trace.append(MaterialRequest("bit_triples", tuple(shape)))
+        return self.base.bit_triples(shape)
+
+    def dabits(self, shape):
+        self.trace.append(MaterialRequest("dabits", tuple(shape)))
+        return self.base.dabits(shape)
+
+    def comparison_masks(self, shape):
+        self.trace.append(MaterialRequest("comparison_masks", tuple(shape)))
+        return self.base.comparison_masks(shape)
+
+    def linear_correlation(self, input_shape, ring_fn):
+        self.trace.append(
+            MaterialRequest("linear_correlation", tuple(input_shape), ring_fn=ring_fn)
+        )
+        return self.base.linear_correlation(input_shape, ring_fn)
+
+
+class ReplayDealer:
+    """Serves one pre-generated bundle in consumption order.
+
+    Duck-types the :class:`~repro.mpc.dealer.TrustedDealer` interface the
+    protocols call, but *generates nothing*: every method pops the next
+    (request, material) pair and validates that the online protocol asked
+    for exactly what the offline phase produced.
+    """
+
+    def __init__(self, items: list[tuple[MaterialRequest, object]]):
+        self._items = deque(items)
+        self.consumed = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._items)
+
+    def _next(self, method: str, shape: tuple[int, ...]):
+        if not self._items:
+            raise MaterialMismatch(
+                f"bundle exhausted: online phase requested {method}{shape} "
+                "but no material is left"
+            )
+        request, material = self._items.popleft()
+        if request.method != method or request.shape != shape:
+            raise MaterialMismatch(
+                f"online phase requested {method}{shape} but the bundle holds "
+                f"{request.method}{request.shape} — program/batch mismatch"
+            )
+        self.consumed += 1
+        return material
+
+    def beaver_triples(self, shape):
+        return self._next("beaver_triples", tuple(shape))
+
+    def bit_triples(self, shape):
+        return self._next("bit_triples", tuple(shape))
+
+    def dabits(self, shape):
+        return self._next("dabits", tuple(shape))
+
+    def comparison_masks(self, shape):
+        return self._next("comparison_masks", tuple(shape))
+
+    def linear_correlation(self, input_shape, ring_fn):
+        return self._next("linear_correlation", tuple(input_shape))
+
+
+def _relu_requests(shape: tuple[int, ...], out: list[MaterialRequest]) -> None:
+    """The dealer requests one ``secure_relu`` over ``shape`` consumes.
+
+    Mirrors :mod:`repro.mpc.protocols.comparison`: one comparison mask,
+    the 63-bit suffix-AND circuit (6 doubling rounds + the final strict
+    AND, each one batched ``bit_triples`` call), one daBit batch for B2A
+    and one Beaver triple batch for the multiplexing multiply.
+    """
+    bits = 63
+    out.append(MaterialRequest("comparison_masks", shape))
+    step = 1
+    while step < bits:  # inclusive suffix-AND by doubling
+        out.append(MaterialRequest("bit_triples", (*shape, bits)))
+        step *= 2
+    out.append(MaterialRequest("bit_triples", (*shape, bits)))  # strict AND
+    out.append(MaterialRequest("dabits", shape))
+    out.append(MaterialRequest("beaver_triples", shape))
+
+
+def material_plan(program: SecureProgram, batch: int) -> list[MaterialRequest]:
+    """The dealer requests one execution of ``program`` consumes, in order.
+
+    Derived from the op shapes alone — the protocols are data-oblivious,
+    so no secure execution is needed. The plan mirrors the engine's
+    dealer-suite op handlers; ``tests/mpc/test_preprocessing.py`` pins it
+    against a :class:`RecordingDealer` trace of a real run, so drift
+    between plan and protocols fails loudly.
+    """
+    plan: list[MaterialRequest] = []
+    for op in program.ops:
+        if isinstance(op, (ConvOp, LinearOp)):
+            plan.append(
+                MaterialRequest(
+                    "linear_correlation", (batch, *op.in_shape), ring_fn=op.ring_fn()
+                )
+            )
+        elif isinstance(op, ReluOp):
+            # DealerSuite.relu flattens before calling secure_relu.
+            _relu_requests((batch * int(np.prod(op.in_shape)),), plan)
+        elif isinstance(op, MaxPoolOp):
+            # The engine's k*k tournament: each level merges `half` pairs
+            # with one batched secure_maximum (a ReLU on the differences).
+            c = op.in_shape[0]
+            windows = int(np.prod(op.out_shape[1:]))
+            candidates = op.kernel_size**2
+            while candidates > 1:
+                half = candidates // 2
+                _relu_requests((half, batch * c, windows), plan)
+                candidates -= half
+        elif isinstance(op, AvgPoolOp):
+            pass  # local sums + public-constant multiply: no material
+    return plan
+
+
+@dataclass
+class PoolStats:
+    """Counters a pool keeps about its offline work."""
+
+    bundles_generated: int = 0
+    bundles_consumed: int = 0
+    refills: int = 0
+    misses: int = 0  # acquire() found the pool empty
+    offline_seconds: float = 0.0
+    material_items: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "bundles_generated": self.bundles_generated,
+            "bundles_consumed": self.bundles_consumed,
+            "refills": self.refills,
+            "misses": self.misses,
+            "offline_seconds": self.offline_seconds,
+            "material_items": self.material_items,
+        }
+
+
+class PreprocessingPool:
+    """Per-(program, batch) pool of ready-to-serve preprocessing bundles.
+
+    Parameters
+    ----------
+    program:
+        The compiled crypto segment the material is for.
+    batch:
+        Batch size of the online executions this pool feeds (the request
+        shapes include the batch dimension, so one pool serves exactly one
+        batch size).
+    dealer_seed:
+        Seed of the generating dealer. Match the engine's ``dealer_seed``
+        to reproduce the inline (single-shot) results byte for byte.
+    auto_refill:
+        When True (default), ``acquire()`` on an empty pool synchronously
+        generates one bundle (recorded as a *miss*); when False it raises
+        :class:`PoolExhausted` — the strict mode the exhaustion tests use.
+    """
+
+    def __init__(
+        self,
+        program: SecureProgram,
+        batch: int,
+        dealer_seed: int = 0,
+        auto_refill: bool = True,
+    ):
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        self.program = program
+        self.batch = batch
+        self.auto_refill = auto_refill
+        self.stats = PoolStats()
+        self._dealer = TrustedDealer(seed=dealer_seed)
+        self._bundles: deque[list[tuple[MaterialRequest, object]]] = deque()
+        self._trace: list[MaterialRequest] | None = None
+        self._lock = threading.RLock()
+        self._refill_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> int:
+        """Bundles ready to serve right now."""
+        with self._lock:
+            return len(self._bundles)
+
+    def requirements(self) -> list[MaterialRequest]:
+        """The program's material needs at this batch size, in order.
+
+        Computed from the op shapes by :func:`material_plan` — no secure
+        execution involved, so deriving a cold pool's plan is cheap even
+        on the serving request path.
+        """
+        with self._lock:
+            if self._trace is None:
+                self._trace = material_plan(self.program, self.batch)
+            return list(self._trace)
+
+    # ------------------------------------------------------------------
+    def refill(self, bundles: int = 1) -> None:
+        """Generate ``bundles`` fresh bundles (the offline phase)."""
+        with self._lock:
+            trace = self.requirements()
+            start = time.perf_counter()
+            for _ in range(bundles):
+                bundle = []
+                for request in trace:
+                    if request.method == "linear_correlation":
+                        material = self._dealer.linear_correlation(
+                            request.shape, request.ring_fn
+                        )
+                    else:
+                        material = getattr(self._dealer, request.method)(request.shape)
+                    bundle.append((request, material))
+                self._bundles.append(bundle)
+                self.stats.bundles_generated += 1
+                self.stats.material_items += len(bundle)
+            self.stats.refills += 1
+            self.stats.offline_seconds += time.perf_counter() - start
+
+    def refill_async(self, bundles: int = 1) -> threading.Thread:
+        """Refill in a background thread (daemon); returns the thread."""
+        thread = threading.Thread(
+            target=self.refill, args=(bundles,), name="c2pi-preprocessing", daemon=True
+        )
+        with self._lock:
+            self._refill_thread = thread
+        thread.start()
+        return thread
+
+    def acquire(self) -> ReplayDealer:
+        """Pop the oldest bundle as a :class:`ReplayDealer`.
+
+        Joins a pending background refill first if the pool is empty;
+        failing that, either generates one bundle on the spot (a *miss*,
+        when ``auto_refill``) or raises :class:`PoolExhausted`.
+        """
+        thread = self._refill_thread
+        if thread is not None and thread.is_alive() and not self.available:
+            thread.join()
+        with self._lock:
+            if not self._bundles:
+                self.stats.misses += 1
+                if not self.auto_refill:
+                    raise PoolExhausted(
+                        f"preprocessing pool for batch={self.batch} is empty "
+                        "(auto_refill disabled)"
+                    )
+                self.refill(1)
+            self.stats.bundles_consumed += 1
+            return ReplayDealer(self._bundles.popleft())

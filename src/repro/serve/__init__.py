@@ -1,0 +1,23 @@
+"""``repro.serve`` — the batched C2PI serving layer.
+
+Compile-once, serve-many deployment of the C2PI pipeline:
+:class:`C2PIServer` keeps one compiled
+:class:`~repro.mpc.program.SecureProgram`, warm offline preprocessing
+pools, and coalesces queued requests into batched secure executions.
+"""
+
+from .server import (
+    C2PIServer,
+    InferenceReply,
+    InferenceRequest,
+    ServerMetrics,
+    benchmark_serving,
+)
+
+__all__ = [
+    "C2PIServer",
+    "InferenceReply",
+    "InferenceRequest",
+    "ServerMetrics",
+    "benchmark_serving",
+]

@@ -1,0 +1,316 @@
+"""Batched C2PI serving: compile once, preprocess offline, serve many.
+
+:class:`C2PIServer` is the deployment-shaped front-end over
+:class:`~repro.core.c2pi.C2PIPipeline`:
+
+* the crypto segment is compiled into a
+  :class:`~repro.mpc.program.SecureProgram` **once**, at startup;
+* per-batch :class:`~repro.mpc.preprocessing.PreprocessingPool`\\ s are
+  kept warm (and can be refilled in the background between requests), so
+  the request path is online-phase work only;
+* queued requests are **coalesced** into batched secure executions —
+  a batch of b images costs one protocol round trip per layer instead of
+  b, which is where the serving throughput comes from;
+* every reply carries its own latency, and the server aggregates
+  throughput, online/offline wall-clock and the per-label traffic
+  breakdown of :class:`~repro.mpc.network.Channel`.
+
+:func:`benchmark_serving` measures the batched warm-pool path against the
+seed behaviour (one request at a time, correlated randomness generated
+inline) and is what ``c2pi serve-bench`` reports.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.c2pi import C2PIPipeline
+from ..models.layered import LayeredModel
+from ..mpc.fixedpoint import DEFAULT_CONFIG, FixedPointConfig
+
+__all__ = [
+    "InferenceRequest",
+    "InferenceReply",
+    "ServerMetrics",
+    "C2PIServer",
+    "benchmark_serving",
+]
+
+
+@dataclass
+class InferenceRequest:
+    """One queued client request (a single CHW image)."""
+
+    request_id: int
+    image: np.ndarray
+    enqueued_s: float
+
+
+@dataclass
+class InferenceReply:
+    """The served outcome for one request."""
+
+    request_id: int
+    logits: np.ndarray
+    prediction: int
+    online_s: float  # secure online phase of the batch this rode in
+    queued_s: float  # time spent waiting for coalescing
+    batch_size: int
+    used_pool: bool
+
+
+@dataclass
+class ServerMetrics:
+    """Aggregate serving counters (see :meth:`C2PIServer.metrics`)."""
+
+    requests: int = 0
+    batches: int = 0
+    online_s: float = 0.0
+    online_bytes: int = 0
+    online_rounds: int = 0
+    traffic_by_label: dict[str, dict] = field(default_factory=dict)
+
+    def record_labels(self, breakdown) -> None:
+        for label, snapshot in breakdown.items():
+            bucket = self.traffic_by_label.setdefault(
+                label, {"bytes": 0, "messages": 0, "rounds": 0}
+            )
+            bucket["bytes"] += snapshot.total_bytes
+            bucket["messages"] += snapshot.messages
+            bucket["rounds"] += snapshot.rounds
+
+    @property
+    def amortized_online_s(self) -> float:
+        return self.online_s / self.requests if self.requests else 0.0
+
+
+class C2PIServer:
+    """Serve private inferences from warm preprocessing pools.
+
+    Parameters
+    ----------
+    model, boundary, noise_magnitude, config, seed:
+        Forwarded to the underlying :class:`C2PIPipeline` (one compiled
+        program, one engine).
+    max_batch:
+        Coalescing width: :meth:`step` packs up to this many queued
+        requests into one secure execution.
+    warm_bundles:
+        Preprocessing bundles generated for full ``max_batch`` batches at
+        startup. Pools for other (remainder) batch sizes are created on
+        demand and refill on miss.
+    """
+
+    def __init__(
+        self,
+        model: LayeredModel,
+        boundary: float,
+        noise_magnitude: float = 0.1,
+        config: FixedPointConfig = DEFAULT_CONFIG,
+        seed: int = 0,
+        max_batch: int = 4,
+        warm_bundles: int = 1,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.pipeline = C2PIPipeline(
+            model, boundary, noise_magnitude=noise_magnitude, config=config, seed=seed
+        )
+        self.max_batch = max_batch
+        self.metrics = ServerMetrics()
+        self._queue: deque[InferenceRequest] = deque()
+        self._next_id = 0
+        if warm_bundles:
+            self.warm(warm_bundles)
+
+    @property
+    def program(self):
+        return self.pipeline.program
+
+    # ------------------------------------------------------------------
+    def warm(self, bundles: int = 1, batch: int | None = None, background: bool = False):
+        """Offline phase: pool ``bundles`` bundles for ``batch``-sized runs."""
+        return self.pipeline.prepare_offline(
+            batch=batch or self.max_batch, bundles=bundles, background=background
+        )
+
+    def submit(self, image: np.ndarray) -> int:
+        """Queue one image (CHW) for inference; returns the request id."""
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim == 4 and image.shape[0] == 1:
+            image = image[0]
+        if image.shape != self.program.input_shape:
+            raise ValueError(
+                f"expected image of shape {self.program.input_shape}, got {image.shape}"
+            )
+        request = InferenceRequest(
+            request_id=self._next_id, image=image, enqueued_s=time.perf_counter()
+        )
+        self._next_id += 1
+        self._queue.append(request)
+        return request.request_id
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def step(self) -> list[InferenceReply]:
+        """Coalesce up to ``max_batch`` queued requests into one secure run."""
+        if not self._queue:
+            return []
+        take = min(self.max_batch, len(self._queue))
+        requests = [self._queue.popleft() for _ in range(take)]
+        images = np.stack([r.image for r in requests])
+        # Make sure a pool exists for this batch size (it refills on miss,
+        # which the pool records — visible in the serving metrics).
+        self.pipeline.prepare_offline(batch=take, bundles=0)
+
+        started = time.perf_counter()
+        result = self.pipeline.infer(images)
+
+        self.metrics.requests += take
+        self.metrics.batches += 1
+        self.metrics.online_s += result.online_s
+        self.metrics.online_bytes += result.total_bytes
+        self.metrics.online_rounds += result.crypto_rounds + 1
+        self.metrics.record_labels(result.traffic_by_label)
+
+        return [
+            InferenceReply(
+                request_id=request.request_id,
+                logits=result.logits[i],
+                prediction=int(result.logits[i].argmax()),
+                online_s=result.online_s,
+                queued_s=started - request.enqueued_s,
+                batch_size=take,
+                used_pool=result.used_pool,
+            )
+            for i, request in enumerate(requests)
+        ]
+
+    def drain(self) -> list[InferenceReply]:
+        """Serve everything queued; returns replies in completion order."""
+        replies: list[InferenceReply] = []
+        while self._queue:
+            replies.extend(self.step())
+        return replies
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able metrics: request/batch counters, offline/online split,
+        dealer counters and the per-label traffic breakdown."""
+        pools = self.pipeline.pool_stats()
+        offline_s = sum(stats["offline_seconds"] for stats in pools.values())
+        dealer = self.pipeline.engine.dealer
+        return {
+            "requests": self.metrics.requests,
+            "batches": self.metrics.batches,
+            "max_batch": self.max_batch,
+            "online_s": self.metrics.online_s,
+            "amortized_online_s": self.metrics.amortized_online_s,
+            "throughput_rps": (
+                self.metrics.requests / self.metrics.online_s
+                if self.metrics.online_s
+                else 0.0
+            ),
+            "online_bytes": self.metrics.online_bytes,
+            "online_rounds": self.metrics.online_rounds,
+            "offline_s": offline_s,
+            "pools": pools,
+            "online_dealer_generation": {
+                "triples": dealer.triples_issued,
+                "bit_triples": dealer.bit_triples_issued,
+                "dabits": dealer.dabits_issued,
+                "comparison_masks": dealer.comparison_masks_issued,
+            },
+            "traffic_by_label": self.metrics.traffic_by_label,
+        }
+
+
+# ----------------------------------------------------------------------
+def benchmark_serving(
+    model: LayeredModel,
+    boundary: float,
+    images: np.ndarray,
+    max_batch: int = 4,
+    noise_magnitude: float = 0.1,
+    seed: int = 0,
+) -> dict:
+    """Measure batched warm-pool serving against the seed behaviour.
+
+    The *baseline* is what the engine did before the offline/online split:
+    one request at a time, with the dealer generating every piece of
+    correlated randomness inline during ``run()``. The *served* path
+    compiles once, pre-generates pools sized for the workload, then
+    coalesces the same requests into ``max_batch``-sized secure runs.
+    Returns a JSON-able comparison dict.
+    """
+    images = np.asarray(images, dtype=np.float32)
+    n = images.shape[0]
+    if n == 0:
+        raise ValueError("benchmark needs at least one image")
+
+    # --- baseline: per-request pipeline with inline dealer generation.
+    baseline = C2PIPipeline(model, boundary, noise_magnitude=noise_magnitude, seed=seed)
+    start = time.perf_counter()
+    baseline_results = [baseline.infer(images[i : i + 1]) for i in range(n)]
+    baseline_s = time.perf_counter() - start
+
+    # --- served: compile once, preprocess offline, coalesce online.
+    server = C2PIServer(
+        model,
+        boundary,
+        noise_magnitude=noise_magnitude,
+        seed=seed,
+        max_batch=max_batch,
+        warm_bundles=0,
+    )
+    full_batches, remainder = divmod(n, max_batch)
+    offline_start = time.perf_counter()
+    if full_batches:
+        server.warm(full_batches, batch=max_batch)
+    if remainder:
+        server.warm(1, batch=remainder)
+    offline_s = time.perf_counter() - offline_start
+
+    for i in range(n):
+        server.submit(images[i])
+    replies = server.drain()
+    snapshot = server.snapshot()
+
+    baseline_amortized = baseline_s / n
+    served_amortized = snapshot["amortized_online_s"]
+    agree = all(
+        int(baseline_results[reply.request_id].prediction[0]) == reply.prediction
+        for reply in replies
+    )
+    return {
+        "model": model.name,
+        "boundary": boundary,
+        "requests": n,
+        "max_batch": max_batch,
+        "baseline": {
+            "total_s": baseline_s,
+            "amortized_s": baseline_amortized,
+            "bytes": sum(r.total_bytes for r in baseline_results),
+        },
+        "served": {
+            "online_s": snapshot["online_s"],
+            "amortized_online_s": served_amortized,
+            "offline_s": offline_s,
+            "bytes": snapshot["online_bytes"],
+            "batches": snapshot["batches"],
+            "pool_misses": sum(p["misses"] for p in snapshot["pools"].values()),
+            "online_dealer_generation": snapshot["online_dealer_generation"],
+        },
+        "speedup_online": (
+            baseline_amortized / served_amortized if served_amortized else float("inf")
+        ),
+        "predictions_agree": agree,
+        "traffic_by_label": snapshot["traffic_by_label"],
+    }

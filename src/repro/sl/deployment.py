@@ -92,15 +92,9 @@ class SplitLearningDeployment:
         )
 
     def _mac_split(self, batch: int) -> tuple[int, int]:
-        from ..mpc.engine import static_layer_tallies
+        from ..mpc.program import split_macs
 
-        last = self.model.layer_ids[-1]
-        total = sum(t.macs for t in static_layer_tallies(self.model, last, batch=batch))
-        edge = sum(
-            t.macs
-            for t in static_layer_tallies(self.model, self.split_layer, batch=batch)
-        )
-        return edge, total - edge
+        return split_macs(self.model, self.split_layer, batch)
 
     # ------------------------------------------------------------------
     def evaluate_privacy(

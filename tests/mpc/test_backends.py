@@ -56,6 +56,7 @@ class TestLinearMapMatrix:
         assert matrix.shape == (3 * 4 * 4, 2 * 4 * 4)
 
 
+@pytest.mark.slow
 class TestFunctionalSuites:
     @pytest.mark.parametrize(
         "make_suite",

@@ -1,0 +1,166 @@
+"""Offline preprocessing pools: determinism, exhaustion and the clean split."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import C2PIPipeline
+from repro.models import vgg16
+from repro.mpc import (
+    PoolExhausted,
+    PreprocessingPool,
+    SecureInferenceEngine,
+    compile_program,
+)
+from repro.mpc.dealer import TrustedDealer
+from repro.mpc.preprocessing import MaterialMismatch, RecordingDealer, material_plan
+
+
+@pytest.fixture(scope="module")
+def victim():
+    return vgg16(width_mult=0.125, rng=np.random.default_rng(0)).eval()
+
+
+@pytest.fixture(scope="module")
+def program(victim):
+    return compile_program(victim, 2.5)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return np.random.default_rng(7).random((1, 3, 32, 32), dtype=np.float32)
+
+
+class TestPoolDeterminism:
+    def test_same_seed_same_material(self, program, image):
+        runs = []
+        for _ in range(2):
+            pool = PreprocessingPool(program, batch=1, dealer_seed=11)
+            pool.refill(1)
+            engine = SecureInferenceEngine.from_program(program, share_seed=5)
+            runs.append(engine.run(image, material=pool.acquire()).shares[0])
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_pool_matches_inline_generation_byte_for_byte(self, victim, image):
+        """Warm-pool inference reproduces the single-shot path exactly."""
+        inline = C2PIPipeline(victim, 2.5, noise_magnitude=0.1, seed=3)
+        pooled = C2PIPipeline(victim, 2.5, noise_magnitude=0.1, seed=3)
+        pooled.prepare_offline(batch=1, bundles=2)
+        for _ in range(2):  # bundle sequence mirrors the inline rng stream
+            a = inline.infer(image)
+            b = pooled.infer(image)
+            np.testing.assert_array_equal(a.logits, b.logits)
+            np.testing.assert_array_equal(a.server_view, b.server_view)
+            assert b.used_pool and not a.used_pool
+
+    def test_online_phase_generates_nothing(self, victim, image):
+        pipeline = C2PIPipeline(victim, 2.5, seed=0)
+        pipeline.prepare_offline(batch=1, bundles=1)
+        dealer = pipeline.engine.dealer
+        before = (
+            dealer.triples_issued,
+            dealer.bit_triples_issued,
+            dealer.dabits_issued,
+            dealer.comparison_masks_issued,
+        )
+        pipeline.infer(image)
+        after = (
+            dealer.triples_issued,
+            dealer.bit_triples_issued,
+            dealer.dabits_issued,
+            dealer.comparison_masks_issued,
+        )
+        assert before == after == (0, 0, 0, 0)
+
+
+class TestMaterialPlan:
+    """The analytic plan must match what a real execution actually consumes.
+
+    ``material_plan`` mirrors the protocol internals (suffix-AND rounds,
+    tournament levels); this pin makes any drift between plan and
+    protocols fail loudly instead of corrupting pooled serving.
+    """
+
+    @pytest.mark.parametrize("batch", [1, 3])
+    def test_plan_matches_recorded_execution(self, victim, program, batch):
+        from repro.models import resnet20
+
+        cases = [
+            compile_program(victim, 2.5),  # conv/relu/maxpool
+            compile_program(
+                resnet20(width_mult=0.25, rng=np.random.default_rng(1)).eval(), 3.5
+            ),  # residual lowering incl. share addition
+        ]
+        for compiled in cases:
+            recorder = RecordingDealer(TrustedDealer(seed=0))
+            engine = SecureInferenceEngine.from_program(compiled)
+            zeros = np.zeros((batch, *compiled.input_shape), np.float32)
+            engine.run(zeros, material=recorder)
+            recorded = [(r.method, r.shape) for r in recorder.trace]
+            planned = [
+                (r.method, r.shape) for r in material_plan(compiled, batch)
+            ]
+            assert planned == recorded
+
+
+class TestPoolLifecycle:
+    def test_requirements_trace_is_shape_only(self, program):
+        pool = PreprocessingPool(program, batch=1)
+        trace = pool.requirements()
+        methods = {request.method for request in trace}
+        # conv layers need correlations; ReLUs need masks, AND triples,
+        # daBits and Beaver triples.
+        assert {
+            "linear_correlation",
+            "comparison_masks",
+            "bit_triples",
+            "dabits",
+            "beaver_triples",
+        } <= methods
+        # The trace is cached: a second call returns an equal list.
+        assert trace == pool.requirements()
+
+    def test_exhaustion_raises_when_strict(self, program, image):
+        pool = PreprocessingPool(program, batch=1, auto_refill=False)
+        pool.refill(1)
+        engine = SecureInferenceEngine.from_program(program)
+        engine.run(image, material=pool.acquire())
+        with pytest.raises(PoolExhausted):
+            pool.acquire()
+        assert pool.stats.misses == 1
+
+    def test_exhaustion_refills_when_auto(self, program, image):
+        pool = PreprocessingPool(program, batch=1, auto_refill=True)
+        assert pool.available == 0
+        engine = SecureInferenceEngine.from_program(program)
+        result = engine.run(image, material=pool.acquire())  # miss -> refill
+        assert result.shares[0].shape == (1, *program.output_shape)
+        assert pool.stats.misses == 1
+        assert pool.stats.bundles_generated == 1
+
+    def test_background_refill(self, program, image):
+        pool = PreprocessingPool(program, batch=1)
+        pool.refill_async(1).join()
+        assert pool.available == 1
+        assert pool.stats.bundles_generated == 1
+        # acquire() also joins a pending refill on demand.
+        pool.refill_async(1)
+        engine = SecureInferenceEngine.from_program(program)
+        engine.run(image, material=pool.acquire())
+        assert pool.stats.misses == 0
+
+    def test_wrong_batch_bundle_is_rejected(self, program):
+        pool = PreprocessingPool(program, batch=2)
+        pool.refill(1)
+        engine = SecureInferenceEngine.from_program(program)
+        single = np.zeros((1, 3, 32, 32), np.float32)
+        with pytest.raises(MaterialMismatch):
+            engine.run(single, material=pool.acquire())
+
+    def test_stats_offline_seconds_accumulate(self, program):
+        pool = PreprocessingPool(program, batch=1)
+        pool.refill(2)
+        stats = pool.stats.as_dict()
+        assert stats["bundles_generated"] == 2
+        assert stats["offline_seconds"] > 0
+        assert stats["material_items"] > 0

@@ -1,0 +1,136 @@
+"""Compiled-program equivalence: the IR-driven engine vs plaintext victims."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import alexnet, resnet20, vgg16
+from repro.mpc import SecureInferenceEngine, compile_program, split_macs, static_layer_tallies
+from repro.mpc.program import AddOp, ConvOp, ReluOp, SaveOp
+
+
+def _with_bn_stats(model, seed=5):
+    rng = np.random.default_rng(seed)
+    for module in model.modules():
+        if isinstance(module, nn.BatchNorm2d):
+            module.running_mean[:] = rng.normal(0, 0.2, module.num_features)
+            module.running_var[:] = rng.uniform(0.5, 2.0, module.num_features)
+    return model.eval()
+
+
+@pytest.fixture(scope="module")
+def vgg_victim():
+    return _with_bn_stats(vgg16(width_mult=0.125, rng=np.random.default_rng(0)))
+
+
+@pytest.fixture(scope="module")
+def alexnet_victim():
+    return alexnet(width_mult=0.25, rng=np.random.default_rng(1)).eval()
+
+
+@pytest.fixture(scope="module")
+def resnet_victim():
+    return _with_bn_stats(resnet20(width_mult=0.25, rng=np.random.default_rng(2)))
+
+
+@pytest.fixture(scope="module")
+def image():
+    return np.random.default_rng(7).random((1, 3, 32, 32), dtype=np.float32)
+
+
+class TestProgramEquivalence:
+    """Engine-on-program output matches the plaintext forward pass."""
+
+    @pytest.mark.parametrize("boundary", [1.5, 2.5, 4.5])
+    def test_vgg_matches_plaintext(self, vgg_victim, image, boundary):
+        secure = SecureInferenceEngine(vgg_victim, boundary).run(image).reconstruct()
+        plain = vgg_victim.forward_to(nn.Tensor(image), boundary).data
+        assert secure.shape == plain.shape
+        np.testing.assert_allclose(secure, plain, atol=2e-2)
+
+    def test_alexnet_through_fc(self, alexnet_victim, image):
+        boundary = 6.5  # includes flatten + first fc + its ReLU
+        secure = SecureInferenceEngine(alexnet_victim, boundary).run(image).reconstruct()
+        plain = alexnet_victim.forward_to(nn.Tensor(image), boundary).data
+        np.testing.assert_allclose(secure, plain, atol=5e-2)
+
+    @pytest.mark.parametrize("boundary", [1.5, 3.5, 5.5])
+    def test_resnet_residual_blocks(self, resnet_victim, image, boundary):
+        """Residual blocks lower into convs + share addition and execute."""
+        secure = SecureInferenceEngine(resnet_victim, boundary).run(image).reconstruct()
+        plain = resnet_victim.forward_to(nn.Tensor(image), boundary).data
+        assert secure.shape == plain.shape
+        np.testing.assert_allclose(secure, plain, atol=2e-2)
+
+    def test_program_is_reusable_across_engines(self, vgg_victim, image):
+        """Compile once, serve many: two engines on one program agree."""
+        program = compile_program(vgg_victim, 2.5)
+        a = SecureInferenceEngine.from_program(program, dealer_seed=3, share_seed=4)
+        b = SecureInferenceEngine.from_program(program, dealer_seed=3, share_seed=4)
+        np.testing.assert_array_equal(a.run(image).shares[0], b.run(image).shares[0])
+
+
+class TestProgramStructure:
+    def test_residual_lowering_ops(self, resnet_victim):
+        program = compile_program(resnet_victim, 3.5, encode_weights=False)
+        kinds = [op.kind for op in program.ops]
+        # stem conv+relu, then save/conv/relu/conv/add/relu for the block.
+        assert kinds == ["conv", "relu", "save", "conv", "relu", "conv", "add", "relu"]
+        save = [op for op in program.ops if isinstance(op, SaveOp)][0]
+        add = [op for op in program.ops if isinstance(op, AddOp)][0]
+        assert save.slot == add.slot == "skip"
+
+    def test_output_shape_matches_traced_activation(self, vgg_victim, resnet_victim):
+        for model, boundary in ((vgg_victim, 4.5), (resnet_victim, 3.5)):
+            program = compile_program(model, boundary, encode_weights=False)
+            traced = model.activation_shape(boundary, batch=1)
+            assert (1, *program.output_shape) == tuple(traced)
+
+    def test_static_tallies_derive_from_program(self, vgg_victim, image):
+        result = SecureInferenceEngine(vgg_victim, 4.5).run(image)
+        static = static_layer_tallies(vgg_victim, 4.5, batch=1)
+        assert len(static) == len(result.tallies)
+        for s, e in zip(static, result.tallies):
+            assert (s.kind, s.elements, s.macs) == (e.kind, e.elements, e.macs)
+
+    def test_resnet_engine_tallies_match_static(self, resnet_victim, image):
+        result = SecureInferenceEngine(resnet_victim, 3.5).run(image)
+        static = static_layer_tallies(resnet_victim, 3.5, batch=1)
+        assert [t.kind for t in static] == [t.kind for t in result.tallies]
+        assert sum(t.macs for t in static) == sum(t.macs for t in result.tallies)
+
+    def test_weightless_program_rejected_by_engine(self, vgg_victim):
+        program = compile_program(vgg_victim, 2.5, encode_weights=False)
+        with pytest.raises(ValueError, match="encode_weights"):
+            SecureInferenceEngine.from_program(program)
+
+    def test_conv_weights_are_preencoded(self, vgg_victim):
+        program = compile_program(vgg_victim, 1.5)
+        conv = next(op for op in program.ops if isinstance(op, ConvOp))
+        assert conv.weight_ring is not None and conv.weight_ring.dtype == np.uint64
+        assert conv.bias_ring is not None
+
+    def test_relu_op_elements_scale_with_batch(self, vgg_victim):
+        program = compile_program(vgg_victim, 1.5, encode_weights=False)
+        relu = next(op for op in program.ops if isinstance(op, ReluOp))
+        assert relu.tally(batch=3).elements == 3 * relu.tally(batch=1).elements
+
+
+class TestSplitMacs:
+    def test_prefix_plus_suffix_is_total(self, vgg_victim):
+        last = vgg_victim.layer_ids[-1]
+        total = compile_program(vgg_victim, last, encode_weights=False).total_macs()
+        for split in (1.5, 4.5, 9.0):
+            edge, cloud = split_macs(vgg_victim, split)
+            assert edge + cloud == total
+            assert edge > 0 and cloud > 0
+
+    def test_resnet_split_now_supported(self, resnet_victim):
+        """Residual lowering makes MAC accounting work on ResNets too."""
+        edge, cloud = split_macs(resnet_victim, 3.5)
+        assert edge > 0 and cloud > edge  # the bulk of ResNet-20 is after block 1
+
+    def test_scales_linearly_with_batch(self, vgg_victim):
+        one = split_macs(vgg_victim, 2.5, batch=1)
+        two = split_macs(vgg_victim, 2.5, batch=2)
+        assert two == (2 * one[0], 2 * one[1])

@@ -9,6 +9,7 @@ packing, noise) would surface here.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -47,6 +48,7 @@ class TestLinearProtocolEquivalence:
         y = suite.linear(shares, ring_fn, bias, Channel())
         np.testing.assert_array_equal(reconstruct_additive(*y), expected)
 
+    @pytest.mark.slow
     @given(st.integers(0, 2**31))
     @settings(max_examples=4, deadline=None)
     def test_paillier_linear_matches_dealer(self, seed):
@@ -55,6 +57,7 @@ class TestLinearProtocolEquivalence:
         y = suite.linear(shares, ring_fn, bias, Channel())
         np.testing.assert_array_equal(reconstruct_additive(*y), expected)
 
+    @pytest.mark.slow
     @given(st.integers(0, 2**31))
     @settings(max_examples=4, deadline=None)
     def test_rlwe_linear_matches_dealer(self, seed):

@@ -1,0 +1,98 @@
+"""The batched C2PI serving layer: coalescing, metrics, warm pools."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import vgg16
+from repro.serve import C2PIServer, benchmark_serving
+
+
+@pytest.fixture(scope="module")
+def victim():
+    return vgg16(width_mult=0.125, rng=np.random.default_rng(0)).eval()
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.random.default_rng(3).random((5, 3, 32, 32), dtype=np.float32)
+
+
+@pytest.fixture(scope="module")
+def server_and_replies(victim, images):
+    server = C2PIServer(
+        victim, boundary=1.5, noise_magnitude=0.0, max_batch=2, warm_bundles=2
+    )
+    for image in images:
+        server.submit(image)
+    replies = server.drain()
+    return server, replies
+
+
+class TestServing:
+    def test_all_requests_answered_in_order(self, server_and_replies, images):
+        _, replies = server_and_replies
+        assert [r.request_id for r in replies] == list(range(len(images)))
+        assert all(r.batch_size <= 2 for r in replies)
+
+    def test_logits_match_plaintext_model(self, victim, server_and_replies, images):
+        """With zero noise the served logits equal plaintext inference up to
+        fixed-point error."""
+        _, replies = server_and_replies
+        with nn.no_grad():
+            plain = victim(nn.Tensor(images)).data
+        for reply in replies:
+            np.testing.assert_allclose(reply.logits, plain[reply.request_id], atol=5e-2)
+
+    def test_coalescing_batches(self, server_and_replies):
+        server, replies = server_and_replies
+        snapshot = server.snapshot()
+        # 5 requests at max_batch=2 -> 3 secure executions (2+2+1).
+        assert snapshot["requests"] == 5
+        assert snapshot["batches"] == 3
+        sizes = [r.batch_size for r in replies]
+        assert sizes == [2, 2, 2, 2, 1]
+
+    def test_online_phase_is_generation_free_for_warm_batches(self, server_and_replies):
+        server, replies = server_and_replies
+        generation = server.snapshot()["online_dealer_generation"]
+        assert set(generation.values()) == {0}
+        assert all(r.used_pool for r in replies)
+
+    def test_metrics_expose_label_breakdown(self, server_and_replies):
+        server, _ = server_and_replies
+        labels = server.snapshot()["traffic_by_label"]
+        assert "input-share" in labels
+        assert "noised-reveal" in labels
+        assert all(bucket["bytes"] >= 0 for bucket in labels.values())
+
+    def test_remainder_batch_recorded_as_pool_miss(self, server_and_replies):
+        """The odd final request has no warmed batch-1 pool: served via
+        refill-on-miss."""
+        server, _ = server_and_replies
+        pools = server.snapshot()["pools"]
+        assert pools[2]["misses"] == 0  # warmed ahead of time
+        assert pools[1]["misses"] == 1  # generated on demand
+
+    def test_rejects_wrong_shape(self, victim):
+        server = C2PIServer(victim, boundary=1.5, warm_bundles=0)
+        with pytest.raises(ValueError):
+            server.submit(np.zeros((1, 16, 16), np.float32))
+
+    def test_step_on_empty_queue(self, victim):
+        server = C2PIServer(victim, boundary=1.5, warm_bundles=0)
+        assert server.step() == []
+
+
+class TestBenchmark:
+    def test_benchmark_serving_report(self, victim, images):
+        report = benchmark_serving(victim, 1.5, images[:4], max_batch=2,
+                                   noise_magnitude=0.0)
+        assert report["requests"] == 4
+        assert report["served"]["online_dealer_generation"] == {
+            "triples": 0, "bit_triples": 0, "dabits": 0, "comparison_masks": 0,
+        }
+        assert report["served"]["pool_misses"] == 0
+        assert report["speedup_online"] > 0
+        assert report["predictions_agree"] in (True, False)
+        assert report["baseline"]["total_s"] > 0
