@@ -13,9 +13,15 @@ any protocol suite — is reachable without writing Python:
     c2pi costs --arch vgg16 --boundary 9
     c2pi secure-infer --suite cheetah --boundary 2.5
     c2pi serve-bench --arch resnet20 --requests 8 --batch 4
+    c2pi serve-bench --arch resnet20 --networked         # measured vs modeled
+    c2pi serve --listen 127.0.0.1:9123 --arch resnet20   # party 1 (server)
+    c2pi client --connect 127.0.0.1:9123 --requests 4    # party 0 (client)
 
-All commands respect the ``C2PI_SCALE`` environment variable (smoke /
-small / paper budgets).
+``serve``/``client`` run the two-process deployment: the compiled secure
+program executes between two real processes over a TCP socket, with
+offline preprocessing bundles shipped ahead of the online phase. All
+commands respect the ``C2PI_SCALE`` environment variable (smoke / small /
+paper budgets).
 """
 
 from __future__ import annotations
@@ -76,22 +82,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     secure.add_argument("--boundary", type=float, default=2.5)
 
-    serve = sub.add_parser(
+    bench = sub.add_parser(
         "serve-bench",
         help="offline/online serving benchmark: batched warm-pool C2PIServer "
         "vs one-at-a-time inline inference",
     )
-    _add_victim_args(serve, default_arch="resnet20")
-    serve.add_argument(
+    _add_victim_args(bench, default_arch="resnet20")
+    bench.add_argument(
         "--boundary",
         type=float,
         default=None,
         help="crypto/clear boundary (default: 3.5 for resnet20, 2.5 otherwise)",
     )
-    serve.add_argument("--requests", type=int, default=8)
-    serve.add_argument("--batch", type=int, default=4, help="coalescing width")
-    serve.add_argument("--noise", type=float, default=0.1, help="lambda")
-    serve.add_argument("--output", default=None, help="write the benchmark JSON here")
+    bench.add_argument("--requests", type=int, default=8)
+    bench.add_argument("--batch", type=int, default=4, help="coalescing width")
+    bench.add_argument("--noise", type=float, default=0.1, help="lambda")
+    bench.add_argument(
+        "--networked",
+        action="store_true",
+        help="also serve over a real loopback socket and report measured "
+        "vs modeled LAN/WAN latency side by side",
+    )
+    bench.add_argument(
+        "--networks",
+        default="lan,wan",
+        help="comma-separated shaped links for --networked (lan, wan)",
+    )
+    bench.add_argument("--output", default=None, help="write the benchmark JSON here")
+
+    serve = sub.add_parser(
+        "serve",
+        help="listen for a remote C2PI client: party 1 of the two-process "
+        "deployment (weights and clear layers stay here)",
+    )
+    _add_victim_args(serve, default_arch="resnet20")
+    serve.add_argument(
+        "--listen", default="127.0.0.1:0", help="host:port (port 0 = ephemeral)"
+    )
+    serve.add_argument("--boundary", type=float, default=None)
+    serve.add_argument("--seed", type=int, default=0, help="dealer seed")
+    serve.add_argument("--once", action="store_true", help="serve one connection")
+    serve.add_argument(
+        "--warm", type=int, default=0, help="offline bundles to pre-generate"
+    )
+    serve.add_argument(
+        "--warm-batch", type=int, default=1, help="batch size of --warm bundles"
+    )
+    serve.add_argument(
+        "--untrained-width",
+        type=float,
+        default=None,
+        help="serve a deterministic untrained victim of this width instead of "
+        "the trained cache (demo and two-process tests)",
+    )
+    serve.add_argument("--model-seed", type=int, default=0)
+
+    client = sub.add_parser(
+        "client",
+        help="connect to a c2pi server: party 0 of the two-process "
+        "deployment (the model never leaves the server)",
+    )
+    client.add_argument("--connect", required=True, help="host:port of the server")
+    client.add_argument("--requests", type=int, default=4)
+    client.add_argument("--batch", type=int, default=2, help="images per request")
+    client.add_argument("--noise", type=float, default=0.1, help="lambda")
+    client.add_argument("--seed", type=int, default=0)
+    client.add_argument(
+        "--network",
+        default="none",
+        choices=("none", "lan", "wan"),
+        help="tc-free link shaping (token-bucket bandwidth + injected RTT)",
+    )
     return parser
 
 
@@ -236,6 +297,20 @@ def _cmd_secure_infer(args) -> int:
     return 0
 
 
+def _networks_from_arg(spec: str):
+    from .mpc import LAN, WAN
+
+    named = {"lan": LAN, "wan": WAN}
+    return tuple(named[name.strip().lower()] for name in spec.split(",") if name.strip())
+
+
+def _parse_endpoint(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"c2pi: invalid endpoint {spec!r} (expected host:port)")
+    return host or "127.0.0.1", int(port)
+
+
 def _cmd_serve_bench(args) -> int:
     import json
 
@@ -253,6 +328,8 @@ def _cmd_serve_bench(args) -> int:
         images,
         max_batch=args.batch,
         noise_magnitude=args.noise,
+        networked=args.networked,
+        networks=_networks_from_arg(args.networks) if args.networked else (),
     )
     report["victim_accuracy"] = accuracy
 
@@ -282,10 +359,109 @@ def _cmd_serve_bench(args) -> int:
             f"    {label:<20} {bucket['bytes'] / 1e3:10.1f} KB "
             f"{bucket['messages']:6d} msgs {bucket['rounds']:5d} rounds"
         )
+    if report.get("networked"):
+        networked = report["networked"]
+        loopback = networked["loopback"]
+        print("  networked (real loopback socket, two-party split):")
+        print(
+            f"    loopback    : {loopback['online_s']:.3f} s online, "
+            f"{loopback['bytes'] / 1e6:.2f} MB in {loopback['rounds']} rounds "
+            f"(socket payload matches accounting: {loopback['bytes_match']})"
+        )
+        for name, row in networked.items():
+            if not isinstance(row, dict) or "measured_s" not in row:
+                continue
+            print(
+                f"    {name:<12}: measured {row['measured_s']:8.3f} s  "
+                f"vs modeled {row['modeled_s']:8.3f} s  "
+                f"(x{row['measured_over_modeled']:.2f})"
+            )
+        print(
+            "    predictions agree with baseline: "
+            f"{networked['predictions_agree_with_baseline']}"
+        )
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(report, handle, indent=2)
         print(f"  wrote {args.output}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve.remote import RemoteServer, _demo_victim
+
+    if args.untrained_width is not None:
+        model = _demo_victim(args.arch, args.untrained_width, args.model_seed)
+    else:
+        from .bench import get_victim
+
+        model, _, _ = get_victim(args.arch, args.dataset)
+    boundary = args.boundary
+    if boundary is None:
+        boundary = 3.5 if args.arch == "resnet20" else 2.5
+    host, port = _parse_endpoint(args.listen)
+    server = RemoteServer(model, boundary, seed=args.seed, host=host, port=port)
+    if args.warm:
+        server.warm(args.warm_batch, args.warm)
+    print(
+        f"c2pi server: {model.name} boundary={boundary} "
+        f"listening on {server.host}:{server.port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever(once=args.once)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.stop()
+    print(
+        f"served {server.requests_served} requests over "
+        f"{server.connections_served} connection(s)"
+    )
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from .mpc import LAN, WAN
+    from .serve.remote import RemoteClient
+
+    host, port = _parse_endpoint(args.connect)
+    network = {"none": None, "lan": LAN, "wan": WAN}[args.network]
+    client = RemoteClient(
+        host, port, noise_magnitude=args.noise, seed=args.seed, network=network
+    )
+    print(
+        f"connected to {host}:{port}: model {client.server_model} "
+        f"boundary={client.boundary} input={client.input_shape}"
+        + (f" shaped as {args.network.upper()}" if network else "")
+    )
+    rng = np.random.default_rng(args.seed)
+    served = 0
+    total_s = 0.0
+    total_bytes = 0
+    matches = True
+    while served < args.requests:
+        batch = min(args.batch, args.requests - served)
+        images = rng.random((batch, *client.input_shape), dtype=np.float32)
+        reply = client.infer(images)
+        served += batch
+        total_s += reply.online_s
+        total_bytes += reply.traffic.total_bytes
+        matches = matches and reply.bytes_match
+        predictions = ", ".join(str(int(p)) for p in reply.prediction)
+        print(
+            f"  batch of {batch}: predictions [{predictions}]  "
+            f"{reply.online_s * 1e3:8.1f} ms online  "
+            f"{reply.traffic.total_bytes / 1e6:6.2f} MB "
+            f"in {reply.traffic.rounds} rounds  "
+            f"(+{reply.offline_bytes / 1e6:.2f} MB offline bundle)"
+        )
+    client.close()
+    print(
+        f"served {served} requests: {total_s:.3f} s online, "
+        f"{total_bytes / 1e6:.2f} MB protocol traffic "
+        f"(socket payload matches accounting: {matches})"
+    )
     return 0
 
 
@@ -297,6 +473,8 @@ _COMMANDS = {
     "costs": _cmd_costs,
     "secure-infer": _cmd_secure_infer,
     "serve-bench": _cmd_serve_bench,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 

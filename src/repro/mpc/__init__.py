@@ -12,10 +12,16 @@ Layers (bottom-up):
   compiled once into typed ops with pre-folded BN, pre-encoded ring
   weights and traced shapes;
 * :mod:`repro.mpc.preprocessing` — offline pools of correlated
-  randomness, generated per program ahead of the online phase;
+  randomness, generated per program ahead of the online phase, with
+  per-party bundle views for the two-process deployment;
+* :mod:`repro.mpc.transport` — the real wire: length-prefixed frames,
+  the socket :class:`PeerChannel`, thread loopback, LAN/WAN shaping;
 * :mod:`repro.mpc.engine` — online execution of a compiled program under
   a pluggable protocol suite (:mod:`repro.mpc.backends`: trusted dealer,
   functional Delphi, functional Cheetah);
+* :mod:`repro.mpc.party` — one party's half of the engine, executing
+  over a transport against the peer process
+  (:mod:`repro.mpc.protocols.party` holds the per-party protocol halves);
 * :mod:`repro.mpc.authenticated` — SPDZ-style MAC'd shares (the
   malicious-client extension);
 * :mod:`repro.mpc.costs` — calibrated Delphi/CrypTFlow2/Cheetah cost
@@ -47,14 +53,25 @@ from .engine import (
 )
 from .fixedpoint import DEFAULT_CONFIG, FixedPointConfig
 from .network import LAN, WAN, Channel, NetworkModel, TrafficSnapshot
+from .party import PartyEngine, PartyExecutionResult, program_manifest
 from .preprocessing import (
     MaterialRequest,
+    PartyMaterialStream,
     PoolExhausted,
     PoolStats,
     PreprocessingPool,
     ReplayDealer,
+    split_bundle,
 )
 from .program import SecureProgram, compile_program, split_macs
+from .transport import (
+    LinkShaper,
+    PeerChannel,
+    QueueTransport,
+    Transport,
+    TransportError,
+    WireStats,
+)
 from .sharing import (
     bit_decompose,
     reconstruct_additive,
@@ -90,6 +107,17 @@ __all__ = [
     "PoolStats",
     "ReplayDealer",
     "MaterialRequest",
+    "PartyMaterialStream",
+    "split_bundle",
+    "PartyEngine",
+    "PartyExecutionResult",
+    "program_manifest",
+    "Transport",
+    "TransportError",
+    "QueueTransport",
+    "PeerChannel",
+    "LinkShaper",
+    "WireStats",
     "BackendCostModel",
     "CostEstimate",
     "OpCost",

@@ -230,7 +230,12 @@ class CostEstimate:
         self.compute_s += op.compute_s
 
     def latency(self, network: NetworkModel) -> float:
-        """End-to-end latency under a network model (seconds)."""
+        """End-to-end latency under a network model (seconds).
+
+        The aggregate backend models do not track message direction, so
+        the full-duplex serialisation term assumes a symmetric split
+        (see :meth:`NetworkModel.latency`).
+        """
         return network.latency(self.total_bytes, self.rounds, self.compute_s)
 
     @classmethod

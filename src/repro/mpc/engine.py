@@ -2,7 +2,12 @@
 
 :class:`SecureInferenceEngine` executes the typed op stream produced by
 :func:`repro.mpc.program.compile_program` under the two-party protocols of
-:mod:`repro.mpc.protocols`, orchestrating both (in-process) parties:
+:mod:`repro.mpc.protocols`, orchestrating both (in-process) parties.
+For the genuinely distributed execution of the same program — each party
+in its own process, exchanging real bytes over a socket — see the
+party-split image of this engine in :mod:`repro.mpc.party`, which
+mirrors every op handler and every channel accounting call here
+line-for-line (the loopback equivalence tests pin the two together):
 
 * the **client** (party 0) contributes the input image as a secret;
 * the **server** (party 1) contributes the weights, which never leave it

@@ -17,15 +17,51 @@ __all__ = ["NetworkModel", "LAN", "WAN", "Channel", "TrafficSnapshot"]
 
 @dataclass(frozen=True)
 class NetworkModel:
-    """Bandwidth/latency description of the link between the parties."""
+    """Bandwidth/latency description of the link between the parties.
+
+    The paper's Cheetah-style LAN/WAN links are **full duplex**: both
+    directions move bytes concurrently, so serialisation time is governed
+    by the *busier* direction, not the sum of both.
+    """
 
     name: str
     bandwidth_bytes_per_s: float
     rtt_s: float
 
-    def latency(self, total_bytes: float, rounds: float, compute_s: float = 0.0) -> float:
-        """End-to-end time: serialisation + propagation + computation."""
-        return compute_s + total_bytes / self.bandwidth_bytes_per_s + rounds * self.rtt_s
+    def latency(
+        self,
+        total_bytes: float | None = None,
+        rounds: float = 0.0,
+        compute_s: float = 0.0,
+        *,
+        bytes_client_to_server: float | None = None,
+        bytes_server_to_client: float | None = None,
+    ) -> float:
+        """End-to-end time: serialisation + propagation + computation.
+
+        With directional byte counts the serialisation term charges
+        ``max(c2s, s2c) / bandwidth`` (full duplex). When only a total is
+        known — the aggregate cost models track no direction — a
+        symmetric split is assumed, i.e. ``total / 2`` per direction.
+        """
+        if bytes_client_to_server is None and bytes_server_to_client is None:
+            if total_bytes is None:
+                raise ValueError("latency() needs total or directional bytes")
+            busier = total_bytes / 2.0
+        else:
+            busier = max(
+                bytes_client_to_server or 0.0, bytes_server_to_client or 0.0
+            )
+        return compute_s + busier / self.bandwidth_bytes_per_s + rounds * self.rtt_s
+
+    def latency_of(self, traffic: "TrafficSnapshot", compute_s: float = 0.0) -> float:
+        """Modeled latency of measured channel traffic (directional)."""
+        return self.latency(
+            rounds=traffic.rounds,
+            compute_s=compute_s,
+            bytes_client_to_server=traffic.bytes_client_to_server,
+            bytes_server_to_client=traffic.bytes_server_to_client,
+        )
 
 
 # The paper's Section IV-E settings (bandwidth in MB/s, RTT in seconds).

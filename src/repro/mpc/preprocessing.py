@@ -28,6 +28,8 @@ the equivalence tests).
 
 from __future__ import annotations
 
+import io
+import json
 import threading
 import time
 from collections import deque
@@ -36,7 +38,14 @@ from typing import Callable
 
 import numpy as np
 
-from .dealer import TrustedDealer
+from .dealer import (
+    BeaverTriple,
+    BitTriple,
+    ComparisonMask,
+    DaBit,
+    LinearCorrelation,
+    TrustedDealer,
+)
 from .program import AvgPoolOp, ConvOp, LinearOp, MaxPoolOp, ReluOp, SecureProgram
 
 __all__ = [
@@ -48,6 +57,12 @@ __all__ = [
     "PoolStats",
     "PreprocessingPool",
     "material_plan",
+    "PartyItem",
+    "PartyMaterialStream",
+    "party_view",
+    "split_bundle",
+    "pack_party_bundle",
+    "unpack_party_bundle",
 ]
 
 
@@ -259,7 +274,14 @@ class PreprocessingPool:
         self._bundles: deque[list[tuple[MaterialRequest, object]]] = deque()
         self._trace: list[MaterialRequest] | None = None
         self._lock = threading.RLock()
-        self._refill_thread: threading.Thread | None = None
+        # Bundles scheduled by refill_async but not yet generated. Tracked
+        # under the lock so concurrent acquirers can tell "a refill is on
+        # its way" from "the pool is genuinely dry" without racing on a
+        # thread handle (the seed kept only the *latest* thread and
+        # checked is_alive() outside the lock, so two consumers could
+        # join a stale thread and both fall through to miss-generation).
+        self._pending_refills = 0
+        self._refill_done = threading.Condition(self._lock)
 
     # ------------------------------------------------------------------
     @property
@@ -301,28 +323,47 @@ class PreprocessingPool:
                 self.stats.material_items += len(bundle)
             self.stats.refills += 1
             self.stats.offline_seconds += time.perf_counter() - start
+            self._refill_done.notify_all()
 
     def refill_async(self, bundles: int = 1) -> threading.Thread:
-        """Refill in a background thread (daemon); returns the thread."""
-        thread = threading.Thread(
-            target=self.refill, args=(bundles,), name="c2pi-preprocessing", daemon=True
-        )
+        """Refill in a background thread (daemon); returns the thread.
+
+        The scheduled bundle count is registered under the lock *before*
+        the thread starts, so an ``acquire()`` that races the generator
+        waits for it instead of double-generating miss bundles.
+        """
         with self._lock:
-            self._refill_thread = thread
+            self._pending_refills += bundles
+
+        def work() -> None:
+            try:
+                self.refill(bundles)
+            finally:
+                with self._lock:
+                    self._pending_refills -= bundles
+                    self._refill_done.notify_all()
+
+        thread = threading.Thread(
+            target=work, name="c2pi-preprocessing", daemon=True
+        )
         thread.start()
         return thread
 
     def acquire(self) -> ReplayDealer:
         """Pop the oldest bundle as a :class:`ReplayDealer`.
 
-        Joins a pending background refill first if the pool is empty;
-        failing that, either generates one bundle on the spot (a *miss*,
-        when ``auto_refill``) or raises :class:`PoolExhausted`.
+        Waits for any pending background refill first if the pool is
+        empty; failing that, either generates one bundle on the spot (a
+        *miss*, when ``auto_refill``) or raises :class:`PoolExhausted`.
         """
-        thread = self._refill_thread
-        if thread is not None and thread.is_alive() and not self.available:
-            thread.join()
+        return ReplayDealer(self.acquire_bundle())
+
+    def acquire_bundle(self) -> list[tuple[MaterialRequest, object]]:
+        """Pop the oldest raw bundle (the two-process serving path splits
+        it into per-party halves before shipping the client's half)."""
         with self._lock:
+            while not self._bundles and self._pending_refills:
+                self._refill_done.wait()
             if not self._bundles:
                 self.stats.misses += 1
                 if not self.auto_refill:
@@ -332,4 +373,134 @@ class PreprocessingPool:
                     )
                 self.refill(1)
             self.stats.bundles_consumed += 1
-            return ReplayDealer(self._bundles.popleft())
+            return self._bundles.popleft()
+
+
+# ----------------------------------------------------------------------
+# per-party material views (the two-process split)
+# ----------------------------------------------------------------------
+# In the two-process deployment neither party may hold the other's halves
+# of the correlated randomness: the dealer (co-located with the server's
+# offline phase, like Delphi's preprocessing) splits every bundle and
+# ships the client its half as an opaque blob before the online phase.
+@dataclass
+class PartyItem:
+    """One party's halves of a single piece of dealer material.
+
+    Field access is forwarded to the underlying array dict so protocol
+    code reads ``item.a`` / ``item.mask`` just like the joint dataclasses.
+    """
+
+    method: str
+    arrays: dict[str, np.ndarray]
+
+    def __getattr__(self, name: str) -> np.ndarray:
+        arrays = self.__dict__.get("arrays") or {}
+        if name in arrays:
+            return arrays[name]
+        raise AttributeError(name)
+
+
+def party_view(request: MaterialRequest, material, party: int) -> PartyItem:
+    """This party's view of one generated material item."""
+    if party not in (0, 1):
+        raise ValueError(f"party must be 0 or 1, got {party}")
+    if isinstance(material, (BeaverTriple, BitTriple)):
+        arrays = {
+            "a": material.a[party],
+            "b": material.b[party],
+            "c": material.c[party],
+        }
+    elif isinstance(material, DaBit):
+        arrays = {
+            "boolean": material.boolean[party],
+            "arithmetic": material.arithmetic[party],
+        }
+    elif isinstance(material, ComparisonMask):
+        arrays = {
+            "r": material.r_shares[party],
+            "low_bits": material.low_bits[party],
+            "msb": material.msb[party],
+        }
+    elif isinstance(material, LinearCorrelation):
+        # Asymmetric: the client holds the input mask and its offline
+        # output offset; the server holds only its random offset (it
+        # evaluates the linear map itself, online).
+        if party == 0:
+            arrays = {
+                "mask": material.mask,
+                "client_offset": material.client_offset,
+            }
+        else:
+            arrays = {"server_offset": material.server_offset}
+    else:
+        raise TypeError(f"unknown dealer material: {material!r}")
+    return PartyItem(method=request.method, arrays=arrays)
+
+
+def split_bundle(
+    bundle: list[tuple[MaterialRequest, object]], party: int
+) -> list["PartyItem"]:
+    """One party's halves of a whole preprocessing bundle, in order."""
+    return [party_view(request, material, party) for request, material in bundle]
+
+
+def pack_party_bundle(items: list[PartyItem]) -> bytes:
+    """Serialise a per-party bundle for the wire (npz container, no pickle)."""
+    manifest = [{"method": item.method, "keys": list(item.arrays)} for item in items]
+    arrays = {
+        f"{index}.{key}": array
+        for index, item in enumerate(items)
+        for key, array in item.arrays.items()
+    }
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def unpack_party_bundle(data: bytes) -> list[PartyItem]:
+    """Inverse of :func:`pack_party_bundle`."""
+    with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+        manifest = json.loads(archive["manifest"].tobytes().decode("utf-8"))
+        return [
+            PartyItem(
+                method=entry["method"],
+                arrays={key: archive[f"{index}.{key}"] for key in entry["keys"]},
+            )
+            for index, entry in enumerate(manifest)
+        ]
+
+
+class PartyMaterialStream:
+    """Serves one party's bundle halves in consumption order.
+
+    The two-process analogue of :class:`ReplayDealer`: the party
+    protocols pop items as they execute and the stream validates that the
+    online phase asks for exactly what the offline phase shipped.
+    """
+
+    def __init__(self, items: list[PartyItem]):
+        self._items = deque(items)
+        self.consumed = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._items)
+
+    def next(self, method: str) -> PartyItem:
+        if not self._items:
+            raise MaterialMismatch(
+                f"party bundle exhausted: online phase requested {method} "
+                "but no material is left"
+            )
+        item = self._items.popleft()
+        if item.method != method:
+            raise MaterialMismatch(
+                f"online phase requested {method} but the party bundle holds "
+                f"{item.method} — program/batch mismatch"
+            )
+        self.consumed += 1
+        return item

@@ -1,0 +1,280 @@
+"""Per-party halves of the online protocols (the two-process split).
+
+The joint protocols in this package operate on ``(client, server)`` share
+tuples inside one process; every function here is **one party's side** of
+the same protocol, exchanging real messages through a
+:class:`~repro.mpc.transport.Transport`. The arithmetic each party
+performs is copied line-for-line from the joint implementation, and every
+message is accounted on the local channel exactly as the joint
+:class:`~repro.mpc.network.Channel` accounting records it — so a
+two-party run produces byte-identical shares *and* byte-identical
+traffic counters to the in-process engine (the loopback equivalence
+tests pin both).
+
+Correlated randomness arrives as per-party
+:class:`~repro.mpc.preprocessing.PartyItem` views (only this party's
+halves), consumed in program order from a
+:class:`~repro.mpc.preprocessing.PartyMaterialStream` — the two-process
+analogue of the :class:`~repro.mpc.preprocessing.ReplayDealer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..transport import Transport, pack_bits, unpack_bits
+
+__all__ = [
+    "swap_ring",
+    "swap_bits",
+    "party_open",
+    "party_beaver_multiply",
+    "party_boolean_and",
+    "party_public_less_than_shared",
+    "party_secure_msb",
+    "party_secure_drelu",
+    "party_bit_to_arithmetic",
+    "party_secure_relu",
+    "party_secure_maximum",
+    "party_secure_linear",
+    "party_truncate",
+    "party_multiply_public_constant",
+]
+
+
+# ----------------------------------------------------------------------
+# exchange primitives (movement + the joint protocols' accounting)
+# ----------------------------------------------------------------------
+def swap_ring(io: Transport, array: np.ndarray, label: str) -> np.ndarray:
+    """Simultaneously exchange a uint64 array; returns the peer's array.
+
+    Accounts ``array.nbytes`` in both directions plus one round — exactly
+    what the joint protocols record via ``channel.exchange``.
+    """
+    other = io.swap(np.ascontiguousarray(array).tobytes(), label)
+    io.exchange(array.nbytes, label)
+    return np.frombuffer(other, dtype=np.uint64).reshape(array.shape)
+
+
+def swap_bits(io: Transport, bits: np.ndarray, label: str) -> np.ndarray:
+    """Simultaneously exchange a packed 0/1 bit array (one round).
+
+    Bits travel packed 8-per-byte; the payload size equals the joint
+    accounting ``max(1, ceil(n/8))``.
+    """
+    payload = pack_bits(bits)
+    other = io.swap(payload, label)
+    io.exchange(len(payload), label)
+    return unpack_bits(other, bits.size, bits.shape)
+
+
+def party_open(io: Transport, share: np.ndarray, label: str = "open") -> np.ndarray:
+    """Open an additively shared uint64 value to both parties (one round)."""
+    other = swap_ring(io, share, label)
+    return (share + other).astype(np.uint64)
+
+
+# ----------------------------------------------------------------------
+# multiplication
+# ----------------------------------------------------------------------
+def party_beaver_multiply(
+    io: Transport,
+    x: np.ndarray,
+    y: np.ndarray,
+    triple,
+) -> np.ndarray:
+    """This party's share of ``x * y`` (mirrors ``beaver_multiply``).
+
+    ``triple`` carries this party's halves ``a``, ``b``, ``c``; both
+    parties' ``(d, e)`` shares travel concatenated in one exchange, so
+    the payload equals the joint ``d.nbytes + e.nbytes`` accounting.
+    """
+    d_own = (x - triple.a).astype(np.uint64)
+    e_own = (y - triple.b).astype(np.uint64)
+    packed = np.concatenate([d_own.reshape(-1), e_own.reshape(-1)])
+    other = swap_ring(io, packed, "beaver-open")
+    d = (d_own + other[: d_own.size].reshape(x.shape)).astype(np.uint64)
+    e = (e_own + other[d_own.size :].reshape(y.shape)).astype(np.uint64)
+
+    z = (triple.c + d * triple.b + e * triple.a).astype(np.uint64)
+    if io.party == 0:
+        z = (z + d * e).astype(np.uint64)
+    return z
+
+
+def party_boolean_and(
+    io: Transport,
+    x: np.ndarray,
+    y: np.ndarray,
+    triple,
+) -> np.ndarray:
+    """This party's XOR share of ``x AND y`` (mirrors ``boolean_and``)."""
+    d_own = (x ^ triple.a).astype(np.uint8)
+    e_own = (y ^ triple.b).astype(np.uint8)
+    packed = np.concatenate([d_own.reshape(-1), e_own.reshape(-1)])
+    other = swap_bits(io, packed, "and-open")
+    d = (d_own ^ other[: d_own.size].reshape(x.shape)).astype(np.uint8)
+    e = (e_own ^ other[d_own.size :].reshape(y.shape)).astype(np.uint8)
+
+    z = (triple.c ^ (d & triple.b) ^ (e & triple.a)).astype(np.uint8)
+    if io.party == 0:
+        z = (z ^ (d & e)).astype(np.uint8)
+    return z
+
+
+# ----------------------------------------------------------------------
+# comparison / ReLU
+# ----------------------------------------------------------------------
+def party_public_less_than_shared(
+    io: Transport,
+    z_bits: np.ndarray,
+    r_bits: np.ndarray,
+    material,
+) -> np.ndarray:
+    """XOR share of ``[Z < R]`` for public Z bits and this party's R bits.
+
+    Mirrors ``public_less_than_shared``: the affine terms differ by party
+    (party 0 absorbs the public parts; padding positions behave as public
+    ones, shared as 1 on party 0 and 0 on party 1).
+    """
+    party = io.party
+    k = z_bits.shape[-1]
+    not_z = (1 - z_bits).astype(np.uint8)
+    t_share = (r_bits & not_z).astype(np.uint8)
+    if party == 0:
+        eq = (((1 ^ z_bits) ^ r_bits)).astype(np.uint8)
+    else:
+        eq = r_bits.copy()
+
+    suffix = eq
+    step = 1
+    while step < k:
+        if party == 0:
+            pad = np.ones_like(suffix[..., :step])
+        else:
+            pad = np.zeros_like(suffix[..., :step])
+        shifted = np.concatenate([suffix[..., step:], pad], axis=-1)
+        suffix = party_boolean_and(io, suffix, shifted, material.next("bit_triples"))
+        step *= 2
+
+    if party == 0:
+        edge = np.ones_like(suffix[..., :1])
+    else:
+        edge = np.zeros_like(suffix[..., :1])
+    strict = np.concatenate([suffix[..., 1:], edge], axis=-1)
+    term = party_boolean_and(io, t_share, strict, material.next("bit_triples"))
+    return np.bitwise_xor.reduce(term, axis=-1).astype(np.uint8)
+
+
+def party_secure_msb(io: Transport, x: np.ndarray, material) -> np.ndarray:
+    """XOR share of the sign bit of an additively shared array."""
+    mask = material.next("comparison_masks")
+    z_own = (x + mask.r).astype(np.uint64)
+    z = party_open(io, z_own, label="masked-reveal")
+
+    z_low_bits = (
+        (z[..., None] >> np.arange(63, dtype=np.uint64)) & np.uint64(1)
+    ).astype(np.uint8)
+    borrow = party_public_less_than_shared(io, z_low_bits, mask.low_bits, material)
+
+    msb = (mask.msb ^ borrow).astype(np.uint8)
+    if io.party == 0:
+        z_msb = ((z >> np.uint64(63)) & np.uint64(1)).astype(np.uint8)
+        msb = (z_msb ^ msb).astype(np.uint8)
+    return msb
+
+
+def party_secure_drelu(io: Transport, x: np.ndarray, material) -> np.ndarray:
+    """XOR share of ``DReLU(x) = 1 - MSB(x)``."""
+    msb = party_secure_msb(io, x, material)
+    if io.party == 0:
+        return (1 ^ msb).astype(np.uint8)
+    return msb
+
+
+def party_bit_to_arithmetic(io: Transport, b: np.ndarray, material) -> np.ndarray:
+    """Convert an XOR-shared bit array to additive shares (daBit B2A)."""
+    dabit = material.next("dabits")
+    e_own = (b ^ dabit.boolean).astype(np.uint8)
+    e = (
+        e_own ^ swap_bits(io, e_own, "b2a-open")
+    ).astype(np.uint64)
+
+    flip = (np.uint64(1) - np.uint64(2) * e).astype(np.uint64)
+    share = (flip * dabit.arithmetic).astype(np.uint64)
+    if io.party == 0:
+        share = (e + share).astype(np.uint64)
+    return share
+
+
+def party_secure_relu(io: Transport, x: np.ndarray, material) -> np.ndarray:
+    """This party's fresh share of ``ReLU(x)``."""
+    drelu = party_secure_drelu(io, x, material)
+    indicator = party_bit_to_arithmetic(io, drelu, material)
+    return party_beaver_multiply(io, x, indicator, material.next("beaver_triples"))
+
+
+def party_secure_maximum(
+    io: Transport, a: np.ndarray, b: np.ndarray, material
+) -> np.ndarray:
+    """This party's share of ``max(a, b) = b + ReLU(a - b)``."""
+    diff = (a - b).astype(np.uint64)
+    relu_diff = party_secure_relu(io, diff, material)
+    return (b + relu_diff).astype(np.uint64)
+
+
+# ----------------------------------------------------------------------
+# linear layers and local share arithmetic
+# ----------------------------------------------------------------------
+def party_secure_linear(
+    io: Transport,
+    x: np.ndarray,
+    correlation,
+    ring_linear_fn=None,
+    bias_2f: np.ndarray | None = None,
+) -> np.ndarray:
+    """This party's share of ``f(x) + bias`` for a server-known linear map.
+
+    The client (party 0) reveals its masked input and takes its offline
+    offset; the server (party 1) evaluates the integer map — the client
+    side needs **neither the weights nor the bias**, which is what makes
+    the weight-free client program of the two-process deployment possible.
+    """
+    if io.party == 0:
+        masked = (x - correlation.mask).astype(np.uint64)
+        io.push(np.ascontiguousarray(masked).tobytes(), "linear-masked-input")
+        io.send(0, masked.nbytes, label="linear-masked-input")
+        io.tick_round("linear")
+        return correlation.client_offset
+    payload = io.pull("linear-masked-input")
+    masked = np.frombuffer(payload, dtype=np.uint64).reshape(x.shape)
+    io.send(0, masked.nbytes, label="linear-masked-input")
+    io.tick_round("linear")
+    y = (ring_linear_fn((masked + x).astype(np.uint64)) + correlation.server_offset
+         ).astype(np.uint64)
+    if bias_2f is not None:
+        y = (y + bias_2f).astype(np.uint64)
+    return y
+
+
+def party_truncate(share: np.ndarray, party: int, frac_bits: int) -> np.ndarray:
+    """This party's side of the SecureML local truncation."""
+    from ..fixedpoint import FixedPointConfig
+
+    shift = np.uint64(frac_bits)
+    if party == 0:
+        return (share >> shift).astype(np.uint64)
+    neg = FixedPointConfig.neg(share)
+    return FixedPointConfig.neg((neg >> shift).astype(np.uint64))
+
+
+def party_multiply_public_constant(
+    share: np.ndarray, constant_f: np.ndarray | int
+) -> np.ndarray:
+    """Multiply this party's share by a public fixed-point constant."""
+    constant = (
+        np.uint64(constant_f)
+        if np.isscalar(constant_f)
+        else np.asarray(constant_f, dtype=np.uint64)
+    )
+    return (share * constant).astype(np.uint64)

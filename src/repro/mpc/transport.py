@@ -1,0 +1,554 @@
+"""Socket transport: a real wire between the two parties.
+
+Everything in :mod:`repro.mpc.network` is *accounting*: the in-process
+:class:`~repro.mpc.network.Channel` counts the bytes the joint engine
+*would* move. This module makes the traffic real. A :class:`Transport`
+is a :class:`Channel` (same counters, same per-label breakdown) that
+additionally **moves bytes** between the parties:
+
+* :class:`QueueTransport` — an in-memory pair for two party threads in
+  one process (the fast loopback used by the equivalence tests);
+* :class:`PeerChannel` — a TCP-socket transport with a length-prefixed
+  wire protocol, used by ``c2pi serve --listen`` / ``c2pi client`` to run
+  the compiled :class:`~repro.mpc.program.SecureProgram` between two
+  actual processes.
+
+Wire protocol (one *frame* per message)::
+
+    !4sBBHQd  header: magic b"C2PI" | version | kind | label length |
+              payload length | sender monotonic-free timestamp (time.time)
+    label     UTF-8, for protocol-step attribution and lock-step checks
+    payload   raw bytes
+
+Frame kinds separate **online protocol traffic** (``RAW``: ring tensors
+and packed bit vectors, whose payload sizes are exactly what
+:class:`Channel` accounts) from **control traffic** (``JSON`` handshake
+and requests, ``TENSOR`` logits, ``BLOB`` preprocessing bundles). The
+per-kind :class:`WireStats` let callers verify that measured socket
+payload equals the protocol's byte accounting, and expose the framing
+overhead separately.
+
+:class:`LinkShaper` provides optional ``tc``-free LAN/WAN emulation: a
+token bucket meters the sender at the link bandwidth and the receiver
+delays delivery until one-way latency (``rtt/2``) has elapsed since the
+frame's send timestamp (both processes run on one host, so ``time.time``
+is a shared clock). This lets a benchmark *measure* shaped end-to-end
+latency and compare it with the :class:`~repro.mpc.network.NetworkModel`
+prediction on the same run.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import Channel, NetworkModel
+
+__all__ = [
+    "FRAME_RAW",
+    "FRAME_JSON",
+    "FRAME_TENSOR",
+    "FRAME_BLOB",
+    "TransportError",
+    "WireStats",
+    "LinkShaper",
+    "Transport",
+    "QueueTransport",
+    "PeerChannel",
+    "pack_array",
+    "unpack_array",
+    "pack_bits",
+    "unpack_bits",
+]
+
+_HEADER = struct.Struct("!4sBBHQd")
+_MAGIC = b"C2PI"
+_VERSION = 1
+
+FRAME_RAW = 0  # online protocol payload (counted against Channel accounting)
+FRAME_JSON = 1  # control messages (handshake, requests, metrics)
+FRAME_TENSOR = 2  # dtype/shape-tagged arrays (logits, images)
+FRAME_BLOB = 3  # opaque control payloads (preprocessing bundles)
+
+
+class TransportError(RuntimeError):
+    """Framing violation, label mismatch or unexpected disconnect."""
+
+
+# ----------------------------------------------------------------------
+# array / bit helpers shared by the wire protocol and the party protocols
+# ----------------------------------------------------------------------
+def pack_array(array: np.ndarray) -> bytes:
+    """Self-describing tensor payload: dtype + shape header, then raw bytes.
+
+    Arrays travel in little-endian C order regardless of host endianness.
+    """
+    array = np.ascontiguousarray(array)
+    dtype = array.dtype.newbyteorder("<")
+    name = dtype.str.encode("ascii")
+    header = struct.pack("!BB", len(name), array.ndim) + name
+    header += struct.pack(f"!{array.ndim}I", *array.shape)
+    return header + array.astype(dtype, copy=False).tobytes()
+
+
+def unpack_array(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`pack_array`."""
+    name_len, ndim = struct.unpack_from("!BB", payload)
+    offset = 2
+    dtype = np.dtype(payload[offset : offset + name_len].decode("ascii"))
+    offset += name_len
+    shape = struct.unpack_from(f"!{ndim}I", payload, offset)
+    offset += 4 * ndim
+    data = np.frombuffer(payload, dtype=dtype, offset=offset).reshape(shape)
+    return data.astype(dtype.newbyteorder("="), copy=False)
+
+
+def pack_bits(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 uint8 array into bytes (min one byte, like the accounting).
+
+    ``Channel`` charges ``max(1, ceil(n/8))`` for an ``n``-bit boolean
+    message; this produces payloads of exactly that size.
+    """
+    data = np.packbits(bits.reshape(-1)).tobytes()
+    return data or b"\x00"
+
+
+def unpack_bits(payload: bytes, count: int, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`pack_bits` for a known bit count and shape."""
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=count)
+    return bits.reshape(shape)
+
+
+# ----------------------------------------------------------------------
+# measured wire statistics
+# ----------------------------------------------------------------------
+@dataclass
+class WireStats:
+    """Bytes actually moved, measured at the transport (not modeled).
+
+    ``raw_payload_*`` covers ``FRAME_RAW`` online protocol messages only —
+    by construction it must equal the :class:`Channel` accounting of the
+    same run (the loopback tests assert this). ``wire_*`` includes frame
+    headers and control frames: the real socket footprint.
+    """
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    raw_payload_sent: int = 0
+    raw_payload_received: int = 0
+    control_payload_sent: int = 0
+    control_payload_received: int = 0
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
+
+    @property
+    def raw_payload_total(self) -> int:
+        return self.raw_payload_sent + self.raw_payload_received
+
+    @property
+    def framing_overhead(self) -> int:
+        payload = (
+            self.raw_payload_sent
+            + self.raw_payload_received
+            + self.control_payload_sent
+            + self.control_payload_received
+        )
+        return self.wire_bytes_sent + self.wire_bytes_received - payload
+
+    def as_dict(self) -> dict:
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "raw_payload_sent": self.raw_payload_sent,
+            "raw_payload_received": self.raw_payload_received,
+            "control_payload_sent": self.control_payload_sent,
+            "control_payload_received": self.control_payload_received,
+            "wire_bytes_sent": self.wire_bytes_sent,
+            "wire_bytes_received": self.wire_bytes_received,
+        }
+
+
+# ----------------------------------------------------------------------
+# tc-free link shaping
+# ----------------------------------------------------------------------
+class LinkShaper:
+    """Token-bucket bandwidth metering plus injected one-way latency.
+
+    The sender blocks until the bucket has drained enough tokens for the
+    frame (bandwidth emulation); the receiver delays delivery until
+    ``rtt/2`` after the frame's send timestamp (latency emulation).
+    Both endpoints of a link should use the same shaper settings.
+    """
+
+    def __init__(
+        self,
+        bandwidth_bytes_per_s: float,
+        rtt_s: float,
+        burst_bytes: float = 65536.0,
+    ):
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth_bytes_per_s = float(bandwidth_bytes_per_s)
+        self.rtt_s = float(rtt_s)
+        self.burst_bytes = float(burst_bytes)
+        self._tokens = self.burst_bytes
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    @classmethod
+    def for_network(cls, network: NetworkModel) -> "LinkShaper":
+        return cls(network.bandwidth_bytes_per_s, network.rtt_s)
+
+    def throttle_send(self, num_bytes: int) -> None:
+        """Block until the token bucket admits ``num_bytes``."""
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                self.burst_bytes,
+                self._tokens + (now - self._stamp) * self.bandwidth_bytes_per_s,
+            )
+            self._stamp = now
+            self._tokens -= num_bytes
+            wait = max(0.0, -self._tokens / self.bandwidth_bytes_per_s)
+        if wait > 0.0:
+            time.sleep(wait)
+
+    def delay_delivery(self, sent_at: float) -> None:
+        """Hold a received frame until one-way latency has elapsed."""
+        remaining = sent_at + self.rtt_s / 2.0 - time.time()
+        if remaining > 0.0:
+            time.sleep(remaining)
+
+
+# ----------------------------------------------------------------------
+# the transport interface
+# ----------------------------------------------------------------------
+class Transport(Channel):
+    """A :class:`Channel` that actually moves bytes between the parties.
+
+    ``Channel`` itself is the in-process implementation of the accounting
+    interface — it is what the joint engine uses when both parties live in
+    one address space and no bytes need to move. A ``Transport`` keeps
+    the identical counters (the party protocols account every message
+    exactly like the joint protocols do) and adds the movement API:
+
+    * :meth:`push` / :meth:`pull` — one-directional raw protocol messages;
+    * :meth:`swap` — a simultaneous exchange (both parties send, then
+      receive; one communication round);
+    * :meth:`send_obj` / :meth:`recv_obj`, :meth:`send_blob` /
+      :meth:`recv_blob` — JSON and opaque control frames (handshake,
+      preprocessing bundles, logits) that are *not* part of the online
+      protocol accounting.
+
+    ``party`` is 0 for the client, 1 for the server.
+    """
+
+    def __init__(self, party: int, shaper: LinkShaper | None = None):
+        super().__init__()
+        if party not in (0, 1):
+            raise ValueError(f"party must be 0 or 1, got {party}")
+        self.party = party
+        self.shaper = shaper
+        self.stats = WireStats()
+
+    # -- movement primitives (implemented by subclasses) ----------------
+    def _send_frame(self, kind: int, label: str, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def _recv_frame(self) -> tuple[int, str, bytes]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    # -- shared bookkeeping ---------------------------------------------
+    def _count_sent(self, kind: int, label: str, payload: bytes) -> None:
+        self.stats.frames_sent += 1
+        self.stats.wire_bytes_sent += _HEADER.size + len(label.encode()) + len(payload)
+        if kind == FRAME_RAW:
+            self.stats.raw_payload_sent += len(payload)
+        else:
+            self.stats.control_payload_sent += len(payload)
+
+    def _count_received(self, kind: int, label: str, payload: bytes) -> None:
+        self.stats.frames_received += 1
+        self.stats.wire_bytes_received += (
+            _HEADER.size + len(label.encode()) + len(payload)
+        )
+        if kind == FRAME_RAW:
+            self.stats.raw_payload_received += len(payload)
+        else:
+            self.stats.control_payload_received += len(payload)
+
+    def _expect(self, kind: int, label: str | None) -> tuple[str, bytes]:
+        got_kind, got_label, payload = self._recv_frame()
+        if got_kind != kind:
+            raise TransportError(
+                f"party {self.party} expected frame kind {kind} "
+                f"({label!r}) but received kind {got_kind} ({got_label!r}) — "
+                "the parties are out of lock-step"
+            )
+        if label is not None and got_label != label:
+            raise TransportError(
+                f"party {self.party} expected message {label!r} but received "
+                f"{got_label!r} — the parties are out of lock-step"
+            )
+        return got_label, payload
+
+    # -- online protocol messages ---------------------------------------
+    def push(self, data: bytes, label: str) -> None:
+        """Send one raw online-protocol message to the peer."""
+        self._send_frame(FRAME_RAW, label, data)
+
+    def pull(self, label: str | None = None) -> bytes:
+        """Receive the peer's next raw online-protocol message."""
+        return self._expect(FRAME_RAW, label)[1]
+
+    def swap(self, data: bytes, label: str) -> bytes:
+        """Simultaneous exchange: send ours, receive theirs (one round)."""
+        self.push(data, label)
+        return self.pull(label)
+
+    # -- control messages -----------------------------------------------
+    def send_obj(self, obj, label: str = "ctl") -> None:
+        self._send_frame(FRAME_JSON, label, json.dumps(obj).encode("utf-8"))
+
+    def recv_obj(self, label: str | None = None):
+        return json.loads(self._expect(FRAME_JSON, label)[1].decode("utf-8"))
+
+    def send_tensor(self, array: np.ndarray, label: str = "tensor") -> None:
+        self._send_frame(FRAME_TENSOR, label, pack_array(array))
+
+    def recv_tensor(self, label: str | None = None) -> np.ndarray:
+        return unpack_array(self._expect(FRAME_TENSOR, label)[1])
+
+    def send_blob(self, data: bytes, label: str = "blob") -> None:
+        self._send_frame(FRAME_BLOB, label, data)
+
+    def recv_blob(self, label: str | None = None) -> bytes:
+        return self._expect(FRAME_BLOB, label)[1]
+
+
+# ----------------------------------------------------------------------
+# in-process loopback (two party threads, one process)
+# ----------------------------------------------------------------------
+class QueueTransport(Transport):
+    """Loopback transport: a queue pair between two threads.
+
+    The wire statistics mirror real framing sizes so loopback tests
+    exercise the same accounting invariants as the socket transport.
+    """
+
+    def __init__(self, party: int, shaper: LinkShaper | None = None):
+        super().__init__(party, shaper)
+        self._inbox: queue.Queue = queue.Queue()
+        self._peer: QueueTransport | None = None
+        self.timeout: float | None = 60.0
+
+    @classmethod
+    def pair(
+        cls, shaper: LinkShaper | None = None
+    ) -> tuple["QueueTransport", "QueueTransport"]:
+        # A full-duplex link: each direction gets its own token bucket
+        # (sharing one would make opposing sends contend for bandwidth).
+        other = (
+            LinkShaper(
+                shaper.bandwidth_bytes_per_s, shaper.rtt_s, shaper.burst_bytes
+            )
+            if shaper is not None
+            else None
+        )
+        client, server = cls(0, shaper), cls(1, other)
+        client._peer, server._peer = server, client
+        return client, server
+
+    def _send_frame(self, kind: int, label: str, payload: bytes) -> None:
+        if self._peer is None:
+            raise TransportError("queue transport is not paired")
+        if self.shaper is not None:
+            self.shaper.throttle_send(len(payload))
+        self._count_sent(kind, label, payload)
+        self._peer._inbox.put((kind, label, payload, time.time()))
+
+    def _recv_frame(self) -> tuple[int, str, bytes]:
+        try:
+            kind, label, payload, sent_at = self._inbox.get(timeout=self.timeout)
+        except queue.Empty as exc:
+            raise TransportError(
+                f"party {self.party} timed out waiting for the peer"
+            ) from exc
+        if self.shaper is not None:
+            self.shaper.delay_delivery(sent_at)
+        self._count_received(kind, label, payload)
+        return kind, label, payload
+
+
+# ----------------------------------------------------------------------
+# the TCP transport
+# ----------------------------------------------------------------------
+class PeerChannel(Transport):
+    """Socket transport: runs the secure program between two processes.
+
+    A daemon reader thread drains the socket into an inbox queue, so a
+    :meth:`swap` (both parties send before either receives) can never
+    deadlock on full kernel buffers, whatever the tensor sizes.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        party: int,
+        shaper: LinkShaper | None = None,
+        timeout: float | None = 120.0,
+    ):
+        super().__init__(party, shaper)
+        self._sock = sock
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._write_lock = threading.Lock()
+        self._inbox: queue.Queue = queue.Queue()
+        self._closed = threading.Event()
+        self.timeout = timeout
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"c2pi-peer-reader-p{party}", daemon=True
+        )
+        self._reader.start()
+
+    # -- connection helpers ---------------------------------------------
+    @classmethod
+    def listen(cls, host: str = "127.0.0.1", port: int = 0) -> socket.socket:
+        """Bind a listening socket (port 0 picks an ephemeral port)."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(8)
+        return listener
+
+    @classmethod
+    def accept(
+        cls,
+        listener: socket.socket,
+        shaper: LinkShaper | None = None,
+        timeout: float | None = 120.0,
+    ) -> "PeerChannel":
+        """Accept one client connection as the server (party 1)."""
+        sock, _ = listener.accept()
+        return cls(sock, party=1, shaper=shaper, timeout=timeout)
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        shaper: LinkShaper | None = None,
+        timeout: float | None = 120.0,
+        attempts: int = 40,
+        retry_delay: float = 0.25,
+    ) -> "PeerChannel":
+        """Connect to a listening server as the client (party 0)."""
+        last: Exception | None = None
+        for _ in range(attempts):
+            try:
+                sock = socket.create_connection((host, port), timeout=timeout)
+                # The timeout above governs the connect attempt only: a
+                # lingering recv timeout would kill the reader thread on
+                # any idle gap (receive waits are bounded by the inbox
+                # timeout instead).
+                sock.settimeout(None)
+                return cls(sock, party=0, shaper=shaper, timeout=timeout)
+            except OSError as exc:  # server may not be listening yet
+                last = exc
+                time.sleep(retry_delay)
+        raise TransportError(f"could not connect to {host}:{port}: {last}")
+
+    # -- framing ---------------------------------------------------------
+    def _send_frame(self, kind: int, label: str, payload: bytes) -> None:
+        encoded = label.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise TransportError(f"label too long: {label!r}")
+        if self.shaper is not None:
+            self.shaper.throttle_send(len(payload))
+        header = _HEADER.pack(
+            _MAGIC, _VERSION, kind, len(encoded), len(payload), time.time()
+        )
+        with self._write_lock:
+            try:
+                if len(payload) <= 65536:
+                    # One segment for small frames (TCP_NODELAY is on).
+                    self._sock.sendall(header + encoded + payload)
+                else:
+                    # Avoid copying multi-megabyte tensors just to
+                    # prepend a ~24-byte header.
+                    self._sock.sendall(header + encoded)
+                    self._sock.sendall(payload)
+            except OSError as exc:
+                raise TransportError(f"peer connection lost on send: {exc}") from exc
+        self._count_sent(kind, label, payload)
+
+    def _read_exact(self, count: int) -> bytes | None:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_loop(self) -> None:
+        while not self._closed.is_set():
+            header = self._read_exact(_HEADER.size)
+            if header is None:
+                break
+            magic, version, kind, label_len, payload_len, sent_at = _HEADER.unpack(
+                header
+            )
+            if magic != _MAGIC or version != _VERSION:
+                self._inbox.put(
+                    TransportError(
+                        f"bad frame header (magic={magic!r}, version={version})"
+                    )
+                )
+                break
+            label_bytes = self._read_exact(label_len) if label_len else b""
+            payload = self._read_exact(payload_len) if payload_len else b""
+            if label_bytes is None or payload is None:
+                break
+            self._inbox.put((kind, label_bytes.decode("utf-8"), payload, sent_at))
+        self._inbox.put(None)  # EOF sentinel
+
+    def _recv_frame(self) -> tuple[int, str, bytes]:
+        try:
+            item = self._inbox.get(timeout=self.timeout)
+        except queue.Empty as exc:
+            raise TransportError(
+                f"party {self.party} timed out waiting for the peer"
+            ) from exc
+        if item is None:
+            raise TransportError("peer closed the connection")
+        if isinstance(item, TransportError):
+            raise item
+        kind, label, payload, sent_at = item
+        if self.shaper is not None:
+            self.shaper.delay_delivery(sent_at)
+        self._count_received(kind, label, payload)
+        return kind, label, payload
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=5.0)

@@ -4,8 +4,15 @@ Compile-once, serve-many deployment of the C2PI pipeline:
 :class:`C2PIServer` keeps one compiled
 :class:`~repro.mpc.program.SecureProgram`, warm offline preprocessing
 pools, and coalesces queued requests into batched secure executions.
+
+:mod:`repro.serve.remote` is the *two-process* deployment of the same
+flow: :class:`RemoteServer` / :class:`RemoteClient` run the compiled
+program between real processes over the socket transport
+(``c2pi serve --listen`` / ``c2pi client``), shipping offline bundles
+ahead of the online phase and measuring actual wire traffic.
 """
 
+from .remote import RemoteClient, RemoteReply, RemoteServer, benchmark_networked
 from .server import (
     C2PIServer,
     InferenceReply,
@@ -20,4 +27,8 @@ __all__ = [
     "InferenceRequest",
     "ServerMetrics",
     "benchmark_serving",
+    "RemoteServer",
+    "RemoteClient",
+    "RemoteReply",
+    "benchmark_networked",
 ]

@@ -1,0 +1,470 @@
+"""Two-process C2PI serving over the socket transport.
+
+:class:`RemoteServer` and :class:`RemoteClient` run the full C2PI flow —
+offline bundle shipping, the online 2PC protocol, the noised reveal and
+the server's clear-phase evaluation — between two actual processes
+connected by a :class:`~repro.mpc.transport.PeerChannel`:
+
+1. **Handshake.** The client announces optional link shaping; the server
+   replies with the weight-free :func:`~repro.mpc.party.program_manifest`
+   (op kinds and shapes only — weights never leave the server).
+2. **Offline phase (per request).** The server draws a bundle from its
+   per-batch :class:`~repro.mpc.preprocessing.PreprocessingPool` (seeded
+   like the in-process pipeline, so runs are byte-identical to it),
+   splits it, and ships the client's half as an opaque blob.
+3. **Online phase.** Both sides execute their
+   :class:`~repro.mpc.party.PartyEngine` halves over the socket.
+4. **Reveal + clear phase.** The client perturbs its boundary share with
+   its :class:`~repro.core.noise.NoiseMechanism` and reveals it; the
+   server reconstructs the noised activation, runs the clear layers and
+   returns the logits.
+
+Measured socket traffic (``WireStats``) and protocol accounting
+(:class:`~repro.mpc.network.Channel` counters) travel back with every
+reply, so callers can verify the wire against the books and compare
+measured latency with the :class:`~repro.mpc.network.NetworkModel`
+prediction on the same run — which is what
+:func:`benchmark_networked` (and ``c2pi serve-bench --networked``) does.
+
+``python -m repro.serve.remote --arch resnet20`` starts a deterministic
+demonstration server on an untrained victim (both processes can rebuild
+the identical model from the seed), which is what the two-process tests
+and the networked CI smoke job use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..core.noise import NoiseMechanism
+from ..models.layered import LayeredModel
+from ..mpc.fixedpoint import DEFAULT_CONFIG, FixedPointConfig
+from ..mpc.network import NetworkModel, TrafficSnapshot
+from ..mpc.party import PartyEngine, program_manifest
+from ..mpc.preprocessing import (
+    PartyMaterialStream,
+    PreprocessingPool,
+    pack_party_bundle,
+    split_bundle,
+    unpack_party_bundle,
+)
+from ..mpc.program import SecureProgram, compile_program
+from ..mpc.transport import LinkShaper, PeerChannel, Transport, TransportError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RemoteReply",
+    "RemoteServer",
+    "RemoteClient",
+    "benchmark_networked",
+]
+
+PROTOCOL_VERSION = 1
+
+
+def _snapshot_dict(snapshot: TrafficSnapshot) -> dict:
+    return {
+        "bytes_client_to_server": snapshot.bytes_client_to_server,
+        "bytes_server_to_client": snapshot.bytes_server_to_client,
+        "total_bytes": snapshot.total_bytes,
+        "rounds": snapshot.rounds,
+        "messages": snapshot.messages,
+    }
+
+
+# ----------------------------------------------------------------------
+# server
+# ----------------------------------------------------------------------
+class RemoteServer:
+    """Serve private inferences to remote clients over TCP.
+
+    The server owns the model: it compiles the crypto segment once,
+    plays the dealer for the offline phase (bundles are generated from
+    ``dealer_seed = seed`` per batch size, mirroring
+    :class:`~repro.core.c2pi.C2PIPipeline`), executes party 1 of the
+    online protocol, and evaluates the clear layers on the noised
+    boundary activation.
+    """
+
+    def __init__(
+        self,
+        model: LayeredModel,
+        boundary: float,
+        config: FixedPointConfig = DEFAULT_CONFIG,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        program: SecureProgram | None = None,
+    ):
+        self.model = model
+        self.boundary = boundary
+        self.config = config
+        self.seed = seed
+        self.host = host
+        self.program = (
+            program if program is not None else compile_program(model, boundary, config)
+        )
+        self.engine = PartyEngine.from_program(self.program, party=1)
+        self._pools: dict[int, PreprocessingPool] = {}
+        self._listener = PeerChannel.listen(host, port)
+        self.port = self._listener.getsockname()[1]
+        self._stopping = False
+        self.connections_served = 0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    def pool(self, batch: int) -> PreprocessingPool:
+        pool = self._pools.get(batch)
+        if pool is None:
+            pool = PreprocessingPool(self.program, batch, dealer_seed=self.seed)
+            self._pools[batch] = pool
+        return pool
+
+    def warm(self, batch: int, bundles: int = 1) -> None:
+        """Pre-generate offline bundles for ``batch``-sized requests."""
+        self.pool(batch).refill(bundles)
+
+    # ------------------------------------------------------------------
+    def serve_forever(self, once: bool = False) -> None:
+        """Accept and serve connections until :meth:`stop` (or one, with
+        ``once``)."""
+        while not self._stopping:
+            try:
+                transport = PeerChannel.accept(self._listener)
+            except OSError:
+                break  # listener closed by stop()
+            try:
+                self._serve_connection(transport)
+            except TransportError:
+                pass  # client vanished mid-protocol; serve the next one
+            finally:
+                transport.close()
+            self.connections_served += 1
+            if once:
+                break
+
+    def stop(self) -> None:
+        self._stopping = True
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+
+    # ------------------------------------------------------------------
+    def _serve_connection(self, transport: Transport) -> None:
+        link = transport.recv_obj("link")
+        if link.get("bandwidth_bytes_per_s"):
+            transport.shaper = LinkShaper(
+                link["bandwidth_bytes_per_s"], link.get("rtt_s") or 0.0
+            )
+        transport.send_obj(
+            {
+                "protocol": PROTOCOL_VERSION,
+                "model": self.model.name,
+                "boundary": self.boundary,
+                "manifest": program_manifest(self.program),
+            },
+            "hello",
+        )
+        while True:
+            request = transport.recv_obj("req")
+            command = request.get("cmd")
+            if command == "bye":
+                break
+            if command != "infer":
+                raise TransportError(f"unknown request: {request!r}")
+            self._serve_inference(transport, int(request["batch"]))
+            self.requests_served += 1
+
+    def _serve_inference(self, transport: Transport, batch: int) -> None:
+        # Offline: draw a bundle, keep our half, ship the client's half.
+        offline_start = time.perf_counter()
+        pool = self.pool(batch)
+        bundle = pool.acquire_bundle()
+        transport.send_blob(pack_party_bundle(split_bundle(bundle, 0)), "bundle")
+        material = PartyMaterialStream(split_bundle(bundle, 1))
+        offline_s = time.perf_counter() - offline_start
+
+        # Online: our half of the protocol, then reveal + clear phase.
+        before = transport.snapshot()
+        online_start = time.perf_counter()
+        execution = self.engine.run(transport, material, batch=batch)
+
+        payload = transport.pull("noised-reveal")
+        transport.send(0, len(payload), label="noised-reveal")
+        transport.tick_round("noised-reveal")
+        client_share = np.frombuffer(payload, dtype=np.uint64).reshape(
+            batch, *self.program.output_shape
+        )
+        boundary_ring = (client_share + execution.share).astype(np.uint64)
+        server_view = self.config.decode(boundary_ring)
+        with nn.no_grad():
+            logits = self.model.forward_from(
+                nn.Tensor(server_view), self.boundary
+            ).data
+        online_s = time.perf_counter() - online_start
+
+        transport.send_tensor(np.asarray(logits, dtype=np.float32), "logits")
+        transport.send_obj(
+            {
+                "online_s": online_s,
+                "offline_s": offline_s,
+                "pool": pool.stats.as_dict(),
+                "traffic": _snapshot_dict(transport.diff(before)),
+            },
+            "metrics",
+        )
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+@dataclass
+class RemoteReply:
+    """One served remote inference, with measured wire-level evidence."""
+
+    logits: np.ndarray
+    online_s: float  # client-side wall clock: request sent -> logits back
+    traffic: TrafficSnapshot  # protocol accounting for this request
+    measured_payload_bytes: int  # raw socket payload actually moved
+    offline_bytes: int  # bundle blob size (control traffic)
+    server: dict  # the server's metrics message
+
+    @property
+    def prediction(self) -> np.ndarray:
+        return self.logits.argmax(axis=1)
+
+    @property
+    def bytes_match(self) -> bool:
+        """Measured socket payload equals the protocol's accounting."""
+        return self.measured_payload_bytes == self.traffic.total_bytes
+
+
+class RemoteClient:
+    """The client party: owns the input and the noise, never the weights."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        noise_magnitude: float = 0.1,
+        seed: int = 0,
+        network: NetworkModel | None = None,
+        timeout: float | None = 120.0,
+    ):
+        self.transport = PeerChannel.connect(
+            host,
+            port,
+            shaper=LinkShaper.for_network(network) if network else None,
+            timeout=timeout,
+        )
+        self.transport.send_obj(
+            {
+                "bandwidth_bytes_per_s": network.bandwidth_bytes_per_s
+                if network
+                else None,
+                "rtt_s": network.rtt_s if network else None,
+            },
+            "link",
+        )
+        hello = self.transport.recv_obj("hello")
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            raise TransportError(
+                f"protocol mismatch: server speaks {hello.get('protocol')}, "
+                f"client speaks {PROTOCOL_VERSION}"
+            )
+        self.server_model = hello["model"]
+        self.boundary = hello["boundary"]
+        self.manifest = hello["manifest"]
+        self.engine = PartyEngine.from_manifest(self.manifest, share_seed=seed + 1)
+        self.config = self.engine.config
+        self.noise = NoiseMechanism(noise_magnitude, seed=seed)
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        return self.engine.input_shape
+
+    # ------------------------------------------------------------------
+    def infer(self, images: np.ndarray) -> RemoteReply:
+        """Run one private inference on a float NCHW batch."""
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim == 3:
+            images = images[None]
+        transport = self.transport
+        transport.send_obj({"cmd": "infer", "batch": int(images.shape[0])}, "req")
+        blob = transport.recv_blob("bundle")
+        material = PartyMaterialStream(unpack_party_bundle(blob))
+
+        before = transport.snapshot()
+        raw_before = transport.stats.raw_payload_total
+        start = time.perf_counter()
+        execution = self.engine.run(transport, material, x=images)
+
+        perturbed = self.noise.perturb_share(execution.share, self.config)
+        transport.push(np.ascontiguousarray(perturbed).tobytes(), "noised-reveal")
+        transport.send(0, perturbed.nbytes, label="noised-reveal")
+        transport.tick_round("noised-reveal")
+
+        logits = transport.recv_tensor("logits")
+        server_metrics = transport.recv_obj("metrics")
+        online_s = time.perf_counter() - start
+        return RemoteReply(
+            logits=logits,
+            online_s=online_s,
+            traffic=transport.diff(before),
+            measured_payload_bytes=transport.stats.raw_payload_total - raw_before,
+            offline_bytes=len(blob),
+            server=server_metrics,
+        )
+
+    def close(self) -> None:
+        try:
+            self.transport.send_obj({"cmd": "bye"}, "req")
+        except TransportError:  # pragma: no cover - server already gone
+            pass
+        self.transport.close()
+
+
+# ----------------------------------------------------------------------
+# measured vs modeled benchmark
+# ----------------------------------------------------------------------
+def benchmark_networked(
+    model: LayeredModel,
+    boundary: float,
+    images: np.ndarray,
+    max_batch: int = 4,
+    noise_magnitude: float = 0.1,
+    seed: int = 0,
+    networks: tuple[NetworkModel, ...] = (),
+) -> dict:
+    """Measure real transported serving and compare with the cost model.
+
+    Runs a :class:`RemoteServer` on a loopback socket (in a background
+    thread — use the CLI pair for full process isolation), serves the
+    images in ``max_batch`` coalesced requests, and reports:
+
+    * the unshaped loopback run: measured online seconds, socket payload
+      vs protocol accounting (``bytes_match``);
+    * for each shaped network: the measured wall-clock under token-bucket
+      bandwidth + injected RTT, side by side with the
+      :meth:`NetworkModel.latency` prediction fed the *same run's*
+      directional traffic, rounds and loopback compute time.
+    """
+    import threading
+
+    images = np.asarray(images, dtype=np.float32)
+    if images.ndim == 3:
+        images = images[None]
+    groups = [
+        images[start : start + max_batch]
+        for start in range(0, images.shape[0], max_batch)
+    ]
+
+    server = RemoteServer(model, boundary, seed=seed)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    report: dict = {"listen": f"{server.host}:{server.port}"}
+    try:
+        # --- unshaped loopback: ground truth for compute + accounting.
+        client = RemoteClient(
+            "127.0.0.1", server.port, noise_magnitude=noise_magnitude, seed=seed
+        )
+        loopback_replies = [client.infer(group) for group in groups]
+        client.close()
+        loopback = {
+            "online_s": sum(r.online_s for r in loopback_replies),
+            "offline_bundle_bytes": sum(r.offline_bytes for r in loopback_replies),
+            "bytes": sum(r.traffic.total_bytes for r in loopback_replies),
+            "measured_payload_bytes": sum(
+                r.measured_payload_bytes for r in loopback_replies
+            ),
+            "rounds": sum(r.traffic.rounds for r in loopback_replies),
+            "bytes_match": all(r.bytes_match for r in loopback_replies),
+            "predictions": [int(p) for r in loopback_replies for p in r.prediction],
+        }
+        report["loopback"] = loopback
+
+        # --- shaped runs: measured wall clock vs modeled latency.
+        for network in networks:
+            client = RemoteClient(
+                "127.0.0.1",
+                server.port,
+                noise_magnitude=noise_magnitude,
+                seed=seed,
+                network=network,
+            )
+            measured = 0.0
+            modeled = 0.0
+            for group, loopback_reply in zip(groups, loopback_replies):
+                reply = client.infer(group)
+                measured += reply.online_s
+                modeled += network.latency_of(
+                    reply.traffic, compute_s=loopback_reply.online_s
+                )
+            client.close()
+            report[network.name] = {
+                "measured_s": measured,
+                "modeled_s": modeled,
+                "measured_over_modeled": measured / modeled if modeled else None,
+            }
+    finally:
+        server.stop()
+        thread.join(timeout=10.0)
+    return report
+
+
+# ----------------------------------------------------------------------
+# deterministic demonstration server (two-process tests, CI smoke)
+# ----------------------------------------------------------------------
+def _demo_victim(arch: str, width: float, rng_seed: int) -> LayeredModel:
+    from ..models import alexnet, resnet20, vgg16, vgg19
+
+    makers = {
+        "alexnet": alexnet,
+        "vgg16": vgg16,
+        "vgg19": vgg19,
+        "resnet20": resnet20,
+    }
+    rng = np.random.default_rng(rng_seed)
+    return makers[arch](width_mult=width, rng=rng).eval()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.serve.remote``: a deterministic loopback server.
+
+    The victim is *untrained* but fully determined by
+    ``(arch, width, model-seed)``, so a test or example process can
+    rebuild the identical model and check logits byte for byte.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description="C2PI demonstration server")
+    parser.add_argument("--arch", default="resnet20",
+                        choices=("alexnet", "vgg16", "vgg19", "resnet20"))
+    parser.add_argument("--width", type=float, default=0.25)
+    parser.add_argument("--model-seed", type=int, default=0)
+    parser.add_argument("--boundary", type=float, default=3.5)
+    parser.add_argument("--seed", type=int, default=0, help="dealer seed")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--once", action="store_true",
+                        help="serve a single connection, then exit")
+    args = parser.parse_args(argv)
+
+    model = _demo_victim(args.arch, args.width, args.model_seed)
+    server = RemoteServer(
+        model, args.boundary, seed=args.seed, host=args.host, port=args.port
+    )
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    server.serve_forever(once=args.once)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -58,9 +58,10 @@ class InferenceReply:
     logits: np.ndarray
     prediction: int
     online_s: float  # secure online phase of the batch this rode in
-    queued_s: float  # time spent waiting for coalescing
+    queued_s: float  # time spent waiting for coalescing (queue wait only)
     batch_size: int
     used_pool: bool
+    offline_miss_s: float = 0.0  # cold-pool offline generation this batch paid
 
 
 @dataclass
@@ -72,6 +73,7 @@ class ServerMetrics:
     online_s: float = 0.0
     online_bytes: int = 0
     online_rounds: int = 0
+    miss_offline_s: float = 0.0  # offline work forced onto the request path
     traffic_by_label: dict[str, dict] = field(default_factory=dict)
 
     def record_labels(self, breakdown) -> None:
@@ -166,18 +168,26 @@ class C2PIServer:
         take = min(self.max_batch, len(self._queue))
         requests = [self._queue.popleft() for _ in range(take)]
         images = np.stack([r.image for r in requests])
-        # Make sure a pool exists for this batch size (it refills on miss,
-        # which the pool records — visible in the serving metrics).
-        self.pipeline.prepare_offline(batch=take, bundles=0)
+        # Queue wait ends here: whatever follows (pool creation, a
+        # cold-pool miss generating a bundle inside infer) is offline
+        # work, reported separately rather than inflating queued_s.
+        dequeued = time.perf_counter()
+        pool = self.pipeline.prepare_offline(batch=take, bundles=0)
+        misses_before = pool.stats.misses
+        offline_before = pool.stats.offline_seconds
 
-        started = time.perf_counter()
         result = self.pipeline.infer(images)
+        missed = pool.stats.misses > misses_before
+        offline_miss_s = (
+            pool.stats.offline_seconds - offline_before if missed else 0.0
+        )
 
         self.metrics.requests += take
         self.metrics.batches += 1
         self.metrics.online_s += result.online_s
         self.metrics.online_bytes += result.total_bytes
         self.metrics.online_rounds += result.crypto_rounds + 1
+        self.metrics.miss_offline_s += offline_miss_s
         self.metrics.record_labels(result.traffic_by_label)
 
         return [
@@ -186,9 +196,10 @@ class C2PIServer:
                 logits=result.logits[i],
                 prediction=int(result.logits[i].argmax()),
                 online_s=result.online_s,
-                queued_s=started - request.enqueued_s,
+                queued_s=dequeued - request.enqueued_s,
                 batch_size=take,
                 used_pool=result.used_pool,
+                offline_miss_s=offline_miss_s,
             )
             for i, request in enumerate(requests)
         ]
@@ -221,6 +232,7 @@ class C2PIServer:
             "online_bytes": self.metrics.online_bytes,
             "online_rounds": self.metrics.online_rounds,
             "offline_s": offline_s,
+            "miss_offline_s": self.metrics.miss_offline_s,
             "pools": pools,
             "online_dealer_generation": {
                 "triples": dealer.triples_issued,
@@ -240,6 +252,8 @@ def benchmark_serving(
     max_batch: int = 4,
     noise_magnitude: float = 0.1,
     seed: int = 0,
+    networked: bool = False,
+    networks: tuple = (),
 ) -> dict:
     """Measure batched warm-pool serving against the seed behaviour.
 
@@ -249,6 +263,12 @@ def benchmark_serving(
     compiles once, pre-generates pools sized for the workload, then
     coalesces the same requests into ``max_batch``-sized secure runs.
     Returns a JSON-able comparison dict.
+
+    With ``networked=True`` the same workload is additionally served over
+    a real loopback socket (:func:`repro.serve.remote.benchmark_networked`)
+    and, for each :class:`~repro.mpc.network.NetworkModel` in
+    ``networks``, under token-bucket LAN/WAN shaping — reporting measured
+    wall-clock next to the cost model's prediction for the same run.
     """
     images = np.asarray(images, dtype=np.float32)
     n = images.shape[0]
@@ -289,6 +309,23 @@ def benchmark_serving(
         int(baseline_results[reply.request_id].prediction[0]) == reply.prediction
         for reply in replies
     )
+    networked_report = None
+    if networked:
+        from .remote import benchmark_networked
+
+        networked_report = benchmark_networked(
+            model,
+            boundary,
+            images,
+            max_batch=max_batch,
+            noise_magnitude=noise_magnitude,
+            seed=seed,
+            networks=networks,
+        )
+        networked_report["predictions_agree_with_baseline"] = all(
+            int(baseline_results[i].prediction[0]) == prediction
+            for i, prediction in enumerate(networked_report["loopback"]["predictions"])
+        )
     return {
         "model": model.name,
         "boundary": boundary,
@@ -313,4 +350,5 @@ def benchmark_serving(
         ),
         "predictions_agree": agree,
         "traffic_by_label": snapshot["traffic_by_label"],
+        "networked": networked_report,
     }

@@ -100,6 +100,25 @@ class TestChannel:
         assert delta.total_bytes == 10
         assert delta.rounds == 1
 
+    def test_exchange_per_label_accounting(self):
+        """Each exchange books one round and both directions on its label."""
+        channel = Channel()
+        channel.exchange(64, label="beaver-open")
+        channel.exchange(32, label="beaver-open")
+        channel.exchange(8, label="b2a-open")
+        beaver = channel.by_label["beaver-open"]
+        assert beaver.rounds == 2
+        assert beaver.bytes_client_to_server == 96
+        assert beaver.bytes_server_to_client == 96
+        assert beaver.messages == 4
+        b2a = channel.by_label["b2a-open"]
+        assert b2a.rounds == 1
+        assert b2a.total_bytes == 16
+        # The per-label breakdown sums to the channel totals.
+        breakdown = channel.label_breakdown()
+        assert sum(s.total_bytes for s in breakdown.values()) == channel.total_bytes
+        assert sum(s.rounds for s in breakdown.values()) == channel.rounds
+
 
 class TestNetworkModel:
     def test_paper_settings(self):
@@ -107,8 +126,42 @@ class TestNetworkModel:
         assert WAN.bandwidth_bytes_per_s == 44e6 and WAN.rtt_s == 40e-3
 
     def test_latency_composition(self):
+        """Full duplex: a direction-free total assumes a symmetric split,
+        so 2 MB cost 1 s of serialisation at 1 MB/s, not 2 s."""
         net = NetworkModel("test", bandwidth_bytes_per_s=1e6, rtt_s=0.01)
-        assert net.latency(2e6, 10, 1.0) == pytest.approx(1.0 + 2.0 + 0.1)
+        assert net.latency(2e6, 10, 1.0) == pytest.approx(1.0 + 1.0 + 0.1)
+
+    def test_latency_charges_busier_direction(self):
+        net = NetworkModel("test", bandwidth_bytes_per_s=1e6, rtt_s=0.01)
+        asymmetric = net.latency(
+            rounds=2, bytes_client_to_server=3e6, bytes_server_to_client=1e6
+        )
+        assert asymmetric == pytest.approx(3.0 + 0.02)
+        # The busier direction governs: shrinking the idle direction
+        # changes nothing, growing it past the max does.
+        assert asymmetric == net.latency(
+            rounds=2, bytes_client_to_server=3e6, bytes_server_to_client=0
+        )
+        assert net.latency(
+            rounds=2, bytes_client_to_server=3e6, bytes_server_to_client=4e6
+        ) == pytest.approx(4.0 + 0.02)
+
+    def test_latency_of_snapshot(self):
+        from repro.mpc import TrafficSnapshot
+
+        net = NetworkModel("test", bandwidth_bytes_per_s=1e6, rtt_s=0.01)
+        traffic = TrafficSnapshot(
+            bytes_client_to_server=int(2e6),
+            bytes_server_to_client=int(5e5),
+            rounds=3,
+        )
+        assert net.latency_of(traffic, compute_s=0.5) == pytest.approx(
+            0.5 + 2.0 + 0.03
+        )
+
+    def test_latency_requires_some_byte_count(self):
+        with pytest.raises(ValueError):
+            NetworkModel("test", 1e6, 0.01).latency(rounds=1)
 
     def test_wan_slower_than_lan(self):
         assert WAN.latency(1e8, 100) > LAN.latency(1e8, 100)

@@ -136,7 +136,13 @@ class TestCostModels:
         assert delphi.latency(LAN) > 10 * cheetah.latency(LAN)
 
     def test_full_pi_magnitudes_match_paper_scale(self, paper_vgg16):
-        """Calibration check: full-PI VGG16 rows of Table II within ~25%."""
+        """Calibration check: full-PI VGG16 rows of Table II within ~25%.
+
+        The targets are the paper's numbers. Under the full-duplex
+        serialisation model (symmetric split for direction-free
+        aggregates) the computed values are Delphi ~5607 s LAN and
+        Cheetah ~14.2 s LAN / ~24.4 s WAN — still inside the band.
+        """
         tallies = static_layer_tallies(paper_vgg16, 14.0)
         delphi = CostEstimate.from_tallies(tallies, delphi_costs())
         cheetah = CostEstimate.from_tallies(tallies, cheetah_costs())
@@ -144,6 +150,20 @@ class TestCostModels:
         assert cheetah.latency(LAN) == pytest.approx(13.72, rel=0.25)
         assert cheetah.latency(WAN) == pytest.approx(25.27, rel=0.25)
         assert cheetah.total_mb == pytest.approx(179.64, rel=0.25)
+
+    def test_duplex_halves_direction_free_serialisation(self, paper_vgg16):
+        """The duplex fix: aggregate bytes are charged at total/2, so the
+        wire term is half the old sum-of-directions charge."""
+        tallies = static_layer_tallies(paper_vgg16, 14.0)
+        cheetah = CostEstimate.from_tallies(tallies, cheetah_costs())
+        old_overestimate = (
+            cheetah.compute_s
+            + cheetah.total_bytes / WAN.bandwidth_bytes_per_s
+            + cheetah.rounds * WAN.rtt_s
+        )
+        expected = old_overestimate - cheetah.total_bytes / 2 / WAN.bandwidth_bytes_per_s
+        assert cheetah.latency(WAN) == pytest.approx(expected)
+        assert cheetah.latency(WAN) < old_overestimate
 
     def test_c2pi_speedup_shape(self, paper_vgg16):
         """The headline claim: boundary 9 (sigma=0.3) yields >2x Delphi and

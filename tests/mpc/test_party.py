@@ -1,0 +1,229 @@
+"""The party-split engine must reproduce the joint engine byte for byte.
+
+These tests run the client and server halves as two threads over the
+loopback transport and pin the core deployment invariants:
+
+* output shares identical to ``SecureInferenceEngine.run`` under the
+  same seeds and preprocessing material;
+* channel accounting (bytes, rounds, messages, per-label breakdown)
+  identical on both parties and to the joint run;
+* measured socket payload equal to the channel accounting;
+* the client executes a weight-free program reconstructed from the
+  handshake manifest — no weights ever reach party 0.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.models import resnet20, vgg16
+from repro.mpc import SecureInferenceEngine, compile_program
+from repro.mpc.party import PartyEngine, ops_from_manifest, program_manifest
+from repro.mpc.preprocessing import (
+    PartyMaterialStream,
+    PreprocessingPool,
+    pack_party_bundle,
+    split_bundle,
+    unpack_party_bundle,
+)
+from repro.mpc.program import ConvOp, LinearOp
+from repro.mpc.transport import QueueTransport
+
+
+@pytest.fixture(scope="module")
+def victim():
+    return vgg16(width_mult=0.125, rng=np.random.default_rng(0)).eval()
+
+
+@pytest.fixture(scope="module")
+def program(victim):
+    return compile_program(victim, 2.5)
+
+
+def run_two_party(program, image, dealer_seed=11, share_seed=5, ship_bundle=False):
+    """Execute the program as two party threads over loopback queues."""
+    pool = PreprocessingPool(program, batch=image.shape[0], dealer_seed=dealer_seed)
+    bundle = pool.acquire_bundle()
+    client_half = split_bundle(bundle, 0)
+    if ship_bundle:  # exercise the wire serialisation too
+        client_half = unpack_party_bundle(pack_party_bundle(client_half))
+    client_io, server_io = QueueTransport.pair()
+    client = PartyEngine.from_manifest(program_manifest(program), share_seed=share_seed)
+    server = PartyEngine.from_program(program, party=1)
+    out = {}
+
+    def server_side():
+        out["server"] = server.run(
+            server_io,
+            PartyMaterialStream(split_bundle(bundle, 1)),
+            batch=image.shape[0],
+        )
+
+    thread = threading.Thread(target=server_side)
+    thread.start()
+    out["client"] = client.run(
+        client_io, PartyMaterialStream(client_half), x=image
+    )
+    thread.join()
+    return out["client"], out["server"]
+
+
+def joint_reference(program, image, dealer_seed=11, share_seed=5):
+    pool = PreprocessingPool(program, batch=image.shape[0], dealer_seed=dealer_seed)
+    pool.refill(1)
+    engine = SecureInferenceEngine.from_program(
+        program, dealer_seed=dealer_seed, share_seed=share_seed
+    )
+    return engine.run(image, material=pool.acquire())
+
+
+class TestLoopbackEquivalence:
+    def test_vgg_byte_identical_shares_and_accounting(self, program):
+        image = np.random.default_rng(7).random((1, 3, 32, 32), dtype=np.float32)
+        joint = joint_reference(program, image)
+        client, server = run_two_party(program, image, ship_bundle=True)
+
+        np.testing.assert_array_equal(client.share, joint.shares[0])
+        np.testing.assert_array_equal(server.share, joint.shares[1])
+        for party in (client.transport, server.transport):
+            assert party.total_bytes == joint.channel.total_bytes
+            assert party.rounds == joint.channel.rounds
+            assert party.messages == joint.channel.messages
+        # Per-label breakdown matches the joint accounting exactly.
+        joint_labels = {
+            label: (s.total_bytes, s.rounds, s.messages)
+            for label, s in joint.channel.label_breakdown().items()
+        }
+        client_labels = {
+            label: (s.total_bytes, s.rounds, s.messages)
+            for label, s in client.transport.label_breakdown().items()
+        }
+        assert client_labels == joint_labels
+
+    def test_measured_payload_equals_accounting(self, program):
+        image = np.random.default_rng(8).random((1, 3, 32, 32), dtype=np.float32)
+        client, server = run_two_party(program, image)
+        for party in (client, server):
+            stats = party.transport.stats
+            assert stats.raw_payload_total == party.transport.total_bytes
+        # Directional accounting matches what each side physically sent.
+        client_stats = client.transport.stats
+        assert client_stats.raw_payload_sent == (
+            client.transport.bytes_client_to_server
+        )
+        assert client_stats.raw_payload_received == (
+            client.transport.bytes_server_to_client
+        )
+
+    def test_resnet_residual_path_batched(self):
+        model = resnet20(width_mult=0.25, rng=np.random.default_rng(1)).eval()
+        program = compile_program(model, 3.5)
+        batch = np.random.default_rng(9).random((2, 3, 32, 32), dtype=np.float32)
+        joint = joint_reference(program, batch, dealer_seed=3, share_seed=4)
+        client, server = run_two_party(program, batch, dealer_seed=3, share_seed=4)
+        np.testing.assert_array_equal(client.share, joint.shares[0])
+        np.testing.assert_array_equal(server.share, joint.shares[1])
+        assert client.transport.rounds == joint.channel.rounds
+
+    def test_tally_stream_matches_joint(self, program):
+        image = np.random.default_rng(10).random((1, 3, 32, 32), dtype=np.float32)
+        joint = joint_reference(program, image)
+        client, _ = run_two_party(program, image)
+        assert [t.kind for t in client.tallies] == [t.kind for t in joint.tallies]
+        for ours, theirs in zip(client.tallies, joint.tallies):
+            assert ours.traffic.total_bytes == theirs.traffic.total_bytes
+            assert ours.traffic.rounds == theirs.traffic.rounds
+
+
+class TestManifest:
+    def test_manifest_is_weight_free(self, program):
+        manifest = program_manifest(program)
+        assert manifest["model"] == program.model.name
+        blob = repr(manifest)
+        assert "weight_ring" not in blob and "bias_ring" not in blob
+        ops = ops_from_manifest(manifest)
+        assert [op.kind for op in ops] == [op.kind for op in program.ops]
+        for op in ops:
+            if isinstance(op, (ConvOp, LinearOp)):
+                assert op.weight_ring is None
+                assert op.bias_ring is None
+
+    def test_manifest_roundtrips_through_json(self, program):
+        import json
+
+        manifest = json.loads(json.dumps(program_manifest(program)))
+        ops = ops_from_manifest(manifest)
+        assert [tuple(op.out_shape) for op in ops] == [
+            tuple(op.out_shape) for op in program.ops
+        ]
+
+    def test_server_party_requires_encoded_program(self, victim):
+        shapes_only = compile_program(victim, 2.5, encode_weights=False)
+        with pytest.raises(ValueError, match="encoded"):
+            PartyEngine.from_program(shapes_only, party=1)
+
+
+class TestPartyEngineValidation:
+    def test_client_requires_input(self, program):
+        client_io, _ = QueueTransport.pair()
+        engine = PartyEngine.from_manifest(program_manifest(program))
+        with pytest.raises(ValueError, match="input batch"):
+            engine.run(client_io, PartyMaterialStream([]))
+
+    def test_party_transport_mismatch(self, program):
+        _, server_io = QueueTransport.pair()
+        engine = PartyEngine.from_manifest(program_manifest(program))
+        with pytest.raises(ValueError, match="party"):
+            engine.run(server_io, PartyMaterialStream([]), x=np.zeros((1, 3, 32, 32), np.float32))
+
+    def test_wrong_shape_rejected(self, program):
+        client_io, _ = QueueTransport.pair()
+        engine = PartyEngine.from_manifest(program_manifest(program))
+        with pytest.raises(ValueError, match="per-sample shape"):
+            engine.run(
+                client_io,
+                PartyMaterialStream([]),
+                x=np.zeros((1, 1, 8, 8), np.float32),
+            )
+
+
+class TestPartyBundles:
+    def test_split_is_complementary(self, program):
+        from repro.mpc.sharing import reconstruct_additive
+
+        pool = PreprocessingPool(program, batch=1, dealer_seed=2)
+        bundle = pool.acquire_bundle()
+        client_half = split_bundle(bundle, 0)
+        server_half = split_bundle(bundle, 1)
+        assert len(client_half) == len(server_half) == len(bundle)
+        # Beaver triples recombine to a * b = c across the two halves.
+        for c_item, s_item in zip(client_half, server_half):
+            if c_item.method != "beaver_triples":
+                continue
+            a = reconstruct_additive(c_item.a, s_item.a)
+            b = reconstruct_additive(c_item.b, s_item.b)
+            c = reconstruct_additive(c_item.c, s_item.c)
+            np.testing.assert_array_equal(c, (a * b).astype(np.uint64))
+            break
+
+    def test_pack_unpack_roundtrip(self, program):
+        pool = PreprocessingPool(program, batch=1, dealer_seed=2)
+        items = split_bundle(pool.acquire_bundle(), 0)
+        restored = unpack_party_bundle(pack_party_bundle(items))
+        assert [item.method for item in restored] == [item.method for item in items]
+        for ours, theirs in zip(restored, items):
+            assert set(ours.arrays) == set(theirs.arrays)
+            for key in ours.arrays:
+                np.testing.assert_array_equal(ours.arrays[key], theirs.arrays[key])
+
+    def test_stream_validates_order(self, program):
+        from repro.mpc.preprocessing import MaterialMismatch
+
+        pool = PreprocessingPool(program, batch=1, dealer_seed=2)
+        stream = PartyMaterialStream(split_bundle(pool.acquire_bundle(), 0))
+        with pytest.raises(MaterialMismatch):
+            stream.next("beaver_triples")  # a vgg program starts with a conv
+        assert PartyMaterialStream([]).remaining == 0
+        with pytest.raises(MaterialMismatch):
+            PartyMaterialStream([]).next("dabits")

@@ -164,3 +164,54 @@ class TestPoolLifecycle:
         assert stats["bundles_generated"] == 2
         assert stats["offline_seconds"] > 0
         assert stats["material_items"] > 0
+
+
+class TestConcurrentAcquire:
+    """Regression: concurrent consumers must not double-generate bundles.
+
+    The seed tracked only the *latest* refill thread and checked
+    ``is_alive() and not available`` outside the lock, so a consumer that
+    lost the race joined a stale (or finished) thread and fell through to
+    miss-generation even though a scheduled refill covered its demand.
+    Pending refills are now registered under the lock before the worker
+    starts, making the assertion below deterministic.
+    """
+
+    def test_concurrent_acquire_waits_for_scheduled_refill(self, program):
+        import threading
+
+        consumers = 4
+        pool = PreprocessingPool(program, batch=1)
+        pool.refill_async(consumers)  # registered before any acquire runs
+        acquired = []
+        errors = []
+
+        def consume():
+            try:
+                acquired.append(pool.acquire())
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=consume) for _ in range(consumers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert len(acquired) == consumers
+        # Exactly the scheduled bundles were generated: no miss, no double.
+        assert pool.stats.bundles_generated == consumers
+        assert pool.stats.misses == 0
+        assert pool.stats.bundles_consumed == consumers
+        assert pool.available == 0
+
+    def test_strict_pool_waits_rather_than_raising_for_pending_refill(
+        self, program
+    ):
+        pool = PreprocessingPool(program, batch=1, auto_refill=False)
+        pool.refill_async(1)
+        # With a refill scheduled, a strict pool waits for it instead of
+        # raising PoolExhausted.
+        replay = pool.acquire()
+        assert replay.remaining > 0
+        assert pool.stats.misses == 0

@@ -1,0 +1,221 @@
+"""Wire protocol, transports, shaping and measured-byte accounting."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.mpc.network import NetworkModel
+from repro.mpc.transport import (
+    LinkShaper,
+    PeerChannel,
+    QueueTransport,
+    TransportError,
+    pack_array,
+    pack_bits,
+    unpack_array,
+    unpack_bits,
+)
+
+
+class TestArrayPacking:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(12, dtype=np.uint64).reshape(3, 4),
+            np.array([], dtype=np.uint64),
+            np.random.default_rng(0).random((2, 3, 4)).astype(np.float32),
+            np.array(7, dtype=np.int64),
+        ],
+    )
+    def test_roundtrip(self, array):
+        restored = unpack_array(pack_array(array))
+        assert restored.dtype == array.dtype
+        np.testing.assert_array_equal(restored, array)
+
+    def test_bits_roundtrip_and_size(self):
+        bits = np.random.default_rng(1).integers(0, 2, size=(3, 13), dtype=np.uint8)
+        payload = pack_bits(bits)
+        # The payload size equals the Channel accounting for n bits.
+        assert len(payload) == max(1, (bits.size + 7) // 8)
+        np.testing.assert_array_equal(unpack_bits(payload, bits.size, bits.shape), bits)
+
+
+class TestQueueTransport:
+    def test_push_pull_and_accounting(self):
+        client, server = QueueTransport.pair()
+        client.push(b"abc", "input-share")
+        assert server.pull("input-share") == b"abc"
+        # Movement does not account by itself: the protocols do, exactly
+        # like the joint in-process code path.
+        assert client.total_bytes == 0
+        assert client.stats.raw_payload_sent == 3
+        assert server.stats.raw_payload_received == 3
+
+    def test_swap_is_symmetric(self):
+        client, server = QueueTransport.pair()
+        result = {}
+
+        def server_side():
+            result["server"] = server.swap(b"from-server", "beaver-open")
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        assert client.swap(b"from-client", "beaver-open") == b"from-server"
+        thread.join()
+        assert result["server"] == b"from-client"
+
+    def test_label_mismatch_detected(self):
+        client, server = QueueTransport.pair()
+        client.push(b"x", "masked-reveal")
+        with pytest.raises(TransportError, match="lock-step"):
+            server.pull("beaver-open")
+
+    def test_kind_mismatch_detected(self):
+        client, server = QueueTransport.pair()
+        client.send_obj({"cmd": "infer"}, "req")
+        with pytest.raises(TransportError, match="lock-step"):
+            server.pull("input-share")
+
+    def test_control_frames(self):
+        client, server = QueueTransport.pair()
+        client.send_obj({"cmd": "infer", "batch": 2}, "req")
+        assert server.recv_obj("req") == {"cmd": "infer", "batch": 2}
+        logits = np.random.default_rng(2).random((2, 10)).astype(np.float32)
+        server.send_tensor(logits, "logits")
+        np.testing.assert_array_equal(client.recv_tensor("logits"), logits)
+        server.send_blob(b"\x00\x01", "bundle")
+        assert client.recv_blob("bundle") == b"\x00\x01"
+        # Control traffic is visible in the wire stats, not the channel.
+        assert client.stats.control_payload_sent > 0
+        assert client.stats.raw_payload_sent == 0
+        assert client.total_bytes == 0
+
+    def test_invalid_party_rejected(self):
+        with pytest.raises(ValueError):
+            QueueTransport(2)
+
+
+class TestPeerChannel:
+    def test_socket_roundtrip(self):
+        listener = PeerChannel.listen()
+        port = listener.getsockname()[1]
+        result = {}
+
+        def server_side():
+            transport = PeerChannel.accept(listener)
+            result["payload"] = transport.pull("input-share")
+            transport.push(b"reply", "masked-reveal")
+            result["transport"] = transport
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        client = PeerChannel.connect("127.0.0.1", port)
+        client.push(b"hello-wire", "input-share")
+        assert client.pull("masked-reveal") == b"reply"
+        thread.join()
+        assert result["payload"] == b"hello-wire"
+        assert client.stats.frames_sent == 1
+        assert client.stats.raw_payload_received == 5
+        # Framing overhead is measured: wire bytes exceed payload bytes.
+        assert client.stats.wire_bytes_sent > client.stats.raw_payload_sent
+        client.close()
+        result["transport"].close()
+        listener.close()
+
+    def test_idle_connection_survives_connect_timeout(self):
+        """Regression: the connect timeout must not linger as a recv
+        timeout — an idle gap longer than it would kill the reader
+        thread and misreport a live peer as disconnected."""
+        listener = PeerChannel.listen()
+        port = listener.getsockname()[1]
+        accepted = {}
+
+        def server_side():
+            accepted["transport"] = PeerChannel.accept(listener)
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        client = PeerChannel.connect("127.0.0.1", port, timeout=0.5)
+        thread.join()
+        time.sleep(1.0)  # idle for longer than the connect timeout
+        accepted["transport"].push(b"still-here", "late")
+        assert client.pull("late") == b"still-here"
+        client.close()
+        accepted["transport"].close()
+        listener.close()
+
+    def test_large_frame_roundtrip(self):
+        """>64 KB payloads take the two-sendall (no-copy) path."""
+        listener = PeerChannel.listen()
+        port = listener.getsockname()[1]
+        payload = np.random.default_rng(4).integers(
+            0, 2**64, size=1 << 17, dtype=np.uint64
+        )
+        received = {}
+
+        def server_side():
+            transport = PeerChannel.accept(listener)
+            received["data"] = transport.pull("bulk")
+            received["transport"] = transport
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        client = PeerChannel.connect("127.0.0.1", port)
+        client.push(payload.tobytes(), "bulk")
+        thread.join()
+        np.testing.assert_array_equal(
+            np.frombuffer(received["data"], dtype=np.uint64), payload
+        )
+        client.close()
+        received["transport"].close()
+        listener.close()
+
+    def test_peer_disconnect_raises(self):
+        listener = PeerChannel.listen()
+        port = listener.getsockname()[1]
+        accepted = {}
+
+        def server_side():
+            accepted["transport"] = PeerChannel.accept(listener)
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        client = PeerChannel.connect("127.0.0.1", port)
+        thread.join()
+        accepted["transport"].close()
+        with pytest.raises(TransportError, match="closed"):
+            client.pull("never-sent")
+        client.close()
+        listener.close()
+
+
+class TestLinkShaper:
+    def test_bandwidth_throttles_sender(self):
+        # 1 MB/s with a 1 KB burst: 100 KB must take ~0.1 s to send.
+        shaper = LinkShaper(1e6, rtt_s=0.0, burst_bytes=1024)
+        client, server = QueueTransport.pair(shaper)
+        start = time.perf_counter()
+        client.push(b"\x00" * 100_000, "bulk")
+        server.pull("bulk")
+        elapsed = time.perf_counter() - start
+        assert elapsed >= 0.08
+
+    def test_rtt_delays_delivery(self):
+        shaper = LinkShaper(1e9, rtt_s=0.2)
+        client, server = QueueTransport.pair(shaper)
+        start = time.perf_counter()
+        client.push(b"ping", "rt")
+        server.pull("rt")
+        assert time.perf_counter() - start >= 0.08  # one-way = rtt/2
+
+    def test_for_network(self):
+        network = NetworkModel("test", bandwidth_bytes_per_s=5e6, rtt_s=0.01)
+        shaper = LinkShaper.for_network(network)
+        assert shaper.bandwidth_bytes_per_s == 5e6
+        assert shaper.rtt_s == 0.01
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            LinkShaper(0.0, 0.0)

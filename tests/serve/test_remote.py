@@ -1,0 +1,179 @@
+"""Two-process (and thread-hosted loopback) networked serving.
+
+The fast tests host the :class:`RemoteServer` in a background thread
+with a real TCP socket; the ``slow``-marked test spawns an actual second
+Python process via ``c2pi serve`` and pins the acceptance invariants:
+byte-identical logits to the in-process engine and measured socket bytes
+equal to the Channel accounting.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import C2PIPipeline
+from repro.mpc import LAN
+from repro.serve.remote import (
+    RemoteClient,
+    RemoteServer,
+    _demo_victim,
+    benchmark_networked,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def victim():
+    return _demo_victim("resnet20", 0.25, 0)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return np.random.default_rng(7).random((1, 3, 32, 32), dtype=np.float32)
+
+
+@pytest.fixture()
+def threaded_server(victim):
+    server = RemoteServer(victim, 3.5, seed=5)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.stop()
+    thread.join(timeout=10.0)
+
+
+class TestRemoteServing:
+    def test_logits_byte_identical_to_pipeline(self, victim, image, threaded_server):
+        pipeline = C2PIPipeline(victim, 3.5, noise_magnitude=0.1, seed=5)
+        pipeline.prepare_offline(batch=1, bundles=1)
+        reference = pipeline.infer(image)
+
+        client = RemoteClient(
+            "127.0.0.1", threaded_server.port, noise_magnitude=0.1, seed=5
+        )
+        reply = client.infer(image)
+        client.close()
+
+        np.testing.assert_array_equal(reply.logits, reference.logits)
+        assert reply.traffic.total_bytes == reference.total_bytes
+        assert reply.bytes_match
+        assert reply.server["traffic"]["total_bytes"] == reference.total_bytes
+
+    def test_multiple_requests_one_connection(self, victim, threaded_server):
+        client = RemoteClient(
+            "127.0.0.1", threaded_server.port, noise_magnitude=0.0, seed=1
+        )
+        rng = np.random.default_rng(3)
+        replies = [
+            client.infer(rng.random((1, 3, 32, 32), dtype=np.float32))
+            for _ in range(2)
+        ]
+        client.close()
+        assert all(reply.bytes_match for reply in replies)
+        assert all(reply.logits.shape == (1, 10) for reply in replies)
+        # The server thread increments its counter just after replying;
+        # give it a moment to be scheduled.
+        for _ in range(100):
+            if threaded_server.requests_served >= 2:
+                break
+            time.sleep(0.05)
+        assert threaded_server.requests_served >= 2
+
+    def test_client_never_receives_weights(self, victim, threaded_server):
+        client = RemoteClient("127.0.0.1", threaded_server.port, seed=0)
+        manifest_ops = client.manifest["ops"]
+        client.close()
+        for entry in manifest_ops:
+            assert "weight_ring" not in entry
+            assert "bias_ring" not in entry
+
+    def test_warm_pool_serves_without_miss(self, victim):
+        server = RemoteServer(victim, 3.5, seed=0)
+        server.warm(batch=1, bundles=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = RemoteClient("127.0.0.1", server.port, seed=0)
+            reply = client.infer(np.zeros((1, 3, 32, 32), np.float32))
+            client.close()
+            assert reply.server["pool"]["misses"] == 0
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)
+
+
+class TestNetworkedBenchmark:
+    def test_measured_vs_modeled_report(self, victim, image):
+        images = np.repeat(image, 3, axis=0)
+        report = benchmark_networked(
+            victim, 3.5, images, max_batch=2, noise_magnitude=0.0,
+            seed=0, networks=(LAN,),
+        )
+        loopback = report["loopback"]
+        assert loopback["bytes_match"]
+        assert loopback["measured_payload_bytes"] == loopback["bytes"]
+        assert len(loopback["predictions"]) == 3
+        lan = report["LAN"]
+        assert lan["measured_s"] > 0
+        assert lan["modeled_s"] > 0
+        # Shaped measurement and the cost model should land in the same
+        # ballpark when fed the same run's traffic and compute.
+        assert 0.2 < lan["measured_over_modeled"] < 5.0
+
+
+@pytest.mark.slow
+class TestTwoProcess:
+    def test_two_process_loopback_byte_identical(self, victim, image):
+        """The acceptance pin: a genuine second process serves resnet20
+        and the logits/traffic match the in-process engine exactly."""
+        pipeline = C2PIPipeline(victim, 3.5, noise_magnitude=0.1, seed=5)
+        pipeline.prepare_offline(batch=1, bundles=1)
+        reference = pipeline.infer(image)
+
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--listen", "127.0.0.1:0",
+                "--arch", "resnet20", "--untrained-width", "0.25",
+                "--model-seed", "0", "--boundary", "3.5",
+                "--seed", "5", "--once",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            cwd=REPO,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(REPO / "src")
+                + os.pathsep
+                + os.environ.get("PYTHONPATH", ""),
+            },
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"listening on [\d.]+:(\d+)", line)
+            assert match, f"server did not announce a port: {line!r}"
+            port = int(match.group(1))
+
+            client = RemoteClient("127.0.0.1", port, noise_magnitude=0.1, seed=5)
+            reply = client.infer(image)
+            client.close()
+        finally:
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise
+
+        np.testing.assert_array_equal(reply.logits, reference.logits)
+        assert reply.traffic.total_bytes == reference.total_bytes
+        assert reply.traffic.rounds == reference.crypto_rounds + 1
+        assert reply.bytes_match  # measured socket bytes == Channel books
+        assert proc.returncode == 0

@@ -84,6 +84,66 @@ class TestServing:
         assert server.step() == []
 
 
+class TestRemainderBatches:
+    """The queue length not divisible by max_batch: the smaller final
+    batch is served from an on-demand pool, visible in every counter."""
+
+    @pytest.fixture(scope="class")
+    def remainder_run(self, victim, images):
+        server = C2PIServer(
+            victim, boundary=1.5, noise_magnitude=0.0, max_batch=3, warm_bundles=1
+        )
+        for image in images:  # 5 requests -> batches of 3 + 2
+            server.submit(image)
+        return server, server.drain()
+
+    def test_batch_sizes_and_order(self, remainder_run, images):
+        _, replies = remainder_run
+        assert [r.request_id for r in replies] == list(range(len(images)))
+        assert [r.batch_size for r in replies] == [3, 3, 3, 2, 2]
+
+    def test_on_demand_pool_counters(self, remainder_run):
+        server, _ = remainder_run
+        pools = server.snapshot()["pools"]
+        # The warmed max_batch pool served without a miss; the remainder
+        # batch created its pool on demand and generated on miss.
+        assert pools[3]["misses"] == 0
+        assert pools[2]["misses"] == 1
+        assert pools[2]["bundles_generated"] == 1
+        assert pools[2]["bundles_consumed"] == 1
+
+    def test_remainder_still_uses_pool_material(self, remainder_run):
+        server, replies = remainder_run
+        assert all(r.used_pool for r in replies)
+        generation = server.snapshot()["online_dealer_generation"]
+        assert set(generation.values()) == {0}
+
+    def test_miss_offline_time_reported_separately(self, remainder_run):
+        server, replies = remainder_run
+        warm = [r for r in replies if r.batch_size == 3]
+        cold = [r for r in replies if r.batch_size == 2]
+        assert all(r.offline_miss_s == 0.0 for r in warm)
+        assert all(r.offline_miss_s > 0.0 for r in cold)
+        snapshot = server.snapshot()
+        assert snapshot["miss_offline_s"] == pytest.approx(cold[0].offline_miss_s)
+
+    def test_queue_wait_excludes_offline_generation(self, victim, images):
+        """queued_s measures coalescing wait only: a cold-pool miss books
+        its bundle generation under offline_miss_s, not queue wait. The
+        request is stepped immediately after submit, so its true queue
+        wait is microseconds while the miss generation is not."""
+        server = C2PIServer(
+            victim, boundary=1.5, noise_magnitude=0.0, max_batch=2, warm_bundles=0
+        )
+        server.submit(images[0])
+        reply = server.step()[0]
+        assert reply.offline_miss_s > 0.0
+        assert reply.queued_s < reply.offline_miss_s
+        assert server.snapshot()["miss_offline_s"] == pytest.approx(
+            reply.offline_miss_s
+        )
+
+
 class TestBenchmark:
     def test_benchmark_serving_report(self, victim, images):
         report = benchmark_serving(victim, 1.5, images[:4], max_batch=2,

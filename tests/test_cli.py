@@ -30,6 +30,41 @@ class TestParser:
         assert args.arch == "vgg16" and args.dataset == "cifar10"
         assert args.sigma == 0.3 and args.noise == 0.1
 
+    def test_serve_bench_networked_flag(self):
+        args = build_parser().parse_args(["serve-bench", "--networked"])
+        assert args.networked and args.networks == "lan,wan"
+        assert not build_parser().parse_args(["serve-bench"]).networked
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.listen == "127.0.0.1:0" and args.arch == "resnet20"
+        assert args.untrained_width is None and not args.once
+
+    def test_client_requires_endpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client"])
+        args = build_parser().parse_args(
+            ["client", "--connect", "host:1234", "--network", "wan"]
+        )
+        assert args.connect == "host:1234" and args.network == "wan"
+
+    def test_endpoint_parsing(self):
+        from repro.cli import _parse_endpoint
+
+        assert _parse_endpoint("127.0.0.1:9123") == ("127.0.0.1", 9123)
+        assert _parse_endpoint(":0") == ("127.0.0.1", 0)
+        with pytest.raises(SystemExit, match="expected host:port"):
+            _parse_endpoint("localhost")  # a port-less endpoint is an error
+        with pytest.raises(SystemExit, match="expected host:port"):
+            _parse_endpoint("host:notaport")
+
+    def test_networks_from_arg(self):
+        from repro.cli import _networks_from_arg
+        from repro.mpc import LAN, WAN
+
+        assert _networks_from_arg("lan,wan") == (LAN, WAN)
+        assert _networks_from_arg("wan") == (WAN,)
+
 
 class TestCommands:
     def test_info(self, capsys):

@@ -36,6 +36,14 @@ def test_garbled_relu_example(capsys):
     assert "Delphi hurts on bandwidth" in output
 
 
+@pytest.mark.slow
+def test_networked_inference_example(capsys):
+    output = _run_example("networked_inference.py", capsys)
+    assert "byte-identical to the in-process engine: True" in output
+    assert "channel accounting" in output and ": True" in output
+    assert "measured" in output and "modeled" in output
+
+
 def test_examples_directory_is_complete():
     """Every example advertised by the README exists and is importable."""
     readme = (_EXAMPLES.parent / "README.md").read_text()
