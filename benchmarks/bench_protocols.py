@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Protocol micro-benchmark runner (thin wrapper over repro.bench.protocols).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_protocols.py --json \
+        --output benchmarks/BENCH_protocols.json
+    PYTHONPATH=src python benchmarks/bench_protocols.py \
+        --check benchmarks/BENCH_protocols.json
+
+Equivalent to ``c2pi bench``. The committed ``BENCH_protocols.json`` is
+the perf snapshot CI guards; ``BENCH_protocols.before.json`` preserves
+the byte-per-bit baseline the bitsliced engine was measured against.
+"""
+
+import sys
+
+from repro.bench.protocols import main
+
+if __name__ == "__main__":
+    sys.exit(main())

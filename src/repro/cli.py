@@ -14,6 +14,8 @@ any protocol suite — is reachable without writing Python:
     c2pi secure-infer --suite cheetah --boundary 2.5
     c2pi serve-bench --arch resnet20 --requests 8 --batch 4
     c2pi serve-bench --arch resnet20 --networked         # measured vs modeled
+    c2pi bench --json --output benchmarks/BENCH_protocols.json
+    c2pi bench --check benchmarks/BENCH_protocols.json   # perf regression gate
     c2pi serve --listen 127.0.0.1:9123 --arch resnet20   # party 1 (server)
     c2pi client --connect 127.0.0.1:9123 --requests 4    # party 0 (client)
 
@@ -32,6 +34,38 @@ import sys
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``bench`` options, shared with ``benchmarks/bench_protocols.py``.
+
+    Lives here (not in :mod:`repro.bench.protocols`) so registering the
+    subcommand stays import-free — parsing ``c2pi info`` must not pay for
+    the mpc stack. ``--tolerance`` defaults to ``None``; the harness
+    substitutes its ``DEFAULT_TOLERANCE`` (0.10).
+    """
+    parser.add_argument("--elements", type=int, default=8192)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--serve-requests",
+        type=int,
+        default=2,
+        help="end-to-end resnet20 requests (0 = skip the serve bench)",
+    )
+    parser.add_argument("--json", action="store_true", help="print JSON to stdout")
+    parser.add_argument("--output", default=None, help="write the JSON here")
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="SNAPSHOT",
+        help="compare against a committed snapshot; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="latency regression tolerance (default 0.10)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,6 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated shaped links for --networked (lan, wan)",
     )
     bench.add_argument("--output", default=None, help="write the benchmark JSON here")
+
+    proto_bench = sub.add_parser(
+        "bench",
+        help="protocol micro-benchmarks: per-op online latency/bytes "
+        "(DReLU, ReLU, maxpool, linear), offline material footprint and "
+        "an end-to-end resnet20 serve (BENCH_protocols.json)",
+    )
+    add_bench_arguments(proto_bench)
 
     serve = sub.add_parser(
         "serve",
@@ -387,6 +429,12 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench.protocols import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_serve(args) -> int:
     from .serve.remote import RemoteServer, _demo_victim
 
@@ -473,6 +521,7 @@ _COMMANDS = {
     "costs": _cmd_costs,
     "secure-infer": _cmd_secure_infer,
     "serve-bench": _cmd_serve_bench,
+    "bench": _cmd_bench,
     "serve": _cmd_serve,
     "client": _cmd_client,
 }

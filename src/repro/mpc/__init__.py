@@ -3,7 +3,8 @@
 Layers (bottom-up):
 
 * :mod:`repro.mpc.fixedpoint` — Z_2^64 fixed-point encoding;
-* :mod:`repro.mpc.sharing` — additive / boolean secret sharing;
+* :mod:`repro.mpc.sharing` — additive / boolean secret sharing
+  (byte-per-bit and bitsliced ``uint64`` word layouts);
 * :mod:`repro.mpc.dealer` — trusted dealer (preprocessing stand-in);
 * :mod:`repro.mpc.network` — channel traffic accounting, LAN/WAN models;
 * :mod:`repro.mpc.protocols` — Beaver multiplication, masked-reveal
@@ -41,7 +42,12 @@ from .costs import (
     OpCost,
     cheetah_costs,
     cryptflow2_costs,
+    dealer_label_traffic,
+    dealer_material_bytes,
     delphi_costs,
+    drelu_label_bytes,
+    relu_label_bytes,
+    relu_offline_material_bytes,
 )
 from .dealer import TrustedDealer
 from .engine import (
@@ -73,11 +79,17 @@ from .transport import (
     WireStats,
 )
 from .sharing import (
+    COMPARISON_BITS,
+    LOW63_MASK,
     bit_decompose,
+    pack_bit_words,
     reconstruct_additive,
     reconstruct_boolean,
+    reconstruct_boolean_words,
     share_additive,
     share_boolean,
+    share_boolean_words,
+    unpack_bit_words,
 )
 
 __all__ = [
@@ -87,7 +99,13 @@ __all__ = [
     "reconstruct_additive",
     "share_boolean",
     "reconstruct_boolean",
+    "share_boolean_words",
+    "reconstruct_boolean_words",
+    "pack_bit_words",
+    "unpack_bit_words",
     "bit_decompose",
+    "COMPARISON_BITS",
+    "LOW63_MASK",
     "TrustedDealer",
     "Channel",
     "NetworkModel",
@@ -124,6 +142,11 @@ __all__ = [
     "delphi_costs",
     "cryptflow2_costs",
     "cheetah_costs",
+    "drelu_label_bytes",
+    "relu_label_bytes",
+    "relu_offline_material_bytes",
+    "dealer_label_traffic",
+    "dealer_material_bytes",
     "AuthenticatedDealer",
     "AuthenticatedShares",
     "MacCheckError",

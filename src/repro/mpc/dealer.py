@@ -24,7 +24,13 @@ from typing import Callable
 import numpy as np
 
 from .fixedpoint import FixedPointConfig
-from .sharing import bit_decompose, share_additive, share_boolean
+from .sharing import (
+    COMPARISON_BITS,
+    bit_decompose,
+    share_additive,
+    share_boolean,
+    share_boolean_words,
+)
 
 __all__ = [
     "BeaverTriple",
@@ -47,7 +53,12 @@ class BeaverTriple:
 
 @dataclass
 class BitTriple:
-    """Per-party XOR shares of (a, b, c) with c = a AND b."""
+    """Per-party XOR shares of (a, b, c) with c = a AND b.
+
+    Bitsliced: each array entry is a ``uint64`` word carrying the 63
+    comparison-bit lanes of one ring element (lane 63 is zero), so one
+    triple word covers a whole element's AND gates for one circuit round.
+    """
 
     a: tuple[np.ndarray, np.ndarray]
     b: tuple[np.ndarray, np.ndarray]
@@ -67,13 +78,14 @@ class ComparisonMask:
     """Correlated randomness for one masked-reveal DReLU invocation.
 
     ``r`` is a uniform ring mask, additively shared; its low 63 bits are
-    also boolean-shared so the parties can compare the public ``z = x + r``
-    against ``r`` inside GF(2), and ``msb`` carries XOR shares of r's top
-    bit.
+    also boolean-shared — packed one ``uint64`` word per element — so the
+    parties can compare the public ``z = x + r`` against ``r`` inside
+    GF(2), and ``msb`` carries XOR shares of r's top bit (byte-per-bit:
+    it is a single bit per element).
     """
 
     r_shares: tuple[np.ndarray, np.ndarray]
-    low_bits: tuple[np.ndarray, np.ndarray]  # shape (..., 63)
+    low_bits: tuple[np.ndarray, np.ndarray]  # packed words, shape (...,)
     msb: tuple[np.ndarray, np.ndarray]
 
 
@@ -115,14 +127,28 @@ class TrustedDealer:
         )
 
     def bit_triples(self, shape) -> BitTriple:
-        """AND-gate triples over GF(2)."""
+        """Bitsliced AND-gate triples over GF(2).
+
+        ``shape`` is the *element* shape: each element receives one
+        ``uint64`` triple word whose low 63 lanes are independent AND
+        triples (lane 63 is zero). The underlying randomness is drawn
+        bit-plane-wise — exactly the draws the byte-per-bit seed
+        implementation made for ``(*shape, 63)`` — so the dealer's rng
+        stream (and with it every downstream arithmetic draw) is
+        unchanged by the packing. ``bit_triples_issued`` keeps counting
+        AND *gates* (63 per word), the unit the serving metrics have
+        always reported.
+        """
         rng = self._rng
-        a = rng.integers(0, 2, size=shape, dtype=np.uint8)
-        b = rng.integers(0, 2, size=shape, dtype=np.uint8)
+        bit_shape = (*tuple(shape), COMPARISON_BITS)
+        a = rng.integers(0, 2, size=bit_shape, dtype=np.uint8)
+        b = rng.integers(0, 2, size=bit_shape, dtype=np.uint8)
         c = (a & b).astype(np.uint8)
-        self.bit_triples_issued += int(np.prod(shape))
+        self.bit_triples_issued += int(np.prod(shape)) * COMPARISON_BITS
         return BitTriple(
-            a=share_boolean(a, rng), b=share_boolean(b, rng), c=share_boolean(c, rng)
+            a=share_boolean_words(a, rng),
+            b=share_boolean_words(b, rng),
+            c=share_boolean_words(c, rng),
         )
 
     def dabits(self, shape) -> DaBit:
@@ -136,15 +162,15 @@ class TrustedDealer:
         )
 
     def comparison_masks(self, shape) -> ComparisonMask:
-        """Masks for the masked-reveal DReLU protocol."""
+        """Masks for the masked-reveal DReLU protocol (packed low bits)."""
         rng = self._rng
         r = FixedPointConfig.random_ring(rng, shape)
-        low = bit_decompose(r, 63)
+        low = bit_decompose(r, COMPARISON_BITS)
         msb = ((r >> np.uint64(63)) & np.uint64(1)).astype(np.uint8)
         self.comparison_masks_issued += int(np.prod(shape))
         return ComparisonMask(
             r_shares=share_additive(r, rng),
-            low_bits=share_boolean(low, rng),
+            low_bits=share_boolean_words(low, rng),
             msb=share_boolean(msb, rng),
         )
 

@@ -47,6 +47,7 @@ from .dealer import (
     TrustedDealer,
 )
 from .program import AvgPoolOp, ConvOp, LinearOp, MaxPoolOp, ReluOp, SecureProgram
+from .protocols import comparison
 
 __all__ = [
     "MaterialRequest",
@@ -165,17 +166,15 @@ def _relu_requests(shape: tuple[int, ...], out: list[MaterialRequest]) -> None:
     """The dealer requests one ``secure_relu`` over ``shape`` consumes.
 
     Mirrors :mod:`repro.mpc.protocols.comparison`: one comparison mask,
-    the 63-bit suffix-AND circuit (6 doubling rounds + the final strict
-    AND, each one batched ``bit_triples`` call), one daBit batch for B2A
-    and one Beaver triple batch for the multiplexing multiply.
+    the bitsliced 63-lane suffix-AND circuit (6 doubling rounds + the
+    final strict AND, each one batched ``bit_triples`` call over one
+    packed ``uint64`` word per element), one daBit batch for B2A and one
+    Beaver triple batch for the multiplexing multiply.
     """
-    bits = 63
     out.append(MaterialRequest("comparison_masks", shape))
-    step = 1
-    while step < bits:  # inclusive suffix-AND by doubling
-        out.append(MaterialRequest("bit_triples", (*shape, bits)))
-        step *= 2
-    out.append(MaterialRequest("bit_triples", (*shape, bits)))  # strict AND
+    for _ in range(len(comparison.SUFFIX_STEPS)):  # suffix-AND by doubling
+        out.append(MaterialRequest("bit_triples", shape))
+    out.append(MaterialRequest("bit_triples", shape))  # strict AND
     out.append(MaterialRequest("dabits", shape))
     out.append(MaterialRequest("beaver_triples", shape))
 

@@ -12,7 +12,7 @@ import numpy as np
 
 from ..dealer import TrustedDealer
 from ..network import Channel
-from ..sharing import reconstruct_additive, reconstruct_boolean
+from ..sharing import reconstruct_additive
 
 __all__ = ["beaver_multiply", "boolean_and"]
 
@@ -54,26 +54,31 @@ def boolean_and(
     dealer: TrustedDealer,
     channel: Channel,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """AND of two XOR-shared bit arrays via a GF(2) Beaver triple.
+    """Lane-wise AND of two bitsliced XOR-shared uint64 word arrays.
 
-    All AND gates in one call are evaluated in a single batched round; the
-    comparison circuit relies on this to keep its round count logarithmic.
+    One word carries all 63 comparison-bit lanes of a ring element, so a
+    single GF(2) Beaver triple word evaluates an element's whole gate
+    column and every word in the call opens in one batched round — the
+    comparison circuit relies on this to keep its round count
+    logarithmic. The wire payload is the raw word bytes of (d, e): no
+    per-call bit packing.
     """
     shape = x[0].shape
     triple = dealer.bit_triples(shape)
 
-    d0 = (x[0] ^ triple.a[0]).astype(np.uint8)
-    d1 = (x[1] ^ triple.a[1]).astype(np.uint8)
-    e0 = (y[0] ^ triple.b[0]).astype(np.uint8)
-    e1 = (y[1] ^ triple.b[1]).astype(np.uint8)
+    d0 = (x[0] ^ triple.a[0]).astype(np.uint64)
+    d1 = (x[1] ^ triple.a[1]).astype(np.uint64)
+    e0 = (y[0] ^ triple.b[0]).astype(np.uint64)
+    e1 = (y[1] ^ triple.b[1]).astype(np.uint64)
 
-    # Bits travel packed: 2 bits per gate per direction.
-    payload = max(1, (int(np.prod(shape)) * 2 + 7) // 8)
+    payload = d0.nbytes + e0.nbytes
     channel.exchange(payload, label="and-open")
 
-    d = reconstruct_boolean(d0, d1)
-    e = reconstruct_boolean(e0, e1)
+    d = (d0 ^ d1).astype(np.uint64)
+    e = (e0 ^ e1).astype(np.uint64)
 
-    z0 = (triple.c[0] ^ (d & triple.b[0]) ^ (e & triple.a[0]) ^ (d & e)).astype(np.uint8)
-    z1 = (triple.c[1] ^ (d & triple.b[1]) ^ (e & triple.a[1])).astype(np.uint8)
+    z0 = (triple.c[0] ^ (d & triple.b[0]) ^ (e & triple.a[0]) ^ (d & e)).astype(
+        np.uint64
+    )
+    z1 = (triple.c[1] ^ (d & triple.b[1]) ^ (e & triple.a[1])).astype(np.uint64)
     return z0, z1

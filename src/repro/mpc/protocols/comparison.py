@@ -1,4 +1,4 @@
-"""Secure comparison, DReLU and ReLU via masked reveal.
+"""Secure comparison, DReLU and ReLU via masked reveal — bitsliced.
 
 The sign-extraction protocol (used for every ReLU and max-pool comparison):
 
@@ -15,6 +15,24 @@ The sign-extraction protocol (used for every ReLU and max-pool comparison):
    arithmetic sharing, and ``ReLU(x) = x * DReLU(x)`` costs one Beaver
    multiplication.
 
+**Bitsliced layout.** The whole GF(2) stage operates on packed ``uint64``
+words — one word per ring element, little-endian lane ``i`` = bit ``i``
+of the element, lane 63 permanently zero:
+
+* the public low bits of ``z`` are just ``z & LOW63_MASK`` (no bit-plane
+  expansion at all);
+* the suffix-AND-by-doubling is an in-word shift-and-AND,
+  ``suffix &= suffix >> step``, with party 0 ORing public-one padding
+  into the vacated high lanes;
+* the final disjoint-OR is a word parity (XOR fold), evaluated locally
+  per party.
+
+Versus the seed's byte-per-bit ``(..., 63)`` arrays this removes every
+``concatenate``/slice copy from the 7 AND rounds and shrinks each gate
+from one byte to one bit of state — same 6+1 rounds, same opened values
+bit for bit (the dealer draws identical randomness), ~8x less boolean
+state and traffic per round processed word-parallel.
+
 This is the ABY/SecureML lineage of comparison; Delphi's garbled circuits
 and Cheetah's VOLE-OT millionaire realise the same functionality with
 different cost profiles (see :mod:`repro.mpc.costs`).
@@ -26,10 +44,12 @@ import numpy as np
 
 from ..dealer import TrustedDealer
 from ..network import Channel
-from ..sharing import reconstruct_additive, reconstruct_boolean
+from ..sharing import LOW63_MASK, reconstruct_additive, reconstruct_boolean
 from .beaver import beaver_multiply, boolean_and
 
 __all__ = [
+    "SUFFIX_STEPS",
+    "STEP_WORDS",
     "open_shares",
     "public_less_than_shared",
     "secure_msb",
@@ -37,7 +57,40 @@ __all__ = [
     "bit_to_arithmetic",
     "secure_relu",
     "secure_maximum",
+    "suffix_fill",
+    "word_parity",
 ]
+
+# Doubling steps of the inclusive suffix-AND over 63 bit lanes: after
+# steps 1..32 the window spans >= 63 lanes. Module-level so the hot path
+# allocates nothing per call; STEP_WORDS is shared with the per-party
+# mirror in :mod:`repro.mpc.protocols.party` so the two circuit copies
+# cannot drift.
+SUFFIX_STEPS = (1, 2, 4, 8, 16, 32)
+STEP_WORDS = {step: np.uint64(step) for step in SUFFIX_STEPS}
+_ONE = np.uint64(1)
+_MSB_SHIFT = np.uint64(63)
+# Parity fold shifts for a 64-lane word.
+_PARITY_SHIFTS = tuple(np.uint64(s) for s in (32, 16, 8, 4, 2, 1))
+# suffix_fill(step): public-one padding for the lanes a right-shift by
+# ``step`` vacates inside the 63-lane window (lanes 63-step .. 62).
+_FILL_WORDS = {
+    step: np.uint64(int(LOW63_MASK) & ~(int(LOW63_MASK) >> step))
+    for step in SUFFIX_STEPS
+}
+
+
+def suffix_fill(step: int) -> np.uint64:
+    """Lanes ``63-step .. 62`` set: the public-one shift padding."""
+    return _FILL_WORDS[step]
+
+
+def word_parity(words: np.ndarray) -> np.ndarray:
+    """XOR of all 64 lanes of each word (uint8 0/1) — a local XOR fold."""
+    folded = np.asarray(words, dtype=np.uint64).copy()
+    for shift in _PARITY_SHIFTS:
+        folded ^= folded >> shift
+    return (folded & _ONE).astype(np.uint8)
 
 
 def open_shares(
@@ -49,56 +102,57 @@ def open_shares(
 
 
 def public_less_than_shared(
-    z_bits: np.ndarray,
-    r_bit_shares: tuple[np.ndarray, np.ndarray],
+    z_low: np.ndarray,
+    r_word_shares: tuple[np.ndarray, np.ndarray],
     dealer: TrustedDealer,
     channel: Channel,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """XOR shares of ``[Z < R]`` for public Z and bit-shared R.
+    """XOR shares of ``[Z < R]`` for public Z and bit-shared R (bitsliced).
 
-    ``z_bits``/``r_bit_shares`` are little-endian with shape (..., k).
-    The standard decomposition is used: ``Z < R`` iff there is a bit
-    position i with ``R_i = 1, Z_i = 0`` and all higher bits equal; the
-    events are disjoint so the OR collapses to a free XOR.
+    ``z_low`` holds the public low-63-bit words of Z (``z & LOW63_MASK``);
+    ``r_word_shares`` are packed XOR-share words of R's low bits. The
+    standard decomposition is used: ``Z < R`` iff there is a bit position
+    i with ``R_i = 1, Z_i = 0`` and all higher bits equal; the events are
+    disjoint so the OR collapses to a free XOR — here a local word
+    parity.
     """
-    k = z_bits.shape[-1]
+    z_low = np.asarray(z_low, dtype=np.uint64)
+    r0 = np.asarray(r_word_shares[0], dtype=np.uint64)
+    r1 = np.asarray(r_word_shares[1], dtype=np.uint64)
 
     # t_i = r_i AND (NOT z_i): affine in the shared bit (z public).
-    not_z = (1 - z_bits).astype(np.uint8)
-    t0 = (r_bit_shares[0] & not_z).astype(np.uint8)
-    t1 = (r_bit_shares[1] & not_z).astype(np.uint8)
+    not_z = (~z_low) & LOW63_MASK
+    t0 = (r0 & not_z).astype(np.uint64)
+    t1 = (r1 & not_z).astype(np.uint64)
 
-    # eq_i = 1 XOR z_i XOR r_i: party 0 absorbs the public part.
-    eq0 = ((1 ^ z_bits) ^ r_bit_shares[0]).astype(np.uint8)
-    eq1 = r_bit_shares[1].copy()
+    # eq_i = 1 XOR z_i XOR r_i: party 0 absorbs the public part. Lane 63
+    # stays zero on both shares (not_z masks it off).
+    eq0 = (not_z ^ r0).astype(np.uint64)
+    eq1 = r1.copy()
 
-    # Inclusive suffix-AND by doubling: after the loop,
-    # suffix_i = AND_{j >= i} eq_j. Positions past k-1 behave as public 1
-    # (share pattern: party0 = 1, party1 = 0).
+    # Inclusive suffix-AND by doubling, entirely in-word: after the loop,
+    # suffix_i = AND_{j >= i} eq_j over lanes 0..62. A right-shift pulls
+    # lane i+step into lane i; the vacated high lanes must behave as
+    # public 1 (share pattern: party 0 = fill, party 1 = 0).
     suffix0, suffix1 = eq0, eq1
-    step = 1
-    while step < k:
-        pad0 = np.ones_like(suffix0[..., :step])
-        pad1 = np.zeros_like(suffix1[..., :step])
-        shifted0 = np.concatenate([suffix0[..., step:], pad0], axis=-1)
-        shifted1 = np.concatenate([suffix1[..., step:], pad1], axis=-1)
+    for step in SUFFIX_STEPS:
+        shifted0 = ((suffix0 >> STEP_WORDS[step]) | _FILL_WORDS[step]).astype(
+            np.uint64
+        )
+        shifted1 = (suffix1 >> STEP_WORDS[step]).astype(np.uint64)
         suffix0, suffix1 = boolean_and(
             (suffix0, suffix1), (shifted0, shifted1), dealer, channel
         )
-        step *= 2
 
-    # strict_i = AND_{j > i} eq_j = inclusive suffix shifted by one.
-    ones0 = np.ones_like(suffix0[..., :1])
-    zeros1 = np.zeros_like(suffix1[..., :1])
-    strict0 = np.concatenate([suffix0[..., 1:], ones0], axis=-1)
-    strict1 = np.concatenate([suffix1[..., 1:], zeros1], axis=-1)
+    # strict_i = AND_{j > i} eq_j = inclusive suffix shifted down by one
+    # (lane 62 becomes public 1).
+    strict0 = ((suffix0 >> STEP_WORDS[1]) | _FILL_WORDS[1]).astype(np.uint64)
+    strict1 = (suffix1 >> STEP_WORDS[1]).astype(np.uint64)
 
     term0, term1 = boolean_and((t0, t1), (strict0, strict1), dealer, channel)
 
-    # Disjoint OR == XOR == parity along the bit axis.
-    lt0 = np.bitwise_xor.reduce(term0, axis=-1).astype(np.uint8)
-    lt1 = np.bitwise_xor.reduce(term1, axis=-1).astype(np.uint8)
-    return lt0, lt1
+    # Disjoint OR == XOR == parity across the word's lanes (local).
+    return word_parity(term0), word_parity(term1)
 
 
 def secure_msb(
@@ -114,12 +168,11 @@ def secure_msb(
     channel.exchange(z0.nbytes, label="masked-reveal")
     z = reconstruct_additive(z0, z1)
 
-    z_low_bits = ((z[..., None] >> np.arange(63, dtype=np.uint64)) & np.uint64(1)).astype(
-        np.uint8
-    )
-    borrow = public_less_than_shared(z_low_bits, mask.low_bits, dealer, channel)
+    # The packed public word of z's low bits is just a mask — the seed's
+    # (..., 63) bit-plane expansion is gone entirely.
+    borrow = public_less_than_shared(z & LOW63_MASK, mask.low_bits, dealer, channel)
 
-    z_msb = ((z >> np.uint64(63)) & np.uint64(1)).astype(np.uint8)
+    z_msb = ((z >> _MSB_SHIFT) & _ONE).astype(np.uint8)
     msb0 = (z_msb ^ mask.msb[0] ^ borrow[0]).astype(np.uint8)
     msb1 = (mask.msb[1] ^ borrow[1]).astype(np.uint8)
     return msb0, msb1

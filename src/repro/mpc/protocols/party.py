@@ -4,12 +4,18 @@ The joint protocols in this package operate on ``(client, server)`` share
 tuples inside one process; every function here is **one party's side** of
 the same protocol, exchanging real messages through a
 :class:`~repro.mpc.transport.Transport`. The arithmetic each party
-performs is copied line-for-line from the joint implementation, and every
-message is accounted on the local channel exactly as the joint
-:class:`~repro.mpc.network.Channel` accounting records it — so a
-two-party run produces byte-identical shares *and* byte-identical
-traffic counters to the in-process engine (the loopback equivalence
-tests pin both).
+performs is copied line-for-line from the joint implementation —
+including the bitsliced comparison circuit, which runs on packed
+``uint64`` words end-to-end — and every message is accounted on the
+local channel exactly as the joint :class:`~repro.mpc.network.Channel`
+accounting records it, so a two-party run produces byte-identical shares
+*and* byte-identical traffic counters to the in-process engine (the
+loopback equivalence tests pin both).
+
+Beaver openings ship both operands of a round — the ``(d, e)`` pair — as
+one two-segment frame (:meth:`~repro.mpc.transport.Transport.swap_segments`),
+so multi-megabyte tensors are never concatenated per round; boolean
+rounds send the raw triple words, with no per-call bit packing.
 
 Correlated randomness arrives as per-party
 :class:`~repro.mpc.preprocessing.PartyItem` views (only this party's
@@ -22,10 +28,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..sharing import LOW63_MASK
 from ..transport import Transport, pack_bits, unpack_bits
+from .comparison import STEP_WORDS, SUFFIX_STEPS, suffix_fill, word_parity
 
 __all__ = [
     "swap_ring",
+    "swap_ring_pair",
     "swap_bits",
     "party_open",
     "party_beaver_multiply",
@@ -41,6 +50,14 @@ __all__ = [
     "party_multiply_public_constant",
 ]
 
+_ONE = np.uint64(1)
+_MSB_SHIFT = np.uint64(63)
+
+
+def _buffer(array: np.ndarray):
+    """A zero-copy byte view of a (contiguified) array for the wire."""
+    return memoryview(np.ascontiguousarray(array)).cast("B")
+
 
 # ----------------------------------------------------------------------
 # exchange primitives (movement + the joint protocols' accounting)
@@ -51,16 +68,36 @@ def swap_ring(io: Transport, array: np.ndarray, label: str) -> np.ndarray:
     Accounts ``array.nbytes`` in both directions plus one round — exactly
     what the joint protocols record via ``channel.exchange``.
     """
-    other = io.swap(np.ascontiguousarray(array).tobytes(), label)
+    other = io.swap(_buffer(array), label)
     io.exchange(array.nbytes, label)
     return np.frombuffer(other, dtype=np.uint64).reshape(array.shape)
+
+
+def swap_ring_pair(
+    io: Transport, d: np.ndarray, e: np.ndarray, label: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exchange a ``(d, e)`` uint64 pair as one two-segment frame.
+
+    One round, payload ``d.nbytes + e.nbytes`` — the joint accounting of
+    a Beaver opening — without ever concatenating the two tensors on the
+    sending side.
+    """
+    other = io.swap_segments((_buffer(d), _buffer(e)), label)
+    io.exchange(d.nbytes + e.nbytes, label)
+    d_other = np.frombuffer(other, dtype=np.uint64, count=d.size).reshape(d.shape)
+    e_other = np.frombuffer(
+        other, dtype=np.uint64, count=e.size, offset=d.nbytes
+    ).reshape(e.shape)
+    return d_other, e_other
 
 
 def swap_bits(io: Transport, bits: np.ndarray, label: str) -> np.ndarray:
     """Simultaneously exchange a packed 0/1 bit array (one round).
 
     Bits travel packed 8-per-byte; the payload size equals the joint
-    accounting ``max(1, ceil(n/8))``.
+    accounting ``max(1, ceil(n/8))``. Used for single-bit-per-element
+    messages (the B2A opening) — the comparison circuit itself moves
+    pre-packed words through :func:`swap_ring_pair` instead.
     """
     payload = pack_bits(bits)
     other = io.swap(payload, label)
@@ -86,15 +123,14 @@ def party_beaver_multiply(
     """This party's share of ``x * y`` (mirrors ``beaver_multiply``).
 
     ``triple`` carries this party's halves ``a``, ``b``, ``c``; both
-    parties' ``(d, e)`` shares travel concatenated in one exchange, so
-    the payload equals the joint ``d.nbytes + e.nbytes`` accounting.
+    parties' ``(d, e)`` shares travel as one two-segment frame, so the
+    payload equals the joint ``d.nbytes + e.nbytes`` accounting.
     """
     d_own = (x - triple.a).astype(np.uint64)
     e_own = (y - triple.b).astype(np.uint64)
-    packed = np.concatenate([d_own.reshape(-1), e_own.reshape(-1)])
-    other = swap_ring(io, packed, "beaver-open")
-    d = (d_own + other[: d_own.size].reshape(x.shape)).astype(np.uint64)
-    e = (e_own + other[d_own.size :].reshape(y.shape)).astype(np.uint64)
+    d_other, e_other = swap_ring_pair(io, d_own, e_own, "beaver-open")
+    d = (d_own + d_other).astype(np.uint64)
+    e = (e_own + e_other).astype(np.uint64)
 
     z = (triple.c + d * triple.b + e * triple.a).astype(np.uint64)
     if io.party == 0:
@@ -108,17 +144,20 @@ def party_boolean_and(
     y: np.ndarray,
     triple,
 ) -> np.ndarray:
-    """This party's XOR share of ``x AND y`` (mirrors ``boolean_and``)."""
-    d_own = (x ^ triple.a).astype(np.uint8)
-    e_own = (y ^ triple.b).astype(np.uint8)
-    packed = np.concatenate([d_own.reshape(-1), e_own.reshape(-1)])
-    other = swap_bits(io, packed, "and-open")
-    d = (d_own ^ other[: d_own.size].reshape(x.shape)).astype(np.uint8)
-    e = (e_own ^ other[d_own.size :].reshape(y.shape)).astype(np.uint8)
+    """This party's XOR share of the lane-wise ``x AND y`` over words.
 
-    z = (triple.c ^ (d & triple.b) ^ (e & triple.a)).astype(np.uint8)
+    Mirrors the bitsliced ``boolean_and``: the wire payload is the raw
+    ``(d, e)`` word bytes in one two-segment frame.
+    """
+    d_own = (x ^ triple.a).astype(np.uint64)
+    e_own = (y ^ triple.b).astype(np.uint64)
+    d_other, e_other = swap_ring_pair(io, d_own, e_own, "and-open")
+    d = (d_own ^ d_other).astype(np.uint64)
+    e = (e_own ^ e_other).astype(np.uint64)
+
+    z = (triple.c ^ (d & triple.b) ^ (e & triple.a)).astype(np.uint64)
     if io.party == 0:
-        z = (z ^ (d & e)).astype(np.uint8)
+        z = (z ^ (d & e)).astype(np.uint64)
     return z
 
 
@@ -127,43 +166,36 @@ def party_boolean_and(
 # ----------------------------------------------------------------------
 def party_public_less_than_shared(
     io: Transport,
-    z_bits: np.ndarray,
-    r_bits: np.ndarray,
+    z_low: np.ndarray,
+    r_words: np.ndarray,
     material,
 ) -> np.ndarray:
-    """XOR share of ``[Z < R]`` for public Z bits and this party's R bits.
+    """XOR share of ``[Z < R]`` for public Z words and this party's R words.
 
-    Mirrors ``public_less_than_shared``: the affine terms differ by party
-    (party 0 absorbs the public parts; padding positions behave as public
-    ones, shared as 1 on party 0 and 0 on party 1).
+    Mirrors the bitsliced ``public_less_than_shared``: the affine terms
+    differ by party (party 0 absorbs the public parts; the lanes a shift
+    vacates behave as public ones, ORed in on party 0 only).
     """
     party = io.party
-    k = z_bits.shape[-1]
-    not_z = (1 - z_bits).astype(np.uint8)
-    t_share = (r_bits & not_z).astype(np.uint8)
+    not_z = (~np.asarray(z_low, dtype=np.uint64)) & LOW63_MASK
+    t_share = (r_words & not_z).astype(np.uint64)
     if party == 0:
-        eq = (((1 ^ z_bits) ^ r_bits)).astype(np.uint8)
+        eq = (not_z ^ r_words).astype(np.uint64)
     else:
-        eq = r_bits.copy()
+        eq = np.asarray(r_words, dtype=np.uint64).copy()
 
     suffix = eq
-    step = 1
-    while step < k:
+    for step in SUFFIX_STEPS:
+        shifted = (suffix >> STEP_WORDS[step]).astype(np.uint64)
         if party == 0:
-            pad = np.ones_like(suffix[..., :step])
-        else:
-            pad = np.zeros_like(suffix[..., :step])
-        shifted = np.concatenate([suffix[..., step:], pad], axis=-1)
+            shifted |= suffix_fill(step)
         suffix = party_boolean_and(io, suffix, shifted, material.next("bit_triples"))
-        step *= 2
 
+    strict = (suffix >> STEP_WORDS[1]).astype(np.uint64)
     if party == 0:
-        edge = np.ones_like(suffix[..., :1])
-    else:
-        edge = np.zeros_like(suffix[..., :1])
-    strict = np.concatenate([suffix[..., 1:], edge], axis=-1)
+        strict |= suffix_fill(1)
     term = party_boolean_and(io, t_share, strict, material.next("bit_triples"))
-    return np.bitwise_xor.reduce(term, axis=-1).astype(np.uint8)
+    return word_parity(term)
 
 
 def party_secure_msb(io: Transport, x: np.ndarray, material) -> np.ndarray:
@@ -172,14 +204,11 @@ def party_secure_msb(io: Transport, x: np.ndarray, material) -> np.ndarray:
     z_own = (x + mask.r).astype(np.uint64)
     z = party_open(io, z_own, label="masked-reveal")
 
-    z_low_bits = (
-        (z[..., None] >> np.arange(63, dtype=np.uint64)) & np.uint64(1)
-    ).astype(np.uint8)
-    borrow = party_public_less_than_shared(io, z_low_bits, mask.low_bits, material)
+    borrow = party_public_less_than_shared(io, z & LOW63_MASK, mask.low_bits, material)
 
     msb = (mask.msb ^ borrow).astype(np.uint8)
     if io.party == 0:
-        z_msb = ((z >> np.uint64(63)) & np.uint64(1)).astype(np.uint8)
+        z_msb = ((z >> _MSB_SHIFT) & _ONE).astype(np.uint8)
         msb = (z_msb ^ msb).astype(np.uint8)
     return msb
 
@@ -242,7 +271,7 @@ def party_secure_linear(
     """
     if io.party == 0:
         masked = (x - correlation.mask).astype(np.uint64)
-        io.push(np.ascontiguousarray(masked).tobytes(), "linear-masked-input")
+        io.push(_buffer(masked), "linear-masked-input")
         io.send(0, masked.nbytes, label="linear-masked-input")
         io.tick_round("linear")
         return correlation.client_offset

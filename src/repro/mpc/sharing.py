@@ -1,9 +1,18 @@
-"""Additive and boolean secret sharing.
+"""Additive and boolean secret sharing, including the bitsliced GF(2) layer.
 
 Arithmetic shares live in Z_2^64 (``uint64``): ``x = x0 + x1 (mod 2^64)``.
-Boolean shares live in GF(2) per bit (``uint8`` containing 0/1):
-``b = b0 XOR b1``. Both are information-theoretically hiding: a single
-share is uniformly distributed and independent of the secret.
+Boolean shares come in two layouts:
+
+* **byte-per-bit** (``uint8`` containing 0/1): one array slot per bit —
+  the layout single-bit material (daBits, MSB shares) still uses;
+* **bitsliced words** (``uint64``): up to 64 bits of one element packed
+  little-endian into a single word, so a word-level ``&``/``^``/``>>``
+  acts on all bit lanes of an element at once. The comparison circuit
+  runs entirely in this layout (one word per ring element), which is
+  what makes the DReLU hot path word-parallel.
+
+Both are information-theoretically hiding: a single share is uniformly
+distributed and independent of the secret.
 """
 
 from __future__ import annotations
@@ -13,12 +22,29 @@ import numpy as np
 from .fixedpoint import FixedPointConfig
 
 __all__ = [
+    "COMPARISON_BITS",
+    "LOW63_MASK",
     "share_additive",
     "reconstruct_additive",
     "share_boolean",
     "reconstruct_boolean",
+    "share_boolean_words",
+    "reconstruct_boolean_words",
     "bit_decompose",
+    "pack_bit_words",
+    "unpack_bit_words",
 ]
+
+# The comparison circuit compares the low 63 bits of the ring; the 64th
+# bit is the sign the circuit is extracting. One uint64 word therefore
+# holds a whole element's circuit state with lane 63 permanently zero.
+COMPARISON_BITS = 63
+LOW63_MASK = np.uint64((1 << 63) - 1)
+
+# Hoisted bit-index constants: the per-call ``np.arange(63)`` allocations
+# the seed's hot paths performed are shared module-level state now.
+_BIT_POSITIONS = np.arange(64, dtype=np.uint64)
+_WORD_DTYPE = np.dtype("<u8")
 
 
 def share_additive(
@@ -55,11 +81,64 @@ def reconstruct_boolean(share0: np.ndarray, share1: np.ndarray) -> np.ndarray:
     )
 
 
+def share_boolean_words(
+    bits: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """XOR-share a ``(..., k)`` bit-plane array as packed uint64 words.
+
+    Draws exactly the random bits :func:`share_boolean` would draw for the
+    same bit-plane shape (one ``rng.integers`` call over ``bits.shape``),
+    so a dealer switching to packed emission consumes its random stream
+    identically — this is what keeps packed runs byte-identical to the
+    byte-per-bit seed implementation.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    share0 = rng.integers(0, 2, size=bits.shape, dtype=np.uint8)
+    return pack_bit_words(share0), pack_bit_words((bits ^ share0).astype(np.uint8))
+
+
+def reconstruct_boolean_words(share0: np.ndarray, share1: np.ndarray) -> np.ndarray:
+    """Recombine word-packed XOR shares (stays packed)."""
+    return (np.asarray(share0, dtype=np.uint64) ^ np.asarray(share1, dtype=np.uint64)).astype(
+        np.uint64
+    )
+
+
 def bit_decompose(values: np.ndarray, bits: int) -> np.ndarray:
     """Little-endian bit decomposition: result[..., i] is bit ``i``.
 
     Used by the dealer to produce boolean shares of the comparison masks.
     """
     values = np.asarray(values, dtype=np.uint64)
-    positions = np.arange(bits, dtype=np.uint64)
+    positions = _BIT_POSITIONS[:bits]
     return ((values[..., None] >> positions) & np.uint64(1)).astype(np.uint8)
+
+
+def pack_bit_words(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(..., k)`` little-endian 0/1 array into uint64 words.
+
+    ``k`` may be at most 64; lanes ``k..63`` of every word are zero. The
+    result drops the trailing bit axis: shape ``(...,)``.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    k = bits.shape[-1]
+    if k > 64:
+        raise ValueError(f"cannot pack {k} bits into a uint64 word")
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    if packed.shape[-1] < 8:  # pad to a full 8-byte word
+        pad = np.zeros(
+            (*packed.shape[:-1], 8 - packed.shape[-1]), dtype=np.uint8
+        )
+        packed = np.concatenate([packed, pad], axis=-1)
+    words = np.ascontiguousarray(packed).view(_WORD_DTYPE).reshape(bits.shape[:-1])
+    return words.astype(np.uint64, copy=False)
+
+
+def unpack_bit_words(words: np.ndarray, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bit_words`: ``(...,)`` words -> ``(..., bits)``."""
+    # Force little-endian storage so the uint8 view is bit i -> lane i on
+    # any host.
+    words = np.ascontiguousarray(words, dtype=_WORD_DTYPE)
+    as_bytes = words[..., None].view(np.uint8)
+    planes = np.unpackbits(as_bytes, axis=-1, count=bits, bitorder="little")
+    return planes.astype(np.uint8)

@@ -45,7 +45,7 @@ import socket
 import struct
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -135,8 +135,11 @@ class WireStats:
 
     ``raw_payload_*`` covers ``FRAME_RAW`` online protocol messages only —
     by construction it must equal the :class:`Channel` accounting of the
-    same run (the loopback tests assert this). ``wire_*`` includes frame
-    headers and control frames: the real socket footprint.
+    same run (the loopback tests assert this), and ``raw_by_label`` breaks
+    the same measurement down per protocol step so a run can check e.g.
+    its measured ``and-open`` payload against the cost model's packed
+    circuit prediction. ``wire_*`` includes frame headers and control
+    frames: the real socket footprint.
     """
 
     frames_sent: int = 0
@@ -147,6 +150,7 @@ class WireStats:
     control_payload_received: int = 0
     wire_bytes_sent: int = 0
     wire_bytes_received: int = 0
+    raw_by_label: dict = field(default_factory=dict)
 
     @property
     def raw_payload_total(self) -> int:
@@ -172,6 +176,7 @@ class WireStats:
             "control_payload_received": self.control_payload_received,
             "wire_bytes_sent": self.wire_bytes_sent,
             "wire_bytes_received": self.wire_bytes_received,
+            "raw_by_label": dict(self.raw_by_label),
         }
 
 
@@ -262,6 +267,15 @@ class Transport(Channel):
     def _send_frame(self, kind: int, label: str, payload: bytes) -> None:
         raise NotImplementedError
 
+    def _send_frame_segments(self, kind: int, label: str, segments) -> None:
+        """One frame whose payload is the concatenation of ``segments``.
+
+        The default joins the buffers (fine for in-memory loopback);
+        :class:`PeerChannel` overrides this with a scatter write so
+        multi-megabyte tensor pairs are never copied into one buffer.
+        """
+        self._send_frame(kind, label, b"".join(segments))
+
     def _recv_frame(self) -> tuple[int, str, bytes]:
         raise NotImplementedError
 
@@ -269,23 +283,27 @@ class Transport(Channel):
         pass
 
     # -- shared bookkeeping ---------------------------------------------
-    def _count_sent(self, kind: int, label: str, payload: bytes) -> None:
+    def _count_sent(self, kind: int, label: str, nbytes: int) -> None:
         self.stats.frames_sent += 1
-        self.stats.wire_bytes_sent += _HEADER.size + len(label.encode()) + len(payload)
+        self.stats.wire_bytes_sent += _HEADER.size + len(label.encode()) + nbytes
         if kind == FRAME_RAW:
-            self.stats.raw_payload_sent += len(payload)
+            self.stats.raw_payload_sent += nbytes
+            self.stats.raw_by_label[label] = (
+                self.stats.raw_by_label.get(label, 0) + nbytes
+            )
         else:
-            self.stats.control_payload_sent += len(payload)
+            self.stats.control_payload_sent += nbytes
 
-    def _count_received(self, kind: int, label: str, payload: bytes) -> None:
+    def _count_received(self, kind: int, label: str, nbytes: int) -> None:
         self.stats.frames_received += 1
-        self.stats.wire_bytes_received += (
-            _HEADER.size + len(label.encode()) + len(payload)
-        )
+        self.stats.wire_bytes_received += _HEADER.size + len(label.encode()) + nbytes
         if kind == FRAME_RAW:
-            self.stats.raw_payload_received += len(payload)
+            self.stats.raw_payload_received += nbytes
+            self.stats.raw_by_label[label] = (
+                self.stats.raw_by_label.get(label, 0) + nbytes
+            )
         else:
-            self.stats.control_payload_received += len(payload)
+            self.stats.control_payload_received += nbytes
 
     def _expect(self, kind: int, label: str | None) -> tuple[str, bytes]:
         got_kind, got_label, payload = self._recv_frame()
@@ -307,6 +325,16 @@ class Transport(Channel):
         """Send one raw online-protocol message to the peer."""
         self._send_frame(FRAME_RAW, label, data)
 
+    def push_segments(self, segments, label: str) -> None:
+        """Send one raw message made of several buffers (one frame).
+
+        The peer receives a single contiguous payload; the sender never
+        concatenates the buffers on transports with scatter writes. Used
+        by the party protocols to ship a Beaver ``(d, e)`` pair per round
+        without copying the tensors into one array first.
+        """
+        self._send_frame_segments(FRAME_RAW, label, segments)
+
     def pull(self, label: str | None = None) -> bytes:
         """Receive the peer's next raw online-protocol message."""
         return self._expect(FRAME_RAW, label)[1]
@@ -314,6 +342,11 @@ class Transport(Channel):
     def swap(self, data: bytes, label: str) -> bytes:
         """Simultaneous exchange: send ours, receive theirs (one round)."""
         self.push(data, label)
+        return self.pull(label)
+
+    def swap_segments(self, segments, label: str) -> bytes:
+        """Segmented :meth:`swap`: send several buffers, get one payload."""
+        self.push_segments(segments, label)
         return self.pull(label)
 
     # -- control messages -----------------------------------------------
@@ -372,9 +405,10 @@ class QueueTransport(Transport):
     def _send_frame(self, kind: int, label: str, payload: bytes) -> None:
         if self._peer is None:
             raise TransportError("queue transport is not paired")
+        payload = bytes(payload)
         if self.shaper is not None:
             self.shaper.throttle_send(len(payload))
-        self._count_sent(kind, label, payload)
+        self._count_sent(kind, label, len(payload))
         self._peer._inbox.put((kind, label, payload, time.time()))
 
     def _recv_frame(self) -> tuple[int, str, bytes]:
@@ -386,7 +420,7 @@ class QueueTransport(Transport):
             ) from exc
         if self.shaper is not None:
             self.shaper.delay_delivery(sent_at)
-        self._count_received(kind, label, payload)
+        self._count_received(kind, label, len(payload))
         return kind, label, payload
 
 
@@ -469,27 +503,39 @@ class PeerChannel(Transport):
 
     # -- framing ---------------------------------------------------------
     def _send_frame(self, kind: int, label: str, payload: bytes) -> None:
+        self._send_frame_segments(kind, label, (payload,))
+
+    def _send_frame_segments(self, kind: int, label: str, segments) -> None:
+        """Scatter write: header + label + each segment, no payload join.
+
+        A two-segment Beaver ``(d, e)`` round therefore costs zero
+        concatenation copies on the sender; the receiver reads the frame
+        into one buffer anyway (it needs contiguous tensors).
+        """
+        segments = [memoryview(segment) for segment in segments]
+        total = sum(segment.nbytes for segment in segments)
         encoded = label.encode("utf-8")
         if len(encoded) > 0xFFFF:
             raise TransportError(f"label too long: {label!r}")
         if self.shaper is not None:
-            self.shaper.throttle_send(len(payload))
-        header = _HEADER.pack(
-            _MAGIC, _VERSION, kind, len(encoded), len(payload), time.time()
-        )
+            self.shaper.throttle_send(total)
+        header = _HEADER.pack(_MAGIC, _VERSION, kind, len(encoded), total, time.time())
         with self._write_lock:
             try:
-                if len(payload) <= 65536:
+                if total <= 65536:
                     # One segment for small frames (TCP_NODELAY is on).
-                    self._sock.sendall(header + encoded + payload)
+                    self._sock.sendall(
+                        b"".join([header + encoded, *segments])
+                    )
                 else:
                     # Avoid copying multi-megabyte tensors just to
                     # prepend a ~24-byte header.
                     self._sock.sendall(header + encoded)
-                    self._sock.sendall(payload)
+                    for segment in segments:
+                        self._sock.sendall(segment)
             except OSError as exc:
                 raise TransportError(f"peer connection lost on send: {exc}") from exc
-        self._count_sent(kind, label, payload)
+        self._count_sent(kind, label, total)
 
     def _read_exact(self, count: int) -> bytes | None:
         chunks = []
@@ -541,7 +587,7 @@ class PeerChannel(Transport):
         kind, label, payload, sent_at = item
         if self.shaper is not None:
             self.shaper.delay_delivery(sent_at)
-        self._count_received(kind, label, payload)
+        self._count_received(kind, label, len(payload))
         return kind, label, payload
 
     def close(self) -> None:

@@ -1,0 +1,115 @@
+"""The protocol bench harness: structure, model agreement, regression gate."""
+
+import copy
+
+import numpy as np
+
+from repro.bench.protocols import (
+    DEFAULT_TOLERANCE,
+    check_snapshot,
+    material_nbytes,
+    render_report,
+    run_bench,
+)
+from repro.mpc.costs import drelu_label_bytes, relu_label_bytes
+from repro.mpc.dealer import TrustedDealer
+
+
+def small_bench():
+    return run_bench(elements=128, repeats=1, serve_requests=0)
+
+
+class TestHarness:
+    def test_report_structure_and_model_agreement(self):
+        report = small_bench()
+        assert report["boolean_words_packed"] is True
+        assert report["calibration_s"] > 0
+        for op in ("drelu", "relu", "maxpool", "linear"):
+            entry = report["ops"][op]
+            assert entry["online_s"] > 0
+            assert entry["online_bytes"] > 0
+            assert entry["rounds"] > 0
+        # The measured per-op bytes equal the packed-circuit cost model.
+        assert report["ops"]["drelu"]["online_bytes"] == sum(
+            drelu_label_bytes(128).values()
+        )
+        assert report["ops"]["relu"]["online_bytes"] == sum(
+            relu_label_bytes(128).values()
+        )
+        assert report["offline"]["bit_triple_bytes_per_element"] == 336
+        assert "serve" not in report  # serve_requests=0 skips it
+
+    def test_material_nbytes_counts_all_halves(self):
+        triple = TrustedDealer(seed=0).beaver_triples((16,))
+        assert material_nbytes(triple) == 3 * 2 * 16 * 8
+
+    def test_render_report_is_printable(self):
+        text = render_report(small_bench())
+        assert "drelu" in text and "bit-triples" in text
+
+
+class TestRegressionGate:
+    def test_identical_snapshot_passes(self):
+        report = small_bench()
+        assert check_snapshot(report, copy.deepcopy(report)) == []
+
+    def test_latency_regression_fails(self):
+        report = small_bench()
+        fresh = copy.deepcopy(report)
+        snapshot = copy.deepcopy(report)
+        # Synthetic wall times well above the anti-jitter slack: a 2x
+        # regression at equal machine speed must fail the 10% gate.
+        fresh["ops"]["drelu"]["online_s"] = 1.0
+        snapshot["ops"]["drelu"]["online_s"] = 0.5
+        failures = check_snapshot(fresh, snapshot, tolerance=DEFAULT_TOLERANCE)
+        assert any("regressed" in failure for failure in failures)
+
+    def test_byte_drift_fails(self):
+        report = small_bench()
+        snapshot = copy.deepcopy(report)
+        snapshot["ops"]["drelu"]["online_bytes"] += 1
+        failures = check_snapshot(report, snapshot)
+        assert any("online bytes drifted" in failure for failure in failures)
+
+    def test_representation_mismatch_short_circuits(self):
+        report = small_bench()
+        snapshot = copy.deepcopy(report)
+        snapshot["boolean_words_packed"] = False
+        failures = check_snapshot(report, snapshot)
+        assert len(failures) == 1 and "representation mismatch" in failures[0]
+
+    def test_machine_normalisation_scales_the_budget(self):
+        """A snapshot from a 10x faster machine must not fail the check
+        when the fresh run is proportionally slower."""
+        report = small_bench()
+        snapshot = copy.deepcopy(report)
+        snapshot["ops"]["drelu"]["online_s"] = report["ops"]["drelu"]["online_s"] / 10
+        snapshot["calibration_s"] = report["calibration_s"] / 10
+        assert check_snapshot(report, snapshot) == []
+
+
+class TestCommittedSnapshots:
+    """The repo's committed snapshots must reflect the packed engine."""
+
+    def test_committed_snapshot_matches_current_representation(self):
+        import json
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        with open(root / "benchmarks" / "BENCH_protocols.json") as handle:
+            committed = json.load(handle)
+        assert committed["boolean_words_packed"] is True
+        with open(root / "benchmarks" / "BENCH_protocols.before.json") as handle:
+            before = json.load(handle)
+        assert before["boolean_words_packed"] is False
+        # The acceptance numbers: >= 4x DReLU online wall time and >= 4x
+        # offline bit-triple material versus the byte-per-bit baseline
+        # (both snapshots were recorded on the same machine).
+        assert (
+            before["ops"]["drelu"]["online_s"]
+            >= 4 * committed["ops"]["drelu"]["online_s"]
+        )
+        assert (
+            before["offline"]["bit_triple_bytes_per_element"]
+            >= 4 * committed["offline"]["bit_triple_bytes_per_element"]
+        )

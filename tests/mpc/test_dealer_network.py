@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.mpc import LAN, WAN, Channel, NetworkModel, TrustedDealer
-from repro.mpc.sharing import reconstruct_additive, reconstruct_boolean
+from repro.mpc.sharing import (
+    reconstruct_additive,
+    reconstruct_boolean,
+    reconstruct_boolean_words,
+)
 
 
 class TestDealer:
@@ -17,12 +21,17 @@ class TestDealer:
         np.testing.assert_array_equal(c, (a * b).astype(np.uint64))
 
     def test_bit_triples_are_consistent(self):
+        """Packed words: c = a AND b must hold lane-wise in every word."""
         dealer = TrustedDealer(seed=1)
         triple = dealer.bit_triples((256,))
-        a = reconstruct_boolean(*triple.a)
-        b = reconstruct_boolean(*triple.b)
-        c = reconstruct_boolean(*triple.c)
+        a = reconstruct_boolean_words(*triple.a)
+        b = reconstruct_boolean_words(*triple.b)
+        c = reconstruct_boolean_words(*triple.c)
+        assert a.dtype == np.uint64 and a.shape == (256,)
         np.testing.assert_array_equal(c, a & b)
+        # Lane 63 is reserved (zero) in boolean material.
+        assert not (a >> np.uint64(63)).any()
+        assert not (b >> np.uint64(63)).any()
 
     def test_dabits_agree_across_domains(self):
         dealer = TrustedDealer(seed=2)
@@ -35,12 +44,11 @@ class TestDealer:
         dealer = TrustedDealer(seed=3)
         mask = dealer.comparison_masks((64,))
         r = reconstruct_additive(*mask.r_shares)
-        low = reconstruct_boolean(*mask.low_bits)
+        low = reconstruct_boolean_words(*mask.low_bits)  # packed low-63 word
         msb = reconstruct_boolean(*mask.msb)
-        recomposed = np.zeros_like(r)
-        for i in range(63):
-            recomposed |= low[:, i].astype(np.uint64) << np.uint64(i)
-        recomposed |= msb.astype(np.uint64) << np.uint64(63)
+        recomposed = (low | (msb.astype(np.uint64) << np.uint64(63))).astype(
+            np.uint64
+        )
         np.testing.assert_array_equal(recomposed, r)
 
     def test_linear_correlation_identity(self):
@@ -62,7 +70,9 @@ class TestDealer:
         dealer.dabits((30,))
         dealer.comparison_masks((40,))
         assert dealer.triples_issued == 10
-        assert dealer.bit_triples_issued == 20
+        # bit_triples_issued counts AND gates (63 lanes per packed word),
+        # the same unit the byte-per-bit seed implementation reported.
+        assert dealer.bit_triples_issued == 20 * 63
         assert dealer.dabits_issued == 30
         assert dealer.comparison_masks_issued == 40
 

@@ -21,11 +21,15 @@ from repro.mpc.protocols import (
     truncate_shares,
 )
 from repro.mpc.sharing import (
+    LOW63_MASK,
     bit_decompose,
+    pack_bit_words,
     reconstruct_additive,
     reconstruct_boolean,
+    reconstruct_boolean_words,
     share_additive,
     share_boolean,
+    share_boolean_words,
 )
 
 CFG = FixedPointConfig(frac_bits=12)
@@ -55,11 +59,24 @@ class TestBeaver:
     @given(st.integers(0, 2**31))
     @settings(max_examples=20, deadline=None)
     def test_boolean_and(self, seed):
+        """Bitsliced AND: 128 elements x 63 lanes in one word-parallel call."""
         dealer, channel, rng = setup(seed)
-        a = rng.integers(0, 2, size=(128,), dtype=np.uint8)
-        b = rng.integers(0, 2, size=(128,), dtype=np.uint8)
-        zs = boolean_and(share_boolean(a, rng), share_boolean(b, rng), dealer, channel)
-        np.testing.assert_array_equal(reconstruct_boolean(*zs), a & b)
+        a = rng.integers(0, 2, size=(128, 63), dtype=np.uint8)
+        b = rng.integers(0, 2, size=(128, 63), dtype=np.uint8)
+        zs = boolean_and(
+            share_boolean_words(a, rng), share_boolean_words(b, rng), dealer, channel
+        )
+        expected = pack_bit_words((a & b).astype(np.uint8))
+        np.testing.assert_array_equal(reconstruct_boolean_words(*zs), expected)
+
+    def test_boolean_and_payload_is_raw_word_bytes(self):
+        dealer, channel, rng = setup(1)
+        bits = rng.integers(0, 2, size=(64, 63), dtype=np.uint8)
+        shares = share_boolean_words(bits, rng)
+        boolean_and(shares, shares, dealer, channel)
+        # (d, e) words both ways: 2 * 2 * 8 bytes per element, one round.
+        assert channel.total_bytes == 2 * 2 * 8 * 64
+        assert channel.rounds == 1
 
 
 class TestComparison:
@@ -67,20 +84,17 @@ class TestComparison:
     @settings(max_examples=15, deadline=None)
     def test_public_less_than_shared(self, seed):
         dealer, channel, rng = setup(seed)
-        k = 63
         z = rng.integers(0, 2**63, size=(50,), dtype=np.uint64)
         r = rng.integers(0, 2**63, size=(50,), dtype=np.uint64)
-        z_bits = bit_decompose(z, k)
-        r_bits = share_boolean(bit_decompose(r, k), rng)
-        lt = public_less_than_shared(z_bits, r_bits, dealer, channel)
+        r_words = share_boolean_words(bit_decompose(r, 63), rng)
+        lt = public_less_than_shared(z & LOW63_MASK, r_words, dealer, channel)
         np.testing.assert_array_equal(reconstruct_boolean(*lt), (z < r).astype(np.uint8))
 
     def test_less_than_equal_values_is_false(self):
         dealer, channel, rng = setup(3)
         z = rng.integers(0, 2**63, size=(20,), dtype=np.uint64)
-        z_bits = bit_decompose(z, 63)
-        r_bits = share_boolean(z_bits.copy(), rng)
-        lt = public_less_than_shared(z_bits, r_bits, dealer, channel)
+        r_words = share_boolean_words(bit_decompose(z, 63), rng)
+        lt = public_less_than_shared(z & LOW63_MASK, r_words, dealer, channel)
         np.testing.assert_array_equal(reconstruct_boolean(*lt), 0)
 
     def test_comparison_round_count_is_logarithmic(self):
@@ -88,7 +102,10 @@ class TestComparison:
         z = rng.integers(0, 2**63, size=(4,), dtype=np.uint64)
         r = rng.integers(0, 2**63, size=(4,), dtype=np.uint64)
         public_less_than_shared(
-            bit_decompose(z, 63), share_boolean(bit_decompose(r, 63), rng), dealer, channel
+            z & LOW63_MASK,
+            share_boolean_words(bit_decompose(r, 63), rng),
+            dealer,
+            channel,
         )
         # 6 suffix-AND doubling levels + 1 final AND level.
         assert channel.rounds == 7

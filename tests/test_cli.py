@@ -35,6 +35,15 @@ class TestParser:
         assert args.networked and args.networks == "lan,wan"
         assert not build_parser().parse_args(["serve-bench"]).networked
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.elements == 8192 and args.repeats == 3
+        assert args.check is None and args.output is None and not args.json
+        args = build_parser().parse_args(
+            ["bench", "--json", "--check", "snap.json", "--tolerance", "0.2"]
+        )
+        assert args.json and args.check == "snap.json" and args.tolerance == 0.2
+
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.listen == "127.0.0.1:0" and args.arch == "resnet20"
