@@ -18,6 +18,8 @@ __all__ = [
     "ACCURACY_DROP_TOLERANCE",
     "TABLE1",
     "TABLE2",
+    "TABLE2_BOUNDARIES",
+    "FIG8_BOUNDARIES",
     "NETWORK_SETTINGS",
 ]
 

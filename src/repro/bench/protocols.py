@@ -39,7 +39,13 @@ from ..mpc.protocols import (
 from ..mpc.sharing import share_additive
 
 __all__ = [
+    "CFG",
+    "DEFAULT_TOLERANCE",
     "run_bench",
+    "bench_ops",
+    "bench_offline",
+    "bench_serve",
+    "calibration_workload_s",
     "check_snapshot",
     "render_report",
     "material_nbytes",

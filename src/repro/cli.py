@@ -14,16 +14,20 @@ any protocol suite — is reachable without writing Python:
     c2pi secure-infer --suite cheetah --boundary 2.5
     c2pi serve-bench --arch resnet20 --requests 8 --batch 4
     c2pi serve-bench --arch resnet20 --networked         # measured vs modeled
+    c2pi serve-bench --networked --clients 4             # concurrent sessions
     c2pi bench --json --output benchmarks/BENCH_protocols.json
     c2pi bench --check benchmarks/BENCH_protocols.json   # perf regression gate
-    c2pi serve --listen 127.0.0.1:9123 --arch resnet20   # party 1 (server)
-    c2pi client --connect 127.0.0.1:9123 --requests 4    # party 0 (client)
+    c2pi serve --listen 127.0.0.1:9123 --workers 4       # party 1 (server)
+    c2pi client --connect 127.0.0.1:9123 --session alice # party 0 (client)
 
 ``serve``/``client`` run the two-process deployment: the compiled secure
 program executes between two real processes over a TCP socket, with
-offline preprocessing bundles shipped ahead of the online phase. All
-commands respect the ``C2PI_SCALE`` environment variable (smoke / small /
-paper budgets).
+offline preprocessing bundles shipped ahead of the online phase. The
+server serves up to ``--workers`` client sessions concurrently (each
+session's dealer seed is derived from its ``--session`` key, so its
+results do not depend on other clients' interleaving) and replies
+``busy`` beyond ``--max-sessions``. All commands respect the
+``C2PI_SCALE`` environment variable (smoke / small / paper budgets).
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ import sys
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "add_bench_arguments"]
 
 
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
@@ -142,6 +146,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="lan,wan",
         help="comma-separated shaped links for --networked (lan, wan)",
     )
+    bench.add_argument(
+        "--clients",
+        type=int,
+        default=0,
+        help="with --networked: serve this many concurrent client sessions "
+        "against one multi-worker server and report throughput scaling vs "
+        "the serialised run (per-session logits pinned byte-identical)",
+    )
+    bench.add_argument(
+        "--clients-network",
+        default="wan",
+        choices=("none", "lan", "wan"),
+        help="link shaping for the --clients benchmark (default: wan — "
+        "concurrency overlaps each session's round-trip waits)",
+    )
     bench.add_argument("--output", default=None, help="write the benchmark JSON here")
 
     proto_bench = sub.add_parser(
@@ -171,6 +190,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm-batch", type=int, default=1, help="batch size of --warm bundles"
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="concurrent session workers (one session per connection)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="admission bound; extra clients get an explicit busy reply "
+        "(default: --workers)",
+    )
+    serve.add_argument(
         "--untrained-width",
         type=float,
         default=None,
@@ -189,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--batch", type=int, default=2, help="images per request")
     client.add_argument("--noise", type=float, default=0.1, help="lambda")
     client.add_argument("--seed", type=int, default=0)
+    client.add_argument(
+        "--session",
+        default=None,
+        help="session key: the server derives this session's dealer seed "
+        "from it, making the run reproducible regardless of other clients",
+    )
     client.add_argument(
         "--network",
         default="none",
@@ -363,6 +401,8 @@ def _cmd_serve_bench(args) -> int:
     boundary = args.boundary
     if boundary is None:
         boundary = 3.5 if args.arch == "resnet20" else 2.5
+    from .mpc import LAN, WAN
+
     images = dataset.test_images[: args.requests]
     report = benchmark_serving(
         model,
@@ -372,6 +412,8 @@ def _cmd_serve_bench(args) -> int:
         noise_magnitude=args.noise,
         networked=args.networked,
         networks=_networks_from_arg(args.networks) if args.networked else (),
+        clients=args.clients if args.networked else 0,
+        clients_network={"none": None, "lan": LAN, "wan": WAN}[args.clients_network],
     )
     report["victim_accuracy"] = accuracy
 
@@ -422,6 +464,29 @@ def _cmd_serve_bench(args) -> int:
             "    predictions agree with baseline: "
             f"{networked['predictions_agree_with_baseline']}"
         )
+        if networked.get("concurrent"):
+            concurrent = networked["concurrent"]
+            print(
+                f"  concurrent serving ({concurrent['clients']} client(s), "
+                f"{concurrent['workers']} workers, {concurrent['network']} link):"
+            )
+            print(
+                f"    serial      : {concurrent['serial']['wall_s']:8.3f} s  "
+                f"({concurrent['serial']['throughput_rps']:.2f} req/s = "
+                f"{concurrent['serial']['inferences_per_s']:.2f} inf/s, "
+                "sessions one at a time)"
+            )
+            print(
+                f"    concurrent  : {concurrent['concurrent']['wall_s']:8.3f} s  "
+                f"({concurrent['concurrent']['throughput_rps']:.2f} req/s = "
+                f"{concurrent['concurrent']['inferences_per_s']:.2f} inf/s)  "
+                f"-> {concurrent['speedup']:.2f}x throughput"
+            )
+            print(
+                "    per-session logits byte-identical to serial run: "
+                f"{concurrent['logits_match_serial']}  "
+                f"(socket payload matches accounting: {concurrent['bytes_match']})"
+            )
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(report, handle, indent=2)
@@ -448,12 +513,21 @@ def _cmd_serve(args) -> int:
     if boundary is None:
         boundary = 3.5 if args.arch == "resnet20" else 2.5
     host, port = _parse_endpoint(args.listen)
-    server = RemoteServer(model, boundary, seed=args.seed, host=host, port=port)
+    server = RemoteServer(
+        model,
+        boundary,
+        seed=args.seed,
+        host=host,
+        port=port,
+        workers=args.workers,
+        max_sessions=args.max_sessions,
+    )
     if args.warm:
         server.warm(args.warm_batch, args.warm)
     print(
         f"c2pi server: {model.name} boundary={boundary} "
-        f"listening on {server.host}:{server.port}",
+        f"listening on {server.host}:{server.port} "
+        f"({server.workers} workers, max {server.max_sessions} sessions)",
         flush=True,
     )
     try:
@@ -464,7 +538,9 @@ def _cmd_serve(args) -> int:
         server.stop()
     print(
         f"served {server.requests_served} requests over "
-        f"{server.connections_served} connection(s)"
+        f"{server.connections_served} connection(s) "
+        f"({server.connections_rejected} rejected busy, "
+        f"{server.connections_failed} failed)"
     )
     return 0
 
@@ -476,12 +552,18 @@ def _cmd_client(args) -> int:
     host, port = _parse_endpoint(args.connect)
     network = {"none": None, "lan": LAN, "wan": WAN}[args.network]
     client = RemoteClient(
-        host, port, noise_magnitude=args.noise, seed=args.seed, network=network
+        host,
+        port,
+        noise_magnitude=args.noise,
+        seed=args.seed,
+        network=network,
+        session=args.session,
     )
     print(
         f"connected to {host}:{port}: model {client.server_model} "
         f"boundary={client.boundary} input={client.input_shape}"
         + (f" shaped as {args.network.upper()}" if network else "")
+        + (f" session={args.session}" if args.session is not None else "")
     )
     rng = np.random.default_rng(args.seed)
     served = 0

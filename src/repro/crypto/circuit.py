@@ -21,6 +21,8 @@ __all__ = [
     "relu_share_circuit",
     "drelu_share_circuit",
     "evaluate_plain",
+    "bits_of",
+    "int_of",
 ]
 
 

@@ -38,6 +38,7 @@ from .sharing import reconstruct_additive, share_additive
 __all__ = [
     "MacCheckError",
     "AuthenticatedShares",
+    "AuthenticatedTriple",
     "AuthenticatedDealer",
     "verified_open",
     "authenticated_multiply",

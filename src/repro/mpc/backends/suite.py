@@ -8,7 +8,7 @@ from ..dealer import TrustedDealer
 from ..network import Channel
 from ..protocols import secure_linear, secure_maximum, secure_relu
 
-__all__ = ["ProtocolSuite", "DealerSuite", "linear_map_matrix"]
+__all__ = ["ProtocolSuite", "DealerSuite", "Shares", "linear_map_matrix"]
 
 Shares = tuple[np.ndarray, np.ndarray]
 

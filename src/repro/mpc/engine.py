@@ -63,6 +63,7 @@ from .protocols import multiply_public_constant, truncate_shares
 from .sharing import reconstruct_additive, share_additive
 
 __all__ = [
+    "Shares",
     "LayerTally",
     "SecureExecutionResult",
     "SecureInferenceEngine",

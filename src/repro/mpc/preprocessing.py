@@ -273,6 +273,12 @@ class PreprocessingPool:
         self._bundles: deque[list[tuple[MaterialRequest, object]]] = deque()
         self._trace: list[MaterialRequest] | None = None
         self._lock = threading.RLock()
+        # Dealer generation runs under its own lock so the rng stream
+        # stays strictly ordered (determinism) *without* holding the pool
+        # lock for the whole generation: `available` and `acquire()` of an
+        # already-generated bundle must complete while a slow refill is in
+        # flight. Only the deque/stats mutations take the pool lock.
+        self._generation_lock = threading.Lock()
         # Bundles scheduled by refill_async but not yet generated. Tracked
         # under the lock so concurrent acquirers can tell "a refill is on
         # its way" from "the pool is genuinely dry" without racing on a
@@ -302,27 +308,43 @@ class PreprocessingPool:
             return list(self._trace)
 
     # ------------------------------------------------------------------
+    def _generate(self, trace: list[MaterialRequest]) -> list[tuple[MaterialRequest, object]]:
+        """One bundle's dealer generation. Callers hold ``_generation_lock``."""
+        bundle = []
+        for request in trace:
+            if request.method == "linear_correlation":
+                material = self._dealer.linear_correlation(
+                    request.shape, request.ring_fn
+                )
+            else:
+                material = getattr(self._dealer, request.method)(request.shape)
+            bundle.append((request, material))
+        return bundle
+
     def refill(self, bundles: int = 1) -> None:
-        """Generate ``bundles`` fresh bundles (the offline phase)."""
-        with self._lock:
-            trace = self.requirements()
-            start = time.perf_counter()
-            for _ in range(bundles):
-                bundle = []
-                for request in trace:
-                    if request.method == "linear_correlation":
-                        material = self._dealer.linear_correlation(
-                            request.shape, request.ring_fn
-                        )
-                    else:
-                        material = getattr(self._dealer, request.method)(request.shape)
-                    bundle.append((request, material))
+        """Generate ``bundles`` fresh bundles (the offline phase).
+
+        The expensive dealer generation happens under a dedicated
+        generation lock — serialising concurrent refills keeps the rng
+        stream deterministic — while the pool lock is only taken to
+        publish each finished bundle, so concurrent ``acquire()`` of
+        already-generated bundles (and ``available``) never block behind
+        a refill in progress.
+        """
+        trace = self.requirements()
+        for _ in range(bundles):
+            with self._generation_lock:
+                start = time.perf_counter()
+                bundle = self._generate(trace)
+                elapsed = time.perf_counter() - start
+            with self._lock:
                 self._bundles.append(bundle)
                 self.stats.bundles_generated += 1
                 self.stats.material_items += len(bundle)
+                self.stats.offline_seconds += elapsed
+                self._refill_done.notify_all()
+        with self._lock:
             self.stats.refills += 1
-            self.stats.offline_seconds += time.perf_counter() - start
-            self._refill_done.notify_all()
 
     def refill_async(self, bundles: int = 1) -> threading.Thread:
         """Refill in a background thread (daemon); returns the thread.
@@ -360,19 +382,23 @@ class PreprocessingPool:
     def acquire_bundle(self) -> list[tuple[MaterialRequest, object]]:
         """Pop the oldest raw bundle (the two-process serving path splits
         it into per-party halves before shipping the client's half)."""
-        with self._lock:
-            while not self._bundles and self._pending_refills:
-                self._refill_done.wait()
-            if not self._bundles:
+        while True:
+            with self._lock:
+                while not self._bundles and self._pending_refills:
+                    self._refill_done.wait()
+                if self._bundles:
+                    self.stats.bundles_consumed += 1
+                    return self._bundles.popleft()
                 self.stats.misses += 1
                 if not self.auto_refill:
                     raise PoolExhausted(
                         f"preprocessing pool for batch={self.batch} is empty "
                         "(auto_refill disabled)"
                     )
-                self.refill(1)
-            self.stats.bundles_consumed += 1
-            return self._bundles.popleft()
+            # Miss generation happens outside the pool lock too; a racing
+            # consumer may pop the fresh bundle first, in which case the
+            # loop simply generates another.
+            self.refill(1)
 
 
 # ----------------------------------------------------------------------

@@ -24,7 +24,12 @@ from ..dealer import TrustedDealer
 from ..fixedpoint import FixedPointConfig
 from ..network import Channel
 
-__all__ = ["secure_linear", "truncate_shares", "RingLinearFunction"]
+__all__ = [
+    "secure_linear",
+    "truncate_shares",
+    "multiply_public_constant",
+    "RingLinearFunction",
+]
 
 RingLinearFunction = Callable[[np.ndarray], np.ndarray]
 

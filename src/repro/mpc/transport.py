@@ -31,10 +31,14 @@ overhead separately.
 :class:`LinkShaper` provides optional ``tc``-free LAN/WAN emulation: a
 token bucket meters the sender at the link bandwidth and the receiver
 delays delivery until one-way latency (``rtt/2``) has elapsed since the
-frame's send timestamp (both processes run on one host, so ``time.time``
-is a shared clock). This lets a benchmark *measure* shaped end-to-end
-latency and compare it with the :class:`~repro.mpc.network.NetworkModel`
-prediction on the same run.
+frame's **receiver-side arrival time** (stamped with the local monotonic
+clock when the frame is fully read, clamped to ``[0, rtt/2]``). The
+sender's wall-clock timestamp still travels in the header for
+diagnostics, but never feeds the delay computation: across two real
+machines, clock skew would silently inflate or zero the emulated
+latency. This lets a benchmark *measure* shaped end-to-end latency and
+compare it with the :class:`~repro.mpc.network.NetworkModel` prediction
+on the same run.
 """
 
 from __future__ import annotations
@@ -166,6 +170,23 @@ class WireStats:
         )
         return self.wire_bytes_sent + self.wire_bytes_received - payload
 
+    def accumulate(self, other: "WireStats") -> None:
+        """Fold another transport's measurements into this aggregate.
+
+        Used by the multi-session server to report one global wire
+        footprint across every (live and finished) connection.
+        """
+        self.frames_sent += other.frames_sent
+        self.frames_received += other.frames_received
+        self.raw_payload_sent += other.raw_payload_sent
+        self.raw_payload_received += other.raw_payload_received
+        self.control_payload_sent += other.control_payload_sent
+        self.control_payload_received += other.control_payload_received
+        self.wire_bytes_sent += other.wire_bytes_sent
+        self.wire_bytes_received += other.wire_bytes_received
+        for label, nbytes in other.raw_by_label.items():
+            self.raw_by_label[label] = self.raw_by_label.get(label, 0) + nbytes
+
     def as_dict(self) -> dict:
         return {
             "frames_sent": self.frames_sent,
@@ -188,8 +209,12 @@ class LinkShaper:
 
     The sender blocks until the bucket has drained enough tokens for the
     frame (bandwidth emulation); the receiver delays delivery until
-    ``rtt/2`` after the frame's send timestamp (latency emulation).
-    Both endpoints of a link should use the same shaper settings.
+    ``rtt/2`` after the frame *arrived* at the receiver, measured on the
+    receiver's own monotonic clock (latency emulation). The sender's
+    wall-clock header timestamp is deliberately ignored: between two real
+    processes or machines it is skewed by an unknown offset, which would
+    silently inflate or zero the injected latency. Both endpoints of a
+    link should use the same shaper settings.
     """
 
     def __init__(
@@ -225,9 +250,18 @@ class LinkShaper:
         if wait > 0.0:
             time.sleep(wait)
 
-    def delay_delivery(self, sent_at: float) -> None:
-        """Hold a received frame until one-way latency has elapsed."""
-        remaining = sent_at + self.rtt_s / 2.0 - time.time()
+    def delay_delivery(self, arrived_at: float) -> None:
+        """Hold a received frame until one-way latency has elapsed.
+
+        ``arrived_at`` is the receiver-side ``time.monotonic()`` stamp
+        taken when the frame was fully read off the wire (so time the
+        frame spent queued behind earlier deliveries counts toward its
+        latency). The residual sleep is clamped to ``[0, rtt/2]``: a
+        skewed or bogus stamp can never inject more than one-way latency,
+        and never a negative delay.
+        """
+        remaining = arrived_at + self.rtt_s / 2.0 - time.monotonic()
+        remaining = min(max(remaining, 0.0), self.rtt_s / 2.0)
         if remaining > 0.0:
             time.sleep(remaining)
 
@@ -409,17 +443,19 @@ class QueueTransport(Transport):
         if self.shaper is not None:
             self.shaper.throttle_send(len(payload))
         self._count_sent(kind, label, len(payload))
-        self._peer._inbox.put((kind, label, payload, time.time()))
+        # Enqueueing *is* arrival for the in-memory pair; both threads
+        # share one process clock, so monotonic stamps are comparable.
+        self._peer._inbox.put((kind, label, payload, time.monotonic()))
 
     def _recv_frame(self) -> tuple[int, str, bytes]:
         try:
-            kind, label, payload, sent_at = self._inbox.get(timeout=self.timeout)
+            kind, label, payload, arrived_at = self._inbox.get(timeout=self.timeout)
         except queue.Empty as exc:
             raise TransportError(
                 f"party {self.party} timed out waiting for the peer"
             ) from exc
         if self.shaper is not None:
-            self.shaper.delay_delivery(sent_at)
+            self.shaper.delay_delivery(arrived_at)
         self._count_received(kind, label, len(payload))
         return kind, label, payload
 
@@ -570,7 +606,12 @@ class PeerChannel(Transport):
             payload = self._read_exact(payload_len) if payload_len else b""
             if label_bytes is None or payload is None:
                 break
-            self._inbox.put((kind, label_bytes.decode("utf-8"), payload, sent_at))
+            # Stamp arrival on the *receiver's* monotonic clock: the
+            # sender's wall-clock `sent_at` (still in the header for
+            # diagnostics) is skewed by an unknown offset across real
+            # processes/machines and must not feed the shaper delay.
+            arrived_at = time.monotonic()
+            self._inbox.put((kind, label_bytes.decode("utf-8"), payload, arrived_at))
         self._inbox.put(None)  # EOF sentinel
 
     def _recv_frame(self) -> tuple[int, str, bytes]:
@@ -584,9 +625,9 @@ class PeerChannel(Transport):
             raise TransportError("peer closed the connection")
         if isinstance(item, TransportError):
             raise item
-        kind, label, payload, sent_at = item
+        kind, label, payload, arrived_at = item
         if self.shaper is not None:
-            self.shaper.delay_delivery(sent_at)
+            self.shaper.delay_delivery(arrived_at)
         self._count_received(kind, label, len(payload))
         return kind, label, payload
 

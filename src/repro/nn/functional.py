@@ -15,6 +15,7 @@ from .tensor import Tensor
 
 __all__ = [
     "im2col",
+    "conv_output_size",
     "col2im",
     "conv2d",
     "conv_transpose2d",

@@ -23,6 +23,7 @@ respect to the *input image*) all run on top of this engine.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -30,29 +31,32 @@ import numpy as np
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones", "randn"]
 
 
-_GRAD_ENABLED = True
+# Per-thread so concurrent serving sessions (each wrapping its clear-phase
+# forward in no_grad) cannot race on one process-wide flag: interleaved
+# enter/exit from two threads could restore the wrong previous value and
+# leave gradient recording off for everyone.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction.
+    """Context manager that disables graph construction (this thread only).
 
     Used for evaluation loops, the secure-inference engine (which operates on
     plain integer arrays anyway) and for in-place parameter updates inside
     the optimizers.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradient information."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _as_array(data, dtype=None) -> np.ndarray:
@@ -178,7 +182,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create the result tensor of an op, wiring the graph if needed."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

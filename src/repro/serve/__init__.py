@@ -9,10 +9,23 @@ pools, and coalesces queued requests into batched secure executions.
 flow: :class:`RemoteServer` / :class:`RemoteClient` run the compiled
 program between real processes over the socket transport
 (``c2pi serve --listen`` / ``c2pi client``), shipping offline bundles
-ahead of the online phase and measuring actual wire traffic.
+ahead of the online phase and measuring actual wire traffic. The server
+is concurrent: a bounded worker pool serves one session per connection,
+each session's dealer seed derived from its session key
+(:func:`~repro.serve.remote.derive_session_seed`), with busy-reply
+backpressure past ``max_sessions`` and graceful drain on ``stop()``.
 """
 
-from .remote import RemoteClient, RemoteReply, RemoteServer, benchmark_networked
+from .remote import (
+    RemoteClient,
+    RemoteReply,
+    RemoteServer,
+    ServerBusy,
+    SessionStats,
+    benchmark_concurrent,
+    benchmark_networked,
+    derive_session_seed,
+)
 from .server import (
     C2PIServer,
     InferenceReply,
@@ -30,5 +43,9 @@ __all__ = [
     "RemoteServer",
     "RemoteClient",
     "RemoteReply",
+    "ServerBusy",
+    "SessionStats",
+    "derive_session_seed",
     "benchmark_networked",
+    "benchmark_concurrent",
 ]

@@ -5,12 +5,15 @@ offline bundle shipping, the online 2PC protocol, the noised reveal and
 the server's clear-phase evaluation — between two actual processes
 connected by a :class:`~repro.mpc.transport.PeerChannel`:
 
-1. **Handshake.** The client announces optional link shaping; the server
-   replies with the weight-free :func:`~repro.mpc.party.program_manifest`
-   (op kinds and shapes only — weights never leave the server).
-2. **Offline phase (per request).** The server draws a bundle from its
-   per-batch :class:`~repro.mpc.preprocessing.PreprocessingPool` (seeded
-   like the in-process pipeline, so runs are byte-identical to it),
+1. **Handshake.** The client announces optional link shaping and an
+   optional *session* key; the server replies with the weight-free
+   :func:`~repro.mpc.party.program_manifest` (op kinds and shapes only —
+   weights never leave the server) — or an explicit ``busy`` reply when
+   the session registry is at capacity.
+2. **Offline phase (per request).** The server draws a bundle from the
+   session's per-batch :class:`~repro.mpc.preprocessing.PreprocessingPool`
+   (its dealer seed is derived from the session key, so every session's
+   material stream is independent of how other sessions interleave),
    splits it, and ships the client's half as an opaque blob.
 3. **Online phase.** Both sides execute their
    :class:`~repro.mpc.party.PartyEngine` halves over the socket.
@@ -19,12 +22,27 @@ connected by a :class:`~repro.mpc.transport.PeerChannel`:
    server reconstructs the noised activation, runs the clear layers and
    returns the logits.
 
+The server is **concurrent**: a bounded worker pool serves one session
+per connection, sessions beyond ``max_sessions`` get the busy reply
+instead of a hung socket, a malformed client costs only its own
+connection, and :meth:`RemoteServer.stop` drains in-flight sessions
+before tearing the listener down. Per-session dealer-seed derivation
+(:func:`derive_session_seed`) is what keeps every session's material
+stream — and therefore its logits, bit for bit — identical to a serial
+single-client run with the same session key, no matter how requests from
+other clients interleave (DESIGN.md section 8). Anonymous sessions (no
+``session`` key) share the base-seeded pools, preserving the historical
+single-client byte-identity with the in-process pipeline.
+
 Measured socket traffic (``WireStats``) and protocol accounting
 (:class:`~repro.mpc.network.Channel` counters) travel back with every
 reply, so callers can verify the wire against the books and compare
 measured latency with the :class:`~repro.mpc.network.NetworkModel`
 prediction on the same run — which is what
-:func:`benchmark_networked` (and ``c2pi serve-bench --networked``) does.
+:func:`benchmark_networked` (and ``c2pi serve-bench --networked``) does;
+:func:`benchmark_concurrent` (``--clients N``) additionally measures
+multi-session throughput scaling against a serialised run of the same
+sessions and pins the per-session byte-identity under contention.
 
 ``python -m repro.serve.remote --arch resnet20`` starts a deterministic
 demonstration server on an untrained victim (both processes can rebuild
@@ -34,8 +52,10 @@ and the networked CI smoke job use.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -53,17 +73,52 @@ from ..mpc.preprocessing import (
     unpack_party_bundle,
 )
 from ..mpc.program import SecureProgram, compile_program
-from ..mpc.transport import LinkShaper, PeerChannel, Transport, TransportError
+from ..mpc.transport import (
+    LinkShaper,
+    PeerChannel,
+    Transport,
+    TransportError,
+    WireStats,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "ServerBusy",
+    "SessionStats",
+    "derive_session_seed",
     "RemoteReply",
     "RemoteServer",
     "RemoteClient",
     "benchmark_networked",
+    "benchmark_concurrent",
+    "main",
 ]
 
 PROTOCOL_VERSION = 1
+
+
+class ServerBusy(TransportError):
+    """The server's session registry is full; it replied ``busy``."""
+
+
+def derive_session_seed(base_seed: int, session: int | str | None) -> int:
+    """The dealer seed of one session's preprocessing pools.
+
+    ``None`` (an anonymous session) maps to ``base_seed`` itself — the
+    historical single-client behaviour, byte-identical to the in-process
+    :class:`~repro.core.c2pi.C2PIPipeline` under equal seeds. A named
+    session hashes ``(base_seed, session)`` into an independent 64-bit
+    seed, so each session owns a deterministic material stream that no
+    interleaving with other sessions can perturb: the same session key
+    against the same server seed always replays the same dealer draws,
+    whether it runs alone or among ``N`` concurrent clients.
+    """
+    if session is None:
+        return base_seed
+    digest = hashlib.blake2b(
+        f"c2pi-session:{base_seed}:{session!r}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
 
 
 def _snapshot_dict(snapshot: TrafficSnapshot) -> dict:
@@ -79,15 +134,62 @@ def _snapshot_dict(snapshot: TrafficSnapshot) -> dict:
 # ----------------------------------------------------------------------
 # server
 # ----------------------------------------------------------------------
+@dataclass
+class SessionStats:
+    """One session's serving record (kept in the registry snapshot)."""
+
+    session_id: int
+    session: int | str | None  # client-announced key (None = anonymous)
+    requests: int = 0
+    online_s: float = 0.0
+    offline_s: float = 0.0
+    handshake_ok: bool = False
+    error: str | None = None
+    active: bool = True
+    wire: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "session": self.session,
+            "requests": self.requests,
+            "online_s": self.online_s,
+            "offline_s": self.offline_s,
+            "handshake_ok": self.handshake_ok,
+            "error": self.error,
+            "active": self.active,
+            "wire": dict(self.wire),
+        }
+
+
 class RemoteServer:
-    """Serve private inferences to remote clients over TCP.
+    """Serve private inferences to remote clients over TCP, concurrently.
 
     The server owns the model: it compiles the crypto segment once,
-    plays the dealer for the offline phase (bundles are generated from
-    ``dealer_seed = seed`` per batch size, mirroring
-    :class:`~repro.core.c2pi.C2PIPipeline`), executes party 1 of the
+    plays the dealer for the offline phase, executes party 1 of the
     online protocol, and evaluates the clear layers on the noised
     boundary activation.
+
+    Concurrency model (DESIGN.md section 8):
+
+    * every accepted connection becomes one **session**, served start to
+      finish by one worker; at most ``workers`` sessions execute the
+      protocol at a time;
+    * the registry admits at most ``max_sessions`` sessions (default:
+      ``workers``); a connection beyond that receives an explicit
+      ``busy`` hello (the client raises :class:`ServerBusy`) instead of
+      a silently hung socket;
+    * each session's preprocessing pools are seeded with
+      :func:`derive_session_seed`, so its dealer stream — and logits —
+      are byte-identical to a serial run of the same session key no
+      matter how other sessions interleave. Anonymous sessions share the
+      base-seeded pools (the single-client behaviour of old);
+    * a malformed or vanished client is contained to its own session:
+      the accept loop never sees per-connection exceptions, and failed
+      handshakes are counted in ``connections_failed`` — never in
+      ``connections_served``;
+    * :meth:`stop` drains: in-flight sessions finish (bounded by
+      ``timeout``) before their transports are force-closed.
     """
 
     def __init__(
@@ -99,7 +201,11 @@ class RemoteServer:
         host: str = "127.0.0.1",
         port: int = 0,
         program: SecureProgram | None = None,
+        workers: int = 4,
+        max_sessions: int | None = None,
     ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
         self.model = model
         self.boundary = boundary
         self.config = config
@@ -108,82 +214,256 @@ class RemoteServer:
         self.program = (
             program if program is not None else compile_program(model, boundary, config)
         )
+        # One engine serves every session: the party-1 execution path is
+        # stateless per run (the share rng belongs to party 0 only), so
+        # concurrent workers may share it.
         self.engine = PartyEngine.from_program(self.program, party=1)
-        self._pools: dict[int, PreprocessingPool] = {}
+        self.workers = workers
+        self.max_sessions = workers if max_sessions is None else max_sessions
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be positive")
+        self._pools: dict[tuple[int | str | None, int], PreprocessingPool] = {}
+        self._pools_lock = threading.Lock()
         self._listener = PeerChannel.listen(host, port)
         self.port = self._listener.getsockname()[1]
         self._stopping = False
+        # One state lock guards the registry, the counters and the
+        # finished-session log; `_drained` lets stop() wait for in-flight
+        # sessions and `_worker_slots` bounds concurrent protocol work.
+        self._state_lock = threading.Lock()
+        self._drained = threading.Condition(self._state_lock)
+        self._worker_slots = threading.Semaphore(workers)
+        self._active: dict[int, tuple[SessionStats, Transport]] = {}
+        # Accepted connections that have not completed the handshake yet.
+        # Tracked so stop() can close them and so a flood of connections
+        # that never speak (slow-loris) is bounded: beyond _max_pending
+        # they are dropped outright, and each pending handshake gets only
+        # `handshake_timeout` (not the full protocol timeout) to send its
+        # link message. Keyed by id(): Channel is a dataclass (value
+        # equality), so transports are unhashable.
+        self._pending: dict[int, Transport] = {}
+        self._max_pending = max(32, 4 * self.max_sessions)
+        self.handshake_timeout = 10.0
+        self._finished: list[SessionStats] = []
+        self._next_session_id = 0
         self.connections_served = 0
+        self.connections_failed = 0
+        self.connections_rejected = 0
         self.requests_served = 0
 
     # ------------------------------------------------------------------
-    def pool(self, batch: int) -> PreprocessingPool:
-        pool = self._pools.get(batch)
-        if pool is None:
-            pool = PreprocessingPool(self.program, batch, dealer_seed=self.seed)
-            self._pools[batch] = pool
+    def pool(
+        self, batch: int, session: int | str | None = None
+    ) -> PreprocessingPool:
+        """The (session, batch) preprocessing pool, created on demand."""
+        key = (session, batch)
+        with self._pools_lock:
+            pool = self._pools.get(key)
+            if pool is None:
+                pool = PreprocessingPool(
+                    self.program,
+                    batch,
+                    dealer_seed=derive_session_seed(self.seed, session),
+                )
+                self._pools[key] = pool
         return pool
 
-    def warm(self, batch: int, bundles: int = 1) -> None:
+    def warm(
+        self, batch: int, bundles: int = 1, session: int | str | None = None
+    ) -> None:
         """Pre-generate offline bundles for ``batch``-sized requests."""
-        self.pool(batch).refill(bundles)
+        self.pool(batch, session=session).refill(bundles)
 
     # ------------------------------------------------------------------
+    @property
+    def active_sessions(self) -> int:
+        with self._state_lock:
+            return len(self._active)
+
     def serve_forever(self, once: bool = False) -> None:
-        """Accept and serve connections until :meth:`stop` (or one, with
-        ``once``)."""
+        """Accept connections until :meth:`stop` (or one, with ``once``).
+
+        The accept loop only accepts and dispatches: each connection is
+        handed to a session worker thread immediately, so a slow or
+        malicious client can never stall the next ``accept``.
+        """
         while not self._stopping:
             try:
                 transport = PeerChannel.accept(self._listener)
             except OSError:
                 break  # listener closed by stop()
-            try:
-                self._serve_connection(transport)
-            except TransportError:
-                pass  # client vanished mid-protocol; serve the next one
-            finally:
-                transport.close()
-            self.connections_served += 1
+            worker = threading.Thread(
+                target=self._session_worker,
+                args=(transport,),
+                name="c2pi-session",
+                daemon=True,
+            )
+            worker.start()
             if once:
+                worker.join()
                 break
 
-    def stop(self) -> None:
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop accepting; optionally wait for in-flight sessions.
+
+        With ``drain`` (default) the call blocks until every admitted
+        session has finished or ``timeout`` elapses; whatever is left is
+        then force-closed so the caller never hangs on a wedged client.
+        """
         self._stopping = True
         try:
             self._listener.close()
         except OSError:  # pragma: no cover - platform dependent
             pass
+        if drain:
+            deadline = time.monotonic() + timeout
+            with self._drained:
+                while self._active:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._drained.wait(remaining):
+                        break
+        with self._state_lock:
+            leftovers = [transport for _, transport in self._active.values()]
+            leftovers.extend(self._pending.values())
+        for transport in leftovers:
+            transport.close()
 
     # ------------------------------------------------------------------
-    def _serve_connection(self, transport: Transport) -> None:
-        link = transport.recv_obj("link")
-        if link.get("bandwidth_bytes_per_s"):
-            transport.shaper = LinkShaper(
-                link["bandwidth_bytes_per_s"], link.get("rtt_s") or 0.0
-            )
-        transport.send_obj(
-            {
-                "protocol": PROTOCOL_VERSION,
-                "model": self.model.name,
-                "boundary": self.boundary,
-                "manifest": program_manifest(self.program),
-            },
-            "hello",
-        )
-        while True:
-            request = transport.recv_obj("req")
-            command = request.get("cmd")
-            if command == "bye":
-                break
-            if command != "infer":
-                raise TransportError(f"unknown request: {request!r}")
-            self._serve_inference(transport, int(request["batch"]))
-            self.requests_served += 1
+    def _admit(self, session_key: int | str | None, transport: Transport):
+        """Register a session; returns ``(stats, rejection_reason)``.
 
-    def _serve_inference(self, transport: Transport, batch: int) -> None:
+        Rejects at capacity — and rejects a *named* key that is already
+        active: two live connections drawing from one seeded pool would
+        interleave its material stream and silently void the per-session
+        determinism guarantee. (Anonymous sessions opt out of that
+        guarantee and may share freely.)
+        """
+        with self._state_lock:
+            if len(self._active) >= self.max_sessions:
+                return None, "capacity"
+            if session_key is not None and any(
+                stats.session == session_key for stats, _ in self._active.values()
+            ):
+                return None, "session-key-in-use"
+            stats = SessionStats(
+                session_id=self._next_session_id, session=session_key
+            )
+            self._next_session_id += 1
+            self._active[stats.session_id] = (stats, transport)
+            # Promoted out of the handshake set: stop() must drain this
+            # session, not force-close it as a stalled handshake.
+            self._pending.pop(id(transport), None)
+        return stats, None
+
+    def _retire(self, stats: SessionStats, transport: Transport) -> None:
+        stats.active = False
+        stats.wire = transport.stats.as_dict()
+        with self._drained:
+            self._active.pop(stats.session_id, None)
+            self._finished.append(stats)
+            if stats.handshake_ok and stats.error is None:
+                self.connections_served += 1
+            else:
+                self.connections_failed += 1
+            self._drained.notify_all()
+
+    def _session_worker(self, transport: Transport) -> None:
+        """Serve one connection start to finish; exceptions stay here.
+
+        Any per-connection failure — a vanished peer, a malformed
+        request, a reshape error from a lying ``batch`` field — is
+        recorded on the session and the connection closed; the accept
+        loop and every other session keep running.
+        """
+        stats: SessionStats | None = None
+        rejected = False
+        with self._state_lock:
+            overloaded = len(self._pending) >= self._max_pending
+            if not overloaded:
+                self._pending[id(transport)] = transport
+        if overloaded:
+            # A connection flood that outpaces handshakes: drop outright
+            # rather than parking yet another thread on a silent socket.
+            with self._state_lock:
+                self.connections_rejected += 1
+            transport.close()
+            return
+        try:
+            # The handshake gets a short deadline of its own: a client
+            # that connects and never speaks ties up this thread for
+            # seconds, not the full (120 s) protocol timeout.
+            protocol_timeout = transport.timeout
+            transport.timeout = self.handshake_timeout
+            link = transport.recv_obj("link")
+            transport.timeout = protocol_timeout
+            if link.get("bandwidth_bytes_per_s"):
+                transport.shaper = LinkShaper(
+                    link["bandwidth_bytes_per_s"], link.get("rtt_s") or 0.0
+                )
+            session_key = link.get("session")
+            stats, rejection = self._admit(session_key, transport)
+            if stats is None:
+                rejected = True
+                with self._state_lock:
+                    self.connections_rejected += 1
+                    active = len(self._active)
+                transport.send_obj(
+                    {
+                        "protocol": PROTOCOL_VERSION,
+                        "busy": True,
+                        "reason": rejection,
+                        "active_sessions": active,
+                        "max_sessions": self.max_sessions,
+                    },
+                    "hello",
+                )
+                return
+            with self._worker_slots:
+                transport.send_obj(
+                    {
+                        "protocol": PROTOCOL_VERSION,
+                        "model": self.model.name,
+                        "boundary": self.boundary,
+                        "session": stats.session_id,
+                        "manifest": program_manifest(self.program),
+                    },
+                    "hello",
+                )
+                stats.handshake_ok = True
+                while True:
+                    request = transport.recv_obj("req")
+                    command = request.get("cmd")
+                    if command == "bye":
+                        break
+                    if command != "infer":
+                        raise TransportError(f"unknown request: {request!r}")
+                    self._serve_inference(transport, int(request["batch"]), stats)
+                    with self._state_lock:
+                        self.requests_served += 1
+        except Exception as exc:
+            # Contain the blast radius: this connection dies, the server
+            # lives. TransportError covers vanished/out-of-lockstep
+            # peers; anything else is a malformed request (bad batch,
+            # reshape failure, ...) or an internal bug worth surfacing
+            # in the metrics rather than in a dead accept loop.
+            if stats is not None:
+                stats.error = f"{type(exc).__name__}: {exc}"
+            elif not rejected:  # a rejection already counted itself
+                with self._state_lock:
+                    self.connections_failed += 1
+        finally:
+            transport.close()
+            with self._state_lock:
+                self._pending.pop(id(transport), None)
+            if stats is not None:
+                self._retire(stats, transport)
+
+    def _serve_inference(
+        self, transport: Transport, batch: int, stats: SessionStats
+    ) -> None:
         # Offline: draw a bundle, keep our half, ship the client's half.
         offline_start = time.perf_counter()
-        pool = self.pool(batch)
+        pool = self.pool(batch, session=stats.session)
         bundle = pool.acquire_bundle()
         transport.send_blob(pack_party_bundle(split_bundle(bundle, 0)), "bundle")
         material = PartyMaterialStream(split_bundle(bundle, 1))
@@ -207,17 +487,64 @@ class RemoteServer:
                 nn.Tensor(server_view), self.boundary
             ).data
         online_s = time.perf_counter() - online_start
+        stats.requests += 1
+        stats.online_s += online_s
+        stats.offline_s += offline_s
 
         transport.send_tensor(np.asarray(logits, dtype=np.float32), "logits")
         transport.send_obj(
             {
                 "online_s": online_s,
                 "offline_s": offline_s,
+                "session": stats.session_id,
                 "pool": pool.stats.as_dict(),
                 "traffic": _snapshot_dict(transport.diff(before)),
             },
             "metrics",
         )
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """One thread-safe snapshot: global counters, per-session stats,
+        aggregated :class:`~repro.mpc.transport.WireStats` and per-pool
+        offline counters."""
+        with self._state_lock:
+            active = [
+                (stats.as_dict(), transport.stats.as_dict())
+                for stats, transport in self._active.values()
+            ]
+            finished = [stats.as_dict() for stats in self._finished]
+            counters = {
+                "connections_served": self.connections_served,
+                "connections_failed": self.connections_failed,
+                "connections_rejected": self.connections_rejected,
+                "requests_served": self.requests_served,
+                "active_sessions": len(self._active),
+                "workers": self.workers,
+                "max_sessions": self.max_sessions,
+            }
+        sessions = []
+        wire_total = WireStats()
+        for stats_dict, live_wire in active:
+            stats_dict["wire"] = live_wire
+            sessions.append(stats_dict)
+            wire_total.accumulate(WireStats(**live_wire))
+        for stats_dict in finished:
+            sessions.append(stats_dict)
+            if stats_dict["wire"]:
+                wire_total.accumulate(WireStats(**stats_dict["wire"]))
+        sessions.sort(key=lambda entry: entry["session_id"])
+        with self._pools_lock:
+            pools = {
+                f"session={session!r}/batch={batch}": pool.stats.as_dict()
+                for (session, batch), pool in self._pools.items()
+            }
+        return {
+            **counters,
+            "sessions": sessions,
+            "wire": wire_total.as_dict(),
+            "pools": pools,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -245,7 +572,15 @@ class RemoteReply:
 
 
 class RemoteClient:
-    """The client party: owns the input and the noise, never the weights."""
+    """The client party: owns the input and the noise, never the weights.
+
+    ``session`` names this client's session on the server: the server
+    derives the session's dealer seed from it, so re-running the same
+    ``(session, seed)`` pair reproduces the logits byte for byte even if
+    the original run shared the server with other clients. ``None``
+    keeps the legacy anonymous behaviour (base-seeded shared pools).
+    Raises :class:`ServerBusy` when the server is at ``max_sessions``.
+    """
 
     def __init__(
         self,
@@ -255,7 +590,9 @@ class RemoteClient:
         seed: int = 0,
         network: NetworkModel | None = None,
         timeout: float | None = 120.0,
+        session: int | str | None = None,
     ):
+        self.session = session
         self.transport = PeerChannel.connect(
             host,
             port,
@@ -268,6 +605,7 @@ class RemoteClient:
                 if network
                 else None,
                 "rtt_s": network.rtt_s if network else None,
+                "session": session,
             },
             "link",
         )
@@ -277,8 +615,21 @@ class RemoteClient:
                 f"protocol mismatch: server speaks {hello.get('protocol')}, "
                 f"client speaks {PROTOCOL_VERSION}"
             )
+        if hello.get("busy"):
+            self.transport.close()
+            if hello.get("reason") == "session-key-in-use":
+                raise ServerBusy(
+                    f"session key {session!r} is already active on the "
+                    "server; concurrent connections must use distinct keys"
+                )
+            raise ServerBusy(
+                "server is at capacity "
+                f"({hello.get('active_sessions')}/{hello.get('max_sessions')} "
+                "sessions); retry later"
+            )
         self.server_model = hello["model"]
         self.boundary = hello["boundary"]
+        self.server_session_id = hello.get("session")
         self.manifest = hello["manifest"]
         self.engine = PartyEngine.from_manifest(self.manifest, share_seed=seed + 1)
         self.config = self.engine.config
@@ -354,8 +705,6 @@ def benchmark_networked(
       :meth:`NetworkModel.latency` prediction fed the *same run's*
       directional traffic, rounds and loopback compute time.
     """
-    import threading
-
     images = np.asarray(images, dtype=np.float32)
     if images.ndim == 3:
         images = images[None]
@@ -418,6 +767,188 @@ def benchmark_networked(
 
 
 # ----------------------------------------------------------------------
+# concurrent multi-session benchmark
+# ----------------------------------------------------------------------
+def benchmark_concurrent(
+    model: LayeredModel,
+    boundary: float,
+    images: np.ndarray,
+    clients: int = 4,
+    max_batch: int = 4,
+    noise_magnitude: float = 0.1,
+    seed: int = 0,
+    workers: int | None = None,
+    network: NetworkModel | None = None,
+) -> dict:
+    """Measure multi-session throughput scaling — with determinism pinned.
+
+    Every client ``c`` runs the identical workload (``images`` coalesced
+    into ``max_batch`` requests) as session ``c`` with client seed
+    ``seed + c``, twice against identically-seeded servers:
+
+    1. **serial** — sessions run one after another, one connection at a
+       time: the single-client baseline, repeated ``clients`` times;
+    2. **concurrent** — all sessions at once against one server with
+       ``workers`` session workers.
+
+    Both passes warm every session's preprocessing pools *before* the
+    timed window (the warm seconds are reported separately as
+    ``offline_warm_s``), so the measurement is online serving
+    throughput — the amortised quantity C2PI's offline/online split
+    optimises for. Warming draws the identical dealer stream the
+    miss-path would have drawn, so it changes no bytes.
+
+    ``network`` shapes every connection (token-bucket bandwidth +
+    injected RTT, each session on its own emulated link). This is where
+    concurrency pays even on one core: a serial accept loop leaves the
+    server idle for every round-trip of the one client it is stuck on,
+    while concurrent sessions overlap their network waits (and, on
+    multi-core hosts, their numpy compute).
+
+    The report carries wall-clock and requests/s for both passes, the
+    speedup, and two correctness pins: every reply's measured socket
+    payload equals its protocol accounting (``bytes_match``), and every
+    session's logits under contention are **byte-identical** to its
+    serial run (``logits_match_serial``) — the per-session dealer-seed
+    derivation at work. This is ``c2pi serve-bench --networked
+    --clients N``.
+    """
+    if clients < 1:
+        raise ValueError("clients must be positive")
+    images = np.asarray(images, dtype=np.float32)
+    if images.ndim == 3:
+        images = images[None]
+    groups = [
+        images[start : start + max_batch]
+        for start in range(0, images.shape[0], max_batch)
+    ]
+    workers = clients if workers is None else workers
+    program = compile_program(model, boundary, DEFAULT_CONFIG)
+
+    def run_session(port: int, session: int) -> list[RemoteReply]:
+        client = RemoteClient(
+            "127.0.0.1",
+            port,
+            noise_magnitude=noise_magnitude,
+            seed=seed + session,
+            session=session,
+            network=network,
+        )
+        replies = [client.infer(group) for group in groups]
+        client.close()
+        return replies
+
+    # Per-session pool demand: warmed before the timed window in both
+    # passes, so the measurement is *online* serving throughput (the
+    # offline phase is the amortised cost the paper's split pays ahead
+    # of time). Warming upfront draws the identical dealer stream the
+    # miss-path would have drawn, so logits are unchanged.
+    group_sizes: dict[int, int] = {}
+    for group in groups:
+        size = int(group.shape[0])
+        group_sizes[size] = group_sizes.get(size, 0) + 1
+
+    def run_pass(concurrent: bool):
+        server = RemoteServer(
+            model,
+            boundary,
+            seed=seed,
+            program=program,
+            workers=workers,
+            max_sessions=max(clients, workers),
+        )
+        accept_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        accept_thread.start()
+        replies: dict[int, list[RemoteReply]] = {}
+        try:
+            offline_start = time.perf_counter()
+            for session in range(clients):
+                for size, count in group_sizes.items():
+                    server.warm(size, bundles=count, session=session)
+            offline_s = time.perf_counter() - offline_start
+            start = time.perf_counter()
+            if concurrent:
+                def worker(session: int) -> None:
+                    replies[session] = run_session(server.port, session)
+
+                threads = [
+                    threading.Thread(target=worker, args=(session,))
+                    for session in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            else:
+                for session in range(clients):
+                    replies[session] = run_session(server.port, session)
+            wall_s = time.perf_counter() - start
+        finally:
+            server.stop()
+            accept_thread.join(timeout=10.0)
+        return wall_s, offline_s, replies, server.metrics()
+
+    serial_s, serial_offline_s, serial_replies, _ = run_pass(concurrent=False)
+    concurrent_s, concurrent_offline_s, concurrent_replies, server_metrics = run_pass(
+        concurrent=True
+    )
+
+    # "Requests" are protocol requests (infer round-trips, matching the
+    # server's `requests_served`); each coalesces up to max_batch images.
+    requests_per_client = len(groups)
+    images_per_client = int(images.shape[0])
+    total_requests = clients * requests_per_client
+    total_images = clients * images_per_client
+    logits_match = all(
+        a.logits.tobytes() == b.logits.tobytes()
+        for session in range(clients)
+        for a, b in zip(serial_replies[session], concurrent_replies[session])
+    )
+    bytes_match = all(
+        reply.bytes_match
+        for replies in concurrent_replies.values()
+        for reply in replies
+    )
+    per_session = [
+        {
+            "session": session,
+            "requests": requests_per_client,
+            "images": images_per_client,
+            "online_s": sum(r.online_s for r in concurrent_replies[session]),
+            "predictions": [
+                int(p) for r in concurrent_replies[session] for p in r.prediction
+            ],
+        }
+        for session in range(clients)
+    ]
+
+    def pace(wall_s: float) -> dict:
+        return {
+            "wall_s": wall_s,
+            "throughput_rps": total_requests / wall_s if wall_s else 0.0,
+            "inferences_per_s": total_images / wall_s if wall_s else 0.0,
+        }
+
+    return {
+        "clients": clients,
+        "workers": workers,
+        "max_batch": max_batch,
+        "network": network.name if network else "loopback",
+        "requests_per_client": requests_per_client,
+        "images_per_client": images_per_client,
+        "total_requests": total_requests,
+        "total_images": total_images,
+        "serial": {**pace(serial_s), "offline_warm_s": serial_offline_s},
+        "concurrent": {**pace(concurrent_s), "offline_warm_s": concurrent_offline_s},
+        "speedup": serial_s / concurrent_s if concurrent_s else float("inf"),
+        "bytes_match": bytes_match,
+        "logits_match_serial": logits_match,
+        "per_session": per_session,
+        "server": server_metrics,
+    }
+
+
+# ----------------------------------------------------------------------
 # deterministic demonstration server (two-process tests, CI smoke)
 # ----------------------------------------------------------------------
 def _demo_victim(arch: str, width: float, rng_seed: int) -> LayeredModel:
@@ -453,11 +984,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument("--once", action="store_true",
                         help="serve a single connection, then exit")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="concurrent session workers")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        help="admission bound (default: --workers)")
     args = parser.parse_args(argv)
 
     model = _demo_victim(args.arch, args.width, args.model_seed)
     server = RemoteServer(
-        model, args.boundary, seed=args.seed, host=args.host, port=args.port
+        model, args.boundary, seed=args.seed, host=args.host, port=args.port,
+        workers=args.workers, max_sessions=args.max_sessions,
     )
     print(f"listening on {server.host}:{server.port}", flush=True)
     server.serve_forever(once=args.once)

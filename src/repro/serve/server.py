@@ -22,6 +22,7 @@ inline) and is what ``c2pi serve-bench`` reports.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -126,6 +127,10 @@ class C2PIServer:
         self.metrics = ServerMetrics()
         self._queue: deque[InferenceRequest] = deque()
         self._next_id = 0
+        # Concurrent submitters (e.g. a request thread feeding a serving
+        # loop) only contend on the queue and the counters; the secure
+        # execution itself stays single-engine.
+        self._queue_lock = threading.Lock()
         if warm_bundles:
             self.warm(warm_bundles)
 
@@ -149,24 +154,27 @@ class C2PIServer:
             raise ValueError(
                 f"expected image of shape {self.program.input_shape}, got {image.shape}"
             )
-        request = InferenceRequest(
-            request_id=self._next_id, image=image, enqueued_s=time.perf_counter()
-        )
-        self._next_id += 1
-        self._queue.append(request)
+        with self._queue_lock:
+            request = InferenceRequest(
+                request_id=self._next_id, image=image, enqueued_s=time.perf_counter()
+            )
+            self._next_id += 1
+            self._queue.append(request)
         return request.request_id
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        with self._queue_lock:
+            return len(self._queue)
 
     # ------------------------------------------------------------------
     def step(self) -> list[InferenceReply]:
         """Coalesce up to ``max_batch`` queued requests into one secure run."""
-        if not self._queue:
-            return []
-        take = min(self.max_batch, len(self._queue))
-        requests = [self._queue.popleft() for _ in range(take)]
+        with self._queue_lock:
+            if not self._queue:
+                return []
+            take = min(self.max_batch, len(self._queue))
+            requests = [self._queue.popleft() for _ in range(take)]
         images = np.stack([r.image for r in requests])
         # Queue wait ends here: whatever follows (pool creation, a
         # cold-pool miss generating a bundle inside infer) is offline
@@ -207,7 +215,7 @@ class C2PIServer:
     def drain(self) -> list[InferenceReply]:
         """Serve everything queued; returns replies in completion order."""
         replies: list[InferenceReply] = []
-        while self._queue:
+        while self.pending:
             replies.extend(self.step())
         return replies
 
@@ -254,6 +262,8 @@ def benchmark_serving(
     seed: int = 0,
     networked: bool = False,
     networks: tuple = (),
+    clients: int = 0,
+    clients_network=None,
 ) -> dict:
     """Measure batched warm-pool serving against the seed behaviour.
 
@@ -269,6 +279,13 @@ def benchmark_serving(
     and, for each :class:`~repro.mpc.network.NetworkModel` in
     ``networks``, under token-bucket LAN/WAN shaping — reporting measured
     wall-clock next to the cost model's prediction for the same run.
+
+    With ``clients > 0`` the networked report additionally carries a
+    ``concurrent`` section (:func:`repro.serve.remote.benchmark_concurrent`):
+    ``clients`` sessions served at once by one multi-worker
+    :class:`~repro.serve.remote.RemoteServer` over ``clients_network``-shaped
+    connections, with throughput scaling vs the serialised run of the same
+    sessions and byte-identical per-session logits pinned.
     """
     images = np.asarray(images, dtype=np.float32)
     n = images.shape[0]
@@ -326,6 +343,19 @@ def benchmark_serving(
             int(baseline_results[i].prediction[0]) == prediction
             for i, prediction in enumerate(networked_report["loopback"]["predictions"])
         )
+        if clients:
+            from .remote import benchmark_concurrent
+
+            networked_report["concurrent"] = benchmark_concurrent(
+                model,
+                boundary,
+                images,
+                clients=clients,
+                max_batch=max_batch,
+                noise_magnitude=noise_magnitude,
+                seed=seed,
+                network=clients_network,
+            )
     return {
         "model": model.name,
         "boundary": boundary,

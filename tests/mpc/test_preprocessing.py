@@ -215,3 +215,45 @@ class TestConcurrentAcquire:
         replay = pool.acquire()
         assert replay.remaining > 0
         assert pool.stats.misses == 0
+
+    def test_acquire_does_not_block_behind_slow_refill(self, program):
+        """Regression: generation must happen outside the pool lock.
+
+        ``refill`` used to hold the pool RLock for the whole dealer
+        generation, so a "background" ``refill_async`` blocked every
+        concurrent ``acquire()`` — and even ``available`` — for the full
+        generation time. With a ready bundle in the deque, both must
+        complete while a deliberately slow refill is still in flight.
+        """
+        import threading
+        import time
+
+        pool = PreprocessingPool(program, batch=1)
+        pool.refill(1)  # the bundle a concurrent acquirer should get
+
+        generation_entered = threading.Event()
+        release_generation = threading.Event()
+        original = pool._generate
+
+        def slow_generate(trace):
+            generation_entered.set()
+            assert release_generation.wait(timeout=30.0)
+            return original(trace)
+
+        pool._generate = slow_generate
+        try:
+            refill_thread = pool.refill_async(1)
+            assert generation_entered.wait(timeout=30.0)
+            # The refill worker is parked inside generation. The ready
+            # bundle and the counters must stay reachable.
+            start = time.perf_counter()
+            assert pool.available == 1
+            replay = pool.acquire()
+            elapsed = time.perf_counter() - start
+            assert replay.remaining > 0
+            assert elapsed < 5.0  # not serialized behind the refill
+        finally:
+            release_generation.set()
+            refill_thread.join(timeout=30.0)
+        assert pool.stats.bundles_generated == 2
+        assert pool.stats.misses == 0

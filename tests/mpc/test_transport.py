@@ -210,6 +210,61 @@ class TestLinkShaper:
         server.pull("rt")
         assert time.perf_counter() - start >= 0.08  # one-way = rtt/2
 
+    @pytest.mark.parametrize("skew_s", [-3600.0, 3600.0])
+    def test_skewed_sender_timestamp_does_not_distort_delay(self, skew_s):
+        """Regression: the injected delay must come from the receiver's
+        arrival clock, not the sender's wall clock embedded in the frame.
+
+        A frame is hand-packed with a ``sent_at`` an hour off in either
+        direction; across two machines this is exactly what clock skew
+        looks like. The shaped receiver must still deliver after ~rtt/2 —
+        neither instantly (negative skew zeroing the latency) nor an hour
+        late (positive skew inflating it).
+        """
+        import socket
+        import struct
+
+        from repro.mpc.transport import _HEADER, _MAGIC, _VERSION, FRAME_RAW
+
+        listener = PeerChannel.listen()
+        port = listener.getsockname()[1]
+        accepted = {}
+
+        def server_side():
+            accepted["transport"] = PeerChannel.accept(
+                listener, shaper=LinkShaper(1e9, rtt_s=0.2)
+            )
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        raw = socket.create_connection(("127.0.0.1", port))
+        thread.join()
+        payload = b"skewed"
+        label = b"rt"
+        header = _HEADER.pack(
+            _MAGIC, _VERSION, FRAME_RAW, len(label), len(payload),
+            time.time() + skew_s,
+        )
+        raw.sendall(header + label + payload)
+        start = time.perf_counter()
+        assert accepted["transport"].pull("rt") == b"skewed"
+        elapsed = time.perf_counter() - start
+        assert 0.08 <= elapsed < 1.0  # ~rtt/2, regardless of sender clock
+        raw.close()
+        accepted["transport"].close()
+        listener.close()
+
+    def test_delay_clamped_to_one_way_latency(self):
+        shaper = LinkShaper(1e9, rtt_s=0.2)
+        # A bogus arrival stamp from the far future can inject at most
+        # rtt/2; one from the far past injects nothing.
+        start = time.perf_counter()
+        shaper.delay_delivery(time.monotonic() + 3600.0)
+        assert time.perf_counter() - start < 0.5
+        start = time.perf_counter()
+        shaper.delay_delivery(time.monotonic() - 3600.0)
+        assert time.perf_counter() - start < 0.05
+
     def test_for_network(self):
         network = NetworkModel("test", bandwidth_bytes_per_s=5e6, rtt_s=0.01)
         shaper = LinkShaper.for_network(network)
