@@ -19,6 +19,7 @@ any protocol suite — is reachable without writing Python:
     c2pi bench --check benchmarks/BENCH_protocols.json   # perf regression gate
     c2pi serve --listen 127.0.0.1:9123 --workers 4       # party 1 (server)
     c2pi client --connect 127.0.0.1:9123 --session alice # party 0 (client)
+    c2pi chaos-check                                     # fault-recovery audit
 
 ``serve``/``client`` run the two-process deployment: the compiled secure
 program executes between two real processes over a TCP socket, with
@@ -203,6 +204,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: --workers)",
     )
     serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=120.0,
+        help="read/write deadline (s) for every per-session socket op; a "
+        "stalled or vanished client is reaped after this long and its "
+        "unconsumed offline material returned to the pool",
+    )
+    serve.add_argument(
         "--untrained-width",
         type=float,
         default=None,
@@ -232,6 +241,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
         choices=("none", "lan", "wan"),
         help="tc-free link shaping (token-bucket bandwidth + injected RTT)",
+    )
+    client.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="per-request fault recovery: reconnect and replay a faulted "
+        "request under its idempotency key this many times",
+    )
+
+    chaos = sub.add_parser(
+        "chaos-check",
+        help="deterministic chaos self-check: scripted network faults "
+        "(drop/corrupt/partial/stall) against a live server, verifying "
+        "recovery, byte-identical retried logits and pool balance",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--request-timeout",
+        type=float,
+        default=0.5,
+        help="server-side per-op deadline during the check (small = fast)",
     )
     return parser
 
@@ -521,6 +551,7 @@ def _cmd_serve(args) -> int:
         port=port,
         workers=args.workers,
         max_sessions=args.max_sessions,
+        request_timeout=args.request_timeout,
     )
     if args.warm:
         server.warm(args.warm_batch, args.warm)
@@ -573,7 +604,7 @@ def _cmd_client(args) -> int:
     while served < args.requests:
         batch = min(args.batch, args.requests - served)
         images = rng.random((batch, *client.input_shape), dtype=np.float32)
-        reply = client.infer(images)
+        reply = client.infer(images, retries=args.retries)
         served += batch
         total_s += reply.online_s
         total_bytes += reply.traffic.total_bytes
@@ -595,6 +626,12 @@ def _cmd_client(args) -> int:
     return 0
 
 
+def _cmd_chaos_check(args) -> int:
+    from .serve.chaos_check import run_chaos_check
+
+    return 1 if run_chaos_check(args.seed, args.request_timeout) else 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "train": _cmd_train,
@@ -606,6 +643,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "client": _cmd_client,
+    "chaos-check": _cmd_chaos_check,
 }
 
 

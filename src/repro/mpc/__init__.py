@@ -49,6 +49,13 @@ from .costs import (
     relu_label_bytes,
     relu_offline_material_bytes,
 )
+from .chaos import (
+    ChaosController,
+    ChaosLink,
+    ChaosTrace,
+    FaultEvent,
+    FaultSpec,
+)
 from .dealer import TrustedDealer
 from .engine import (
     LayerTally,
@@ -136,6 +143,11 @@ __all__ = [
     "PeerChannel",
     "LinkShaper",
     "WireStats",
+    "ChaosController",
+    "ChaosLink",
+    "ChaosTrace",
+    "FaultEvent",
+    "FaultSpec",
     "BackendCostModel",
     "CostEstimate",
     "OpCost",

@@ -83,7 +83,7 @@ class TrafficSnapshot:
         return self.bytes_client_to_server + self.bytes_server_to_client
 
 
-@dataclass
+@dataclass(eq=False)
 class Channel:
     """Byte/round accounting between the client (party 0) and server (party 1).
 
@@ -93,6 +93,14 @@ class Channel:
     Every message's ``label`` feeds a per-label breakdown (``by_label``),
     so results and serving metrics can attribute traffic to protocol steps
     (``input-share``, ``masked-reveal``, ``beaver-open``, ...).
+
+    ``eq=False``: a channel (and every :class:`~repro.mpc.transport.Transport`
+    derived from it) is a stateful *identity* — two channels that happen to
+    hold equal counters are not the same link. Identity equality keeps the
+    default ``object.__hash__``, so transports can key registries and sets
+    directly; the dataclass default (value ``__eq__`` with ``__hash__``
+    silently set to ``None``) made every transport unhashable and forced
+    ``id()``-keyed bookkeeping on the serving layer.
     """
 
     bytes_client_to_server: int = 0

@@ -258,6 +258,22 @@ class PartyEngine:
         )
 
     # ------------------------------------------------------------------
+    def share_rng_state(self):
+        """Snapshot of the input-sharing rng (client retry support).
+
+        A faulted request that is retried must replay the *same* input
+        mask it drew the first time — a fresh draw would change both
+        shares and, through the local truncation's share-dependent
+        rounding, the logits. The remote client snapshots this state
+        before each request and restores it before a retry.
+        """
+        return self._share_rng.bit_generator.state
+
+    def restore_share_rng(self, state) -> None:
+        """Rewind the input-sharing rng to a :meth:`share_rng_state` snapshot."""
+        self._share_rng.bit_generator.state = state
+
+    # ------------------------------------------------------------------
     def run(
         self,
         io: Transport,

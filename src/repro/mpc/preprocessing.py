@@ -216,10 +216,21 @@ def material_plan(program: SecureProgram, batch: int) -> list[MaterialRequest]:
 
 @dataclass
 class PoolStats:
-    """Counters a pool keeps about its offline work."""
+    """Counters a pool keeps about its offline work.
+
+    ``bundles_consumed`` counts *acquisitions*; the fault-tolerant
+    serving layer resolves each acquisition as served, returned
+    (``restore()``: the request failed before any material left the
+    server, so the intact bundle went back to the front of the deque) or
+    poisoned (``poison()``: material partially revealed to a vanished
+    client — never resold). The balance invariant the chaos suite pins:
+    ``consumed - returned - poisoned == requests actually served``.
+    """
 
     bundles_generated: int = 0
     bundles_consumed: int = 0
+    bundles_returned: int = 0  # restored intact after a pre-ship failure
+    bundles_poisoned: int = 0  # half-consumed by a failed request, discarded
     refills: int = 0
     misses: int = 0  # acquire() found the pool empty
     offline_seconds: float = 0.0
@@ -229,6 +240,8 @@ class PoolStats:
         return {
             "bundles_generated": self.bundles_generated,
             "bundles_consumed": self.bundles_consumed,
+            "bundles_returned": self.bundles_returned,
+            "bundles_poisoned": self.bundles_poisoned,
             "refills": self.refills,
             "misses": self.misses,
             "offline_seconds": self.offline_seconds,
@@ -369,6 +382,32 @@ class PreprocessingPool:
         )
         thread.start()
         return thread
+
+    def restore(self, bundle: list[tuple[MaterialRequest, object]]) -> None:
+        """Return an acquired-but-unused bundle to the *front* of the pool.
+
+        Only safe while no byte of the bundle has left the server: the
+        fault-tolerant session teardown calls this when a request failed
+        after ``acquire_bundle()`` but before its client half shipped.
+        Front placement preserves the dealer-stream ordering that the
+        per-session byte-identity guarantee rests on — the next request
+        draws exactly the bundle the fault-free run would have drawn.
+        """
+        with self._lock:
+            self._bundles.appendleft(bundle)
+            self.stats.bundles_returned += 1
+            self._refill_done.notify_all()
+
+    def poison(self, count: int = 1) -> None:
+        """Record ``count`` acquired bundles as spent-but-unserved.
+
+        A bundle whose client half (even partially) reached a client that
+        then vanished is cryptographically burnt: reselling it would
+        correlate two executions. The serving layer discards the
+        material and accounts it here so pool books still balance.
+        """
+        with self._lock:
+            self.stats.bundles_poisoned += count
 
     def acquire(self) -> ReplayDealer:
         """Pop the oldest bundle as a :class:`ReplayDealer`.

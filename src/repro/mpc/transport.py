@@ -15,10 +15,19 @@ additionally **moves bytes** between the parties:
 
 Wire protocol (one *frame* per message)::
 
-    !4sBBHQd  header: magic b"C2PI" | version | kind | label length |
-              payload length | sender monotonic-free timestamp (time.time)
+    !4sBBHQdI header: magic b"C2PI" | version | kind | label length |
+              payload length | sender monotonic-free timestamp (time.time) |
+              CRC-32 of the payload
     label     UTF-8, for protocol-step attribution and lock-step checks
     payload   raw bytes
+
+The CRC travels so that a corrupted or torn frame is a **typed failure**
+(:class:`TransportError`) instead of silent garbage entering the ring:
+TCP's own checksum does not survive middleboxes, proxies or buggy
+framing code, and a single flipped byte in a share would otherwise
+surface only as wrong logits. :class:`PeerChannel` verifies it on every
+received frame; the in-memory :class:`QueueTransport` moves frames as
+objects and has nothing to checksum.
 
 Frame kinds separate **online protocol traffic** (``RAW``: ring tensors
 and packed bit vectors, whose payload sizes are exactly what
@@ -49,6 +58,7 @@ import socket
 import struct
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -72,9 +82,9 @@ __all__ = [
     "unpack_bits",
 ]
 
-_HEADER = struct.Struct("!4sBBHQd")
+_HEADER = struct.Struct("!4sBBHQdI")
 _MAGIC = b"C2PI"
-_VERSION = 1
+_VERSION = 2
 
 FRAME_RAW = 0  # online protocol payload (counted against Channel accounting)
 FRAME_JSON = 1  # control messages (handshake, requests, metrics)
@@ -128,6 +138,32 @@ def unpack_bits(payload: bytes, count: int, shape: tuple[int, ...]) -> np.ndarra
     """Inverse of :func:`pack_bits` for a known bit count and shape."""
     bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=count)
     return bits.reshape(shape)
+
+
+def _frame_crc(segments) -> int:
+    """CRC-32 of a payload given as one or more buffers."""
+    crc = 0
+    for segment in segments:
+        crc = zlib.crc32(segment, crc)
+    return crc
+
+
+def _encode_frame(kind: int, label: str, payload: bytes) -> bytes:
+    """One complete wire frame (header + label + payload) as bytes.
+
+    Used by the chaos layer (:mod:`repro.mpc.chaos`), which needs whole
+    frames it can corrupt or truncate *below* the checksum: the CRC is
+    computed over the original payload, so a tampered copy fails
+    verification at the receiver.
+    """
+    encoded = label.encode("utf-8")
+    if len(encoded) > 0xFFFF:
+        raise TransportError(f"label too long: {label!r}")
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, kind, len(encoded), len(payload), time.time(),
+        zlib.crc32(payload),
+    )
+    return header + encoded + payload
 
 
 # ----------------------------------------------------------------------
@@ -485,10 +521,34 @@ class PeerChannel(Transport):
         self._inbox: queue.Queue = queue.Queue()
         self._closed = threading.Event()
         self.timeout = timeout
+        # Write deadline: a peer that stops draining its socket must not
+        # park a sender in sendall() forever once the kernel buffer fills.
+        # SO_SNDTIMEO bounds sends only — the reader thread keeps its
+        # blocking recv (receive waits are bounded by the inbox timeout).
+        if timeout is not None:
+            self._set_write_deadline(timeout)
+        # Set once the read loop exits: the peer closed, vanished, or we
+        # closed. Lets callers (the chaos layer's stall fault, session
+        # reapers) wait for peer death without polling.
+        self.peer_gone = threading.Event()
         self._reader = threading.Thread(
             target=self._read_loop, name=f"c2pi-peer-reader-p{party}", daemon=True
         )
         self._reader.start()
+
+    def _set_write_deadline(self, seconds: float) -> None:
+        try:
+            self._sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_SNDTIMEO,
+                struct.pack("ll", int(seconds), int((seconds % 1.0) * 1e6)),
+            )
+        except (OSError, struct.error):  # pragma: no cover - platform dependent
+            pass
+
+    def wait_peer_gone(self, timeout: float | None = None) -> bool:
+        """Block until the peer side of the connection is gone."""
+        return self.peer_gone.wait(timeout)
 
     # -- connection helpers ---------------------------------------------
     @classmethod
@@ -555,7 +615,10 @@ class PeerChannel(Transport):
             raise TransportError(f"label too long: {label!r}")
         if self.shaper is not None:
             self.shaper.throttle_send(total)
-        header = _HEADER.pack(_MAGIC, _VERSION, kind, len(encoded), total, time.time())
+        header = _HEADER.pack(
+            _MAGIC, _VERSION, kind, len(encoded), total, time.time(),
+            _frame_crc(segments),
+        )
         with self._write_lock:
             try:
                 if total <= 65536:
@@ -588,14 +651,17 @@ class PeerChannel(Transport):
         return b"".join(chunks)
 
     def _read_loop(self) -> None:
+        mid_frame = False
         while not self._closed.is_set():
             header = self._read_exact(_HEADER.size)
             if header is None:
                 break
-            magic, version, kind, label_len, payload_len, sent_at = _HEADER.unpack(
-                header
+            mid_frame = True
+            magic, version, kind, label_len, payload_len, sent_at, crc = (
+                _HEADER.unpack(header)
             )
             if magic != _MAGIC or version != _VERSION:
+                mid_frame = False  # diagnosed: don't also report a torn stream
                 self._inbox.put(
                     TransportError(
                         f"bad frame header (magic={magic!r}, version={version})"
@@ -606,12 +672,33 @@ class PeerChannel(Transport):
             payload = self._read_exact(payload_len) if payload_len else b""
             if label_bytes is None or payload is None:
                 break
+            label = label_bytes.decode("utf-8", errors="replace")
+            if zlib.crc32(payload) != crc:
+                # A flipped byte anywhere in the payload: refuse the frame
+                # (and the connection — the stream's integrity is gone)
+                # instead of letting garbage enter the ring as a share.
+                mid_frame = False  # frame fully read; the CRC is the story
+                self._inbox.put(
+                    TransportError(
+                        f"frame checksum mismatch on {label!r} "
+                        f"({payload_len} bytes) — payload corrupted in transit"
+                    )
+                )
+                break
+            mid_frame = False
             # Stamp arrival on the *receiver's* monotonic clock: the
             # sender's wall-clock `sent_at` (still in the header for
             # diagnostics) is skewed by an unknown offset across real
             # processes/machines and must not feed the shaper delay.
             arrived_at = time.monotonic()
-            self._inbox.put((kind, label_bytes.decode("utf-8"), payload, arrived_at))
+            self._inbox.put((kind, label, payload, arrived_at))
+        if mid_frame and not self._closed.is_set():
+            # EOF inside a frame: the peer (or the network) tore the
+            # stream mid-message. Distinguish it from a clean close.
+            self._inbox.put(
+                TransportError("peer connection torn mid-frame (truncated stream)")
+            )
+        self.peer_gone.set()
         self._inbox.put(None)  # EOF sentinel
 
     def _recv_frame(self) -> tuple[int, str, bytes]:
@@ -631,6 +718,19 @@ class PeerChannel(Transport):
         self._count_received(kind, label, len(payload))
         return kind, label, payload
 
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes to the socket, bypassing framing.
+
+        The chaos layer uses this to put deliberately malformed frames
+        (bad checksum, truncated tail) on a real wire; nothing in the
+        serving stack calls it.
+        """
+        with self._write_lock:
+            try:
+                self._sock.sendall(data)
+            except OSError as exc:
+                raise TransportError(f"peer connection lost on send: {exc}") from exc
+
     def close(self) -> None:
         self._closed.set()
         try:
@@ -638,4 +738,5 @@ class PeerChannel(Transport):
         except OSError:
             pass
         self._sock.close()
+        self.peer_gone.set()
         self._reader.join(timeout=5.0)

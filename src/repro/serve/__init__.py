@@ -16,6 +16,7 @@ each session's dealer seed derived from its session key
 backpressure past ``max_sessions`` and graceful drain on ``stop()``.
 """
 
+from .chaos_check import run_chaos_check, tiny_victim
 from .remote import (
     RemoteClient,
     RemoteReply,
@@ -48,4 +49,6 @@ __all__ = [
     "derive_session_seed",
     "benchmark_networked",
     "benchmark_concurrent",
+    "run_chaos_check",
+    "tiny_victim",
 ]

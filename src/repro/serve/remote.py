@@ -34,6 +34,18 @@ other clients interleave (DESIGN.md section 8). Anonymous sessions (no
 ``session`` key) share the base-seeded pools, preserving the historical
 single-client byte-identity with the in-process pipeline.
 
+The server is also **fault-tolerant** (DESIGN.md section 9): every
+socket op is deadlined (``request_timeout``), every request carries an
+idempotency key, and a session killed by the network resolves its
+offline material on teardown — unshipped bundles return to their pool,
+half-shipped ones are retained for the retry or poisoned. A client's
+:meth:`RemoteClient.infer` with ``retries`` reconnects, rewinds its rng
+snapshots and replays the request; the server replays the retained
+bundle for that key, so the retried logits are byte-identical to the
+fault-free run. The chaos layer (:mod:`repro.mpc.chaos`) injects
+scripted network faults to prove all of this
+(``tests/serve/test_chaos.py``, ``c2pi chaos-check``).
+
 Measured socket traffic (``WireStats``) and protocol accounting
 (:class:`~repro.mpc.network.Channel` counters) travel back with every
 reply, so callers can verify the wire against the books and compare
@@ -53,6 +65,7 @@ and the networked CI smoke job use.
 from __future__ import annotations
 
 import hashlib
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
@@ -94,7 +107,7 @@ __all__ = [
     "main",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2  # v2: per-request idempotency keys + fault recovery
 
 
 class ServerBusy(TransportError):
@@ -162,6 +175,33 @@ class SessionStats:
         }
 
 
+@dataclass
+class _Inflight:
+    """One named session's most recent request and its dealer bundle.
+
+    The joint bundle is retained until the request is *known delivered*
+    (the next request key arrives, or the session says ``bye``): a retry
+    of the same idempotency key replays the identical material — which,
+    together with the client replaying its own rng draws, is what makes
+    retried logits byte-identical to the fault-free run. Resolution:
+
+    * superseded after completing → served normally (nothing to do);
+    * failed before the client half shipped → ``pool.restore()`` (the
+      intact bundle goes back; nothing left the server);
+    * failed after shipping, then abandoned (superseded / ``bye`` /
+      server stop without a retry) → ``pool.poison()`` (half-revealed
+      material is never resold).
+    """
+
+    session: int | str
+    request: int
+    batch: int
+    pool: PreprocessingPool
+    bundle: list
+    shipped: bool = False
+    completed: bool = False
+
+
 class RemoteServer:
     """Serve private inferences to remote clients over TCP, concurrently.
 
@@ -203,9 +243,12 @@ class RemoteServer:
         program: SecureProgram | None = None,
         workers: int = 4,
         max_sessions: int | None = None,
+        request_timeout: float = 120.0,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
+        if request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
         self.model = model
         self.boundary = boundary
         self.config = config
@@ -239,17 +282,28 @@ class RemoteServer:
         # that never speak (slow-loris) is bounded: beyond _max_pending
         # they are dropped outright, and each pending handshake gets only
         # `handshake_timeout` (not the full protocol timeout) to send its
-        # link message. Keyed by id(): Channel is a dataclass (value
-        # equality), so transports are unhashable.
-        self._pending: dict[int, Transport] = {}
+        # link message. Channel carries identity equality/hash (eq=False),
+        # so transports key the set directly.
+        self._pending: set[Transport] = set()
         self._max_pending = max(32, 4 * self.max_sessions)
         self.handshake_timeout = 10.0
+        # Read/write deadline applied to every accepted connection's
+        # protocol ops: no socket wait outlives it, so a vanished or
+        # stalled client can park a worker for at most this long before
+        # the session is reaped and its pool material resolved.
+        self.request_timeout = request_timeout
+        # Per named session: the latest request's retained bundle (see
+        # _Inflight). One entry per session key — the protocol is serial
+        # within a session, so only its newest request can be retried.
+        self._inflight: dict[int | str, _Inflight] = {}
         self._finished: list[SessionStats] = []
         self._next_session_id = 0
         self.connections_served = 0
         self.connections_failed = 0
         self.connections_rejected = 0
         self.requests_served = 0
+        self.requests_retried = 0
+        self.sessions_reaped = 0
 
     # ------------------------------------------------------------------
     def pool(
@@ -280,6 +334,22 @@ class RemoteServer:
         with self._state_lock:
             return len(self._active)
 
+    def wait_idle(self, timeout: float = 10.0) -> bool:
+        """Block until no session is active (event-driven, no polling).
+
+        A client's ``close()`` returns as soon as its ``bye`` is on the
+        wire — the server may still be retiring the session. Callers that
+        want quiesced metrics (tests, drain scripts) wait here on the
+        same condition ``stop()`` drains on.
+        """
+        deadline = time.monotonic() + timeout
+        with self._drained:
+            while self._active:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._drained.wait(remaining):
+                    return False
+        return True
+
     def serve_forever(self, once: bool = False) -> None:
         """Accept connections until :meth:`stop` (or one, with ``once``).
 
@@ -289,7 +359,9 @@ class RemoteServer:
         """
         while not self._stopping:
             try:
-                transport = PeerChannel.accept(self._listener)
+                transport = PeerChannel.accept(
+                    self._listener, timeout=self.request_timeout
+                )
             except OSError:
                 break  # listener closed by stop()
             worker = threading.Thread(
@@ -312,6 +384,14 @@ class RemoteServer:
         """
         self._stopping = True
         try:
+            # close() alone does not wake a thread blocked in accept()
+            # on Linux — the syscall keeps waiting on the orphaned fd and
+            # every stop/join pays the full join timeout. shutdown()
+            # interrupts the accept deterministically.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        try:
             self._listener.close()
         except OSError:  # pragma: no cover - platform dependent
             pass
@@ -324,9 +404,16 @@ class RemoteServer:
                         break
         with self._state_lock:
             leftovers = [transport for _, transport in self._active.values()]
-            leftovers.extend(self._pending.values())
+            leftovers.extend(self._pending)
+            stranded = list(self._inflight.values())
+            self._inflight.clear()
         for transport in leftovers:
             transport.close()
+        # No retry is coming once the server is down: resolve every
+        # retained bundle so pool accounting balances at shutdown.
+        for record in stranded:
+            if not record.completed:
+                record.pool.poison()
 
     # ------------------------------------------------------------------
     def _admit(self, session_key: int | str | None, transport: Transport):
@@ -352,7 +439,7 @@ class RemoteServer:
             self._active[stats.session_id] = (stats, transport)
             # Promoted out of the handshake set: stop() must drain this
             # session, not force-close it as a stalled handshake.
-            self._pending.pop(id(transport), None)
+            self._pending.discard(transport)
         return stats, None
 
     def _retire(self, stats: SessionStats, transport: Transport) -> None:
@@ -380,7 +467,7 @@ class RemoteServer:
         with self._state_lock:
             overloaded = len(self._pending) >= self._max_pending
             if not overloaded:
-                self._pending[id(transport)] = transport
+                self._pending.add(transport)
         if overloaded:
             # A connection flood that outpaces handshakes: drop outright
             # rather than parking yet another thread on a silent socket.
@@ -434,10 +521,11 @@ class RemoteServer:
                     request = transport.recv_obj("req")
                     command = request.get("cmd")
                     if command == "bye":
+                        self._resolve_inflight(stats.session, final=True)
                         break
                     if command != "infer":
                         raise TransportError(f"unknown request: {request!r}")
-                    self._serve_inference(transport, int(request["batch"]), stats)
+                    self._serve_inference(transport, request, stats)
                     with self._state_lock:
                         self.requests_served += 1
         except Exception as exc:
@@ -448,27 +536,145 @@ class RemoteServer:
             # in the metrics rather than in a dead accept loop.
             if stats is not None:
                 stats.error = f"{type(exc).__name__}: {exc}"
+                self._reap(stats)
             elif not rejected:  # a rejection already counted itself
                 with self._state_lock:
                     self.connections_failed += 1
         finally:
             transport.close()
             with self._state_lock:
-                self._pending.pop(id(transport), None)
+                self._pending.discard(transport)
             if stats is not None:
                 self._retire(stats, transport)
 
+    def _reap(self, stats: SessionStats) -> None:
+        """A session died mid-protocol: resolve its offline material.
+
+        A bundle acquired but never (even partially) shipped goes back to
+        the front of its pool, intact. A shipped-but-uncompleted bundle
+        stays cached for the session's retry — the reconnecting client
+        replays the request under the same idempotency key and receives
+        the identical material (it is poisoned only if the retry never
+        comes). Anonymous sessions have no retry identity; their failed
+        bundles were already resolved inside ``_serve_inference``.
+        """
+        with self._state_lock:
+            self.sessions_reaped += 1
+            record = self._inflight.get(stats.session)
+            restore = (
+                record is not None and not record.shipped and not record.completed
+            )
+            if restore:
+                self._inflight.pop(stats.session, None)
+        if restore:
+            record.pool.restore(record.bundle)
+
+    def _resolve_inflight(self, session: int | str | None, final: bool = False,
+                          keep: int | None = None) -> None:
+        """Drop a session's retained bundle once no retry can want it.
+
+        ``keep`` preserves the record with that request key (the one a
+        new request is about to retry); ``final`` (``bye`` or shutdown)
+        drops unconditionally. An uncompleted record resolved here was
+        half-shipped to a client that moved on: poison it.
+        """
+        if session is None:
+            return
+        with self._state_lock:
+            record = self._inflight.get(session)
+            if record is None or (keep is not None and record.request == keep):
+                return
+            if not final and keep is None:
+                return
+            self._inflight.pop(session, None)
+        if not record.completed:
+            record.pool.poison()
+
+    def _acquire_for_request(
+        self, request: dict, batch: int, stats: SessionStats
+    ) -> tuple[list, _Inflight | None]:
+        """The request's dealer bundle — replayed on a retry, fresh otherwise.
+
+        A *named* session sending an idempotency key gets its bundle
+        retained (see :class:`_Inflight`): a retried key replays the
+        identical material, a new key supersedes (and resolves) the old
+        record. Anonymous or keyless requests draw fresh material with no
+        retry identity.
+        """
+        key = request.get("request")
+        if stats.session is None or key is None:
+            return self.pool(batch, session=stats.session).acquire_bundle(), None
+        key = int(key)
+        with self._state_lock:
+            record = self._inflight.get(stats.session)
+            retried = record is not None and record.request == key
+            if retried and record.batch != batch:
+                raise TransportError(
+                    f"retried request {key} changed batch "
+                    f"{record.batch} -> {batch}; a retry must replay the "
+                    "original request verbatim"
+                )
+            if retried:
+                self.requests_retried += 1
+        if retried:
+            return record.bundle, record
+        # A new key makes the previous record unreachable: resolve it.
+        self._resolve_inflight(stats.session, keep=key, final=True)
+        pool = self.pool(batch, session=stats.session)
+        bundle = pool.acquire_bundle()
+        record = _Inflight(
+            session=stats.session, request=key, batch=batch, pool=pool,
+            bundle=bundle,
+        )
+        with self._state_lock:
+            self._inflight[stats.session] = record
+        return bundle, record
+
     def _serve_inference(
-        self, transport: Transport, batch: int, stats: SessionStats
+        self, transport: Transport, request: dict, stats: SessionStats
     ) -> None:
+        batch = int(request["batch"])
         # Offline: draw a bundle, keep our half, ship the client's half.
         offline_start = time.perf_counter()
         pool = self.pool(batch, session=stats.session)
-        bundle = pool.acquire_bundle()
-        transport.send_blob(pack_party_bundle(split_bundle(bundle, 0)), "bundle")
-        material = PartyMaterialStream(split_bundle(bundle, 1))
-        offline_s = time.perf_counter() - offline_start
+        bundle, record = self._acquire_for_request(request, batch, stats)
+        shipped = False
+        try:
+            # Serialize before flagging: np.savez materialises the whole
+            # multi-MB blob — the one fallible step before any byte can
+            # leave the server, and the window in which a failed bundle
+            # is still restorable. Once send_blob is attempted, a partial
+            # write is indistinguishable from none: shipped means "maybe".
+            blob = pack_party_bundle(split_bundle(bundle, 0))
+            shipped = True
+            if record is not None:
+                record.shipped = True
+            transport.send_blob(blob, "bundle")
+            material = PartyMaterialStream(split_bundle(bundle, 1))
+            offline_s = time.perf_counter() - offline_start
+            self._run_request(
+                transport, batch, stats, pool, material, offline_s
+            )
+            if record is not None:
+                record.completed = True
+        except Exception:
+            if record is None:
+                # No retry identity: resolve the bundle here and now.
+                if shipped:
+                    pool.poison()
+                else:
+                    pool.restore(bundle)
+            raise
 
+    def _run_request(
+        self,
+        transport: Transport,
+        batch: int,
+        stats: SessionStats,
+        pool: PreprocessingPool,
+        material: PartyMaterialStream,
+        offline_s: float,
+    ) -> None:
         # Online: our half of the protocol, then reveal + clear phase.
         before = transport.snapshot()
         online_start = time.perf_counter()
@@ -519,6 +725,9 @@ class RemoteServer:
                 "connections_failed": self.connections_failed,
                 "connections_rejected": self.connections_rejected,
                 "requests_served": self.requests_served,
+                "requests_retried": self.requests_retried,
+                "sessions_reaped": self.sessions_reaped,
+                "inflight_bundles": len(self._inflight),
                 "active_sessions": len(self._active),
                 "workers": self.workers,
                 "max_sessions": self.max_sessions,
@@ -541,6 +750,8 @@ class RemoteServer:
             }
         return {
             **counters,
+            "bundles_poisoned": sum(p["bundles_poisoned"] for p in pools.values()),
+            "bundles_returned": sum(p["bundles_returned"] for p in pools.values()),
             "sessions": sessions,
             "wire": wire_total.as_dict(),
             "pools": pools,
@@ -580,6 +791,18 @@ class RemoteClient:
     the original run shared the server with other clients. ``None``
     keeps the legacy anonymous behaviour (base-seeded shared pools).
     Raises :class:`ServerBusy` when the server is at ``max_sessions``.
+
+    Fault tolerance: every request carries an idempotency key, and
+    :meth:`infer` accepts ``retries`` — on a transport failure the client
+    reconnects (backing off through transient :class:`ServerBusy` while
+    the server reaps the dead session), rewinds its share/noise rngs to
+    the request's snapshot, and replays the request under the same key.
+    The server replays the same dealer bundle for that key, so a retried
+    request on a *named* session returns logits byte-identical to the
+    fault-free run. ``connect_retries`` applies the same recovery to the
+    initial handshake; ``transport_wrapper`` (applied to every fresh
+    connection) is the chaos-testing hook
+    (:meth:`repro.mpc.chaos.ChaosController.wrap`).
     """
 
     def __init__(
@@ -591,35 +814,78 @@ class RemoteClient:
         network: NetworkModel | None = None,
         timeout: float | None = 120.0,
         session: int | str | None = None,
+        transport_wrapper=None,
+        connect_retries: int = 0,
+        reconnect_timeout: float = 10.0,
+        busy_backoff_s: float = 0.05,
+        wait_for_slot: bool = False,
     ):
         self.session = session
-        self.transport = PeerChannel.connect(
-            host,
-            port,
-            shaper=LinkShaper.for_network(network) if network else None,
-            timeout=timeout,
+        self.host = host
+        self.port = port
+        self._network = network
+        self._timeout = timeout
+        self._wrapper = transport_wrapper
+        self._seed = seed
+        self.reconnect_timeout = reconnect_timeout
+        self.busy_backoff_s = busy_backoff_s
+        self.noise = NoiseMechanism(noise_magnitude, seed=seed)
+        self.engine: PartyEngine | None = None
+        self.transport: Transport | None = None
+        self.requests_retried = 0
+        self._next_request = 0
+        if wait_for_slot:
+            # Patient mode: back off through busy replies (and transient
+            # faults) for up to reconnect_timeout instead of surfacing
+            # the first ServerBusy.
+            self._reconnect()
+            return
+        for attempt in range(connect_retries + 1):
+            try:
+                self._handshake()
+                break
+            except ServerBusy:
+                raise  # an explicit busy reply is not a fault; surface it
+            except TransportError:
+                if attempt == connect_retries:
+                    raise
+
+    def _handshake(self) -> None:
+        """(Re)connect and run the hello exchange; keeps the engine."""
+        transport = PeerChannel.connect(
+            self.host,
+            self.port,
+            shaper=LinkShaper.for_network(self._network) if self._network else None,
+            timeout=self._timeout,
         )
-        self.transport.send_obj(
-            {
-                "bandwidth_bytes_per_s": network.bandwidth_bytes_per_s
-                if network
-                else None,
-                "rtt_s": network.rtt_s if network else None,
-                "session": session,
-            },
-            "link",
-        )
-        hello = self.transport.recv_obj("hello")
+        if self._wrapper is not None:
+            transport = self._wrapper(transport)
+        try:
+            transport.send_obj(
+                {
+                    "bandwidth_bytes_per_s": self._network.bandwidth_bytes_per_s
+                    if self._network
+                    else None,
+                    "rtt_s": self._network.rtt_s if self._network else None,
+                    "session": self.session,
+                },
+                "link",
+            )
+            hello = transport.recv_obj("hello")
+        except TransportError:
+            transport.close()
+            raise
         if hello.get("protocol") != PROTOCOL_VERSION:
+            transport.close()
             raise TransportError(
                 f"protocol mismatch: server speaks {hello.get('protocol')}, "
                 f"client speaks {PROTOCOL_VERSION}"
             )
         if hello.get("busy"):
-            self.transport.close()
+            transport.close()
             if hello.get("reason") == "session-key-in-use":
                 raise ServerBusy(
-                    f"session key {session!r} is already active on the "
+                    f"session key {self.session!r} is already active on the "
                     "server; concurrent connections must use distinct keys"
                 )
             raise ServerBusy(
@@ -631,22 +897,91 @@ class RemoteClient:
         self.boundary = hello["boundary"]
         self.server_session_id = hello.get("session")
         self.manifest = hello["manifest"]
-        self.engine = PartyEngine.from_manifest(self.manifest, share_seed=seed + 1)
-        self.config = self.engine.config
-        self.noise = NoiseMechanism(noise_magnitude, seed=seed)
+        if self.engine is None:
+            # The engine (and its share rng) persists across reconnects:
+            # a retried request must replay the original rng draws, not
+            # restart the stream.
+            self.engine = PartyEngine.from_manifest(
+                self.manifest, share_seed=self._seed + 1
+            )
+            self.config = self.engine.config
+        self.transport = transport
+
+    def _reconnect(self) -> None:
+        """Re-handshake after a fault, riding out the server-side reap.
+
+        Until the server reaps the dead session its key reads as active,
+        so the reconnect backs off through ``session-key-in-use`` (and
+        transient connect failures) for up to ``reconnect_timeout``
+        seconds — bounded by the server's own ``request_timeout``, which
+        is what frees the key.
+        """
+        deadline = time.monotonic() + self.reconnect_timeout
+        backoff = self.busy_backoff_s
+        while True:
+            try:
+                self._handshake()
+                return
+            except (ServerBusy, TransportError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(backoff)
+                backoff = min(backoff * 2.0, 0.5)
 
     @property
     def input_shape(self) -> tuple[int, ...]:
         return self.engine.input_shape
 
     # ------------------------------------------------------------------
-    def infer(self, images: np.ndarray) -> RemoteReply:
-        """Run one private inference on a float NCHW batch."""
+    def infer(self, images: np.ndarray, retries: int = 0) -> RemoteReply:
+        """Run one private inference on a float NCHW batch.
+
+        ``retries``: how many times to recover from a transport fault by
+        reconnecting and replaying this request under its idempotency
+        key. On a named session the replayed request is byte-identical —
+        same input shares, same noise draw, same dealer material — so
+        the logits match the fault-free run exactly.
+        """
         images = np.asarray(images, dtype=np.float32)
         if images.ndim == 3:
             images = images[None]
+        key = self._next_request
+        share_state = self.engine.share_rng_state()
+        noise_state = self.noise.rng.bit_generator.state
+        last: Exception | None = None
+        for attempt in range(retries + 1):
+            if attempt:
+                self.requests_retried += 1
+                self.engine.restore_share_rng(share_state)
+                self.noise.rng.bit_generator.state = noise_state
+                self._reconnect()
+            try:
+                reply = self._infer_once(images, key)
+            except ServerBusy:
+                raise
+            except TransportError as exc:
+                last = exc
+                if self.transport is not None:
+                    self.transport.close()
+                    self.transport = None
+                continue
+            self._next_request = key + 1
+            return reply
+        # The key is burnt even on terminal failure: a *different* later
+        # request must never replay it, or the server would resell this
+        # request's retained (half-shipped) bundle for new inputs.
+        self._next_request = key + 1
+        raise TransportError(
+            f"request {key} failed after {retries + 1} attempt(s): {last}"
+        ) from last
+
+    def _infer_once(self, images: np.ndarray, key: int) -> RemoteReply:
+        if self.transport is None:
+            self._reconnect()
         transport = self.transport
-        transport.send_obj({"cmd": "infer", "batch": int(images.shape[0])}, "req")
+        transport.send_obj(
+            {"cmd": "infer", "batch": int(images.shape[0]), "request": key}, "req"
+        )
         blob = transport.recv_blob("bundle")
         material = PartyMaterialStream(unpack_party_bundle(blob))
 
@@ -673,11 +1008,14 @@ class RemoteClient:
         )
 
     def close(self) -> None:
+        if self.transport is None:
+            return
         try:
             self.transport.send_obj({"cmd": "bye"}, "req")
         except TransportError:  # pragma: no cover - server already gone
             pass
         self.transport.close()
+        self.transport = None
 
 
 # ----------------------------------------------------------------------

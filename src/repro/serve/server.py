@@ -184,7 +184,16 @@ class C2PIServer:
         misses_before = pool.stats.misses
         offline_before = pool.stats.offline_seconds
 
-        result = self.pipeline.infer(images)
+        try:
+            result = self.pipeline.infer(images)
+        except Exception:
+            # A failed secure execution must not swallow the requests it
+            # coalesced: put them back at the queue front (in order) so
+            # the next step() retries them, and let the caller see the
+            # failure.
+            with self._queue_lock:
+                self._queue.extendleft(reversed(requests))
+            raise
         missed = pool.stats.misses > misses_before
         offline_miss_s = (
             pool.stats.offline_seconds - offline_before if missed else 0.0

@@ -103,3 +103,100 @@ class TestSharing:
         bits = bit_decompose(np.array([value], dtype=np.uint64), 63)
         recomposed = sum(int(b) << i for i, b in enumerate(bits[0]))
         assert recomposed == value
+
+
+class TestRingBoundaries:
+    """Adversarial-value coverage for encode/decode at the ring edges.
+
+    The reveal + clear phase decodes values a (possibly malicious or
+    noise-perturbed) client influenced, so the decoder must behave at
+    exactly the representation boundaries: the encoder's +/-2^62 overflow
+    guard, the 2^63 sign flip, and the zero crossing — not only on the
+    well-behaved floats the happy path produces.
+    """
+
+    def test_encoder_bound_is_exact(self):
+        """Values scale to just under 2^62 encode; the bound itself raises."""
+        cfg = FixedPointConfig(frac_bits=12)
+        limit = float(1 << (64 - 2 - cfg.frac_bits))  # |x| < 2^62 / 2^f
+        good = np.array([limit - 1.0, -(limit - 1.0)])
+        np.testing.assert_allclose(cfg.decode(cfg.encode(good)), good, rtol=1e-6)
+        for bad in (limit, -limit, limit * 2):
+            with pytest.raises(OverflowError):
+                cfg.encode(np.array([bad]))
+
+    def test_max_negative_round_trips(self):
+        """The most negative encodable value survives encode/decode; its
+        ring image sits in the upper half (sign bit set)."""
+        cfg = FixedPointConfig(frac_bits=12)
+        most_negative = -(float(1 << 50) - 1.0)  # scaled: -(2^62 - 2^12)
+        ring = cfg.encode(np.array([most_negative]))
+        assert FixedPointConfig.msb(ring)[0] == 1
+        assert cfg.decode(ring)[0] == np.float32(most_negative)
+
+    def test_decode_is_signed_interpretation_of_any_ring_value(self):
+        """decode() on arbitrary (attacker-chosen) uint64s equals the
+        two's-complement reading — including both sides of 2^63."""
+        cfg = FixedPointConfig(frac_bits=12)
+        half = 1 << 63
+        adversarial = np.array(
+            [0, 1, half - 1, half, half + 1, (1 << 64) - 1], dtype=np.uint64
+        )
+        expected = np.array(
+            [0, 1, half - 1, -half, -half + 1, -1], dtype=np.float64
+        ) / (1 << 12)
+        np.testing.assert_allclose(
+            cfg.decode(adversarial), expected.astype(np.float32), rtol=1e-6
+        )
+
+    def test_zero_crossing_quantization(self):
+        """Around zero, sub-precision magnitudes quantize to the nearest
+        step with round-half-to-even — never across the sign boundary by
+        more than one step."""
+        cfg = FixedPointConfig(frac_bits=12)
+        step = 1.0 / (1 << 12)
+        values = np.array([-step, -step / 2, -step / 4, 0.0, step / 4, step / 2, step])
+        decoded = cfg.decode(cfg.encode(values))
+        np.testing.assert_allclose(
+            decoded, [-step, -0.0, 0.0, 0.0, 0.0, 0.0, step], atol=1e-9
+        )
+
+    @pytest.mark.parametrize("frac_bits", [4, 12, 20])
+    def test_seeded_sweep_roundtrip_within_half_step(self, frac_bits):
+        """10k seeded values spanning the full encodable range round-trip
+        within half a quantization step (in float64 arithmetic)."""
+        cfg = FixedPointConfig(frac_bits=frac_bits)
+        rng = np.random.default_rng(frac_bits)
+        limit = float(1 << (64 - 2 - frac_bits))
+        # float32 decode caps useful magnitudes; sweep the float32-exact span.
+        span = min(limit * 0.999, 2.0**20)
+        values = rng.uniform(-span, span, size=10_000)
+        ring = cfg.encode(values)
+        signed = ring.astype(np.int64).astype(np.float64) / (1 << frac_bits)
+        np.testing.assert_allclose(
+            signed, values, atol=0.5 / (1 << frac_bits) + 1e-9
+        )
+
+    def test_seeded_sweep_wraparound_additivity(self):
+        """Ring addition of encodings decodes to real addition (mod the
+        ring) even when the intermediate crosses 2^63 — the property the
+        noised reveal relies on when the client adds encode(Delta)."""
+        cfg = FixedPointConfig(frac_bits=12)
+        rng = np.random.default_rng(99)
+        a = rng.uniform(-1000, 1000, size=4096)
+        b = rng.uniform(-1000, 1000, size=4096)
+        total = (cfg.encode(a) + cfg.encode(b)).astype(np.uint64)
+        np.testing.assert_allclose(
+            cfg.decode(total), (a + b).astype(np.float32), atol=2.5e-4
+        )
+
+    def test_neg_at_the_edges(self):
+        zero = np.array([0], dtype=np.uint64)
+        np.testing.assert_array_equal(FixedPointConfig.neg(zero), zero)
+        half = np.array([1 << 63], dtype=np.uint64)
+        # -(-2^63) wraps to itself in two's complement.
+        np.testing.assert_array_equal(FixedPointConfig.neg(half), half)
+        one = np.array([1], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            FixedPointConfig.neg(one), np.array([(1 << 64) - 1], dtype=np.uint64)
+        )

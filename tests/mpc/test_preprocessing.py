@@ -257,3 +257,38 @@ class TestConcurrentAcquire:
             refill_thread.join(timeout=30.0)
         assert pool.stats.bundles_generated == 2
         assert pool.stats.misses == 0
+
+
+class TestRestoreAndPoison:
+    """Fault-resolution bookkeeping: restore re-fronts, poison only counts."""
+
+    def test_restore_puts_bundle_back_at_the_front(self, program):
+        pool = PreprocessingPool(program, batch=1, dealer_seed=3)
+        pool.refill(2)
+        first = pool.acquire_bundle()
+        second_peek = pool.acquire_bundle()
+        pool.restore(second_peek)
+        pool.restore(first)
+        # Front placement restores the original dealer-stream order: the
+        # next consumer sees exactly the bundles a fault-free run would.
+        assert pool.acquire_bundle() is first
+        assert pool.acquire_bundle() is second_peek
+        stats = pool.stats.as_dict()
+        assert stats["bundles_consumed"] == 4  # acquisitions, incl. re-sales
+        assert stats["bundles_returned"] == 2
+        assert stats["bundles_poisoned"] == 0
+
+    def test_poison_balances_the_books(self, program):
+        pool = PreprocessingPool(program, batch=1, dealer_seed=3)
+        pool.refill(2)
+        pool.acquire_bundle()  # served
+        pool.acquire_bundle()  # half-shipped to a vanished client
+        pool.poison()
+        stats = pool.stats.as_dict()
+        served = (
+            stats["bundles_consumed"]
+            - stats["bundles_returned"]
+            - stats["bundles_poisoned"]
+        )
+        assert served == 1
+        assert pool.available == 0

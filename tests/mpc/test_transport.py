@@ -172,6 +172,69 @@ class TestPeerChannel:
         received["transport"].close()
         listener.close()
 
+    def test_corrupted_payload_raises_checksum_error(self):
+        """A flipped payload byte must surface as a typed TransportError,
+        not as silent garbage entering the ring as a share."""
+        import socket
+        import zlib
+
+        from repro.mpc.transport import _HEADER, _MAGIC, _VERSION, FRAME_RAW
+
+        listener = PeerChannel.listen()
+        port = listener.getsockname()[1]
+        accepted = {}
+
+        def server_side():
+            accepted["transport"] = PeerChannel.accept(listener)
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        raw = socket.create_connection(("127.0.0.1", port))
+        thread.join()
+        payload = bytearray(b"\x01\x02\x03\x04")
+        label = b"input-share"
+        header = _HEADER.pack(
+            _MAGIC, _VERSION, FRAME_RAW, len(label), len(payload),
+            time.time(), zlib.crc32(bytes(payload)),
+        )
+        payload[2] ^= 0xFF  # the wire flips a byte after the CRC was taken
+        raw.sendall(header + label + bytes(payload))
+        with pytest.raises(TransportError, match="checksum mismatch"):
+            accepted["transport"].pull("input-share")
+        raw.close()
+        accepted["transport"].close()
+        listener.close()
+
+    def test_truncated_frame_raises_torn_stream(self):
+        """EOF inside a frame is a torn stream, not a clean close."""
+        import socket
+        import zlib
+
+        from repro.mpc.transport import _HEADER, _MAGIC, _VERSION, FRAME_RAW
+
+        listener = PeerChannel.listen()
+        port = listener.getsockname()[1]
+        accepted = {}
+
+        def server_side():
+            accepted["transport"] = PeerChannel.accept(listener)
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        raw = socket.create_connection(("127.0.0.1", port))
+        thread.join()
+        payload = b"\x00" * 64
+        header = _HEADER.pack(
+            _MAGIC, _VERSION, FRAME_RAW, 2, len(payload), time.time(),
+            zlib.crc32(payload),
+        )
+        raw.sendall((header + b"rt" + payload)[: _HEADER.size + 10])
+        raw.close()  # disconnect mid-frame
+        with pytest.raises(TransportError, match="torn mid-frame"):
+            accepted["transport"].pull("rt")
+        accepted["transport"].close()
+        listener.close()
+
     def test_peer_disconnect_raises(self):
         listener = PeerChannel.listen()
         port = listener.getsockname()[1]
@@ -188,6 +251,51 @@ class TestPeerChannel:
         with pytest.raises(TransportError, match="closed"):
             client.pull("never-sent")
         client.close()
+        listener.close()
+
+
+class TestTransportIdentity:
+    """Channels and transports are stateful identities: hashable by
+    object, never equal by counter values.
+
+    Regression for the eq-without-hash trap: ``Channel`` as a plain
+    value-eq dataclass set ``__hash__ = None``, making every transport
+    unusable as a dict key or set member — the serving layer had to fall
+    back to ``id()``-keyed registries, and any future keyed bookkeeping
+    (chaos schedules, session maps) would trip the same ``TypeError``.
+    """
+
+    def test_transports_are_hashable_and_identity_keyed(self):
+        from repro.mpc.network import Channel
+
+        client, server = QueueTransport.pair()
+        registry = {client: "c", server: "s"}
+        assert registry[client] == "c" and registry[server] == "s"
+        assert client in {client} and server not in {client}
+        # Equal counters never imply equality: these are distinct links.
+        assert Channel() != Channel()
+        channel = Channel()
+        assert channel == channel
+        assert len({channel, channel}) == 1
+
+    def test_peer_channel_hashable(self):
+        listener = PeerChannel.listen()
+        port = listener.getsockname()[1]
+        accepted = {}
+
+        def server_side():
+            accepted["transport"] = PeerChannel.accept(listener)
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        client = PeerChannel.connect("127.0.0.1", port)
+        thread.join()
+        live = {client, accepted["transport"]}
+        assert len(live) == 2
+        live.discard(client)
+        assert accepted["transport"] in live
+        client.close()
+        accepted["transport"].close()
         listener.close()
 
 
@@ -222,7 +330,7 @@ class TestLinkShaper:
         late (positive skew inflating it).
         """
         import socket
-        import struct
+        import zlib
 
         from repro.mpc.transport import _HEADER, _MAGIC, _VERSION, FRAME_RAW
 
@@ -243,7 +351,7 @@ class TestLinkShaper:
         label = b"rt"
         header = _HEADER.pack(
             _MAGIC, _VERSION, FRAME_RAW, len(label), len(payload),
-            time.time() + skew_s,
+            time.time() + skew_s, zlib.crc32(payload),
         )
         raw.sendall(header + label + payload)
         start = time.perf_counter()

@@ -1,0 +1,447 @@
+"""Chaos conformance suite: remote serving must survive a hostile network.
+
+The acceptance contract, for every scheduled fault (drop / corrupt /
+partial / stall, across the handshake, linear, boolean and reveal
+protocol phases, serially and under 4-way concurrency):
+
+* the server never wedges — it keeps serving clean sessions after every
+  fault, and no worker is parked past its read/write deadline;
+* the faulted request succeeds on retry with logits **byte-identical**
+  to the fault-free run of the same session (the server replays the
+  retained dealer bundle under the request's idempotency key, the
+  client replays its share/noise rng draws);
+* concurrent bystander sessions stay bit-exact with their serial
+  baselines while another session is being faulted;
+* pool accounting balances: every acquired bundle is served, returned
+  intact, or poisoned — none double-sold, none leaked.
+
+All schedules are deterministic (seeded); synchronization is event-driven
+(deadlines and peer-gone events, no sleeps-as-coordination). The victim
+is the tiny chaos-check convnet — the properties are protocol-level and
+model-independent, and small frames keep the whole sweep fast.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.mpc.chaos import ChaosController, ChaosTrace, FaultSpec
+from repro.mpc.transport import TransportError
+from repro.serve.chaos_check import TINY_BOUNDARY, tiny_victim
+from repro.serve.remote import RemoteClient, RemoteServer
+
+REQUEST_TIMEOUT = 0.4
+CLIENT_TIMEOUT = 3.0
+REQUESTS = 2  # per session: request 0 completes clean, request 1 is faulted
+
+
+@pytest.fixture(scope="module")
+def victim():
+    return tiny_victim(0)
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.random.default_rng(11).random((REQUESTS, 1, 2, 8, 8), np.float32)
+
+
+def _start(victim, seed=3):
+    server = RemoteServer(
+        victim, TINY_BOUNDARY, seed=seed, workers=4,
+        request_timeout=REQUEST_TIMEOUT,
+    )
+    server.handshake_timeout = REQUEST_TIMEOUT
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def _session_logits(port, images, session, seed, controller=None, retries=0):
+    client = RemoteClient(
+        "127.0.0.1", port, noise_magnitude=0.1, seed=seed, session=session,
+        timeout=CLIENT_TIMEOUT,
+        transport_wrapper=controller.wrap if controller else None,
+        connect_retries=retries,
+    )
+    logits = [
+        client.infer(batch, retries=retries).logits.tobytes() for batch in images
+    ]
+    client.close()
+    return logits
+
+
+@pytest.fixture(scope="module")
+def baselines(victim, images):
+    """Fault-free logits per session key, from an identically-seeded server."""
+    cache = {}
+
+    def baseline(session, seed):
+        key = (session, seed)
+        if key not in cache:
+            server, thread = _start(victim)
+            try:
+                cache[key] = _session_logits(server.port, images, session, seed)
+            finally:
+                server.stop()
+                thread.join(timeout=10.0)
+        return cache[key]
+
+    return baseline
+
+
+def _assert_pools_balanced(metrics, served_per_pool):
+    """acquired == served + returned + poisoned, per pool — no bundle
+    double-sold (served would exceed the books) or leaked (outstanding
+    acquisitions left dangling after quiescence)."""
+    for name, pool in metrics["pools"].items():
+        outstanding = (
+            pool["bundles_consumed"]
+            - pool["bundles_returned"]
+            - pool["bundles_poisoned"]
+        )
+        assert outstanding == served_per_pool.get(name, 0), (
+            f"{name}: consumed={pool['bundles_consumed']} "
+            f"returned={pool['bundles_returned']} "
+            f"poisoned={pool['bundles_poisoned']} "
+            f"expected served={served_per_pool.get(name, 0)}"
+        )
+
+
+# The protocol phases, by the frame label the fault addresses. The
+# handshake fault targets the link hello (request scope -1); protocol
+# faults target request 1, so request 0 pins the pre-fault stream.
+PHASES = {
+    "handshake": dict(label="link", request=None),
+    "linear": dict(label="linear-masked-input", request=1),
+    "boolean": dict(label="and-open", occurrence=2, request=1),
+    "reveal": dict(label="noised-reveal", request=1),
+}
+KINDS = ("drop", "corrupt", "partial", "stall")
+
+
+class TestSerialConformance:
+    @pytest.mark.parametrize("phase", sorted(PHASES))
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_fault_recovers_with_byte_identical_logits(
+        self, victim, images, baselines, kind, phase
+    ):
+        spec = FaultSpec(kind, **PHASES[phase])
+        controller = ChaosController([spec])
+        server, thread = _start(victim)
+        try:
+            faulted = _session_logits(
+                server.port, images, "s", 9, controller=controller, retries=3
+            )
+            # The server never wedges: a clean session right after.
+            clean = _session_logits(server.port, images, "clean", 5)
+            assert server.wait_idle(timeout=10.0)
+            metrics = server.metrics()
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)
+        assert controller.trace.events, "the scheduled fault never fired"
+        assert faulted == baselines("s", 9)
+        assert clean == baselines("clean", 5)
+        _assert_pools_balanced(
+            metrics,
+            {"session='s'/batch=1": REQUESTS, "session='clean'/batch=1": REQUESTS},
+        )
+        if phase != "handshake":
+            assert metrics["requests_retried"] >= 1
+            assert metrics["sessions_reaped"] >= 1
+        assert metrics["inflight_bundles"] == 0  # bye resolved the records
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec("drop", label="bundle", direction="recv", request=1),
+            FaultSpec("drop", label="logits", direction="recv", request=1),
+            FaultSpec("drop", label="metrics", direction="recv", request=1),
+            FaultSpec("reorder", label="input-share", request=1),
+        ],
+        ids=lambda spec: spec.describe(),
+    )
+    def test_server_to_client_loss_and_reorder(
+        self, victim, images, baselines, spec
+    ):
+        """Losing the server's frames (or scrambling send order) recovers
+        identically: the client's deadline or the peer's lock-step check
+        converts the fault into a typed error, and the retry replays."""
+        controller = ChaosController([spec])
+        server, thread = _start(victim)
+        try:
+            faulted = _session_logits(
+                server.port, images, "s", 9, controller=controller, retries=3
+            )
+            assert server.wait_idle(timeout=10.0)
+            metrics = server.metrics()
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)
+        assert controller.trace.events
+        assert faulted == baselines("s", 9)
+        _assert_pools_balanced(metrics, {"session='s'/batch=1": REQUESTS})
+
+    def test_metrics_drop_retry_replays_completed_request(
+        self, victim, images, baselines
+    ):
+        """The nastiest window: the server completed the request but the
+        reply was lost. The retained bundle must serve the replay (not a
+        fresh acquisition, which would shift the dealer stream)."""
+        controller = ChaosController(
+            [FaultSpec("drop", label="metrics", direction="recv", request=0)]
+        )
+        server, thread = _start(victim)
+        try:
+            faulted = _session_logits(
+                server.port, images, "s", 9, controller=controller, retries=3
+            )
+            metrics = server.metrics()
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)
+        assert faulted == baselines("s", 9)
+        assert metrics["requests_retried"] == 1
+        _assert_pools_balanced(metrics, {"session='s'/batch=1": REQUESTS})
+
+
+class TestConcurrentConformance:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_bystanders_stay_bit_exact_while_one_session_faults(
+        self, victim, images, baselines, kind
+    ):
+        """4 concurrent sessions; session c0 eats a fault mid-request.
+        Every session — faulted and bystanders — must end byte-identical
+        to its serial fault-free baseline, and the books must balance."""
+        clients = 4
+        spec = FaultSpec(kind, **PHASES["boolean"])
+        controllers = {0: ChaosController([spec])}
+        server, thread = _start(victim)
+        barrier = threading.Barrier(clients)
+        results: dict[int, list[bytes]] = {}
+        errors: list[Exception] = []
+
+        def worker(index):
+            try:
+                client = RemoteClient(
+                    "127.0.0.1", server.port, noise_magnitude=0.1,
+                    seed=20 + index, session=f"c{index}",
+                    timeout=CLIENT_TIMEOUT,
+                    transport_wrapper=(
+                        controllers[index].wrap if index in controllers else None
+                    ),
+                )
+                barrier.wait(timeout=30.0)
+                results[index] = [
+                    client.infer(batch, retries=3).logits.tobytes()
+                    for batch in images
+                ]
+                client.close()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=worker, args=(index,))
+                for index in range(clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+            assert server.wait_idle(timeout=10.0)
+            metrics = server.metrics()
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)
+        assert not errors
+        assert controllers[0].trace.events
+        for index in range(clients):
+            assert results[index] == baselines(f"c{index}", 20 + index), (
+                f"session c{index} diverged from its serial baseline"
+            )
+        _assert_pools_balanced(
+            metrics,
+            {f"session='c{i}'/batch=1": REQUESTS for i in range(clients)},
+        )
+        assert metrics["requests_served"] >= clients * REQUESTS
+
+
+class TestChaosTraceReplay:
+    def test_random_chaos_trace_is_a_one_line_repro(
+        self, victim, images, baselines
+    ):
+        """Seeded random chaos: the workload still completes via retries,
+        and the recorded trace replays as an explicit schedule that fires
+        the identical faults at the identical frames."""
+        random_controller = ChaosController.random(
+            seed=13, rate=0.01, kinds=("corrupt",)
+        )
+        server, thread = _start(victim)
+        try:
+            first = _session_logits(
+                server.port, images, "s", 9,
+                controller=random_controller, retries=5,
+            )
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)
+        assert first == baselines("s", 9)
+        assert random_controller.trace.events, (
+            "rate/seed chosen to fire at least once; rerun with a new seed "
+            "if the protocol's frame count changed"
+        )
+
+        replay_controller = ChaosController(random_controller.trace.specs())
+        server, thread = _start(victim)
+        try:
+            second = _session_logits(
+                server.port, images, "s", 9,
+                controller=replay_controller, retries=5,
+            )
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)
+        assert second == baselines("s", 9)
+        assert (
+            replay_controller.trace.describe()
+            == random_controller.trace.describe()
+        )
+
+    def test_trace_specs_pin_concrete_addresses(self):
+        trace = ChaosTrace()
+        controller = ChaosController([FaultSpec("drop", label="x")])
+        spec = controller.decide("send", 0, "x", b"payload")
+        assert spec is not None and spec.kind == "drop"
+        (pinned,) = controller.trace.specs()
+        assert pinned == FaultSpec("drop", label="x", occurrence=1, request=-1)
+        assert controller.trace.describe() == "drop@send:x#1/req-1"
+        assert trace.describe() == "(no faults)"
+
+    def test_recv_faults_limited_to_drop(self):
+        with pytest.raises(ValueError, match="receive-side"):
+            FaultSpec("corrupt", direction="recv")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("mangle")
+
+
+class TestRecoveryBookkeeping:
+    def test_retries_exhausted_surfaces_typed_error(self, victim, images):
+        """A fault schedule denser than the retry budget must end in a
+        TransportError naming the request — never a hang."""
+        controller = ChaosController(
+            [
+                FaultSpec("corrupt", label="input-share", request=1,
+                          occurrence=1)
+                for _ in range(3)
+            ]
+        )
+        server, thread = _start(victim)
+        try:
+            client = RemoteClient(
+                "127.0.0.1", server.port, noise_magnitude=0.1, seed=9,
+                session="s", timeout=CLIENT_TIMEOUT,
+                transport_wrapper=controller.wrap,
+            )
+            client.infer(images[0], retries=3)
+            with pytest.raises(TransportError, match="request 1 failed"):
+                client.infer(images[1], retries=2)
+            client.close()
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)
+        assert len(controller.trace.events) == 3
+
+    def test_failed_request_burns_its_idempotency_key(self, victim, images):
+        """After a terminal failure, the next *different* request must use
+        a fresh key — replaying the burnt key would resell the failed
+        request's half-shipped bundle for new inputs."""
+        controller = ChaosController(
+            [
+                FaultSpec("corrupt", label="input-share", request=0,
+                          occurrence=1)
+                for _ in range(2)
+            ]
+        )
+        server, thread = _start(victim)
+        try:
+            client = RemoteClient(
+                "127.0.0.1", server.port, noise_magnitude=0.1, seed=9,
+                session="s", timeout=CLIENT_TIMEOUT,
+                transport_wrapper=controller.wrap,
+            )
+            with pytest.raises(TransportError, match="request 0 failed"):
+                client.infer(images[0], retries=1)  # both attempts faulted
+            assert client._next_request == 1  # key 0 is burnt
+            reply = client.infer(images[1])  # a new request, fresh key
+            assert reply.logits.shape[0] == 1
+            client.close()
+            assert server.wait_idle(timeout=10.0)
+            metrics = server.metrics()
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)
+        # The fresh request was never treated as a retry of the burnt key,
+        # and the burnt key's bundle was poisoned when key 1 superseded it.
+        assert metrics["requests_retried"] == 1  # only the in-key retry
+        assert metrics["bundles_poisoned"] == 1
+        _assert_pools_balanced(metrics, {"session='s'/batch=1": 1})
+
+    def test_stranded_bundle_poisoned_at_stop(self, victim, images):
+        """A shipped bundle whose client never retries is poisoned at
+        shutdown — not leaked, not resold."""
+        controller = ChaosController(
+            [FaultSpec("corrupt", label="input-share", request=0)]
+        )
+        server, thread = _start(victim)
+        try:
+            client = RemoteClient(
+                "127.0.0.1", server.port, noise_magnitude=0.1, seed=9,
+                session="s", timeout=CLIENT_TIMEOUT,
+                transport_wrapper=controller.wrap,
+            )
+            with pytest.raises(TransportError):
+                client.infer(images[0], retries=0)
+            # Walk away without retrying; wait (event-driven) for the
+            # server to reap the dead session before stopping.
+            client.transport = None
+            for _ in range(200):
+                if server.sessions_reaped:
+                    break
+                threading.Event().wait(0.01)
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)
+        metrics = server.metrics()
+        assert metrics["sessions_reaped"] == 1
+        assert metrics["bundles_poisoned"] == 1
+        _assert_pools_balanced(metrics, {"session='s'/batch=1": 0})
+
+    def test_retry_cannot_change_the_request(self, victim, images):
+        """Replaying an idempotency key with a different batch is a
+        protocol violation, rejected server-side."""
+        controller = ChaosController(
+            [FaultSpec("drop", label="logits", direction="recv", request=0)]
+        )
+        server, thread = _start(victim)
+        try:
+            client = RemoteClient(
+                "127.0.0.1", server.port, noise_magnitude=0.1, seed=9,
+                session="s", timeout=CLIENT_TIMEOUT,
+                transport_wrapper=controller.wrap,
+            )
+            with pytest.raises(TransportError):
+                client.infer(images[0], retries=0)  # fault, no retry
+            client._reconnect()
+            doubled = np.repeat(images[0], 2, axis=0)
+            with pytest.raises(TransportError):
+                client._infer_once(doubled, key=0)  # same key, batch 2
+            metrics = server.metrics()
+            assert any(
+                "changed batch" in (entry["error"] or "")
+                for entry in metrics["sessions"]
+            )
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)

@@ -110,6 +110,108 @@ class TestRemoteServing:
             thread.join(timeout=10.0)
 
 
+class TestClientErrorPaths:
+    """Client-side failure handling: typed exceptions, never hangs.
+
+    These paths existed (busy replies, dead servers, torn handshakes)
+    but only the busy reply had coverage; the rest could regress into
+    an unbounded recv without any test noticing.
+    """
+
+    def test_truncated_length_prefix_raises_not_hangs(self):
+        """A server that dies mid-frame (announced length never arrives)
+        must surface a typed TransportError within the deadline."""
+        import socket
+        import zlib
+
+        from repro.mpc.transport import _HEADER, _MAGIC, _VERSION, FRAME_JSON
+        from repro.mpc.transport import TransportError
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        state = {}
+
+        def fake_server():
+            sock, _ = listener.accept()
+            sock.recv(4096)  # swallow the link message
+            payload = b'{"truncated": tru'  # 1000 bytes promised, 17 sent
+            header = _HEADER.pack(
+                _MAGIC, _VERSION, FRAME_JSON, 5, 1000, time.time(),
+                zlib.crc32(payload),
+            )
+            sock.sendall(header + b"hello" + payload)
+            sock.close()
+            state["done"] = True
+
+        thread = threading.Thread(target=fake_server, daemon=True)
+        thread.start()
+        start = time.perf_counter()
+        with pytest.raises(TransportError, match="torn mid-frame|closed"):
+            RemoteClient("127.0.0.1", port, timeout=2.0)
+        assert time.perf_counter() - start < 10.0
+        thread.join(timeout=5.0)
+        assert state.get("done")
+        listener.close()
+
+    def test_server_closing_mid_handshake_raises(self):
+        """An accept-then-slam server yields a typed error, not a hang."""
+        import socket
+
+        from repro.mpc.transport import TransportError
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def slammer():
+            sock, _ = listener.accept()
+            sock.close()
+
+        thread = threading.Thread(target=slammer, daemon=True)
+        thread.start()
+        with pytest.raises(TransportError, match="closed|torn"):
+            RemoteClient("127.0.0.1", port, timeout=2.0)
+        thread.join(timeout=5.0)
+        listener.close()
+
+    def test_busy_backoff_rides_out_a_full_server(self, victim):
+        """connect_retries + the busy backoff let a client wait for a
+        slot instead of failing on the first ServerBusy."""
+        from repro.serve.remote import ServerBusy
+
+        server = RemoteServer(victim, 3.5, seed=0, workers=1, max_sessions=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            holder = RemoteClient("127.0.0.1", server.port, seed=0, session=0)
+            # Default behaviour pins the typed exception, immediately.
+            with pytest.raises(ServerBusy, match="capacity"):
+                RemoteClient("127.0.0.1", server.port, seed=1, session=1)
+            # A patient client started while the server is full succeeds
+            # once the holder leaves.
+            result = {}
+
+            def patient():
+                client = RemoteClient(
+                    "127.0.0.1", server.port, seed=2, session=2,
+                    wait_for_slot=True,
+                )
+                result["ok"] = True
+                client.close()
+
+            waiter = threading.Thread(target=patient, daemon=True)
+            waiter.start()
+            holder.close()
+            waiter.join(timeout=15.0)
+            assert result.get("ok")
+        finally:
+            server.stop()
+            thread.join(timeout=10.0)
+
+
 class TestNetworkedBenchmark:
     def test_measured_vs_modeled_report(self, victim, image):
         images = np.repeat(image, 3, axis=0)

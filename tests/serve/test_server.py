@@ -156,3 +156,34 @@ class TestBenchmark:
         assert report["speedup_online"] > 0
         assert report["predictions_agree"] in (True, False)
         assert report["baseline"]["total_s"] > 0
+
+
+class TestStepFaultContainment:
+    """A failed secure execution must not swallow its coalesced requests."""
+
+    def test_failed_step_requeues_requests_in_order(self, victim, images):
+        server = C2PIServer(
+            victim, boundary=1.5, noise_magnitude=0.0, max_batch=2, warm_bundles=0
+        )
+        for image in images[:3]:
+            server.submit(image)
+        original_infer = server.pipeline.infer
+        calls = {"n": 0}
+
+        def flaky_infer(batch):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected execution failure")
+            return original_infer(batch)
+
+        server.pipeline.infer = flaky_infer
+        try:
+            with pytest.raises(RuntimeError, match="injected"):
+                server.step()
+            # The two popped requests are back at the front, same order.
+            assert server.pending == 3
+            replies = server.drain()
+        finally:
+            server.pipeline.infer = original_infer
+        assert [r.request_id for r in replies] == [0, 1, 2]
+        assert server.snapshot()["requests"] == 3

@@ -48,6 +48,23 @@ class TestParser:
         args = build_parser().parse_args(["serve"])
         assert args.listen == "127.0.0.1:0" and args.arch == "resnet20"
         assert args.untrained_width is None and not args.once
+        assert args.request_timeout == 120.0
+        args = build_parser().parse_args(["serve", "--request-timeout", "0.5"])
+        assert args.request_timeout == 0.5
+
+    def test_client_retries_flag(self):
+        args = build_parser().parse_args(["client", "--connect", "h:1"])
+        assert args.retries == 0
+        args = build_parser().parse_args(
+            ["client", "--connect", "h:1", "--retries", "3"]
+        )
+        assert args.retries == 3
+
+    def test_chaos_check_defaults(self):
+        args = build_parser().parse_args(["chaos-check"])
+        assert args.seed == 0 and args.request_timeout == 0.5
+        args = build_parser().parse_args(["chaos-check", "--seed", "7"])
+        assert args.seed == 7
 
     def test_client_requires_endpoint(self):
         with pytest.raises(SystemExit):
