@@ -163,6 +163,30 @@ def build_parser() -> argparse.ArgumentParser:
         "concurrency overlaps each session's round-trip waits)",
     )
     bench.add_argument("--output", default=None, help="write the benchmark JSON here")
+    bench.add_argument(
+        "--placements",
+        action="store_true",
+        help="run the party-placement bench instead: the same resnet20 "
+        "request stream served in-process, over a loopback socket and "
+        "over shared memory, with byte-identical logits required "
+        "(BENCH_serve.json)",
+    )
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="SNAPSHOT",
+        help="with --placements: compare against a committed snapshot; "
+        "exit 1 on regression (implies --placements)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="latency regression tolerance for --check (default 0.10)",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="with --placements: print JSON"
+    )
 
     proto_bench = sub.add_parser(
         "bench",
@@ -212,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
         "unconsumed offline material returned to the pool",
     )
     serve.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="never grant shared-memory placement (co-located clients "
+        "asking for it fall back to the socket path)",
+    )
+    serve.add_argument(
         "--untrained-width",
         type=float,
         default=None,
@@ -248,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="per-request fault recovery: reconnect and replay a faulted "
         "request under its idempotency key this many times",
+    )
+    client.add_argument(
+        "--shm",
+        action="store_true",
+        help="request shared-memory placement (co-located server only; "
+        "incompatible with --network shaping)",
     )
 
     chaos = sub.add_parser(
@@ -424,6 +460,11 @@ def _parse_endpoint(spec: str) -> tuple[str, int]:
 def _cmd_serve_bench(args) -> int:
     import json
 
+    if args.placements or args.check:
+        from .bench.protocols import run_serve_from_args
+
+        return run_serve_from_args(args)
+
     from .bench import get_victim
     from .serve import benchmark_serving
 
@@ -552,6 +593,7 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         max_sessions=args.max_sessions,
         request_timeout=args.request_timeout,
+        allow_shm=not args.no_shm,
     )
     if args.warm:
         server.warm(args.warm_batch, args.warm)
@@ -589,12 +631,18 @@ def _cmd_client(args) -> int:
         seed=args.seed,
         network=network,
         session=args.session,
+        shm=args.shm,
     )
     print(
         f"connected to {host}:{port}: model {client.server_model} "
         f"boundary={client.boundary} input={client.input_shape}"
         + (f" shaped as {args.network.upper()}" if network else "")
         + (f" session={args.session}" if args.session is not None else "")
+        + (
+            f" placement={'shared-memory' if client.shm_active else 'socket'}"
+            if args.shm
+            else ""
+        )
     )
     rng = np.random.default_rng(args.seed)
     served = 0

@@ -217,14 +217,22 @@ class ChaosController:
             self.frames += 1
             if direction == "send" and frame_kind == FRAME_JSON and label == "req":
                 self._begin_request(payload)
-            key = (direction, label)
-            occurrence = self._seen[key] = self._seen.get(key, 0) + 1
+            # A fused batch frame ("a+b") counts one occurrence of the
+            # joined label *and* one of each part, so a schedule written
+            # against a logical message ("linear-masked-input") still
+            # hits whichever physical frame carries it.
+            counters = {}
+            for name in {label, *label.split("+")}:
+                key = (direction, name)
+                counters[name] = self._seen[key] = self._seen.get(key, 0) + 1
+            occurrence = counters[label]
             for spec in self._armed:
+                hit = counters.get(spec.label, occurrence)
                 if (
                     spec.direction == direction
-                    and (spec.label is None or spec.label == label)
+                    and (spec.label is None or spec.label in counters)
                     and (spec.request is None or spec.request == self.request)
-                    and spec.occurrence == occurrence
+                    and spec.occurrence == hit
                 ):
                     self._armed.remove(spec)
                     return self._fire(spec, label, direction, occurrence)

@@ -238,10 +238,12 @@ class SecureInferenceEngine:
 
     def _linear_like(self, op, shares: Shares, suite: ProtocolSuite, channel: Channel) -> Shares:
         n = shares[0].shape[0]
+        # A broadcast *view* — the add inside suite.linear produces the
+        # same bytes without materializing a per-request bias tensor.
         bias_full = np.broadcast_to(
             op.bias_ring.reshape(1, *([-1] + [1] * (len(op.out_shape) - 1))),
             (n, *op.out_shape),
-        ).astype(np.uint64)
+        )
         y = suite.linear(shares, op.ring_fn(), bias_full, channel)
         return truncate_shares(y, self.config.frac_bits)
 

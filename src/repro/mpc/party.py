@@ -51,6 +51,8 @@ from .program import (
     ReluOp,
     SaveOp,
     SecureProgram,
+    deferred_reveal_flags,
+    frame_plan,
 )
 from .protocols.party import (
     party_multiply_public_constant,
@@ -59,7 +61,6 @@ from .protocols.party import (
     party_secure_relu,
     party_truncate,
 )
-from .sharing import share_additive
 from .transport import Transport
 
 __all__ = [
@@ -229,6 +230,10 @@ class PartyEngine:
         self.output_shape = tuple(output_shape)
         self.config = config
         self._share_rng = np.random.default_rng(share_seed)
+        # Static per-program analysis: which linear reveals fuse into the
+        # next masked reveal's frame, and which batch sizes have had
+        # their frame sizes presized into the transport's buffer pool.
+        self._defer_flags = deferred_reveal_flags(ops)
 
     @classmethod
     def from_program(
@@ -292,17 +297,25 @@ class PartyEngine:
             raise ValueError(
                 f"engine is party {self.party} but transport is party {io.party}"
             )
+        pool = io.ensure_pool()
+        n = x.shape[0] if x is not None else batch
+        if n is not None and n not in pool.presized:
+            pool.presize(
+                frame_plan(self.ops, n, self.input_shape, self.output_shape)
+            )
+            pool.presized.add(n)
         share = self._input_share(io, x, batch)
         registers: dict[str, np.ndarray] = {}
         tallies: list[LayerTally] = []
-        for op in self.ops:
+        for op, defer in zip(self.ops, self._defer_flags):
             before = io.snapshot()
             start = time.perf_counter()
-            share, tally = self._execute(op, share, registers, material, io)
+            share, tally = self._execute(op, share, registers, material, io, defer)
             if tally is not None:
                 tally.compute_s = time.perf_counter() - start
                 tally.traffic = io.diff(before)
                 tallies.append(tally)
+        io.flush_deferred()  # safety net: the last linear never defers
         return PartyExecutionResult(
             share=share, tallies=tallies, transport=io, config=self.config
         )
@@ -320,11 +333,19 @@ class PartyEngine:
                     f"expected per-sample shape {self.input_shape}, "
                     f"got {tuple(x.shape[1:])}"
                 )
-            shares = share_additive(self.config.encode(x), self._share_rng)
-            io.push(np.ascontiguousarray(shares[1]).tobytes(), "input-share")
-            io.send(0, shares[1].nbytes, label="input-share")
+            encoded = self.config.encode(x)
+            # Identical rng draw to share_additive, with the outgoing
+            # share computed straight into a pooled frame (the old
+            # ascontiguousarray(...).tobytes() staging copy is gone).
+            own = FixedPointConfig.random_ring(self._share_rng, encoded.shape)
+            outgoing = io.alloc_words("input-share", encoded.size).reshape(
+                encoded.shape
+            )
+            np.subtract(encoded, own, out=outgoing)
+            io.push(memoryview(outgoing).cast("B"), "input-share")
+            io.send(0, outgoing.nbytes, label="input-share")
             io.tick_round("input-share")
-            return shares[0]
+            return own
         if batch is None:
             raise ValueError("the server party needs the expected batch size")
         payload = io.pull("input-share")
@@ -345,14 +366,15 @@ class PartyEngine:
         registers: dict[str, np.ndarray],
         material: PartyMaterialStream,
         io: Transport,
+        defer: bool = False,
     ) -> tuple[np.ndarray, LayerTally | None]:
         if isinstance(op, (ConvOp, LinearOp)):
             if op.slot != "main":
                 registers[op.slot] = self._linear_like(
-                    op, registers[op.slot], material, io
+                    op, registers[op.slot], material, io, defer
                 )
                 return share, op.tally(share.shape[0])
-            return self._linear_like(op, share, material, io), op.tally(
+            return self._linear_like(op, share, material, io, defer), op.tally(
                 share.shape[0]
             )
         if isinstance(op, ReluOp):
@@ -378,16 +400,19 @@ class PartyEngine:
         share: np.ndarray,
         material: PartyMaterialStream,
         io: Transport,
+        defer: bool = False,
     ) -> np.ndarray:
         correlation = material.next("linear_correlation")
         if self.party == 0:
-            y = party_secure_linear(io, share, correlation)
+            y = party_secure_linear(io, share, correlation, defer=defer)
         else:
             n = share.shape[0]
+            # A broadcast *view* — the add below produces the same bytes
+            # without materializing a per-request bias tensor.
             bias_full = np.broadcast_to(
                 op.bias_ring.reshape(1, *([-1] + [1] * (len(op.out_shape) - 1))),
                 (n, *op.out_shape),
-            ).astype(np.uint64)
+            )
             y = party_secure_linear(
                 io,
                 share,

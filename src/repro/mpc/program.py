@@ -52,6 +52,8 @@ __all__ = [
     "AddOp",
     "SecureProgram",
     "compile_program",
+    "deferred_reveal_flags",
+    "frame_plan",
     "fold_batch_norm",
     "split_macs",
 ]
@@ -307,6 +309,86 @@ class SecureProgram:
                 + (f"  [{op.slot}]" if op.slot != "main" else "")
             )
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# static frame analysis (reveal fusion + buffer-pool presizing)
+# ----------------------------------------------------------------------
+def deferred_reveal_flags(ops: list[ProgramOp]) -> list[bool]:
+    """Which linear ops may defer their masked-input reveal (per op).
+
+    A linear layer's client half only *sends* — it needs nothing back
+    before the next op — so whenever a ReLU or max-pool follows later in
+    the program, its masked input can ride in the same physical frame as
+    that op's masked reveal (the client's next push). The program's last
+    linear (feeding the noised reveal) never defers: there is no later
+    push to carry it.
+    """
+    flags = [False] * len(ops)
+    carrier_behind = False
+    for index in range(len(ops) - 1, -1, -1):
+        op = ops[index]
+        if isinstance(op, (ReluOp, MaxPoolOp)):
+            carrier_behind = True
+        elif isinstance(op, (ConvOp, LinearOp)):
+            flags[index] = carrier_behind
+    return flags
+
+
+def frame_plan(
+    ops: list[ProgramOp],
+    batch: int,
+    input_shape: tuple[int, ...],
+    output_shape: tuple[int, ...],
+) -> dict[str, set[int]]:
+    """Every online frame size the program will use, keyed by pool label.
+
+    All payload sizes are static per (program, batch), so a transport's
+    :class:`~repro.mpc.transport.BufferPool` can allocate every ring
+    before the first round (``pool.presize(frame_plan(...))``) instead of
+    growing during it. Deferred linear reveals are listed under their
+    ``@slot`` staging keys, mirroring ``party_secure_linear``.
+    """
+    plan: dict[str, set[int]] = {}
+
+    def add(label: str, nbytes: int) -> None:
+        plan.setdefault(label, set()).add(int(nbytes))
+
+    def add_relu(elements: int) -> None:
+        # One ReLU of m elements: masked reveal (8m), seven AND openings
+        # on packed words (paired (d, e): 16m), the packed B2A bit open,
+        # and the final Beaver opening pair.
+        add("masked-reveal", 8 * elements)
+        add("and-open", 16 * elements)
+        add("b2a-open", max(1, (elements + 7) // 8))
+        add("beaver-open", 16 * elements)
+
+    add("input-share", 8 * batch * int(np.prod(input_shape)))
+    add("noised-reveal", 8 * batch * int(np.prod(output_shape)))
+    flags = deferred_reveal_flags(ops)
+    slot = 0
+    for op, deferred in zip(ops, flags):
+        if isinstance(op, (ConvOp, LinearOp)):
+            nbytes = 8 * batch * int(np.prod(op.in_shape))
+            if deferred:
+                add(f"linear-masked-input@{slot}", nbytes)
+                slot += 1
+            else:
+                add("linear-masked-input", nbytes)
+        elif isinstance(op, ReluOp):
+            slot = 0
+            add_relu(batch * int(np.prod(op.in_shape)))
+        elif isinstance(op, MaxPoolOp):
+            slot = 0
+            count = op.kernel_size * op.kernel_size
+            windows = batch * int(np.prod(op.out_shape))
+            # The pairwise tournament: each level compares `half` stacked
+            # window slices at once.
+            while count > 1:
+                half = count // 2
+                add_relu(half * windows)
+                count = half + (count - 2 * half)
+    return plan
 
 
 # ----------------------------------------------------------------------

@@ -85,9 +85,16 @@ def suffix_fill(step: int) -> np.uint64:
     return _FILL_WORDS[step]
 
 
-def word_parity(words: np.ndarray) -> np.ndarray:
-    """XOR of all 64 lanes of each word (uint8 0/1) — a local XOR fold."""
-    folded = np.asarray(words, dtype=np.uint64).copy()
+def word_parity(words: np.ndarray, reuse: bool = False) -> np.ndarray:
+    """XOR of all 64 lanes of each word (uint8 0/1) — a local XOR fold.
+
+    ``reuse=True`` folds in place: only for callers handing over a fresh
+    scratch array they will never read again (e.g. the output of the
+    final ``boolean_and``), which saves the defensive copy per round.
+    """
+    folded = np.asarray(words, dtype=np.uint64)
+    if not reuse:
+        folded = folded.copy()
     for shift in _PARITY_SHIFTS:
         folded ^= folded >> shift
     return (folded & _ONE).astype(np.uint8)
@@ -127,8 +134,12 @@ def public_less_than_shared(
 
     # eq_i = 1 XOR z_i XOR r_i: party 0 absorbs the public part. Lane 63
     # stays zero on both shares (not_z masks it off).
+    # eq1 is r1 itself, *not* a copy: the suffix loop below only reads it
+    # (every round rebinds suffix1 to a fresh boolean_and output), so the
+    # dealer's material — which retries must be able to replay — is never
+    # written through this alias.
     eq0 = (not_z ^ r0).astype(np.uint64)
-    eq1 = r1.copy()
+    eq1 = r1
 
     # Inclusive suffix-AND by doubling, entirely in-word: after the loop,
     # suffix_i = AND_{j >= i} eq_j over lanes 0..62. A right-shift pulls
@@ -151,8 +162,9 @@ def public_less_than_shared(
 
     term0, term1 = boolean_and((t0, t1), (strict0, strict1), dealer, channel)
 
-    # Disjoint OR == XOR == parity across the word's lanes (local).
-    return word_parity(term0), word_parity(term1)
+    # Disjoint OR == XOR == parity across the word's lanes (local); the
+    # terms are this call's own scratch, so the fold may consume them.
+    return word_parity(term0, reuse=True), word_parity(term1, reuse=True)
 
 
 def secure_msb(

@@ -59,6 +59,23 @@ def _buffer(array: np.ndarray):
     return memoryview(np.ascontiguousarray(array)).cast("B")
 
 
+def _pair_frame(
+    io: Transport, label: str, x: np.ndarray, y: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One pooled frame holding an outgoing ``(d, e)`` opening pair.
+
+    Returns writable views ``(d, e)`` shaped like the operands plus the
+    flat backing words: the protocol computes its opening *into* the
+    frame (``np.subtract(..., out=d)``) and ships the whole buffer as a
+    single segment — no staging copy, byte-identical to the former
+    two-segment frame.
+    """
+    words = io.alloc_words(label, x.size + y.size)
+    d = words[: x.size].reshape(x.shape)
+    e = words[x.size :].reshape(y.shape)
+    return d, e, words
+
+
 # ----------------------------------------------------------------------
 # exchange primitives (movement + the joint protocols' accounting)
 # ----------------------------------------------------------------------
@@ -68,7 +85,7 @@ def swap_ring(io: Transport, array: np.ndarray, label: str) -> np.ndarray:
     Accounts ``array.nbytes`` in both directions plus one round — exactly
     what the joint protocols record via ``channel.exchange``.
     """
-    other = io.swap(_buffer(array), label)
+    other = io.swap(io.stage(array, label), label)
     io.exchange(array.nbytes, label)
     return np.frombuffer(other, dtype=np.uint64).reshape(array.shape)
 
@@ -80,9 +97,10 @@ def swap_ring_pair(
 
     One round, payload ``d.nbytes + e.nbytes`` — the joint accounting of
     a Beaver opening — without ever concatenating the two tensors on the
-    sending side.
+    sending side. (The pooled multiply/AND paths below pre-stage the pair
+    in one :func:`_pair_frame` instead and never call this.)
     """
-    other = io.swap_segments((_buffer(d), _buffer(e)), label)
+    other = io.swap_segments((io.stage(d, label), io.stage(e, label)), label)
     io.exchange(d.nbytes + e.nbytes, label)
     d_other = np.frombuffer(other, dtype=np.uint64, count=d.size).reshape(d.shape)
     e_other = np.frombuffer(
@@ -126,9 +144,15 @@ def party_beaver_multiply(
     parties' ``(d, e)`` shares travel as one two-segment frame, so the
     payload equals the joint ``d.nbytes + e.nbytes`` accounting.
     """
-    d_own = (x - triple.a).astype(np.uint64)
-    e_own = (y - triple.b).astype(np.uint64)
-    d_other, e_other = swap_ring_pair(io, d_own, e_own, "beaver-open")
+    d_own, e_own, words = _pair_frame(io, "beaver-open", x, y)
+    np.subtract(x, triple.a, out=d_own)
+    np.subtract(y, triple.b, out=e_own)
+    other = io.swap(_buffer(words), "beaver-open")
+    io.exchange(words.nbytes, "beaver-open")
+    d_other = np.frombuffer(other, dtype=np.uint64, count=x.size).reshape(x.shape)
+    e_other = np.frombuffer(
+        other, dtype=np.uint64, count=y.size, offset=x.size * 8
+    ).reshape(y.shape)
     d = (d_own + d_other).astype(np.uint64)
     e = (e_own + e_other).astype(np.uint64)
 
@@ -149,9 +173,15 @@ def party_boolean_and(
     Mirrors the bitsliced ``boolean_and``: the wire payload is the raw
     ``(d, e)`` word bytes in one two-segment frame.
     """
-    d_own = (x ^ triple.a).astype(np.uint64)
-    e_own = (y ^ triple.b).astype(np.uint64)
-    d_other, e_other = swap_ring_pair(io, d_own, e_own, "and-open")
+    d_own, e_own, words = _pair_frame(io, "and-open", x, y)
+    np.bitwise_xor(x, triple.a, out=d_own)
+    np.bitwise_xor(y, triple.b, out=e_own)
+    other = io.swap(_buffer(words), "and-open")
+    io.exchange(words.nbytes, "and-open")
+    d_other = np.frombuffer(other, dtype=np.uint64, count=x.size).reshape(x.shape)
+    e_other = np.frombuffer(
+        other, dtype=np.uint64, count=y.size, offset=x.size * 8
+    ).reshape(y.shape)
     d = (d_own ^ d_other).astype(np.uint64)
     e = (e_own ^ e_other).astype(np.uint64)
 
@@ -182,7 +212,10 @@ def party_public_less_than_shared(
     if party == 0:
         eq = (not_z ^ r_words).astype(np.uint64)
     else:
-        eq = np.asarray(r_words, dtype=np.uint64).copy()
+        # No defensive copy: the loop below only *reads* eq (each round
+        # rebinds suffix to a fresh AND output), so the dealer material
+        # behind r_words — which retries must replay — is never written.
+        eq = np.asarray(r_words, dtype=np.uint64)
 
     suffix = eq
     for step in SUFFIX_STEPS:
@@ -195,13 +228,17 @@ def party_public_less_than_shared(
     if party == 0:
         strict |= suffix_fill(1)
     term = party_boolean_and(io, t_share, strict, material.next("bit_triples"))
-    return word_parity(term)
+    # term is this call's own scratch — the parity fold may consume it.
+    return word_parity(term, reuse=True)
 
 
 def party_secure_msb(io: Transport, x: np.ndarray, material) -> np.ndarray:
     """XOR share of the sign bit of an additively shared array."""
     mask = material.next("comparison_masks")
-    z_own = (x + mask.r).astype(np.uint64)
+    # The masked share is computed straight into a pooled frame — the
+    # reveal then ships it without any staging copy.
+    z_own = io.alloc_words("masked-reveal", x.size).reshape(x.shape)
+    np.add(x, mask.r, out=z_own)
     z = party_open(io, z_own, label="masked-reveal")
 
     borrow = party_public_less_than_shared(io, z & LOW63_MASK, mask.low_bits, material)
@@ -261,6 +298,7 @@ def party_secure_linear(
     correlation,
     ring_linear_fn=None,
     bias_2f: np.ndarray | None = None,
+    defer: bool = False,
 ) -> np.ndarray:
     """This party's share of ``f(x) + bias`` for a server-known linear map.
 
@@ -268,10 +306,27 @@ def party_secure_linear(
     offset; the server (party 1) evaluates the integer map — the client
     side needs **neither the weights nor the bias**, which is what makes
     the weight-free client program of the two-process deployment possible.
+
+    ``defer=True`` (client only) queues the masked input to ride in the
+    same physical frame as the client's *next* push — in the compiled
+    programs that is the following ReLU/max-pool masked reveal, so the
+    two reveals share one frame and one syscall. Accounting (bytes,
+    rounds, labels) is identical either way; only the physical framing
+    fuses. Deferred frames are staged under distinct ``@slot`` pool keys
+    so queued same-label messages never share a buffer ring.
     """
     if io.party == 0:
-        masked = (x - correlation.mask).astype(np.uint64)
-        io.push(_buffer(masked), "linear-masked-input")
+        slot = io.deferred_count("linear-masked-input") if defer else None
+        key = (
+            "linear-masked-input" if slot is None
+            else f"linear-masked-input@{slot}"
+        )
+        masked = io.alloc_words(key, x.size).reshape(x.shape)
+        np.subtract(x, correlation.mask, out=masked)
+        if defer:
+            io.push_deferred(_buffer(masked), "linear-masked-input")
+        else:
+            io.push(_buffer(masked), "linear-masked-input")
         io.send(0, masked.nbytes, label="linear-masked-input")
         io.tick_round("linear")
         return correlation.client_offset

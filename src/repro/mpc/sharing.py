@@ -125,11 +125,10 @@ def pack_bit_words(bits: np.ndarray) -> np.ndarray:
     if k > 64:
         raise ValueError(f"cannot pack {k} bits into a uint64 word")
     packed = np.packbits(bits, axis=-1, bitorder="little")
-    if packed.shape[-1] < 8:  # pad to a full 8-byte word
-        pad = np.zeros(
-            (*packed.shape[:-1], 8 - packed.shape[-1]), dtype=np.uint8
-        )
-        packed = np.concatenate([packed, pad], axis=-1)
+    if packed.shape[-1] < 8:  # pad to a full 8-byte word, in place
+        padded = np.zeros((*packed.shape[:-1], 8), dtype=np.uint8)
+        padded[..., : packed.shape[-1]] = packed
+        packed = padded
     words = np.ascontiguousarray(packed).view(_WORD_DTYPE).reshape(bits.shape[:-1])
     return words.astype(np.uint64, copy=False)
 

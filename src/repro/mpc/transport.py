@@ -59,6 +59,7 @@ import struct
 import threading
 import time
 import zlib
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,14 +71,18 @@ __all__ = [
     "FRAME_JSON",
     "FRAME_TENSOR",
     "FRAME_BLOB",
+    "FRAME_RAW_BATCH",
     "TransportError",
     "WireStats",
+    "BufferPool",
     "LinkShaper",
     "Transport",
     "QueueTransport",
     "PeerChannel",
     "pack_array",
+    "pack_array_segments",
     "unpack_array",
+    "split_batch",
     "pack_bits",
     "unpack_bits",
 ]
@@ -90,6 +95,15 @@ FRAME_RAW = 0  # online protocol payload (counted against Channel accounting)
 FRAME_JSON = 1  # control messages (handshake, requests, metrics)
 FRAME_TENSOR = 2  # dtype/shape-tagged arrays (logits, images)
 FRAME_BLOB = 3  # opaque control payloads (preprocessing bundles)
+FRAME_RAW_BATCH = 4  # several RAW messages coalesced into one physical frame
+
+# Batch frame directory: part count, then per part (label length, part
+# length) followed by the UTF-8 label. Payload parts follow concatenated
+# in directory order. The frame's own label is the "+"-join of the part
+# labels so lock-step diagnostics (and the chaos layer) can still address
+# the parts by name.
+_BATCH_COUNT = struct.Struct("!B")
+_BATCH_PART = struct.Struct("!HI")
 
 
 class TransportError(RuntimeError):
@@ -99,24 +113,32 @@ class TransportError(RuntimeError):
 # ----------------------------------------------------------------------
 # array / bit helpers shared by the wire protocol and the party protocols
 # ----------------------------------------------------------------------
-def pack_array(array: np.ndarray) -> bytes:
-    """Self-describing tensor payload: dtype + shape header, then raw bytes.
+def pack_array_segments(array: np.ndarray) -> tuple[bytes, memoryview]:
+    """Tensor payload as (header, body) segments — no body copy.
 
-    Arrays travel in little-endian C order regardless of host endianness.
+    Arrays travel in little-endian C order regardless of host endianness;
+    on little-endian hosts the body is a zero-copy view of the array.
     """
     array = np.ascontiguousarray(array)
     dtype = array.dtype.newbyteorder("<")
     name = dtype.str.encode("ascii")
     header = struct.pack("!BB", len(name), array.ndim) + name
     header += struct.pack(f"!{array.ndim}I", *array.shape)
-    return header + array.astype(dtype, copy=False).tobytes()
+    body = memoryview(array.astype(dtype, copy=False)).cast("B")
+    return header, body
 
 
-def unpack_array(payload: bytes) -> np.ndarray:
-    """Inverse of :func:`pack_array`."""
+def pack_array(array: np.ndarray) -> bytes:
+    """Self-describing tensor payload: dtype + shape header, then raw bytes."""
+    header, body = pack_array_segments(array)
+    return header + bytes(body)
+
+
+def unpack_array(payload) -> np.ndarray:
+    """Inverse of :func:`pack_array` (accepts bytes or a memoryview)."""
     name_len, ndim = struct.unpack_from("!BB", payload)
     offset = 2
-    dtype = np.dtype(payload[offset : offset + name_len].decode("ascii"))
+    dtype = np.dtype(bytes(payload[offset : offset + name_len]).decode("ascii"))
     offset += name_len
     shape = struct.unpack_from(f"!{ndim}I", payload, offset)
     offset += 4 * ndim
@@ -138,6 +160,30 @@ def unpack_bits(payload: bytes, count: int, shape: tuple[int, ...]) -> np.ndarra
     """Inverse of :func:`pack_bits` for a known bit count and shape."""
     bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=count)
     return bits.reshape(shape)
+
+
+def split_batch(payload) -> list[tuple[str, memoryview]]:
+    """Decode a ``FRAME_RAW_BATCH`` payload into ``(label, part)`` views.
+
+    The parts are zero-copy slices of ``payload`` — for a pooled receive
+    buffer they stay writable, for a ``bytes`` payload they are read-only
+    views; either way nothing is re-materialized.
+    """
+    view = memoryview(payload)
+    (count,) = _BATCH_COUNT.unpack_from(view, 0)
+    offset = _BATCH_COUNT.size
+    metas: list[tuple[str, int]] = []
+    for _ in range(count):
+        label_len, part_len = _BATCH_PART.unpack_from(view, offset)
+        offset += _BATCH_PART.size
+        label = bytes(view[offset : offset + label_len]).decode("utf-8")
+        offset += label_len
+        metas.append((label, part_len))
+    parts = []
+    for label, part_len in metas:
+        parts.append((label, view[offset : offset + part_len]))
+        offset += part_len
+    return parts
 
 
 def _frame_crc(segments) -> int:
@@ -191,6 +237,15 @@ class WireStats:
     wire_bytes_sent: int = 0
     wire_bytes_received: int = 0
     raw_by_label: dict = field(default_factory=dict)
+    # Allocation observability (the zero-copy hot-path contract):
+    # ``frames_pooled`` counts RAW frames staged in or delivered into a
+    # reusable BufferPool buffer; ``bytes_copied`` counts RAW payload
+    # bytes that were instead staged through a fresh heap allocation
+    # (contiguify, join, tobytes), broken down by label so a regression
+    # test can assert a *specific* protocol step stayed allocation-free.
+    frames_pooled: int = 0
+    bytes_copied: int = 0
+    copied_by_label: dict = field(default_factory=dict)
 
     @property
     def raw_payload_total(self) -> int:
@@ -220,8 +275,14 @@ class WireStats:
         self.control_payload_received += other.control_payload_received
         self.wire_bytes_sent += other.wire_bytes_sent
         self.wire_bytes_received += other.wire_bytes_received
+        self.frames_pooled += other.frames_pooled
+        self.bytes_copied += other.bytes_copied
         for label, nbytes in other.raw_by_label.items():
             self.raw_by_label[label] = self.raw_by_label.get(label, 0) + nbytes
+        for label, nbytes in other.copied_by_label.items():
+            self.copied_by_label[label] = (
+                self.copied_by_label.get(label, 0) + nbytes
+            )
 
     def as_dict(self) -> dict:
         return {
@@ -234,7 +295,101 @@ class WireStats:
             "wire_bytes_sent": self.wire_bytes_sent,
             "wire_bytes_received": self.wire_bytes_received,
             "raw_by_label": dict(self.raw_by_label),
+            "frames_pooled": self.frames_pooled,
+            "bytes_copied": self.bytes_copied,
+            "copied_by_label": dict(self.copied_by_label),
         }
+
+
+# ----------------------------------------------------------------------
+# reusable frame buffers
+# ----------------------------------------------------------------------
+class BufferPool:
+    """Reusable per-``(label, size)`` buffers for the online hot path.
+
+    Every protocol round used to allocate its frames fresh: the sender
+    built ``ascontiguousarray(...).tobytes()`` staging copies, the
+    receiver materialized a new ``bytes`` payload per frame. All of those
+    sizes are static per compiled program, so this pool keeps one small
+    ring of buffers per ``(label, nbytes)`` key and hands them out
+    round-robin.
+
+    Buffer ownership and lifetime (see DESIGN.md §10):
+
+    * a **send** buffer belongs to the caller from :meth:`send_frame`
+      until the frame has been handed to the wire; after ``depth`` more
+      send frames of the same key it is recycled;
+    * a **recv** buffer belongs to the consumer from delivery until its
+      next pull of the same ``(label, nbytes)`` key has been *processed*
+      — with the default ``depth`` of 2 a consumer may keep views of the
+      previous frame alive while the next one is being received (the
+      peer runs at most one lock-step round ahead), but must drop them
+      before a third same-key frame arrives;
+    * **wire** buffers stage header+payload scatter-writes inside one
+      transport send call and are never visible outside it.
+
+    The three tables are touched by disjoint threads (application thread:
+    send/wire; reader thread: recv), so no locking is needed.
+    """
+
+    def __init__(self, depth: int = 2):
+        if depth < 2:
+            raise ValueError("pool depth must be at least 2 (lock-step overlap)")
+        self.depth = depth
+        self._tables: dict[str, dict] = {"send": {}, "recv": {}, "wire": {}}
+        # Batch sizes whose frame plans have been presized (owned by the
+        # engine driving this pool; lives here so a fresh transport after
+        # a reconnect starts with a clean slate).
+        self.presized: set[int] = set()
+
+    def _ring(self, table: str, label: str, nbytes: int) -> list:
+        rings = self._tables[table]
+        key = (label, nbytes)
+        entry = rings.get(key)
+        if entry is None:
+            entry = [[bytearray(nbytes) for _ in range(self.depth)], 0]
+            rings[key] = entry
+        return entry
+
+    def _frame(self, table: str, label: str, nbytes: int) -> memoryview:
+        entry = self._ring(table, label, nbytes)
+        buffers, index = entry
+        entry[1] = (index + 1) % len(buffers)
+        return memoryview(buffers[index])
+
+    def send_frame(self, label: str, nbytes: int) -> memoryview:
+        """A writable payload buffer for one outgoing frame."""
+        return self._frame("send", label, nbytes)
+
+    def recv_frame(self, label: str, nbytes: int) -> memoryview:
+        """A writable buffer for one incoming frame's payload."""
+        return self._frame("recv", label, nbytes)
+
+    def wire_frame(self, label: str, nbytes: int) -> memoryview:
+        """Scratch for scatter-writing header + payload inside one send."""
+        return self._frame("wire", label, nbytes)
+
+    def presize(self, plan: dict) -> None:
+        """Allocate every ring up front from a ``label -> sizes`` plan.
+
+        The compiled program knows all frame sizes statically (see
+        :func:`repro.mpc.program.frame_plan`), so a session can pay all
+        pool growth before its first round instead of during it. Unknown
+        keys still allocate lazily — the plan is an optimization, not a
+        contract.
+        """
+        for label, sizes in plan.items():
+            for nbytes in sizes:
+                self._ring("send", label, int(nbytes))
+                self._ring("recv", label, int(nbytes))
+
+    def nbytes(self) -> int:
+        """Total bytes currently held across all rings."""
+        return sum(
+            sum(len(buffer) for buffer in entry[0])
+            for table in self._tables.values()
+            for entry in table.values()
+        )
 
 
 # ----------------------------------------------------------------------
@@ -332,6 +487,9 @@ class Transport(Channel):
         self.party = party
         self.shaper = shaper
         self.stats = WireStats()
+        self.pool: BufferPool | None = None
+        self._deferred: list[tuple[str, list]] = []
+        self._expanded: deque = deque()
 
     # -- movement primitives (implemented by subclasses) ----------------
     def _send_frame(self, kind: int, label: str, payload: bytes) -> None:
@@ -352,6 +510,43 @@ class Transport(Channel):
     def close(self) -> None:  # pragma: no cover - trivial default
         pass
 
+    # -- pooled staging --------------------------------------------------
+    def ensure_pool(self) -> BufferPool:
+        """Attach (or return) this transport's :class:`BufferPool`."""
+        if self.pool is None:
+            self.pool = BufferPool()
+        return self.pool
+
+    def _count_copied(self, label: str, nbytes: int) -> None:
+        self.stats.bytes_copied += nbytes
+        self.stats.copied_by_label[label] = (
+            self.stats.copied_by_label.get(label, 0) + nbytes
+        )
+
+    def alloc_frame(self, label: str, nbytes: int) -> memoryview:
+        """A writable payload buffer for one outgoing raw frame.
+
+        Pooled when a :class:`BufferPool` is attached (zero heap traffic
+        per round, counted in ``stats.frames_pooled``); otherwise a fresh
+        buffer counted in ``stats.bytes_copied``.
+        """
+        if self.pool is not None:
+            self.stats.frames_pooled += 1
+            return self.pool.send_frame(label, nbytes)
+        self._count_copied(label, nbytes)
+        return memoryview(bytearray(nbytes))
+
+    def alloc_words(self, label: str, count: int) -> np.ndarray:
+        """Writable uint64 scratch backing one outgoing raw frame."""
+        return np.frombuffer(self.alloc_frame(label, count * 8), dtype=np.uint64)
+
+    def stage(self, array: np.ndarray, label: str) -> memoryview:
+        """Wire-ready byte view of an array, counting any staging copy."""
+        contiguous = np.ascontiguousarray(array)
+        if contiguous is not array:
+            self._count_copied(label, contiguous.nbytes)
+        return memoryview(contiguous).cast("B")
+
     # -- shared bookkeeping ---------------------------------------------
     def _count_sent(self, kind: int, label: str, nbytes: int) -> None:
         self.stats.frames_sent += 1
@@ -361,10 +556,19 @@ class Transport(Channel):
             self.stats.raw_by_label[label] = (
                 self.stats.raw_by_label.get(label, 0) + nbytes
             )
-        else:
+        elif kind != FRAME_RAW_BATCH:
             self.stats.control_payload_sent += nbytes
+        # FRAME_RAW_BATCH: per-part raw accounting happens in _send_parts
+        # (the directory bytes count as framing overhead, not payload).
 
-    def _count_received(self, kind: int, label: str, nbytes: int) -> None:
+    def _count_received(
+        self,
+        kind: int,
+        label: str,
+        nbytes: int,
+        pooled: bool = False,
+        copied: bool = False,
+    ) -> None:
         self.stats.frames_received += 1
         self.stats.wire_bytes_received += _HEADER.size + len(label.encode()) + nbytes
         if kind == FRAME_RAW:
@@ -372,11 +576,31 @@ class Transport(Channel):
             self.stats.raw_by_label[label] = (
                 self.stats.raw_by_label.get(label, 0) + nbytes
             )
-        else:
+        elif kind != FRAME_RAW_BATCH:
             self.stats.control_payload_received += nbytes
+        if kind in (FRAME_RAW, FRAME_RAW_BATCH):
+            if pooled:
+                self.stats.frames_pooled += 1
+            elif copied:
+                self._count_copied(label, nbytes)
+
+    def _next_frame(self) -> tuple[int, str, bytes]:
+        """The next logical raw message: expands batch frames in order."""
+        if self._expanded:
+            return self._expanded.popleft()
+        kind, label, payload = self._recv_frame()
+        if kind != FRAME_RAW_BATCH:
+            return kind, label, payload
+        for part_label, part in split_batch(payload):
+            self.stats.raw_payload_received += part.nbytes
+            self.stats.raw_by_label[part_label] = (
+                self.stats.raw_by_label.get(part_label, 0) + part.nbytes
+            )
+            self._expanded.append((FRAME_RAW, part_label, part))
+        return self._expanded.popleft()
 
     def _expect(self, kind: int, label: str | None) -> tuple[str, bytes]:
-        got_kind, got_label, payload = self._recv_frame()
+        got_kind, got_label, payload = self._next_frame()
         if got_kind != kind:
             raise TransportError(
                 f"party {self.party} expected frame kind {kind} "
@@ -393,6 +617,9 @@ class Transport(Channel):
     # -- online protocol messages ---------------------------------------
     def push(self, data: bytes, label: str) -> None:
         """Send one raw online-protocol message to the peer."""
+        if self._deferred:
+            self._flush_with([(label, [data])])
+            return
         self._send_frame(FRAME_RAW, label, data)
 
     def push_segments(self, segments, label: str) -> None:
@@ -403,10 +630,79 @@ class Transport(Channel):
         by the party protocols to ship a Beaver ``(d, e)`` pair per round
         without copying the tensors into one array first.
         """
+        if self._deferred:
+            self._flush_with([(label, list(segments))])
+            return
         self._send_frame_segments(FRAME_RAW, label, segments)
+
+    def push_deferred(self, data, label: str) -> None:
+        """Queue a raw message to ride in the next outgoing frame.
+
+        The message coalesces with every other deferred message and the
+        next :meth:`push` into **one** physical ``FRAME_RAW_BATCH`` frame
+        (one header, one syscall, one shaper grant), preserving message
+        order and per-label accounting exactly. Used by the engine's
+        reveal fusion: a linear layer's masked input shares the frame of
+        the following ReLU's masked reveal.
+        """
+        self._deferred.append((label, [data]))
+
+    def deferred_count(self, label: str) -> int:
+        """How many deferred messages with this label are queued.
+
+        Callers staging a deferred message in a pooled buffer use this as
+        a pool-key suffix so same-label messages queued together never
+        share (and thus never recycle) one buffer ring.
+        """
+        return sum(1 for queued, _ in self._deferred if queued == label)
+
+    def flush_deferred(self) -> None:
+        """Send any queued deferred messages without a carrier push."""
+        if self._deferred:
+            self._flush_with([])
+
+    def _flush_with(self, tail: list) -> None:
+        parts, self._deferred = self._deferred + tail, []
+        self._send_parts(parts)
+
+    def _send_parts(self, parts: list) -> None:
+        """One physical frame carrying several labeled raw messages."""
+        if len(parts) == 1:
+            label, segments = parts[0]
+            self._send_frame_segments(FRAME_RAW, label, segments)
+            return
+        views = [
+            (label, [memoryview(s).cast("B") for s in segments])
+            for label, segments in parts
+        ]
+        encoded = [label.encode("utf-8") for label, _ in views]
+        sizes = [sum(s.nbytes for s in segments) for _, segments in views]
+        directory = bytearray(
+            _BATCH_COUNT.size
+            + sum(_BATCH_PART.size + len(name) for name in encoded)
+        )
+        _BATCH_COUNT.pack_into(directory, 0, len(views))
+        offset = _BATCH_COUNT.size
+        for name, size in zip(encoded, sizes):
+            _BATCH_PART.pack_into(directory, offset, len(name), size)
+            offset += _BATCH_PART.size
+            directory[offset : offset + len(name)] = name
+            offset += len(name)
+        joined = "+".join(label for label, _ in views)
+        segments = [memoryview(directory)]
+        for _, part_segments in views:
+            segments.extend(part_segments)
+        self._send_frame_segments(FRAME_RAW_BATCH, joined, segments)
+        for (label, _), size in zip(views, sizes):
+            self.stats.raw_payload_sent += size
+            self.stats.raw_by_label[label] = (
+                self.stats.raw_by_label.get(label, 0) + size
+            )
 
     def pull(self, label: str | None = None) -> bytes:
         """Receive the peer's next raw online-protocol message."""
+        if self._deferred:
+            self.flush_deferred()
         return self._expect(FRAME_RAW, label)[1]
 
     def swap(self, data: bytes, label: str) -> bytes:
@@ -421,18 +717,25 @@ class Transport(Channel):
 
     # -- control messages -----------------------------------------------
     def send_obj(self, obj, label: str = "ctl") -> None:
+        if self._deferred:
+            self.flush_deferred()  # control must not overtake raw messages
         self._send_frame(FRAME_JSON, label, json.dumps(obj).encode("utf-8"))
 
     def recv_obj(self, label: str | None = None):
-        return json.loads(self._expect(FRAME_JSON, label)[1].decode("utf-8"))
+        return json.loads(bytes(self._expect(FRAME_JSON, label)[1]).decode("utf-8"))
 
     def send_tensor(self, array: np.ndarray, label: str = "tensor") -> None:
-        self._send_frame(FRAME_TENSOR, label, pack_array(array))
+        if self._deferred:
+            self.flush_deferred()
+        header, body = pack_array_segments(array)
+        self._send_frame_segments(FRAME_TENSOR, label, (header, body))
 
     def recv_tensor(self, label: str | None = None) -> np.ndarray:
         return unpack_array(self._expect(FRAME_TENSOR, label)[1])
 
     def send_blob(self, data: bytes, label: str = "blob") -> None:
+        if self._deferred:
+            self.flush_deferred()
         self._send_frame(FRAME_BLOB, label, data)
 
     def recv_blob(self, label: str | None = None) -> bytes:
@@ -472,15 +775,53 @@ class QueueTransport(Transport):
         client._peer, server._peer = server, client
         return client, server
 
-    def _send_frame(self, kind: int, label: str, payload: bytes) -> None:
+    def _send_frame(self, kind: int, label: str, payload) -> None:
         if self._peer is None:
             raise TransportError("queue transport is not paired")
-        payload = bytes(payload)
+        if not isinstance(payload, bytes):
+            raw = kind in (FRAME_RAW, FRAME_RAW_BATCH)
+            if self.pool is not None and raw:
+                # Zero-copy handoff: the peer receives the sender's buffer
+                # directly (pooled lifetime rules apply — see BufferPool).
+                # Control frames (logits tensors, blobs) are materialized
+                # instead: their consumers may hold them indefinitely.
+                payload = memoryview(payload).cast("B")
+            else:
+                view = memoryview(payload)
+                if raw:
+                    self._count_copied(label, view.nbytes)
+                payload = view.tobytes()
+        nbytes = len(payload) if isinstance(payload, bytes) else payload.nbytes
         if self.shaper is not None:
-            self.shaper.throttle_send(len(payload))
-        self._count_sent(kind, label, len(payload))
+            self.shaper.throttle_send(nbytes)
+        self._count_sent(kind, label, nbytes)
         # Enqueueing *is* arrival for the in-memory pair; both threads
         # share one process clock, so monotonic stamps are comparable.
+        self._peer._inbox.put((kind, label, payload, time.monotonic()))
+
+    def _send_frame_segments(self, kind: int, label: str, segments) -> None:
+        segments = [memoryview(segment).cast("B") for segment in segments]
+        if len(segments) == 1:
+            self._send_frame(kind, label, segments[0])
+            return
+        raw = kind in (FRAME_RAW, FRAME_RAW_BATCH)
+        total = sum(segment.nbytes for segment in segments)
+        if self.pool is not None and raw:
+            staged = self.pool.wire_frame(label, total)
+            offset = 0
+            for segment in segments:
+                staged[offset : offset + segment.nbytes] = segment
+                offset += segment.nbytes
+            payload = staged
+        else:
+            if raw:
+                self._count_copied(label, total)
+            payload = b"".join(segments)
+        if self._peer is None:
+            raise TransportError("queue transport is not paired")
+        if self.shaper is not None:
+            self.shaper.throttle_send(total)
+        self._count_sent(kind, label, total)
         self._peer._inbox.put((kind, label, payload, time.monotonic()))
 
     def _recv_frame(self) -> tuple[int, str, bytes]:
@@ -492,7 +833,10 @@ class QueueTransport(Transport):
             ) from exc
         if self.shaper is not None:
             self.shaper.delay_delivery(arrived_at)
-        self._count_received(kind, label, len(payload))
+        nbytes = len(payload) if isinstance(payload, bytes) else payload.nbytes
+        self._count_received(
+            kind, label, nbytes, pooled=not isinstance(payload, bytes)
+        )
         return kind, label, payload
 
 
@@ -608,7 +952,7 @@ class PeerChannel(Transport):
         concatenation copies on the sender; the receiver reads the frame
         into one buffer anyway (it needs contiguous tensors).
         """
-        segments = [memoryview(segment) for segment in segments]
+        segments = [memoryview(segment).cast("B") for segment in segments]
         total = sum(segment.nbytes for segment in segments)
         encoded = label.encode("utf-8")
         if len(encoded) > 0xFFFF:
@@ -619,21 +963,36 @@ class PeerChannel(Transport):
             _MAGIC, _VERSION, kind, len(encoded), total, time.time(),
             _frame_crc(segments),
         )
+        copied = 0
+        if self.pool is not None and total <= 65536:
+            # Scatter header + label + payload into one pooled wire
+            # frame: a single sendall with zero fresh allocations.
+            staged = self.pool.wire_frame(label, _HEADER.size + len(encoded) + total)
+            staged[: _HEADER.size] = header
+            offset = _HEADER.size
+            staged[offset : offset + len(encoded)] = encoded
+            offset += len(encoded)
+            for segment in segments:
+                staged[offset : offset + segment.nbytes] = segment
+                offset += segment.nbytes
+            wire_parts = [staged]
+        elif total <= 65536:
+            # One segment for small frames (TCP_NODELAY is on).
+            if kind in (FRAME_RAW, FRAME_RAW_BATCH):
+                copied = total
+            wire_parts = [b"".join([header + encoded, *segments])]
+        else:
+            # Avoid copying multi-megabyte tensors just to prepend a
+            # ~24-byte header.
+            wire_parts = [header + encoded, *segments]
         with self._write_lock:
             try:
-                if total <= 65536:
-                    # One segment for small frames (TCP_NODELAY is on).
-                    self._sock.sendall(
-                        b"".join([header + encoded, *segments])
-                    )
-                else:
-                    # Avoid copying multi-megabyte tensors just to
-                    # prepend a ~24-byte header.
-                    self._sock.sendall(header + encoded)
-                    for segment in segments:
-                        self._sock.sendall(segment)
+                for part in wire_parts:
+                    self._sock.sendall(part)
             except OSError as exc:
                 raise TransportError(f"peer connection lost on send: {exc}") from exc
+        if copied:
+            self._count_copied(label, copied)
         self._count_sent(kind, label, total)
 
     def _read_exact(self, count: int) -> bytes | None:
@@ -649,6 +1008,21 @@ class PeerChannel(Transport):
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
+
+    def _read_into(self, view: memoryview) -> bool:
+        """Receive exactly ``len(view)`` bytes directly into ``view``."""
+        offset = 0
+        remaining = view.nbytes
+        while remaining:
+            try:
+                got = self._sock.recv_into(view[offset:], remaining)
+            except OSError:
+                return False
+            if not got:
+                return False
+            offset += got
+            remaining -= got
+        return True
 
     def _read_loop(self) -> None:
         mid_frame = False
@@ -669,10 +1043,24 @@ class PeerChannel(Transport):
                 )
                 break
             label_bytes = self._read_exact(label_len) if label_len else b""
-            payload = self._read_exact(payload_len) if payload_len else b""
-            if label_bytes is None or payload is None:
+            if label_bytes is None:
                 break
             label = label_bytes.decode("utf-8", errors="replace")
+            pool = self.pool
+            if (
+                pool is not None
+                and payload_len
+                and kind in (FRAME_RAW, FRAME_RAW_BATCH)
+            ):
+                # Raw rounds land directly in a pooled, writable buffer:
+                # no intermediate bytes object, no downstream .copy().
+                payload = pool.recv_frame(label, payload_len)
+                if not self._read_into(payload):
+                    payload = None
+            else:
+                payload = self._read_exact(payload_len) if payload_len else b""
+            if payload is None:
+                break
             if zlib.crc32(payload) != crc:
                 # A flipped byte anywhere in the payload: refuse the frame
                 # (and the connection — the stream's integrity is gone)
@@ -715,7 +1103,14 @@ class PeerChannel(Transport):
         kind, label, payload, arrived_at = item
         if self.shaper is not None:
             self.shaper.delay_delivery(arrived_at)
-        self._count_received(kind, label, len(payload))
+        pooled = not isinstance(payload, bytes)
+        self._count_received(
+            kind,
+            label,
+            len(payload) if isinstance(payload, bytes) else payload.nbytes,
+            pooled=pooled,
+            copied=not pooled,
+        )
         return kind, label, payload
 
     def send_raw(self, data: bytes) -> None:

@@ -9,6 +9,8 @@ basic inverse blocks (Section III-B of the paper).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from .tensor import Tensor
@@ -37,6 +39,7 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int, dilation
     return (size + 2 * padding - effective) // stride + 1
 
 
+@lru_cache(maxsize=128)
 def _col_indices(
     c: int,
     h: int,
@@ -47,7 +50,13 @@ def _col_indices(
     padding: int,
     dilation: int,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
-    """Index arrays mapping a padded NCHW image into its im2col matrix."""
+    """Index arrays mapping a padded NCHW image into its im2col matrix.
+
+    Cached per (shape, kernel) signature: a served model lowers the same
+    convolutions request after request, and rebuilding these index
+    matrices dominated the per-inference clear-path profile. The cached
+    arrays are frozen — callers use them as read-only fancy indices.
+    """
     out_h = conv_output_size(h, kh, stride, padding, dilation)
     out_w = conv_output_size(w, kw, stride, padding, dilation)
 
@@ -60,7 +69,35 @@ def _col_indices(
     rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
     cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
     channels = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    for index in (channels, rows, cols):
+        index.setflags(write=False)
     return channels, rows, cols, out_h, out_w
+
+
+@lru_cache(maxsize=128)
+def _flat_gather(
+    c: int,
+    h: int,
+    w: int,
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    dilation: int,
+) -> tuple[np.ndarray, int, int, int, int]:
+    """The im2col gather as one raveled index into the padded image.
+
+    A single-axis ``take`` over this precomputed flat index selects the
+    same elements as the three-array fancy index it replaces, several
+    times faster.
+    """
+    channels, rows, cols, out_h, out_w = _col_indices(
+        c, h, w, kh, kw, stride, padding, dilation
+    )
+    h_padded, w_padded = h + 2 * padding, w + 2 * padding
+    flat = ((channels * h_padded + rows) * w_padded + cols).ravel()
+    flat.setflags(write=False)
+    return flat, channels.shape[0], rows.shape[1], out_h, out_w
 
 
 def im2col(
@@ -74,9 +111,26 @@ def im2col(
     """Lower an NCHW array into a (N, C*kh*kw, out_h*out_w) patch matrix."""
     n, c, h, w = x.shape
     if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    channels, rows, cols, out_h, out_w = _col_indices(c, h, w, kh, kw, stride, padding, dilation)
-    patches = x[:, channels, rows, cols]
+        # Hand-rolled zero pad: np.pad's generality costs more Python
+        # time than the whole gather for small feature maps.
+        padded = np.zeros(
+            (n, c, h + 2 * padding, w + 2 * padding), dtype=x.dtype
+        )
+        padded[:, :, padding : padding + h, padding : padding + w] = x
+        x = padded
+    flat, k, patch_cols, out_h, out_w = _flat_gather(
+        c, h, w, kh, kw, stride, padding, dilation
+    )
+    # The gather lands in the exact memory layout the old three-array
+    # fancy index produced — a (K, L, N) base transposed to (N, K, L) —
+    # so every downstream float reduction keeps its summation order and
+    # the pinned logits stay bit-identical.
+    patches = (
+        x.reshape(n, -1)
+        .T.take(flat, axis=0)
+        .reshape(k, patch_cols, n)
+        .transpose(2, 0, 1)
+    )
     return patches, out_h, out_w
 
 

@@ -86,6 +86,7 @@ from ..mpc.preprocessing import (
     unpack_party_bundle,
 )
 from ..mpc.program import SecureProgram, compile_program
+from ..mpc.shm import ShmChannel
 from ..mpc.transport import (
     LinkShaper,
     PeerChannel,
@@ -244,11 +245,16 @@ class RemoteServer:
         workers: int = 4,
         max_sessions: int | None = None,
         request_timeout: float = 120.0,
+        allow_shm: bool = True,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
         if request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
+        # Shared-memory placement is granted per session, and only to
+        # unshaped links (a shaped "WAN" session must stay on the socket
+        # path its emulation throttles).
+        self.allow_shm = allow_shm
         self.model = model
         self.boundary = boundary
         self.config = config
@@ -506,16 +512,31 @@ class RemoteServer:
                 )
                 return
             with self._worker_slots:
-                transport.send_obj(
-                    {
-                        "protocol": PROTOCOL_VERSION,
-                        "model": self.model.name,
-                        "boundary": self.boundary,
-                        "session": stats.session_id,
-                        "manifest": program_manifest(self.program),
-                    },
-                    "hello",
-                )
+                hello = {
+                    "protocol": PROTOCOL_VERSION,
+                    "model": self.model.name,
+                    "boundary": self.boundary,
+                    "session": stats.session_id,
+                    "manifest": program_manifest(self.program),
+                }
+                shm_channel = None
+                if link.get("shm") and self.allow_shm and transport.shaper is None:
+                    try:
+                        shm_channel, grant = ShmChannel.serve(transport)
+                    except Exception:
+                        # Can't create the segments (exhausted /dev/shm,
+                        # no shared-memory support, ...): stay on TCP.
+                        shm_channel = None
+                    else:
+                        hello["shm"] = grant
+                transport.send_obj(hello, "hello")
+                if shm_channel is not None:
+                    # Everything after the hello rides the rings; the TCP
+                    # connection stays open underneath as the liveness
+                    # carrier and the (shared) stats object.
+                    transport = shm_channel
+                    with self._state_lock:
+                        self._active[stats.session_id] = (stats, transport)
                 stats.handshake_ok = True
                 while True:
                     request = transport.recv_obj("req")
@@ -819,6 +840,7 @@ class RemoteClient:
         reconnect_timeout: float = 10.0,
         busy_backoff_s: float = 0.05,
         wait_for_slot: bool = False,
+        shm: bool = False,
     ):
         self.session = session
         self.host = host
@@ -826,6 +848,11 @@ class RemoteClient:
         self._network = network
         self._timeout = timeout
         self._wrapper = transport_wrapper
+        # Shared-memory placement only makes sense for a co-located,
+        # unshaped, unwrapped link: an emulated network or a chaos
+        # wrapper must see every frame on the socket path it intercepts.
+        self._shm = shm and network is None and transport_wrapper is None
+        self.shm_active = False
         self._seed = seed
         self.reconnect_timeout = reconnect_timeout
         self.busy_backoff_s = busy_backoff_s
@@ -868,6 +895,7 @@ class RemoteClient:
                     else None,
                     "rtt_s": self._network.rtt_s if self._network else None,
                     "session": self.session,
+                    "shm": self._shm,
                 },
                 "link",
             )
@@ -897,6 +925,20 @@ class RemoteClient:
         self.boundary = hello["boundary"]
         self.server_session_id = hello.get("session")
         self.manifest = hello["manifest"]
+        grant = hello.get("shm")
+        self.shm_active = False
+        if self._shm and grant:
+            # The server has already rebound to the rings; attaching must
+            # succeed or the placements disagree — surface, don't limp.
+            try:
+                transport = ShmChannel.connect(grant, carrier=transport)
+            except Exception as exc:
+                transport.close()
+                raise TransportError(
+                    f"server granted shared-memory placement but attaching "
+                    f"failed: {exc}"
+                ) from exc
+            self.shm_active = True
         if self.engine is None:
             # The engine (and its share rng) persists across reconnects:
             # a retried request must replay the original rng draws, not
@@ -991,7 +1033,7 @@ class RemoteClient:
         execution = self.engine.run(transport, material, x=images)
 
         perturbed = self.noise.perturb_share(execution.share, self.config)
-        transport.push(np.ascontiguousarray(perturbed).tobytes(), "noised-reveal")
+        transport.push(transport.stage(perturbed, "noised-reveal"), "noised-reveal")
         transport.send(0, perturbed.nbytes, label="noised-reveal")
         transport.tick_round("noised-reveal")
 

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.bench.protocols import (
     DEFAULT_TOLERANCE,
+    check_serve_snapshot,
     check_snapshot,
     material_nbytes,
     render_report,
@@ -113,3 +114,100 @@ class TestCommittedSnapshots:
             before["offline"]["bit_triple_bytes_per_element"]
             >= 4 * committed["offline"]["bit_triple_bytes_per_element"]
         )
+
+
+def _serve_report():
+    """A synthetic placement report shaped like bench_serve_placements."""
+    sha = "ab" * 32
+    return {
+        "schema": 1,
+        "calibration_s": 1.0,
+        "logits_identical": True,
+        "logits_sha256": sha,
+        "placements": {
+            "in-process": {"ms_per_inference": 5.0, "logits_sha256": sha},
+            "socket-loopback": {
+                "ms_per_inference": 30.0,
+                "logits_sha256": sha,
+                "bytes_match": True,
+                "shm_active": False,
+            },
+            "shared-memory": {
+                "ms_per_inference": 25.0,
+                "logits_sha256": sha,
+                "bytes_match": True,
+                "shm_active": True,
+            },
+        },
+    }
+
+
+class TestServeGate:
+    def test_identical_report_passes(self):
+        report = _serve_report()
+        assert check_serve_snapshot(report, copy.deepcopy(report)) == []
+
+    def test_logits_disagreement_fails(self):
+        report = _serve_report()
+        report["logits_identical"] = False
+        failures = check_serve_snapshot(report, copy.deepcopy(_serve_report()))
+        assert any("disagree on logits" in failure for failure in failures)
+
+    def test_logits_drift_from_snapshot_fails(self):
+        report = _serve_report()
+        snapshot = _serve_report()
+        snapshot["logits_sha256"] = "cd" * 32
+        failures = check_serve_snapshot(report, snapshot)
+        assert any("logits drifted" in failure for failure in failures)
+
+    def test_byte_accounting_divergence_fails(self):
+        report = _serve_report()
+        report["placements"]["shared-memory"]["bytes_match"] = False
+        failures = check_serve_snapshot(report, _serve_report())
+        assert any("diverged from Channel accounting" in f for f in failures)
+
+    def test_shm_fallback_fails(self):
+        report = _serve_report()
+        report["placements"]["shared-memory"]["shm_active"] = False
+        failures = check_serve_snapshot(report, _serve_report())
+        assert any("fell back to the socket" in f for f in failures)
+
+    def test_in_process_latency_gate_is_tight(self):
+        report = _serve_report()
+        report["placements"]["in-process"]["ms_per_inference"] = 12.0
+        failures = check_serve_snapshot(report, _serve_report())
+        assert any("in-process serve latency regressed" in f for f in failures)
+
+    def test_remote_placements_get_scheduler_slack(self):
+        # +30% on a remote leg sits inside the doubled band + 10 ms floor.
+        report = _serve_report()
+        report["placements"]["socket-loopback"]["ms_per_inference"] = 39.0
+        assert check_serve_snapshot(report, _serve_report()) == []
+        report["placements"]["socket-loopback"]["ms_per_inference"] = 60.0
+        failures = check_serve_snapshot(report, _serve_report())
+        assert any("socket-loopback serve latency" in f for f in failures)
+
+    def test_missing_placement_fails(self):
+        report = _serve_report()
+        del report["placements"]["shared-memory"]
+        failures = check_serve_snapshot(report, _serve_report())
+        assert any("fell back" in f or "missing" in f for f in failures)
+
+
+class TestCommittedServeSnapshot:
+    def test_committed_serve_snapshot_meets_acceptance(self):
+        import json
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        with open(root / "benchmarks" / "BENCH_serve.json") as handle:
+            committed = json.load(handle)
+        assert committed["logits_identical"] is True
+        assert committed["best_ms_per_inference"] < 9.5
+        placements = committed["placements"]
+        assert set(placements) == {
+            "in-process", "socket-loopback", "shared-memory",
+        }
+        assert placements["shared-memory"]["shm_active"] is True
+        for name in ("socket-loopback", "shared-memory"):
+            assert placements[name]["bytes_match"] is True
