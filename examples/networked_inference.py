@@ -55,6 +55,7 @@ def _start_server() -> tuple[subprocess.Popen, int]:
     match = re.search(r"listening on [\d.]+:(\d+)", line)
     if not match:
         proc.kill()
+        proc.stdout.close()
         raise RuntimeError(f"server did not announce a port: {line!r}")
     return proc, int(match.group(1))
 
@@ -86,6 +87,7 @@ def main():
         client.close()
     finally:
         proc.wait(timeout=120)
+        proc.stdout.close()
 
     print(f"prediction {int(reply.prediction[0])}, "
           f"{reply.online_s * 1e3:.1f} ms online, "
@@ -106,6 +108,7 @@ def main():
         client.close()
     finally:
         proc.wait(timeout=120)
+        proc.stdout.close()
     modeled = LAN.latency_of(shaped.traffic, compute_s=reply.online_s)
     print(f"measured {shaped.online_s:.3f} s vs modeled {modeled:.3f} s "
           f"(x{shaped.online_s / modeled:.2f}) for "

@@ -1,0 +1,241 @@
+"""Shared infrastructure for the ``c2pi audit`` static-analysis passes.
+
+The auditor never imports the code it inspects: every pass works on the
+:mod:`ast` of the source tree, so a module with a heavy import graph (or
+a deliberately broken fixture) costs nothing to analyse. The pieces here
+are the ones every pass shares:
+
+* :class:`SourceModule` — one parsed file plus its physical lines, with
+  inline-suppression lookup (``# audit: allow[rule] -- reason``);
+* :class:`Finding` — one rule violation, with a line-independent
+  fingerprint so baseline entries survive unrelated edits;
+* baseline load/compare — the committed ``AUDIT_BASELINE.json`` holds
+  *justified* findings the gate tolerates; anything else fails
+  ``c2pi audit --check``.
+
+Suppression policy (see DESIGN.md §11): a suppression comment must sit
+on the flagged statement (any of its physical lines) or the line
+directly above it, must name the rule it silences — ``allow[pass]``
+silences every rule of a pass, ``allow[pass/rule]`` exactly one — and
+should carry a ``--`` justification. Suppressions are grep-able review
+anchors, not configuration: broad exemptions belong in the pass itself,
+where they are documented once.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "SourceModule",
+    "AuditReport",
+    "load_modules",
+    "emit",
+    "load_baseline",
+    "dotted_name",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*audit:\s*allow\[([a-z0-9/_-]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  # "pass/rule-id"
+    path: str  # posix path relative to the scan root
+    line: int
+    message: str
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching.
+
+        A baseline entry written against line 42 must keep matching when
+        an unrelated edit above shifts the finding to line 57 — only the
+        rule, the file and the message participate.
+        """
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file: tree, physical lines, suppression index."""
+
+    path: Path
+    rel: str  # posix-relative to the scan root
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "SourceModule":
+        text = path.read_text()
+        return cls(
+            path=path,
+            rel=path.relative_to(root).as_posix(),
+            text=text,
+            tree=ast.parse(text, filename=str(path)),
+            lines=text.splitlines(),
+        )
+
+    def in_scope(self, fragments: tuple[str, ...]) -> bool:
+        """Whether this module falls under a pass's path scope.
+
+        Fragment matching (``"mpc/protocols/" in rel``) rather than
+        prefix matching, so the fixture trees under ``tests/analysis``
+        can mirror the real layout one directory deeper and still hit
+        the same scopes.
+        """
+        return any(fragment in self.rel for fragment in fragments)
+
+    def _allowed_rules(self, line: int) -> list[str]:
+        if 1 <= line <= len(self.lines):
+            return _SUPPRESS_RE.findall(self.lines[line - 1])
+        return []
+
+    def suppressed(self, rule: str, node: ast.AST) -> bool:
+        """Inline ``# audit: allow[...]`` lookup for a finding at ``node``.
+
+        The tag may sit on any physical line of the flagged statement
+        (multi-line calls put the interesting expression far from the
+        statement's first line) or on the line directly above it.
+        ``allow[secrecy]`` silences every ``secrecy/*`` rule;
+        ``allow[secrecy/print-in-protocol]`` silences exactly one.
+        """
+        start = getattr(node, "lineno", 0)
+        end = getattr(node, "end_lineno", start) or start
+        tags: list[str] = []
+        for line in range(start - 1, end + 1):
+            tags.extend(self._allowed_rules(line))
+        return any(rule == tag or rule.startswith(tag + "/") for tag in tags)
+
+
+def emit(
+    findings: list[Finding],
+    module: SourceModule,
+    rule: str,
+    node: ast.AST,
+    message: str,
+) -> None:
+    """Append a finding unless an inline suppression covers it."""
+    if module.suppressed(rule, node):
+        return
+    findings.append(
+        Finding(
+            rule=rule,
+            path=module.rel,
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+    )
+
+
+def load_modules(root: Path) -> list[SourceModule]:
+    """Parse every ``*.py`` under ``root`` (sorted for stable output)."""
+    root = Path(root)
+    modules = []
+    for path in sorted(root.rglob("*.py")):
+        modules.append(SourceModule.parse(path, root))
+    return modules
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+# report + baseline
+# ----------------------------------------------------------------------
+@dataclass
+class AuditReport:
+    """The outcome of one audit run over one source tree."""
+
+    root: str
+    findings: list[Finding]
+    passes: list[str]
+    modules_scanned: int
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "passes": self.passes,
+            "modules_scanned": self.modules_scanned,
+            "findings": [finding.as_dict() for finding in self.findings],
+            "summary": self.summary(),
+        }
+
+    def apply_baseline(
+        self, baseline: list[dict]
+    ) -> tuple[list[Finding], list[dict]]:
+        """Split findings into (new, stale-baseline-entries).
+
+        A baseline entry matches at most one finding (so two identical
+        regressions cannot hide behind one justification); entries that
+        match nothing are *stale* and should be pruned.
+        """
+        unmatched = list(baseline)
+        new: list[Finding] = []
+        for finding in self.findings:
+            for entry in unmatched:
+                if (
+                    entry.get("rule") == finding.rule
+                    and entry.get("path") == finding.path
+                    and entry.get("message") == finding.message
+                ):
+                    unmatched.remove(entry)
+                    break
+            else:
+                new.append(finding)
+        return new, unmatched
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """The committed baseline: a list of justified finding entries.
+
+    Every entry must carry a ``justification`` — an unexplained baseline
+    entry is indistinguishable from a rubber-stamped bug, so loading one
+    is an error, not a warning.
+    """
+    data = json.loads(Path(path).read_text())
+    entries = data.get("findings", [])
+    for entry in entries:
+        missing = {"rule", "path", "message"} - set(entry)
+        if missing:
+            raise ValueError(f"baseline entry missing {sorted(missing)}: {entry}")
+        if not entry.get("justification"):
+            raise ValueError(
+                f"baseline entry for {entry['path']} [{entry['rule']}] has no "
+                "justification — baselined findings must explain themselves"
+            )
+    return entries

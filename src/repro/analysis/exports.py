@@ -1,0 +1,122 @@
+"""Export-drift pass: ``__all__`` and the public surface must agree.
+
+Promoted from ``tests/test_exports.py`` (which is now a thin wrapper over
+this module, so one implementation serves both CI entry points). The
+motivating bug: ``multiply_public_constant`` was public in
+``protocols/linear.py`` — and re-exported by ``protocols/__init__`` —
+while missing from the module's own ``__all__``; harmless until a
+``from ... import *`` or an API doc generator silently drops it.
+
+Rules, for every module that declares ``__all__``:
+
+``exports/missing-export``
+    A public top-level function/class/constant absent from ``__all__``.
+
+``exports/ghost-export``
+    An ``__all__`` entry that resolves to nothing: not defined, not
+    imported, and (for a package ``__init__``) not a submodule.
+
+Modules without an ``__all__`` are skipped — opting into the audit is
+the act of declaring one.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, SourceModule, emit
+
+__all__ = [
+    "NAME",
+    "run",
+    "audit_module",
+    "declared_all",
+    "public_definitions",
+    "imported_names",
+]
+
+NAME = "exports"
+
+
+def declared_all(tree: ast.Module) -> tuple[ast.Assign, list[str]] | None:
+    """The ``__all__`` assignment node and its names, or None."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            getattr(target, "id", None) == "__all__" for target in node.targets
+        ):
+            try:
+                names = [ast.literal_eval(element) for element in node.value.elts]
+            except (AttributeError, ValueError):
+                return None  # computed __all__: out of the audit's reach
+            return node, names
+    return None
+
+
+def public_definitions(tree: ast.Module) -> set[str]:
+    """Top-level public functions, classes, and constants."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                name = getattr(target, "id", None)
+                if name and not name.startswith("_") and name != "__all__":
+                    names.add(name)
+        elif isinstance(node, ast.AnnAssign):
+            name = getattr(node.target, "id", None)
+            if name and not name.startswith("_"):
+                names.add(name)
+    return names
+
+
+def imported_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+def audit_module(module: SourceModule, findings: list[Finding]) -> None:
+    declaration = declared_all(module.tree)
+    if declaration is None:
+        return
+    node, declared = declaration
+    public = public_definitions(module.tree)
+
+    for name in sorted(public - set(declared)):
+        emit(
+            findings,
+            module,
+            "exports/missing-export",
+            node,
+            f"public definition {name!r} is absent from __all__ — star "
+            "imports and API docs will silently drop it",
+        )
+
+    resolvable = public | imported_names(module.tree)
+    if module.path.name == "__init__.py":
+        package_dir = module.path.parent
+        resolvable |= {child.stem for child in package_dir.glob("*.py")}
+        resolvable |= {
+            child.name for child in package_dir.iterdir() if child.is_dir()
+        }
+    for name in sorted(set(declared) - resolvable):
+        emit(
+            findings,
+            module,
+            "exports/ghost-export",
+            node,
+            f"__all__ lists {name!r} but nothing defines, imports, or "
+            "provides it — a star import raises AttributeError",
+        )
+
+
+def run(modules: list[SourceModule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        audit_module(module, findings)
+    return findings

@@ -1,0 +1,369 @@
+"""Secret-flow taint pass: shares reach the wire only through sanitizers.
+
+The crypto-clear split stays private because every byte that crosses the
+process boundary is either (a) a fresh additive/XOR share — uniformly
+distributed on its own — or (b) a protocol value masked by dealer
+randomness before the reveal (the Beaver ``d = x - a`` / ``e = y - b``
+openings, the comparison circuit's ``z = x + r`` masked reveal). The
+runtime byte-identity tests exercise this on the paths they run; this
+pass checks it on *every* wire sink in the protocol layer.
+
+Model (function-local, provenance-based): for each payload expression
+handed to a movement sink (``push`` / ``push_deferred`` / ``swap`` /
+``swap_segments`` / ``push_segments``), walk its definition chain and
+require a *sanctioned* producer:
+
+* ``io.stage(...)`` — packed-word staging; by contract its input is a
+  pre-masked/share value (the staging primitives below enforce it);
+* a pooled frame (``alloc_words`` / ``alloc_frame`` / ``_pair_frame``)
+  whose every in-place write (``out=``, subscript store, ``np.copyto``)
+  mixes in a mask operand — dealer-material attribute (``triple.a``,
+  ``mask.r``, ``correlation.mask``) or a uniform ring draw
+  (``random_ring`` / ``rng.integers``);
+* a share freshly split by ``share_additive`` / ``share_boolean`` /
+  ``share_boolean_words`` (one share alone is uniform);
+* a parameter of one of the *trusted movement primitives* — the
+  ``swap_ring`` family and ``party_open`` — whose documented contract is
+  "callers pass masked values" (their callers are audited in turn).
+
+Anything else — a bare parameter, an unmasked intermediate, an unknown
+call — is flagged: it may be exactly the secret the protocol exists to
+hide. Taint-preserving wrappers (``memoryview(...).cast``, ``_buffer``,
+``bytes``, ``pack_bits``, ``np.ascontiguousarray``) are looked through.
+
+A second rule bans ``print`` / ``logging`` in the protocol layer
+outright: a debug print of a live share is the classic leak, and the
+protocol modules have no legitimate console output.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, SourceModule, dotted_name, emit
+
+__all__ = ["NAME", "SCOPE", "run"]
+
+NAME = "secrecy"
+
+# The modules where share-typed values live. serve/ and transport are the
+# byte movers — they only ever see already-staged buffers.
+SCOPE = ("mpc/protocols/", "mpc/engine.py", "mpc/party.py")
+
+# Payload-moving sink methods and the argument that is the payload.
+_SINKS = {"push": 0, "push_deferred": 0, "swap": 0}
+_SEGMENT_SINKS = {"push_segments": 0, "swap_segments": 0}
+
+# Producers whose result is cleared for the wire as-is.
+_STAGING_CALLS = {"stage"}
+# Pooled-frame allocators: contents must be written via masked ops.
+_ALLOCATORS = {"alloc_words", "alloc_frame", "_pair_frame"}
+# Splitting a secret yields two individually-uniform shares.
+_SHARE_SPLITTERS = {"share_additive", "share_boolean", "share_boolean_words"}
+# Content-preserving wrappers the checker looks through.
+_WRAPPERS = {"_buffer", "memoryview", "bytes", "pack_bits", "ascontiguousarray"}
+# Movement primitives whose *parameters* are pre-masked by contract.
+_TRUSTED_PRIMITIVES = {
+    "swap_ring",
+    "swap_ring_pair",
+    "swap_bits",
+    "party_open",
+}
+# Mask-producing calls: uniform draws that blind whatever they touch.
+_MASK_CALLS = {"random_ring", "integers", "next"}
+
+_LOG_SINKS = {"print"}
+_LOG_MODULES = {"logging", "logger", "log"}
+
+
+def _call_tail(node: ast.Call) -> str | None:
+    """The final attribute/function name of a call (``io.stage`` -> stage)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class _FunctionFacts:
+    """Single-pass collection of a function's local definitions."""
+
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.fn = fn
+        self.params = {arg.arg for arg in fn.args.args}
+        self.params.update(arg.arg for arg in fn.args.kwonlyargs)
+        if fn.args.vararg:
+            self.params.add(fn.args.vararg.arg)
+        self.assigns: dict[str, ast.expr] = {}
+        # name -> set of sibling names from one tuple-unpacked allocator
+        self.alloc_groups: dict[str, set[str]] = {}
+        self.writes: list[ast.Call] = []  # calls carrying an out= kwarg
+        self.stores: list[tuple[str, ast.expr, ast.AST]] = []  # subscript stores
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                self._record_assign(node)
+            elif isinstance(node, ast.Call):
+                if any(kw.arg == "out" for kw in node.keywords):
+                    self.writes.append(node)
+                tail = _call_tail(node)
+                if tail == "copyto" and len(node.args) >= 2:
+                    target = node.args[0]
+                    if isinstance(target, ast.Name):
+                        self.stores.append((target.id, node.args[1], node))
+
+    def _record_assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.assigns[target.id] = node.value
+            elif isinstance(target, ast.Tuple) and isinstance(node.value, ast.Call):
+                tail = _call_tail(node.value)
+                if tail in _ALLOCATORS:
+                    names = {
+                        element.id
+                        for element in target.elts
+                        if isinstance(element, ast.Name)
+                    }
+                    for name in names:
+                        self.alloc_groups[name] = names
+            elif isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                self.stores.append((target.value.id, node.value, node))
+
+
+def _unwrap(expr: ast.expr, facts: _FunctionFacts, depth: int = 0) -> ast.expr:
+    """Strip content-preserving wrappers and name indirection."""
+    while depth < 12:
+        depth += 1
+        if isinstance(expr, ast.Call):
+            tail = _call_tail(expr)
+            if tail == "cast" and isinstance(expr.func, ast.Attribute):
+                expr = expr.func.value  # memoryview(x).cast("B") -> memoryview(x)
+                continue
+            if tail in _WRAPPERS and expr.args:
+                expr = expr.args[0]
+                continue
+            return expr
+        if isinstance(expr, ast.Name) and expr.id in facts.assigns:
+            expr = facts.assigns[expr.id]
+            continue
+        return expr
+    return expr
+
+
+def _is_alloc_chain(expr: ast.expr) -> bool:
+    """``io.alloc_words(...)`` possibly followed by ``.reshape(...)`` etc."""
+    while True:
+        if isinstance(expr, ast.Call):
+            tail = _call_tail(expr)
+            if tail in _ALLOCATORS:
+                return True
+            if tail in {"reshape", "view", "astype"} and isinstance(
+                expr.func, ast.Attribute
+            ):
+                expr = expr.func.value
+                continue
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+            continue
+        return False
+
+
+def _is_mask_operand(expr: ast.expr, facts: _FunctionFacts) -> bool:
+    """Does this operand blind the value it is combined with?
+
+    Dealer material arrives as attribute access on a material record
+    (``triple.a``, ``mask.r``, ``correlation.mask``, ``dabit.boolean``)
+    — in the protocol layer *any* attribute operand is a material read,
+    since protocol functions are free functions over arrays and records.
+    Fresh uniform draws (``random_ring``, ``rng.integers``) and names
+    bound to either also qualify.
+    """
+    if isinstance(expr, ast.Attribute):
+        return True
+    if isinstance(expr, ast.Call):
+        tail = _call_tail(expr)
+        if tail in _MASK_CALLS:
+            return True
+    if isinstance(expr, ast.Name):
+        defn = facts.assigns.get(expr.id)
+        if defn is not None and defn is not expr:
+            return _is_mask_operand(defn, facts)
+    if isinstance(expr, ast.BinOp):
+        return _is_mask_operand(expr.left, facts) or _is_mask_operand(
+            expr.right, facts
+        )
+    return False
+
+
+def _alias_set(name: str, facts: _FunctionFacts) -> set[str]:
+    """Every local name viewing the same allocated frame."""
+    aliases = set(facts.alloc_groups.get(name, {name}))
+    grew = True
+    while grew:
+        grew = False
+        for other, defn in facts.assigns.items():
+            if other in aliases:
+                continue
+            base = defn
+            while isinstance(base, (ast.Subscript, ast.Attribute, ast.Call)):
+                if isinstance(base, ast.Call):
+                    if not isinstance(base.func, ast.Attribute):
+                        break
+                    base = base.func.value
+                else:
+                    base = base.value
+            if isinstance(base, ast.Name) and base.id in aliases:
+                aliases.add(other)
+                grew = True
+    return aliases
+
+
+def _unsanitized_frame_writes(
+    name: str, facts: _FunctionFacts
+) -> list[ast.AST]:
+    """In-place writes into an allocated frame that carry no mask."""
+    aliases = _alias_set(name, facts)
+    offending: list[ast.AST] = []
+    for call in facts.writes:
+        out = next(kw.value for kw in call.keywords if kw.arg == "out")
+        target = out
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        if not (isinstance(target, ast.Name) and target.id in aliases):
+            continue
+        if not any(_is_mask_operand(arg, facts) for arg in call.args):
+            offending.append(call)
+    for target_name, value, node in facts.stores:
+        if target_name in aliases and not _is_mask_operand(value, facts):
+            offending.append(node)
+    return offending
+
+
+def _check_payload(
+    payload: ast.expr,
+    facts: _FunctionFacts,
+    module: SourceModule,
+    sink: ast.Call,
+    findings: list[Finding],
+) -> None:
+    resolved = _unwrap(payload, facts)
+
+    if isinstance(resolved, ast.Call):
+        tail = _call_tail(resolved)
+        if tail in _STAGING_CALLS:
+            return  # io.stage(...): staged through the pool, pre-masked
+        if _is_alloc_chain(resolved):
+            # Direct push of an anonymous frame: nothing was written into
+            # it locally, so its content is pool scratch — harmless.
+            return
+        if tail in _SHARE_SPLITTERS:
+            return
+        emit(
+            findings,
+            module,
+            "secrecy/unsanitized-sink",
+            sink,
+            f"payload produced by unvetted call {tail!r} reaches the wire "
+            "without an allowlisted sanitizer (stage / masked frame / "
+            "share split)",
+        )
+        return
+
+    if isinstance(resolved, ast.Name):
+        name = resolved.id
+        defn = facts.assigns.get(name)
+        if name in facts.alloc_groups or (
+            defn is not None and _is_alloc_chain(defn)
+        ):
+            for write in _unsanitized_frame_writes(name, facts):
+                emit(
+                    findings,
+                    module,
+                    "secrecy/unsanitized-sink",
+                    write,
+                    f"wire frame {name!r} is written without a mask operand "
+                    "before being pushed — a raw (unblinded) value would "
+                    "cross the process boundary",
+                )
+            return
+        if defn is not None:
+            resolved_def = _unwrap(defn, facts)
+            if isinstance(resolved_def, ast.Call):
+                _check_payload(resolved_def, facts, module, sink, findings)
+                return
+        if name in facts.params:
+            if facts.fn.name in _TRUSTED_PRIMITIVES:
+                return  # contract: callers of the primitive pre-mask
+            emit(
+                findings,
+                module,
+                "secrecy/unsanitized-sink",
+                sink,
+                f"parameter {name!r} of {facts.fn.name!r} flows to the wire "
+                "unmasked — only the trusted movement primitives may ship "
+                "caller values verbatim",
+            )
+            return
+    emit(
+        findings,
+        module,
+        "secrecy/unsanitized-sink",
+        sink,
+        f"cannot establish sanitized provenance for wire payload in "
+        f"{facts.fn.name!r}",
+    )
+
+
+def _audit_function(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    module: SourceModule,
+    findings: list[Finding],
+) -> None:
+    facts = _FunctionFacts(fn)
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr in _SINKS and node.args:
+            _check_payload(node.args[_SINKS[func.attr]], facts, module, node, findings)
+        elif func.attr in _SEGMENT_SINKS and node.args:
+            segments = node.args[_SEGMENT_SINKS[func.attr]]
+            if isinstance(segments, (ast.Tuple, ast.List)):
+                for element in segments.elts:
+                    _check_payload(element, facts, module, node, findings)
+            else:
+                _check_payload(segments, facts, module, node, findings)
+
+
+def _audit_logging(module: SourceModule, findings: list[Finding]) -> None:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name in _LOG_SINKS or (
+            name is not None and name.split(".")[0] in _LOG_MODULES
+        ):
+            emit(
+                findings,
+                module,
+                "secrecy/print-in-protocol",
+                node,
+                f"{name}() in the protocol layer — console/log output can "
+                "leak live shares; protocol modules must not print",
+            )
+
+
+def run(modules: list[SourceModule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        if not module.in_scope(SCOPE):
+            continue
+        _audit_logging(module, findings)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _audit_function(node, module, findings)
+    return findings

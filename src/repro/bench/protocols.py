@@ -409,6 +409,7 @@ def bench_serve_placements(requests: int = 4) -> dict:
             if proc.poll() is None:  # pragma: no cover - crashed run
                 proc.kill()
                 proc.wait()
+            proc.stdout.close()
         return {
             "ms_per_inference": min(times) * 1e3,
             "amortized_ms": sum(times) * 1e3 / requests,

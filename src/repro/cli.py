@@ -20,6 +20,7 @@ any protocol suite — is reachable without writing Python:
     c2pi serve --listen 127.0.0.1:9123 --workers 4       # party 1 (server)
     c2pi client --connect 127.0.0.1:9123 --session alice # party 0 (client)
     c2pi chaos-check                                     # fault-recovery audit
+    c2pi audit --check                                   # static invariant gate
 
 ``serve``/``client`` run the two-process deployment: the compiled secure
 program executes between two real processes over a TCP socket, with
@@ -298,6 +299,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         help="server-side per-op deadline during the check (small = fast)",
+    )
+
+    audit = sub.add_parser(
+        "audit",
+        help="static invariant audit: secret-flow, lock discipline, "
+        "determinism, wire-label accounting and export drift over the "
+        "repo's own AST (DESIGN.md §11)",
+    )
+    audit.add_argument(
+        "--root",
+        default=None,
+        help="source tree to audit (default: the installed repro package)",
+    )
+    audit.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    audit.add_argument("--output", default=None, help="write the JSON report here")
+    audit.add_argument(
+        "--check",
+        action="store_true",
+        help="gate mode: exit 1 on any finding not covered by the baseline "
+        "(and on stale baseline entries)",
+    )
+    audit.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file for --check (default: AUDIT_BASELINE.json at "
+        "the repo root; ignored if the file does not exist)",
     )
     return parser
 
@@ -680,6 +709,57 @@ def _cmd_chaos_check(args) -> int:
     return 1 if run_chaos_check(args.seed, args.request_timeout) else 0
 
 
+def _cmd_audit(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .analysis import default_baseline, load_baseline, run_audit
+
+    root = Path(args.root) if args.root else None
+    report = run_audit(root)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline(report.root)
+    )
+    baseline: list[dict] = []
+    if baseline_path.exists():
+        baseline = load_baseline(baseline_path)
+    new, stale = report.apply_baseline(baseline)
+
+    if args.json or args.output:
+        payload = report.as_dict()
+        payload["baseline"] = str(baseline_path)
+        payload["baselined"] = len(report.findings) - len(new)
+        payload["new"] = [finding.as_dict() for finding in new]
+        payload["stale_baseline_entries"] = stale
+        text = json.dumps(payload, indent=2)
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+        if args.json:
+            print(text)
+    if not args.json:
+        print(
+            f"c2pi audit: {report.modules_scanned} modules, "
+            f"{len(report.passes)} passes ({', '.join(report.passes)})"
+        )
+        for finding in report.findings:
+            marker = "  [baselined] " if finding not in new else "  "
+            print(f"{marker}{finding.render()}")
+        for entry in stale:
+            print(
+                f"  [stale baseline] {entry['path']} [{entry['rule']}]: "
+                "no longer fires — prune the entry"
+            )
+        verdict = "clean" if not new and not stale else (
+            f"{len(new)} new finding(s), {len(stale)} stale baseline entr(y/ies)"
+        )
+        print(f"c2pi audit: {verdict}")
+
+    if args.check:
+        return 1 if new or stale else 0
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "train": _cmd_train,
@@ -692,6 +772,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "client": _cmd_client,
     "chaos-check": _cmd_chaos_check,
+    "audit": _cmd_audit,
 }
 
 

@@ -46,6 +46,10 @@ __all__ = [
     "relu_offline_material_bytes",
     "dealer_label_traffic",
     "dealer_material_bytes",
+    "PROTOCOL_WIRE_LABELS",
+    "FRAMEWORK_WIRE_LABELS",
+    "BACKEND_WIRE_LABELS",
+    "known_wire_labels",
 ]
 
 
@@ -88,6 +92,65 @@ _METHOD_MATERIAL_BYTES = {
     "dabits": 2 + 2 * WORD_BYTES,
     "beaver_triples": 3 * 2 * WORD_BYTES,
 }
+
+
+# ----------------------------------------------------------------------
+# wire-label registry
+# ----------------------------------------------------------------------
+# Every label that may appear on a push/exchange/tick_round call, tiered
+# by who owns the traffic. `c2pi audit` (the wire pass) statically checks
+# each accounting call site against this union — an unregistered label is
+# either a typo or a deliberate addition, and both get reviewed here, in
+# the same module whose tables the label must reconcile against.
+
+#: Dealer-suite protocol openings; derived from the traffic tables above
+#: so the registry cannot drift from the byte model.
+PROTOCOL_WIRE_LABELS = frozenset(
+    label for label, _payload in _METHOD_TRAFFIC.values()
+)
+
+#: Framework traffic: share distribution, session plumbing, the noised
+#: logit reveal, MAC checks, and the fault-injection frame tags.
+FRAMEWORK_WIRE_LABELS = frozenset(
+    {
+        "input-share",
+        "noised-reveal",
+        "open",
+        "linear",
+        "mac-commit",
+        "mac-open",
+        "link",
+        "logits",
+    }
+)
+
+#: Modeled-backend and crypto-primitive traffic (OT extension, base OT,
+#: garbled tables, Delphi/Cheetah ciphertext movement).
+BACKEND_WIRE_LABELS = frozenset(
+    {
+        "bit-open",
+        "iknp-u",
+        "iknp-payload",
+        "iknp-cot",
+        "baseot-A",
+        "baseot-B",
+        "baseot-ciphertexts",
+        "1ofN-entries",
+        "gc-tables",
+        "delphi-online",
+        "delphi-offline-up",
+        "delphi-offline-down",
+        "delphi-enc-reply",
+        "delphi-enc-mask",
+        "cheetah-ct-up",
+        "cheetah-ct-down",
+    }
+)
+
+
+def known_wire_labels() -> frozenset:
+    """The full registry: every label sanctioned for accounting calls."""
+    return PROTOCOL_WIRE_LABELS | FRAMEWORK_WIRE_LABELS | BACKEND_WIRE_LABELS
 
 
 def _elements(shape) -> int:

@@ -206,7 +206,9 @@ def _encode_frame(kind: int, label: str, payload: bytes) -> bytes:
     if len(encoded) > 0xFFFF:
         raise TransportError(f"label too long: {label!r}")
     header = _HEADER.pack(
-        _MAGIC, _VERSION, kind, len(encoded), len(payload), time.time(),
+        _MAGIC, _VERSION, kind, len(encoded), len(payload),
+        # audit: allow[determinism/wall-clock] -- diagnostic stamp, outside CRC/accounting
+        time.time(),
         zlib.crc32(payload),
     )
     return header + encoded + payload
@@ -960,7 +962,9 @@ class PeerChannel(Transport):
         if self.shaper is not None:
             self.shaper.throttle_send(total)
         header = _HEADER.pack(
-            _MAGIC, _VERSION, kind, len(encoded), total, time.time(),
+            _MAGIC, _VERSION, kind, len(encoded), total,
+            # audit: allow[determinism/wall-clock] -- diagnostic stamp, outside CRC/accounting
+            time.time(),
             _frame_crc(segments),
         )
         copied = 0

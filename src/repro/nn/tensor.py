@@ -404,7 +404,10 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-self.data))
+        # exp overflow here is pure saturation: exp(-x) -> inf makes the
+        # quotient exactly 0.0, the correct limit — same bits as before.
+        with np.errstate(over="ignore"):
+            data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad):
             return (grad * data * (1.0 - data),)

@@ -29,6 +29,7 @@ import numpy as np
 from .. import nn
 from ..models.layered import LayeredModel
 from ..mpc.chaos import ChaosController, FaultSpec
+from ..mpc.transport import TransportError
 from .remote import RemoteClient, RemoteServer
 
 __all__ = ["TINY_BOUNDARY", "tiny_victim", "CHAOS_CASES", "run_chaos_check", "main"]
@@ -127,7 +128,8 @@ def run_chaos_check(seed: int = 0, request_timeout: float = 0.5,
             )
             clean = _run_session(server.port, images, session="clean", seed=seed + 8)
             metrics = server.metrics()
-        except Exception as exc:  # noqa: BLE001 - the check reports, not raises
+        except (AssertionError, TransportError, OSError, ValueError) as exc:
+            # The check reports failures, it does not raise them.
             failures += 1
             if verbose:
                 print(f"FAIL {spec.describe():<40} {type(exc).__name__}: {exc}")

@@ -523,7 +523,7 @@ class RemoteServer:
                 if link.get("shm") and self.allow_shm and transport.shaper is None:
                     try:
                         shm_channel, grant = ShmChannel.serve(transport)
-                    except Exception:
+                    except (OSError, ValueError, MemoryError):
                         # Can't create the segments (exhausted /dev/shm,
                         # no shared-memory support, ...): stay on TCP.
                         shm_channel = None
@@ -549,24 +549,37 @@ class RemoteServer:
                     self._serve_inference(transport, request, stats)
                     with self._state_lock:
                         self.requests_served += 1
-        except Exception as exc:
+        except (TransportError, OSError, ValueError, KeyError,
+                TypeError, AttributeError) as exc:
             # Contain the blast radius: this connection dies, the server
             # lives. TransportError covers vanished/out-of-lockstep
-            # peers; anything else is a malformed request (bad batch,
-            # reshape failure, ...) or an internal bug worth surfacing
-            # in the metrics rather than in a dead accept loop.
-            if stats is not None:
-                stats.error = f"{type(exc).__name__}: {exc}"
-                self._reap(stats)
-            elif not rejected:  # a rejection already counted itself
-                with self._state_lock:
-                    self.connections_failed += 1
+            # peers; the rest is what a hostile or buggy peer can induce
+            # (malformed request dict, bad batch, reshape failure, ...)
+            # — worth surfacing in the metrics, not in a dead worker.
+            self._note_worker_failure(stats, rejected, exc)
+        except Exception as exc:
+            # An internal bug (assertion, name error, ...) must not be
+            # absorbed as if a client had misbehaved: do the same
+            # bookkeeping, then let it propagate to the thread excepthook.
+            self._note_worker_failure(stats, rejected, exc)
+            raise
         finally:
             transport.close()
             with self._state_lock:
                 self._pending.discard(transport)
             if stats is not None:
                 self._retire(stats, transport)
+
+    def _note_worker_failure(
+        self, stats: "SessionStats | None", rejected: bool, exc: BaseException
+    ) -> None:
+        """Session-worker failure bookkeeping (shared by both handlers)."""
+        if stats is not None:
+            stats.error = f"{type(exc).__name__}: {exc}"
+            self._reap(stats)
+        elif not rejected:  # a rejection already counted itself
+            with self._state_lock:
+                self.connections_failed += 1
 
     def _reap(self, stats: SessionStats) -> None:
         """A session died mid-protocol: resolve its offline material.
@@ -932,7 +945,7 @@ class RemoteClient:
             # succeed or the placements disagree — surface, don't limp.
             try:
                 transport = ShmChannel.connect(grant, carrier=transport)
-            except Exception as exc:
+            except (TransportError, OSError, ValueError) as exc:
                 transport.close()
                 raise TransportError(
                     f"server granted shared-memory placement but attaching "

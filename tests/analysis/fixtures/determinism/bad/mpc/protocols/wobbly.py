@@ -1,0 +1,28 @@
+"""Known-bad determinism fixture: ambient state on protocol paths."""
+
+import random
+import time
+
+import numpy as np
+
+
+def ambient_noise(shape):
+    return np.random.rand(*shape)  # numpy global rng state
+
+
+def ambient_choice(items):
+    return random.choice(items)  # stdlib global rng state
+
+
+def unseeded_stream():
+    return np.random.default_rng()  # fresh OS entropy every process
+
+
+def stamped_frame():
+    return time.time()  # wall clock on a protocol path
+
+
+def unordered_walk(shares):
+    pending = set(shares)
+    for share in pending:  # hash-order iteration decides wire order
+        yield share

@@ -1,0 +1,30 @@
+"""Known-good determinism fixture: seeded, monotonic, ordered."""
+
+import time
+
+import numpy as np
+
+
+def seeded_noise(shape, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(shape)
+
+
+def deadline(timeout):
+    return time.monotonic() + timeout
+
+
+def measured(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def ordered_walk(shares):
+    pending = set(shares)
+    for share in sorted(pending):  # explicit order: replayable
+        yield share
+
+
+def suppressed_stamp():
+    return time.time()  # audit: allow[determinism/wall-clock] -- fixture: diagnostic only

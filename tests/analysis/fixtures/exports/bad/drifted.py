@@ -1,0 +1,11 @@
+"""Known-bad exports fixture: a missing export and a ghost."""
+
+__all__ = ["visible", "phantom"]
+
+
+def visible():
+    return 1
+
+
+def forgotten():  # public but absent from __all__
+    return 2

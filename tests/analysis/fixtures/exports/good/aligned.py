@@ -1,0 +1,19 @@
+"""Known-good exports fixture: __all__ and the public surface agree."""
+
+from os.path import join
+
+__all__ = ["visible", "also_visible", "join", "LIMIT"]
+
+LIMIT = 8
+
+
+def visible():
+    return 1
+
+
+def also_visible():
+    return 2
+
+
+def _private():
+    return 3

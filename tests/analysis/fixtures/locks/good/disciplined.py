@@ -1,0 +1,41 @@
+"""Known-good lock fixture: the sanctioned patterns."""
+
+import threading
+import time
+
+
+class DisciplinedServer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self._generation_lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+
+    def serialized_write(self, sock, frame):
+        # I/O-serialization lock: holding across the write IS the point.
+        with self._write_lock:
+            sock.sendall(frame)
+
+    def serialized_generation(self, dealer):
+        # Generation lock: serializes the rng stream by design.
+        with self._generation_lock:
+            dealer.generate(4)
+
+    def wait_drained(self):
+        with self._lock:
+            self._drained.wait(1.0)
+
+    def blocking_outside(self, pool):
+        with self._lock:
+            want = 4
+        pool.refill(want)
+
+    def consistent_nesting(self):
+        with self._lock:
+            with self._write_lock:
+                pass
+
+    def consistent_nesting_again(self):
+        with self._lock:
+            with self._write_lock:
+                pass

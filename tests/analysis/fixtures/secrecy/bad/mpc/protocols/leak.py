@@ -1,0 +1,18 @@
+"""Known-bad secrecy fixture: raw shares reach the wire and the log."""
+
+import numpy as np
+
+
+def leak_raw_share(io, x):
+    # The local share goes out with no masking chain at all.
+    io.push(memoryview(x).cast("B"), "beaver-open")
+
+
+def leak_via_swap(io, x, triple):
+    d = x + triple.a  # plain expression, not written into a pooled frame
+    return io.swap(bytes(d), "beaver-open")
+
+
+def leak_to_log(io, x):
+    print("share payload:", x)
+    io.push(io.stage(x, "and-open"), "and-open")

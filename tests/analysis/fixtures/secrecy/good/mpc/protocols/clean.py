@@ -1,0 +1,29 @@
+"""Known-good secrecy fixture: the sanctioned masking idioms."""
+
+import numpy as np
+
+
+def _buffer(words):
+    return memoryview(words).cast("B")
+
+
+def masked_open(io, x, y, triple):
+    words = io.alloc_words("beaver-open", x.size + y.size)
+    d = words[: x.size].reshape(x.shape)
+    e = words[x.size :].reshape(y.shape)
+    np.subtract(x, triple.a, out=d)
+    np.subtract(y, triple.b, out=e)
+    other = io.swap(_buffer(words), "beaver-open")
+    return other
+
+
+def staged_push(io, x, mask):
+    masked = io.alloc_words("linear-masked-input", x.size).reshape(x.shape)
+    np.subtract(x, mask, out=masked)
+    io.push(_buffer(masked), "linear-masked-input")
+
+
+def trusted_primitive(io, d, e):
+    from repro.mpc.protocols.party import swap_ring_pair
+
+    return swap_ring_pair(io, d, e, "and-open")

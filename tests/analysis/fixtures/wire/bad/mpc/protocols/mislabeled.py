@@ -1,0 +1,13 @@
+"""Known-bad wire fixture: unknown, missing and computed labels."""
+
+
+def typo_label(io, payload):
+    io.push(payload, "beavr-open")  # not in the registry
+
+
+def anonymous_exchange(channel, nbytes):
+    channel.exchange(nbytes)  # falls into the unlabeled bucket
+
+
+def computed_label(io, payload, index):
+    io.push(payload, f"round-{index}")  # unresolvable at audit time

@@ -1,0 +1,22 @@
+"""Known-good wire fixture: registered literals, constants, pass-through."""
+
+_LABEL = "and-open"
+
+
+def registered_literal(io, payload):
+    io.push(payload, "beaver-open")
+
+
+def module_constant(io, payload):
+    io.swap(payload, _LABEL)
+
+
+def local_constant(channel, nbytes):
+    label = "masked-reveal"
+    channel.exchange(nbytes, label=label)
+
+
+def pass_through(io, payload, label):
+    # The caller's literal is audited at its own call site.
+    io.push(payload, label)
+    io.exchange(len(payload), label)

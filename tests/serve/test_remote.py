@@ -273,6 +273,8 @@ class TestTwoProcess:
             except subprocess.TimeoutExpired:
                 proc.kill()
                 raise
+            finally:
+                proc.stdout.close()
 
         np.testing.assert_array_equal(reply.logits, reference.logits)
         assert reply.traffic.total_bytes == reference.total_bytes

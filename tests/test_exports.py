@@ -1,85 +1,26 @@
-"""``__all__`` drift audit: public definitions must be exported.
+"""``__all__`` drift audit — thin wrapper over the analyzer's export pass.
 
-``multiply_public_constant`` was public in ``protocols/linear.py`` (and
-re-exported by ``protocols/__init__``) while missing from the module's
-own ``__all__`` — harmless until a ``from ... import *`` or an API doc
-generator silently drops it. This audit walks every module under
-``src/repro`` that declares ``__all__`` and asserts both directions:
-
-* every public top-level function/class/constant is listed, and
-* every listed name actually resolves (defined, imported, or — for a
-  package ``__init__`` — a submodule).
+The implementation lives in :mod:`repro.analysis.exports` (one of the
+``c2pi audit`` passes), so a single rule engine serves both CI entry
+points: this per-module parametrized test (readable failure per file)
+and the repo-wide ``c2pi audit --check`` gate.
 """
 
-import ast
 from pathlib import Path
 
 import pytest
+
+from repro.analysis.core import SourceModule
+from repro.analysis.exports import audit_module
 
 SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 
 MODULES = sorted(path for path in SRC.rglob("*.py"))
 
 
-def _declared_all(tree: ast.Module) -> list[str] | None:
-    for node in tree.body:
-        if isinstance(node, ast.Assign) and any(
-            getattr(target, "id", None) == "__all__" for target in node.targets
-        ):
-            return [ast.literal_eval(element) for element in node.value.elts]
-    return None
-
-
-def _public_definitions(tree: ast.Module) -> set[str]:
-    names: set[str] = set()
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            if not node.name.startswith("_"):
-                names.add(node.name)
-        elif isinstance(node, ast.Assign):
-            for target in node.targets:
-                name = getattr(target, "id", None)
-                if name and not name.startswith("_") and name != "__all__":
-                    names.add(name)
-        elif isinstance(node, ast.AnnAssign):
-            name = getattr(node.target, "id", None)
-            if name and not name.startswith("_"):
-                names.add(name)
-    return names
-
-
-def _imported_names(tree: ast.Module) -> set[str]:
-    names: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.Import, ast.ImportFrom)):
-            for alias in node.names:
-                names.add((alias.asname or alias.name).split(".")[0])
-    return names
-
-
 @pytest.mark.parametrize("path", MODULES, ids=lambda p: str(p.relative_to(SRC)))
 def test_public_api_matches_all(path):
-    tree = ast.parse(path.read_text())
-    declared = _declared_all(tree)
-    if declared is None:
-        pytest.skip("module does not declare __all__")
-    public = _public_definitions(tree)
-
-    missing = public - set(declared)
-    assert not missing, (
-        f"{path.relative_to(SRC)}: public definitions absent from __all__: "
-        f"{sorted(missing)}"
-    )
-
-    resolvable = public | _imported_names(tree)
-    if path.name == "__init__.py":
-        package_dir = path.parent
-        resolvable |= {child.stem for child in package_dir.glob("*.py")}
-        resolvable |= {
-            child.name for child in package_dir.iterdir() if child.is_dir()
-        }
-    ghosts = set(declared) - resolvable
-    assert not ghosts, (
-        f"{path.relative_to(SRC)}: __all__ names that resolve to nothing: "
-        f"{sorted(ghosts)}"
-    )
+    module = SourceModule.parse(path, SRC)
+    findings = []
+    audit_module(module, findings)
+    assert not findings, "\n".join(finding.render() for finding in findings)
