@@ -46,16 +46,26 @@ __all__ = ["NAME", "SCOPE", "run"]
 
 NAME = "secrecy"
 
-# The modules where share-typed values live. serve/ and transport are the
-# byte movers — they only ever see already-staged buffers.
-SCOPE = ("mpc/protocols/", "mpc/engine.py", "mpc/party.py")
+# The modules where share-typed values live. serve/remote.py and the
+# transport are byte movers — they only ever see already-staged buffers
+# — but the crypto-producer service (serve/dealer_service.py) *creates*
+# material and ships it as blobs, so its dealer-bound frames are audited
+# like protocol sinks.
+SCOPE = ("mpc/protocols/", "mpc/engine.py", "mpc/party.py", "serve/dealer_service.py")
 
 # Payload-moving sink methods and the argument that is the payload.
-_SINKS = {"push": 0, "push_deferred": 0, "swap": 0}
+# send_blob is the dealer service's bundle sink: in scope its payload
+# must come from a sealed-bundle producer (see _SEALED_CALLS).
+_SINKS = {"push": 0, "push_deferred": 0, "swap": 0, "send_blob": 0}
 _SEGMENT_SINKS = {"push_segments": 0, "swap_segments": 0}
 
 # Producers whose result is cleared for the wire as-is.
 _STAGING_CALLS = {"stage"}
+# Sealed-bundle producers: per-party material serialized by
+# pack_party_bundle (each half is individually uniform), and the dealer
+# reply sealer that selects/blanks record fields for one requester.
+# These are the only sanctioned sources for a dealer-bound blob frame.
+_SEALED_CALLS = {"pack_party_bundle", "_seal_reply"}
 # Pooled-frame allocators: contents must be written via masked ops.
 _ALLOCATORS = {"alloc_words", "alloc_frame", "_pair_frame"}
 # Splitting a secret yields two individually-uniform shares.
@@ -254,6 +264,8 @@ def _check_payload(
         tail = _call_tail(resolved)
         if tail in _STAGING_CALLS:
             return  # io.stage(...): staged through the pool, pre-masked
+        if tail in _SEALED_CALLS:
+            return  # sealed party bundle: sanctioned dealer-bound sink
         if _is_alloc_chain(resolved):
             # Direct push of an anonymous frame: nothing was written into
             # it locally, so its content is pool scratch — harmless.

@@ -250,6 +250,70 @@ def build_parser() -> argparse.ArgumentParser:
         "the trained cache (demo and two-process tests)",
     )
     serve.add_argument("--model-seed", type=int, default=0)
+    serve.add_argument(
+        "--dealer",
+        default=None,
+        metavar="HOST:PORT",
+        help="fetch offline bundles from a standalone crypto-producer "
+        "(`c2pi dealer`) instead of generating in-process",
+    )
+    serve.add_argument(
+        "--dealer-timeout",
+        type=float,
+        default=5.0,
+        help="per-RPC timeout (s) on dealer fetches; a fetch retries "
+        "through faults for 4x this before falling back",
+    )
+    serve.add_argument(
+        "--no-dealer-fallback",
+        action="store_true",
+        help="never generate inline when the dealer is unavailable; "
+        "affected requests get a typed retriable busy reply instead",
+    )
+
+    dealer = sub.add_parser(
+        "dealer",
+        help="run the standalone crypto-producer: serves preprocessing "
+        "bundles to c2pi servers over the framed transport, spilling "
+        "every bundle to a disk-backed store so a killed dealer "
+        "restarts where it left off",
+    )
+    dealer.add_argument(
+        "--listen", default="127.0.0.1:0", help="host:port (port 0 = ephemeral)"
+    )
+    dealer.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="PoolStore directory (omit for in-memory retention only)",
+    )
+    dealer.add_argument(
+        "--arch",
+        default="resnet20",
+        choices=("alexnet", "vgg16", "vgg19", "resnet20"),
+        help="untrained victim architecture (must match the server's)",
+    )
+    dealer.add_argument(
+        "--untrained-width",
+        type=float,
+        default=0.25,
+        help="width multiplier of the untrained victim",
+    )
+    dealer.add_argument("--model-seed", type=int, default=0)
+    dealer.add_argument(
+        "--boundary",
+        type=float,
+        default=None,
+        help="crypto/clear boundary (default matches `serve`: 3.5 for "
+        "resnet20, 2.5 otherwise)",
+    )
+    dealer.add_argument(
+        "--generation-slots",
+        type=int,
+        default=2,
+        help="admission limit: concurrent bundle generations; requests "
+        "beyond it get a retriable busy reply",
+    )
 
     client = sub.add_parser(
         "client",
@@ -613,6 +677,7 @@ def _cmd_serve(args) -> int:
     if boundary is None:
         boundary = 3.5 if args.arch == "resnet20" else 2.5
     host, port = _parse_endpoint(args.listen)
+    dealer = _parse_endpoint(args.dealer) if args.dealer else None
     server = RemoteServer(
         model,
         boundary,
@@ -623,6 +688,9 @@ def _cmd_serve(args) -> int:
         max_sessions=args.max_sessions,
         request_timeout=args.request_timeout,
         allow_shm=not args.no_shm,
+        dealer=dealer,
+        dealer_timeout=args.dealer_timeout,
+        dealer_fallback=not args.no_dealer_fallback,
     )
     if args.warm:
         server.warm(args.warm_batch, args.warm)
@@ -645,6 +713,25 @@ def _cmd_serve(args) -> int:
         f"{server.connections_failed} failed)"
     )
     return 0
+
+
+def _cmd_dealer(args) -> int:
+    from .serve.dealer_service import main as dealer_main
+
+    boundary = args.boundary
+    if boundary is None:
+        boundary = 3.5 if args.arch == "resnet20" else 2.5
+    dealer_args = [
+        "--listen", args.listen,
+        "--arch", args.arch,
+        "--untrained-width", str(args.untrained_width),
+        "--model-seed", str(args.model_seed),
+        "--boundary", str(boundary),
+        "--generation-slots", str(args.generation_slots),
+    ]
+    if args.store:
+        dealer_args += ["--store", args.store]
+    return dealer_main(dealer_args)
 
 
 def _cmd_client(args) -> int:
@@ -770,6 +857,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "dealer": _cmd_dealer,
     "client": _cmd_client,
     "chaos-check": _cmd_chaos_check,
     "audit": _cmd_audit,

@@ -49,6 +49,7 @@ __all__ = [
     "PROTOCOL_WIRE_LABELS",
     "FRAMEWORK_WIRE_LABELS",
     "BACKEND_WIRE_LABELS",
+    "DEALER_WIRE_LABELS",
     "known_wire_labels",
 ]
 
@@ -148,9 +149,28 @@ BACKEND_WIRE_LABELS = frozenset(
 )
 
 
+#: Crypto-producer service traffic: the dealer RPC link that ships sealed
+#: preprocessing bundles from a standalone dealer process to the serving
+#: parties (handshake, request/reply control, and the bundle payloads).
+DEALER_WIRE_LABELS = frozenset(
+    {
+        "dealer-link",
+        "dealer-hello",
+        "dealer-req",
+        "dealer-rep",
+        "dealer-bundle",
+    }
+)
+
+
 def known_wire_labels() -> frozenset:
     """The full registry: every label sanctioned for accounting calls."""
-    return PROTOCOL_WIRE_LABELS | FRAMEWORK_WIRE_LABELS | BACKEND_WIRE_LABELS
+    return (
+        PROTOCOL_WIRE_LABELS
+        | FRAMEWORK_WIRE_LABELS
+        | BACKEND_WIRE_LABELS
+        | DEALER_WIRE_LABELS
+    )
 
 
 def _elements(shape) -> int:

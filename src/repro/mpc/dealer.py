@@ -115,6 +115,24 @@ class TrustedDealer:
         self.comparison_masks_issued = 0
 
     # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """The generator's position in its stream, as a JSON-able dict.
+
+        The dealer's entire output is a pure function of (seed, number of
+        draws), so this state pins "everything generated so far". The
+        crypto-producer service persists it next to each spilled bundle:
+        a restarted dealer restores the last stored state and continues
+        the stream byte-identically without regenerating the prefix, and
+        a serving process falling back to inline generation fast-forwards
+        its local dealer to the same position.
+        """
+        return self._rng.bit_generator.state
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind/fast-forward the generator to a :meth:`state` snapshot."""
+        self._rng.bit_generator.state = state
+
+    # ------------------------------------------------------------------
     def beaver_triples(self, shape) -> BeaverTriple:
         """Elementwise multiplication triples over Z_2^64."""
         rng = self._rng

@@ -67,6 +67,7 @@ __all__ = [
     "PartyExecutionResult",
     "PartyEngine",
     "program_manifest",
+    "program_fingerprint",
     "ops_from_manifest",
 ]
 
@@ -112,6 +113,24 @@ def program_manifest(program: SecureProgram) -> dict:
         "output_shape": list(program.output_shape),
         "ops": ops,
     }
+
+
+def program_fingerprint(program: SecureProgram) -> str:
+    """A stable, weight-free identity for a compiled program.
+
+    Hash of the :func:`program_manifest` (op kinds, shapes, boundary,
+    fixed-point geometry) — everything that determines the program's
+    dealer-material consumption plan, and nothing that doesn't. Two
+    processes that compile the same architecture at the same boundary
+    agree on the fingerprint without exchanging weights, which is how the
+    crypto-producer service and a serving process establish they are
+    provisioning material for the same program.
+    """
+    import hashlib
+    import json
+
+    canonical = json.dumps(program_manifest(program), sort_keys=True)
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
 
 def ops_from_manifest(manifest: dict) -> list[ProgramOp]:

@@ -62,6 +62,7 @@ __all__ = [
     "PartyMaterialStream",
     "party_view",
     "split_bundle",
+    "join_party_bundle",
     "pack_party_bundle",
     "unpack_party_bundle",
 ]
@@ -235,6 +236,13 @@ class PoolStats:
     misses: int = 0  # acquire() found the pool empty
     offline_seconds: float = 0.0
     material_items: int = 0
+    # Crypto-producer offload (zero for purely local pools): bundles that
+    # arrived from a remote dealer process, dealer RPC attempts that had
+    # to be retried, and bundles generated inline because the dealer was
+    # unreachable past its deadline (the graceful-degradation path).
+    bundles_fetched_remote: int = 0
+    dealer_rpc_retries: int = 0
+    dealer_fallbacks: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -246,6 +254,9 @@ class PoolStats:
             "misses": self.misses,
             "offline_seconds": self.offline_seconds,
             "material_items": self.material_items,
+            "bundles_fetched_remote": self.bundles_fetched_remote,
+            "dealer_rpc_retries": self.dealer_rpc_retries,
+            "dealer_fallbacks": self.dealer_fallbacks,
         }
 
 
@@ -300,6 +311,12 @@ class PreprocessingPool:
         # join a stale thread and both fall through to miss-generation).
         self._pending_refills = 0
         self._refill_done = threading.Condition(self._lock)
+        # A generation failure inside a background refill thread must not
+        # evaporate with the daemon thread while acquirers keep waiting
+        # for material that will never arrive: the worker parks it here
+        # and the next acquire()/refill() re-raises it to a caller that
+        # can actually handle (or report) it.
+        self._refill_error: BaseException | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -344,6 +361,7 @@ class PreprocessingPool:
         already-generated bundles (and ``available``) never block behind
         a refill in progress.
         """
+        self._raise_deferred_failure()
         trace = self.requirements()
         for _ in range(bundles):
             with self._generation_lock:
@@ -372,6 +390,12 @@ class PreprocessingPool:
         def work() -> None:
             try:
                 self.refill(bundles)
+            except BaseException as exc:  # noqa: BLE001 - deferred, not dropped
+                # The daemon thread is the wrong place for this failure to
+                # die: record it so the next acquire()/refill() raises it
+                # where a caller is actually listening.
+                with self._lock:
+                    self._refill_error = exc
             finally:
                 with self._lock:
                     self._pending_refills -= bundles
@@ -382,6 +406,16 @@ class PreprocessingPool:
         )
         thread.start()
         return thread
+
+    def _raise_deferred_failure(self) -> None:
+        """Re-raise (once) a generation error parked by a background refill."""
+        with self._lock:
+            error, self._refill_error = self._refill_error, None
+        if error is not None:
+            raise RuntimeError(
+                "background preprocessing refill failed; the pool recorded "
+                "the error and is re-raising it on the next acquire/refill"
+            ) from error
 
     def restore(self, bundle: list[tuple[MaterialRequest, object]]) -> None:
         """Return an acquired-but-unused bundle to the *front* of the pool.
@@ -422,9 +456,12 @@ class PreprocessingPool:
         """Pop the oldest raw bundle (the two-process serving path splits
         it into per-party halves before shipping the client's half)."""
         while True:
+            self._raise_deferred_failure()
             with self._lock:
                 while not self._bundles and self._pending_refills:
                     self._refill_done.wait()
+                if self._refill_error is not None:
+                    continue  # woken by a failed refill: re-raise at loop top
                 if self._bundles:
                     self.stats.bundles_consumed += 1
                     return self._bundles.popleft()
@@ -507,6 +544,63 @@ def split_bundle(
 ) -> list["PartyItem"]:
     """One party's halves of a whole preprocessing bundle, in order."""
     return [party_view(request, material, party) for request, material in bundle]
+
+
+def _join_item(item0: "PartyItem", item1: "PartyItem"):
+    """Reassemble one joint material record from its two party views."""
+    if item0.method != item1.method:
+        raise MaterialMismatch(
+            f"party bundles disagree: {item0.method} vs {item1.method}"
+        )
+    method = item0.method
+    if method in ("beaver_triples", "bit_triples"):
+        cls = BeaverTriple if method == "beaver_triples" else BitTriple
+        material = cls(
+            a=(item0.a, item1.a), b=(item0.b, item1.b), c=(item0.c, item1.c)
+        )
+        shape = tuple(item0.a.shape)
+    elif method == "dabits":
+        material = DaBit(
+            boolean=(item0.boolean, item1.boolean),
+            arithmetic=(item0.arithmetic, item1.arithmetic),
+        )
+        shape = tuple(item0.boolean.shape)
+    elif method == "comparison_masks":
+        material = ComparisonMask(
+            r_shares=(item0.r, item1.r),
+            low_bits=(item0.low_bits, item1.low_bits),
+            msb=(item0.msb, item1.msb),
+        )
+        shape = tuple(item0.r.shape)
+    elif method == "linear_correlation":
+        material = LinearCorrelation(
+            mask=item0.mask,
+            client_offset=item0.client_offset,
+            server_offset=item1.server_offset,
+        )
+        shape = tuple(item0.mask.shape)
+    else:
+        raise MaterialMismatch(f"unknown material method {method!r}")
+    return MaterialRequest(method, shape), material
+
+
+def join_party_bundle(
+    items0: list["PartyItem"], items1: list["PartyItem"]
+) -> list[tuple[MaterialRequest, object]]:
+    """Inverse of :func:`split_bundle`: rebuild the joint bundle.
+
+    The crypto-producer service ships a serving process both party-split
+    halves of each bundle; rejoining them yields a bundle indistinguishable
+    from local :class:`TrustedDealer` generation (``ring_fn`` is not
+    reconstructed — it is a generation-time input, never consumed on the
+    replay path). The serving pool can therefore split/retain/restore the
+    rejoined bundle exactly as it does a locally generated one.
+    """
+    if len(items0) != len(items1):
+        raise MaterialMismatch(
+            f"party bundles disagree in length: {len(items0)} vs {len(items1)}"
+        )
+    return [_join_item(a, b) for a, b in zip(items0, items1)]
 
 
 def pack_party_bundle(items: list[PartyItem]) -> bytes:

@@ -743,6 +743,31 @@ class Transport(Channel):
     def recv_blob(self, label: str | None = None) -> bytes:
         return self._expect(FRAME_BLOB, label)[1]
 
+    def recv_reply(self, label: str | None = None):
+        """Receive a blob *or* a control object under one label.
+
+        RPC-style exchanges need a reply slot that can carry either the
+        payload (a sealed bundle blob) or a typed refusal (a JSON busy
+        object) without the two parties falling out of lock-step: the
+        label pins the slot, the frame kind disambiguates the outcome.
+        Returns ``("blob", bytes)`` or ``("obj", dict)``.
+        """
+        kind, got_label, payload = self._next_frame()
+        if label is not None and got_label != label:
+            raise TransportError(
+                f"party {self.party} expected message {label!r} but received "
+                f"{got_label!r} — the parties are out of lock-step"
+            )
+        if kind == FRAME_BLOB:
+            return "blob", payload
+        if kind == FRAME_JSON:
+            return "obj", json.loads(bytes(payload).decode("utf-8"))
+        raise TransportError(
+            f"party {self.party} expected a blob or control reply "
+            f"({label!r}) but received frame kind {kind} — the parties "
+            "are out of lock-step"
+        )
+
 
 # ----------------------------------------------------------------------
 # in-process loopback (two party threads, one process)

@@ -77,15 +77,22 @@ from ..core.noise import NoiseMechanism
 from ..models.layered import LayeredModel
 from ..mpc.fixedpoint import DEFAULT_CONFIG, FixedPointConfig
 from ..mpc.network import NetworkModel, TrafficSnapshot
-from ..mpc.party import PartyEngine, program_manifest
+from ..mpc.party import PartyEngine, program_fingerprint, program_manifest
 from ..mpc.preprocessing import (
     PartyMaterialStream,
+    PoolExhausted,
     PreprocessingPool,
     pack_party_bundle,
     split_bundle,
     unpack_party_bundle,
 )
 from ..mpc.program import SecureProgram, compile_program
+from .dealer_service import (
+    DealerBackedPool,
+    DealerBusy,
+    DealerClient,
+    DealerUnreachable,
+)
 from ..mpc.shm import ShmChannel
 from ..mpc.transport import (
     LinkShaper,
@@ -98,6 +105,7 @@ from ..mpc.transport import (
 __all__ = [
     "PROTOCOL_VERSION",
     "ServerBusy",
+    "PoolBusy",
     "SessionStats",
     "derive_session_seed",
     "RemoteReply",
@@ -108,11 +116,19 @@ __all__ = [
     "main",
 ]
 
-PROTOCOL_VERSION = 2  # v2: per-request idempotency keys + fault recovery
+PROTOCOL_VERSION = 3  # v3: typed retriable busy replies on the bundle slot
 
 
 class ServerBusy(TransportError):
     """The server's session registry is full; it replied ``busy``."""
+
+
+class PoolBusy(ServerBusy):
+    """The server admitted the request but its offline material is
+    momentarily unavailable (pool exhausted, dealer busy/unreachable
+    with fallback disabled). Retriable on the *same* connection: the
+    session stays in lock-step and :meth:`RemoteClient.infer` with
+    ``retries`` backs off and replays the request key."""
 
 
 def derive_session_seed(base_seed: int, session: int | str | None) -> int:
@@ -246,11 +262,35 @@ class RemoteServer:
         max_sessions: int | None = None,
         request_timeout: float = 120.0,
         allow_shm: bool = True,
+        dealer: tuple[str, int] | None = None,
+        dealer_timeout: float = 5.0,
+        dealer_fetch_deadline: float | None = None,
+        dealer_fallback: bool = True,
+        dealer_transport_wrapper=None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
         if request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
+        # Offline material source: None = generate in-process (the
+        # historical mode); a (host, port) endpoint delegates generation
+        # to the standalone crypto-producer (serve/dealer_service.py),
+        # falling back to inline generation — byte-identically, the
+        # fetched rng state keeps the local dealer in sync — when the
+        # dealer is unreachable and `dealer_fallback` is set.
+        self._dealer_endpoint = dealer
+        self._dealer_timeout = dealer_timeout
+        # The per-RPC timeout bounds one socket wait; the fetch deadline
+        # bounds the whole retry loop around it, so it must leave room
+        # for a few reconnect attempts (a dealer restart shorter than
+        # the deadline is invisible to the serving request).
+        self._dealer_fetch_deadline = (
+            4.0 * dealer_timeout
+            if dealer_fetch_deadline is None
+            else dealer_fetch_deadline
+        )
+        self._dealer_fallback = dealer_fallback
+        self._dealer_wrapper = dealer_transport_wrapper
         # Shared-memory placement is granted per session, and only to
         # unshaped links (a shaped "WAN" session must stay on the socket
         # path its emulation throttles).
@@ -309,6 +349,7 @@ class RemoteServer:
         self.connections_rejected = 0
         self.requests_served = 0
         self.requests_retried = 0
+        self.requests_busy = 0
         self.sessions_reaped = 0
 
     # ------------------------------------------------------------------
@@ -320,11 +361,30 @@ class RemoteServer:
         with self._pools_lock:
             pool = self._pools.get(key)
             if pool is None:
-                pool = PreprocessingPool(
-                    self.program,
-                    batch,
-                    dealer_seed=derive_session_seed(self.seed, session),
-                )
+                seed = derive_session_seed(self.seed, session)
+                if self._dealer_endpoint is None:
+                    pool = PreprocessingPool(
+                        self.program, batch, dealer_seed=seed
+                    )
+                else:
+                    host, port = self._dealer_endpoint
+                    # One client per pool: fetches are serialized by the
+                    # pool's generation lock, so the RPC connection never
+                    # needs to be shared across threads.
+                    pool = DealerBackedPool(
+                        self.program,
+                        batch,
+                        dealer_seed=seed,
+                        client=DealerClient(
+                            host,
+                            port,
+                            fingerprint=program_fingerprint(self.program),
+                            timeout=self._dealer_timeout,
+                            transport_wrapper=self._dealer_wrapper,
+                        ),
+                        fallback=self._dealer_fallback,
+                        fetch_deadline=self._dealer_fetch_deadline,
+                    )
                 self._pools[key] = pool
         return pool
 
@@ -420,6 +480,11 @@ class RemoteServer:
         for record in stranded:
             if not record.completed:
                 record.pool.poison()
+        with self._pools_lock:
+            pools = list(self._pools.values())
+        for pool in pools:
+            if isinstance(pool, DealerBackedPool):
+                pool.close()
 
     # ------------------------------------------------------------------
     def _admit(self, session_key: int | str | None, transport: Transport):
@@ -546,9 +611,12 @@ class RemoteServer:
                         break
                     if command != "infer":
                         raise TransportError(f"unknown request: {request!r}")
-                    self._serve_inference(transport, request, stats)
+                    served = self._serve_inference(transport, request, stats)
                     with self._state_lock:
-                        self.requests_served += 1
+                        if served:
+                            self.requests_served += 1
+                        else:
+                            self.requests_busy += 1
         except (TransportError, OSError, ValueError, KeyError,
                 TypeError, AttributeError) as exc:
             # Contain the blast radius: this connection dies, the server
@@ -666,12 +734,28 @@ class RemoteServer:
 
     def _serve_inference(
         self, transport: Transport, request: dict, stats: SessionStats
-    ) -> None:
+    ) -> bool:
         batch = int(request["batch"])
         # Offline: draw a bundle, keep our half, ship the client's half.
         offline_start = time.perf_counter()
         pool = self.pool(batch, session=stats.session)
-        bundle, record = self._acquire_for_request(request, batch, stats)
+        try:
+            bundle, record = self._acquire_for_request(request, batch, stats)
+        except (PoolExhausted, DealerBusy, DealerUnreachable) as exc:
+            # Offline material is momentarily unavailable. Nothing has
+            # been written to the wire for this request yet, so the
+            # session stays in lock-step: fill the bundle slot with a
+            # typed retriable refusal instead of killing the connection.
+            transport.send_obj(
+                {
+                    "busy": True,
+                    "retriable": True,
+                    "reason": type(exc).__name__,
+                    "detail": str(exc),
+                },
+                "bundle",
+            )
+            return False
         shipped = False
         try:
             # Serialize before flagging: np.savez materialises the whole
@@ -691,6 +775,7 @@ class RemoteServer:
             )
             if record is not None:
                 record.completed = True
+            return True
         except Exception:
             if record is None:
                 # No retry identity: resolve the bundle here and now.
@@ -760,6 +845,7 @@ class RemoteServer:
                 "connections_rejected": self.connections_rejected,
                 "requests_served": self.requests_served,
                 "requests_retried": self.requests_retried,
+                "requests_busy": self.requests_busy,
                 "sessions_reaped": self.sessions_reaped,
                 "inflight_bundles": len(self._inflight),
                 "active_sessions": len(self._active),
@@ -782,7 +868,7 @@ class RemoteServer:
                 f"session={session!r}/batch={batch}": pool.stats.as_dict()
                 for (session, batch), pool in self._pools.items()
             }
-        return {
+        result = {
             **counters,
             "bundles_poisoned": sum(p["bundles_poisoned"] for p in pools.values()),
             "bundles_returned": sum(p["bundles_returned"] for p in pools.values()),
@@ -790,6 +876,22 @@ class RemoteServer:
             "wire": wire_total.as_dict(),
             "pools": pools,
         }
+        if self._dealer_endpoint is not None:
+            host, port = self._dealer_endpoint
+            result["dealer"] = {
+                "endpoint": f"{host}:{port}",
+                "fallback": self._dealer_fallback,
+                "bundles_fetched_remote": sum(
+                    p["bundles_fetched_remote"] for p in pools.values()
+                ),
+                "dealer_fallbacks": sum(
+                    p["dealer_fallbacks"] for p in pools.values()
+                ),
+                "dealer_rpc_retries": sum(
+                    p["dealer_rpc_retries"] for p in pools.values()
+                ),
+            }
+        return result
 
 
 # ----------------------------------------------------------------------
@@ -1004,18 +1106,32 @@ class RemoteClient:
         share_state = self.engine.share_rng_state()
         noise_state = self.noise.rng.bit_generator.state
         last: Exception | None = None
+        backoff = self.busy_backoff_s
+        reconnect = False
         for attempt in range(retries + 1):
             if attempt:
                 self.requests_retried += 1
-                self.engine.restore_share_rng(share_state)
-                self.noise.rng.bit_generator.state = noise_state
-                self._reconnect()
+                if reconnect:
+                    self.engine.restore_share_rng(share_state)
+                    self.noise.rng.bit_generator.state = noise_state
+                    self._reconnect()
             try:
                 reply = self._infer_once(images, key)
+            except PoolBusy as exc:
+                # The server deferred us on a live connection: no rng was
+                # consumed and no reconnect is needed — back off and
+                # replay the same request key in lock-step.
+                last = exc
+                reconnect = False
+                if attempt < retries:
+                    time.sleep(backoff)
+                    backoff = min(backoff * 2.0, 0.5)
+                continue
             except ServerBusy:
                 raise
             except TransportError as exc:
                 last = exc
+                reconnect = True
                 if self.transport is not None:
                     self.transport.close()
                     self.transport = None
@@ -1026,6 +1142,11 @@ class RemoteClient:
         # request must never replay it, or the server would resell this
         # request's retained (half-shipped) bundle for new inputs.
         self._next_request = key + 1
+        if isinstance(last, PoolBusy):
+            # Surface the typed retriable refusal: the connection is
+            # still alive and in lock-step, the caller may simply call
+            # again once material is expected to exist.
+            raise last
         raise TransportError(
             f"request {key} failed after {retries + 1} attempt(s): {last}"
         ) from last
@@ -1037,7 +1158,16 @@ class RemoteClient:
         transport.send_obj(
             {"cmd": "infer", "batch": int(images.shape[0]), "request": key}, "req"
         )
-        blob = transport.recv_blob("bundle")
+        kind, payload = transport.recv_reply("bundle")
+        if kind == "obj":
+            # The bundle slot carried a typed refusal: the server is up
+            # and the session is still in lock-step, its offline material
+            # just isn't ready. Retriable on this same connection.
+            raise PoolBusy(
+                f"server deferred request {key}: {payload.get('reason')} "
+                f"({payload.get('detail')})"
+            )
+        blob = payload
         material = PartyMaterialStream(unpack_party_bundle(blob))
 
         before = transport.snapshot()

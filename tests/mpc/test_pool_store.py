@@ -1,0 +1,165 @@
+"""PoolStore durability: append-only spill, torn-write-safe recovery.
+
+The satellite-3 property test is the core: truncate the manifest and the
+segment file at *every* byte offset inside the tail record and reopen —
+recovery must either replay a sealed bundle byte-identically or drop it
+cleanly. A torn bundle is never served.
+"""
+
+import shutil
+
+import pytest
+
+from repro.mpc.pool_store import PoolStore, _RECORD
+
+
+@pytest.fixture
+def payloads():
+    # Distinct sizes and content; small enough to truncate exhaustively.
+    return [
+        ("stream-a", 0, b"alpha" * 7),
+        ("stream-a", 1, b"bravo-bundle" * 3),
+        ("stream-b", 0, bytes(range(64))),
+    ]
+
+
+def _fill(root, payloads):
+    store = PoolStore(root)
+    for key, seq, payload in payloads:
+        store.put(key, seq, payload)
+    store.close()
+    return store
+
+
+class TestRoundTrip:
+    def test_put_get_byte_identical(self, tmp_path, payloads):
+        store = _fill(tmp_path, payloads)
+        store = PoolStore(tmp_path)
+        for key, seq, payload in payloads:
+            assert store.get(key, seq) == payload
+        assert store.stats.bundles_recovered == len(payloads)
+        assert store.stats.records_dropped == 0
+        store.close()
+
+    def test_put_is_idempotent_per_key_seq(self, tmp_path):
+        store = PoolStore(tmp_path)
+        store.put("k", 0, b"first")
+        store.put("k", 0, b"second attempt must not overwrite")
+        assert store.get("k", 0) == b"first"
+        assert store.stats.bundles_spilled == 1
+        store.close()
+
+    def test_max_seq_and_count_per_stream(self, tmp_path, payloads):
+        store = _fill(tmp_path, payloads)
+        store = PoolStore(tmp_path)
+        assert store.max_seq("stream-a") == 1
+        assert store.max_seq("stream-b") == 0
+        assert store.max_seq("stream-c") is None
+        assert store.count("stream-a") == 2
+        assert len(store) == 3
+        store.close()
+
+    def test_segment_rollover_keeps_every_bundle(self, tmp_path):
+        store = PoolStore(tmp_path, segment_bytes=64)
+        blobs = [bytes([index]) * 48 for index in range(6)]
+        for index, blob in enumerate(blobs):
+            store.put("k", index, blob)
+        assert store.stats.segments > 1
+        store.close()
+        store = PoolStore(tmp_path, segment_bytes=64)
+        for index, blob in enumerate(blobs):
+            assert store.get("k", index) == blob
+        store.close()
+
+    def test_reopened_store_appends_after_recovery(self, tmp_path):
+        store = PoolStore(tmp_path)
+        store.put("k", 0, b"before the restart")
+        store.close()
+        store = PoolStore(tmp_path)
+        store.put("k", 1, b"after the restart")
+        store.close()
+        store = PoolStore(tmp_path)
+        assert store.get("k", 0) == b"before the restart"
+        assert store.get("k", 1) == b"after the restart"
+        store.close()
+
+
+class TestTornWriteRecovery:
+    """Satellite 3: every byte-offset truncation recovers or drops clean."""
+
+    def _surviving_payloads(self, root, payloads):
+        """Open a (possibly torn) store; every served bundle must be
+        byte-identical to its original put. Returns the served set."""
+        store = PoolStore(root)
+        served = {}
+        for key, seq, payload in payloads:
+            recovered = store.get(key, seq)
+            if recovered is not None:
+                assert recovered == payload, (
+                    f"({key}, {seq}): torn store served corrupted bytes"
+                )
+                served[(key, seq)] = recovered
+        store.close()
+        return served
+
+    def test_manifest_truncated_at_every_offset(self, tmp_path, payloads):
+        base = tmp_path / "base"
+        _fill(base, payloads)
+        manifest = (base / "manifest.log").read_bytes()
+        assert len(manifest) == len(payloads) * _RECORD.size
+        for cut in range(len(manifest) + 1):
+            work = tmp_path / f"manifest-cut-{cut}"
+            shutil.copytree(base, work)
+            with open(work / "manifest.log", "r+b") as handle:
+                handle.truncate(cut)
+            served = self._surviving_payloads(work, payloads)
+            # Whole records before the tear always survive.
+            assert len(served) >= cut // _RECORD.size
+
+    def test_segment_truncated_at_every_offset(self, tmp_path, payloads):
+        base = tmp_path / "base"
+        _fill(base, payloads)
+        segment_path = next(base.glob("seg-*.dat"))
+        segment = segment_path.read_bytes()
+        boundaries = []
+        offset = 0
+        for _key, _seq, payload in payloads:
+            offset += len(payload)
+            boundaries.append(offset)
+        for cut in range(len(segment) + 1):
+            work = tmp_path / f"segment-cut-{cut}"
+            shutil.copytree(base, work)
+            with open(work / segment_path.name, "r+b") as handle:
+                handle.truncate(cut)
+            served = self._surviving_payloads(work, payloads)
+            intact = sum(1 for boundary in boundaries if boundary <= cut)
+            # Payloads wholly inside the surviving prefix must be served.
+            assert len(served) == intact
+
+    def test_corrupted_payload_is_dropped_not_served(self, tmp_path, payloads):
+        base = tmp_path / "base"
+        _fill(base, payloads)
+        segment_path = next(base.glob("seg-*.dat"))
+        raw = bytearray(segment_path.read_bytes())
+        raw[2] ^= 0xFF  # flip a byte inside the first payload
+        segment_path.write_bytes(bytes(raw))
+        store = PoolStore(base)
+        key, seq, _payload = payloads[0]
+        assert store.get(key, seq) is None
+        assert store.stats.records_dropped == 1
+        # The other records still serve byte-identically.
+        for other_key, other_seq, payload in payloads[1:]:
+            assert store.get(other_key, other_seq) == payload
+        store.close()
+
+    def test_garbage_manifest_tail_is_truncated(self, tmp_path, payloads):
+        base = tmp_path / "base"
+        _fill(base, payloads)
+        with open(base / "manifest.log", "ab") as handle:
+            handle.write(b"\xde\xad" * (_RECORD.size // 2))
+        served = self._surviving_payloads(base, payloads)
+        assert len(served) == len(payloads)
+        # The tear was truncated away: a fresh reopen sees a clean log.
+        store = PoolStore(base)
+        assert store.stats.records_dropped == 0
+        store.close()

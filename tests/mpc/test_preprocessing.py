@@ -149,6 +149,73 @@ class TestPoolLifecycle:
         engine.run(image, material=pool.acquire())
         assert pool.stats.misses == 0
 
+    def test_background_refill_failure_surfaces_on_next_acquire(self, program):
+        """A generation error in the daemon refill thread must not
+        evaporate: the pool records it and re-raises it from the next
+        acquire(), instead of parking the acquirer (or silently serving
+        nothing) while the error dies with the thread."""
+        pool = PreprocessingPool(program, batch=1)
+
+        def throwing_generate(trace):
+            raise ValueError("dealer exploded mid-generation")
+
+        pool._generate = throwing_generate
+        pool.refill_async(1).join()
+        with pytest.raises(RuntimeError, match="background preprocessing refill"):
+            pool.acquire()
+        # The error is delivered once; with generation still broken the
+        # subsequent acquire fails in the miss path, not with a stale error.
+        with pytest.raises(ValueError, match="dealer exploded"):
+            pool.acquire()
+
+    def test_background_refill_failure_surfaces_on_next_refill(self, program):
+        pool = PreprocessingPool(program, batch=1)
+        original_generate = pool._generate
+
+        def throwing_generate(trace):
+            raise ValueError("dealer exploded mid-generation")
+
+        pool._generate = throwing_generate
+        pool.refill_async(1).join()
+        pool._generate = original_generate
+        with pytest.raises(RuntimeError, match="background preprocessing refill"):
+            pool.refill(1)
+        # The deferred failure is consumed: the pool works again.
+        pool.refill(1)
+        assert pool.available == 1
+
+    def test_waiting_acquirer_wakes_on_failed_refill(self, program):
+        """An acquirer already parked on a pending refill is woken by the
+        failure and re-raises it — it must not wait forever for material
+        that will never arrive."""
+        import threading
+
+        release = threading.Event()
+
+        pool = PreprocessingPool(program, batch=1)
+
+        def blocking_then_throwing(trace):
+            release.wait(5.0)
+            raise ValueError("dealer exploded mid-generation")
+
+        pool._generate = blocking_then_throwing
+        pool.refill_async(1)
+        failures = []
+
+        def acquirer():
+            try:
+                pool.acquire()
+            except RuntimeError as exc:
+                failures.append(exc)
+
+        thread = threading.Thread(target=acquirer, daemon=True)
+        thread.start()
+        release.set()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive(), "acquirer still parked after failed refill"
+        assert len(failures) == 1
+        assert isinstance(failures[0].__cause__, ValueError)
+
     def test_wrong_batch_bundle_is_rejected(self, program):
         pool = PreprocessingPool(program, batch=2)
         pool.refill(1)

@@ -403,9 +403,12 @@ class TestRecoveryBookkeeping:
             )
             with pytest.raises(TransportError):
                 client.infer(images[0], retries=0)
-            # Walk away without retrying; wait (event-driven) for the
-            # server to reap the dead session before stopping.
-            client.transport = None
+            # Walk away without retrying (no bye — close the raw socket
+            # if the failed infer left one open); wait (event-driven) for
+            # the server to reap the dead session before stopping.
+            if client.transport is not None:
+                client.transport.close()
+                client.transport = None
             for _ in range(200):
                 if server.sessions_reaped:
                     break
@@ -442,6 +445,7 @@ class TestRecoveryBookkeeping:
                 "changed batch" in (entry["error"] or "")
                 for entry in metrics["sessions"]
             )
+            client.close()
         finally:
             server.stop()
             thread.join(timeout=10.0)
