@@ -111,6 +111,9 @@ class PoolStore:
         # Held across the file appends: a spill is segment-write then
         # manifest-write and the two must not interleave across threads.
         self._write_lock = threading.Lock()
+        # Guards the mmap cache: a reader remapping a grown segment must
+        # not close a map another reader is mid-slice on.
+        self._read_lock = threading.Lock()
         self._mmaps: dict[int, mmap.mmap] = {}
         self._manifest = None
         self._segment_file = None
@@ -173,14 +176,21 @@ class PoolStore:
     def _read_segment(self, segment: int, offset: int, length: int) -> bytes:
         if length == 0:
             return b""
-        mapped = self._mmaps.get(segment)
-        if mapped is None or mapped.size() < offset + length:
-            if mapped is not None:
-                mapped.close()
-            with open(self._segment_path(segment), "rb") as handle:
-                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
-            self._mmaps[segment] = mapped
-        return bytes(mapped[offset : offset + length])
+        with self._read_lock:
+            mapped = self._mmaps.get(segment)
+            # len(mapped) is the mapped region; mapped.size() is the
+            # current *file* size, which grows past the map on append —
+            # compare the region or a post-growth read clamps silently.
+            if mapped is None or len(mapped) < offset + length:
+                with open(self._segment_path(segment), "rb") as handle:
+                    mapped = mmap.mmap(
+                        handle.fileno(), 0, access=mmap.ACCESS_READ
+                    )
+                # The replaced map is dropped, not closed: a concurrent
+                # reader may still be slicing it, and the GC reclaims it
+                # once the last reference goes.
+                self._mmaps[segment] = mapped
+            return bytes(mapped[offset : offset + length])
 
     # -- append path ----------------------------------------------------
     def _open_for_append(self) -> None:
@@ -232,12 +242,23 @@ class PoolStore:
             self.stats.bytes_written += len(payload) + _RECORD.size
 
     def get(self, key: str, seq: int) -> bytes | None:
-        """The sealed bundle for ``(key, seq)``, byte-identical, or None."""
-        entry = self._index.get((_key_hash(key), seq))
+        """The sealed bundle for ``(key, seq)``, byte-identical, or None.
+
+        The payload CRC recorded at ``put`` is re-checked on every read:
+        a record whose segment bytes no longer match (bit rot, a torn
+        write the recovery scan indexed before the tear) is dropped from
+        the index and never served — byte-identical or not at all.
+        """
+        hashed = _key_hash(key)
+        entry = self._index.get((hashed, seq))
         if entry is None:
             return None
-        segment, offset, length, _payload_crc = entry
+        segment, offset, length, payload_crc = entry
         payload = self._read_segment(segment, offset, length)
+        if zlib.crc32(payload) != payload_crc:
+            self._index.pop((hashed, seq), None)
+            self.stats.records_dropped += 1
+            return None
         self.stats.bundles_loaded += 1
         return payload
 
@@ -245,7 +266,9 @@ class PoolStore:
         """The highest stored seq of a stream (None for an unknown key)."""
         hashed = _key_hash(key)
         best: int | None = None
-        for stored_hash, seq in self._index:
+        # list(dict) is one atomic C call: safe against concurrent put()
+        # insertions, unlike iterating the live dict.
+        for stored_hash, seq in list(self._index):
             if stored_hash == hashed and (best is None or seq > best):
                 best = seq
         return best
@@ -253,7 +276,9 @@ class PoolStore:
     def count(self, key: str) -> int:
         """How many bundles of one stream are stored."""
         hashed = _key_hash(key)
-        return sum(1 for stored_hash, _ in self._index if stored_hash == hashed)
+        return sum(
+            1 for stored_hash, _ in list(self._index) if stored_hash == hashed
+        )
 
     def __len__(self) -> int:
         return len(self._index)

@@ -446,6 +446,12 @@ class DealerServer:
                     "dealer-rep",
                 )
                 return True
+            except DealerError as exc:
+                transport.send_obj(
+                    {"ok": False, "busy": False, "error": str(exc)},
+                    "dealer-rep",
+                )
+                return True
             transport.send_obj({"ok": True, "stored": count}, "dealer-rep")
             return True
         if command == "stats":

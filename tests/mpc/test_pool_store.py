@@ -7,6 +7,7 @@ cleanly. A torn bundle is never served.
 """
 
 import shutil
+import threading
 
 import pytest
 
@@ -69,6 +70,31 @@ class TestRoundTrip:
         store = PoolStore(tmp_path, segment_bytes=64)
         for index, blob in enumerate(blobs):
             assert store.get("k", index) == blob
+        store.close()
+
+    def test_put_after_recovery_is_served_byte_identical(self, tmp_path, payloads):
+        """Regression: recovery maps the segment at its pre-restart size;
+        a put afterwards grows the file past the map, and get() of the
+        new bundle must remap rather than clamp to the stale region
+        (which silently returned b''). This is the restarted-dealer
+        re-serve path: recover -> put -> get, byte-identical."""
+        _fill(tmp_path, payloads)
+        store = PoolStore(tmp_path)
+        fresh = b"\x5a\xa5" * 100  # 200 bytes, distinctive pattern
+        store.put("stream-a", 2, fresh)
+        assert store.get("stream-a", 2) == fresh
+        store.close()
+
+    def test_get_after_segment_growth_in_one_session(self, tmp_path):
+        """Regression: an early get() maps the segment; later puts grow
+        the file beyond the mapped region. The remap condition must
+        compare the *mapped* length (len), not the file size (size()),
+        or the grown tail reads back truncated."""
+        store = PoolStore(tmp_path)
+        store.put("k", 0, b"a" * 32)
+        assert store.get("k", 0) == b"a" * 32  # maps the 32-byte segment
+        store.put("k", 1, b"b" * 200)  # grows the file past the map
+        assert store.get("k", 1) == b"b" * 200
         store.close()
 
     def test_reopened_store_appends_after_recovery(self, tmp_path):
@@ -152,6 +178,28 @@ class TestTornWriteRecovery:
             assert store.get(other_key, other_seq) == payload
         store.close()
 
+    def test_get_rechecks_payload_crc_on_every_read(self, tmp_path, payloads):
+        """Corruption landing *after* the record was indexed (recovery
+        already validated it) must still fail loudly on the read path:
+        get() re-checks the stored payload CRC, drops the record and
+        counts it — never serves non-byte-identical bytes."""
+        _fill(tmp_path, payloads)
+        store = PoolStore(tmp_path)
+        key, seq, payload = payloads[0]
+        assert store.get(key, seq) == payload
+        assert store.stats.records_dropped == 0
+        segment_path = next(tmp_path.glob("seg-*.dat"))
+        raw = bytearray(segment_path.read_bytes())
+        raw[2] ^= 0xFF  # flip a byte inside the first payload
+        segment_path.write_bytes(bytes(raw))
+        assert store.get(key, seq) is None
+        assert store.stats.records_dropped == 1
+        # Dropped from the index: the next get misses cleanly instead of
+        # re-counting the same corruption.
+        assert store.get(key, seq) is None
+        assert store.stats.records_dropped == 1
+        store.close()
+
     def test_garbage_manifest_tail_is_truncated(self, tmp_path, payloads):
         base = tmp_path / "base"
         _fill(base, payloads)
@@ -162,4 +210,45 @@ class TestTornWriteRecovery:
         # The tear was truncated away: a fresh reopen sees a clean log.
         store = PoolStore(base)
         assert store.stats.records_dropped == 0
+        store.close()
+
+
+class TestConcurrentReads:
+    """Per-connection dealer threads call get() while puts grow the
+    segment — remaps must never close a map another reader is slicing,
+    and no read may observe clamped or stale bytes."""
+
+    @staticmethod
+    def _payload(seq):
+        return bytes([seq % 251]) * 64
+
+    def test_reads_survive_concurrent_segment_growth(self, tmp_path):
+        store = PoolStore(tmp_path)
+        store.put("k", 0, self._payload(0))
+        errors = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                top = store.max_seq("k")
+                try:
+                    got = store.get("k", top)
+                except Exception as exc:  # e.g. "mmap closed or invalid"
+                    errors.append(exc)
+                    return
+                if got != self._payload(top):
+                    errors.append((top, got))
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for seq in range(1, 400):
+                store.put("k", seq, self._payload(seq))
+        finally:
+            done.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert not errors
         store.close()

@@ -33,6 +33,7 @@ from repro.mpc.program import compile_program
 from repro.serve.chaos_check import TINY_BOUNDARY, tiny_victim
 from repro.serve.dealer_service import (
     DealerClient,
+    DealerError,
     DealerServer,
     _unpack_record,
 )
@@ -205,6 +206,32 @@ def _assert_records_equal(record, reference):
                 assert np.array_equal(item.arrays[key], array_ref), (
                     item.method, key,
                 )
+
+
+class TestWarmRefusal:
+    def test_warm_replies_typed_error_and_keeps_connection(self, program):
+        """Regression: a non-retriable DealerError raised while warming
+        must come back as a typed error reply. Before the fix it escaped
+        _dispatch and killed the connection thread without any reply, so
+        the client retried a configuration error until its deadline and
+        reported DealerUnreachable."""
+        dealer = _start_dealer(program)  # in-memory cache, no store
+        client = DealerClient("127.0.0.1", dealer.port, timeout=2.0)
+        try:
+            client.warm(1, 7, count=1)
+            # Lose the stored history after the rng moved past it: the
+            # next warm of seq 0 cannot regenerate without forking the
+            # stream -> DealerError, immediately, with zero retries.
+            dealer._streams[(1, 7)].cache.clear()
+            with pytest.raises(DealerError, match="predates"):
+                client.warm(1, 7, count=1)
+            assert client.rpc_retries == 0
+            # The refusal cost nothing but the reply: the same
+            # connection still serves requests.
+            assert client.stats()["ok"] is True
+        finally:
+            client.close()
+            dealer.stop()
 
 
 class TestChaosOnDealerLink:
