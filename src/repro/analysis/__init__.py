@@ -1,6 +1,6 @@
 """``c2pi audit`` — static invariant auditor for the C2PI codebase.
 
-Five AST passes over the repo's own source (see DESIGN.md §11):
+Seven AST passes over the repo's own source (see DESIGN.md §11, §13):
 
 * :mod:`~repro.analysis.secrecy` — share-typed values reach the wire
   only through sanctioned masking/staging chains;
@@ -11,17 +11,26 @@ Five AST passes over the repo's own source (see DESIGN.md §11):
 * :mod:`~repro.analysis.wire_labels` — every accounting call site
   carries a label registered in ``costs.known_wire_labels()``;
 * :mod:`~repro.analysis.exports` — ``__all__`` and the public surface
-  agree (promoted from ``tests/test_exports.py``).
+  agree (promoted from ``tests/test_exports.py``);
+* :mod:`~repro.analysis.schedule` — the two halves of every protocol
+  agree on the round schedule (duality: every send matched by the
+  peer's receive of the same label in the same order), and the
+  extracted per-label round counts match ``costs._METHOD_TRAFFIC``;
+* :mod:`~repro.analysis.taint` — interprocedural secret-taint: shares,
+  seeds, keys and unsealed bundle payloads stay out of exception
+  messages, logs, and unsanctioned wire sends.
 
-The passes never import the code under audit — parsing is the only
-contact — so they run in milliseconds and survive broken fixtures.
+The first five are per-function pattern passes; the last two stand on
+the :mod:`~repro.analysis.dataflow` interprocedural engine. The passes
+never import the code under audit — parsing is the only contact — so
+they run in milliseconds and survive broken fixtures.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from . import determinism, exports, locks, secrecy, wire_labels
+from . import determinism, exports, locks, schedule, secrecy, taint, wire_labels
 from .core import (
     AuditReport,
     Finding,
@@ -44,7 +53,7 @@ __all__ = [
 
 #: Registered passes, run in this order. Each entry is a module exposing
 #: ``NAME`` and ``run(modules) -> list[Finding]``.
-PASSES = (secrecy, locks, determinism, wire_labels, exports)
+PASSES = (secrecy, locks, determinism, wire_labels, exports, schedule, taint)
 
 
 def default_root() -> Path:

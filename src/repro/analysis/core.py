@@ -86,7 +86,10 @@ class SourceModule:
 
     @classmethod
     def parse(cls, path: Path, root: Path) -> "SourceModule":
-        text = path.read_text()
+        # Explicit encoding: python source is UTF-8 by definition
+        # (PEP 3120); the platform locale must not decide whether the
+        # auditor can read a docstring with non-ASCII in it.
+        text = path.read_text(encoding="utf-8")
         return cls(
             path=path,
             rel=path.relative_to(root).as_posix(),

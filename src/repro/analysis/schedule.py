@@ -1,0 +1,640 @@
+"""Round-schedule duality pass: the two halves of every protocol agree.
+
+A two-process protocol wedges (or silently desynchronizes) exactly when
+its halves disagree about the communication *schedule*: party 0 pushes a
+label party 1 never pulls, both halves block receiving first, one half
+runs a round the other skipped, or the material consumed per round stops
+matching the openings the cost model charges for. All of these are
+static properties of the halves' code — this pass extracts each half's
+ordered communication trace with the :mod:`~repro.analysis.dataflow`
+interpreter and checks them against each other, before any process is
+spawned.
+
+Three families of code are checked:
+
+* **party halves** (``mpc/protocols/party*.py``) — each function is
+  traced under ``party=0`` and ``party=1`` and the two movement traces
+  are run through a queue-based *duality simulation*: sends are
+  non-blocking (they enter the in-flight queue toward the peer),
+  receives consume the matching queued send, swaps pair with the peer's
+  swap. The simulation flags the wedge class it hits;
+* **joint protocols** (``comparison.py`` / ``beaver.py`` / ``linear.py``)
+  — single-process code whose ``channel`` accounting must still match
+  the dealer material it consumes;
+* **dealer RPC** (``serve/dealer_service.py``) — the client stub and the
+  server loop are request-driven, so only *label-level* duality is
+  meaningful: every label the client sends must be received by the
+  server and vice versa, and the connection handshake must open with a
+  matched send/receive pair.
+
+The cost cross-check closes the loop with :mod:`repro.mpc.costs`: one
+consumed dealer-material item opens exactly one round of that method's
+wire label (``costs.method_wire_labels()``), so a function that consumes
+``bit_triples`` three times must account three ``and-open`` rounds — in
+both implementations. The cost model can no longer drift from the code.
+
+Rules:
+
+``schedule/missing-receive``
+    One half sends a label the other half never receives.
+
+``schedule/label-mismatch``
+    A receive (or swap) pairs with a peer message of a different label —
+    the deserializer on one side will read the wrong frame. On the
+    dealer RPC: a label sent/expected on one side with no counterpart.
+
+``schedule/deadlock``
+    Both halves block receiving with nothing in flight (or one half
+    receives after the peer's trace is exhausted) — the deployed
+    processes would hang, not crash.
+
+``schedule/round-drift``
+    The same label is sent and received in different round order, or the
+    two halves' accounting/tick/material counters disagree.
+
+``schedule/cost-drift``
+    Consumed dealer material does not match the opened rounds of its
+    wire label per ``costs.method_wire_labels()``.
+
+``schedule/unresolvable-trace``
+    The interpreter cannot extract a faithful ordered trace (data-driven
+    loop over communication, non-party branch whose arms disagree).
+    An unprovable schedule is a finding, not a silent skip.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+
+from .core import Finding, SourceModule, emit
+from .dataflow import (
+    MOVEMENT_KINDS,
+    CommEvent,
+    FunctionInfo,
+    ProjectIndex,
+    TraceExtractor,
+    UnresolvableTrace,
+    build_index,
+    collect_events,
+)
+
+__all__ = [
+    "NAME",
+    "PARTY_SCOPE",
+    "JOINT_SCOPE",
+    "DEALER_SCOPE",
+    "run",
+    "extract_schedule",
+    "method_labels",
+]
+
+NAME = "schedule"
+
+#: Per-party protocol halves: every function is a (party-0, party-1) pair.
+PARTY_SCOPE = ("mpc/protocols/party",)
+#: Joint (single-process) protocols: material/accounting symmetry only.
+JOINT_SCOPE = (
+    "mpc/protocols/comparison",
+    "mpc/protocols/beaver",
+    "mpc/protocols/linear",
+)
+#: The dealer RPC: label-set duality between client stub and server loop.
+DEALER_SCOPE = ("serve/dealer_service",)
+
+_SIMULATION_FUEL = 10_000
+
+
+def method_labels() -> dict[str, str]:
+    """Dealer method -> wire label, imported lazily (costs pulls numpy)."""
+    from repro.mpc.costs import method_wire_labels
+
+    return method_wire_labels()
+
+
+def _anchor(line: int) -> ast.AST:
+    """A synthetic node carrying only a location, for emit()/suppression."""
+    node = ast.Pass()
+    node.lineno = line
+    node.end_lineno = line
+    return node
+
+
+class _Emitter:
+    """emit() with pass-wide fingerprint dedup.
+
+    The same defect often surfaces under both party assumptions (an
+    unresolvable loop raises identically for party 0 and party 1);
+    fingerprint-level dedup keeps it one finding.
+    """
+
+    def __init__(self, findings: list[Finding]):
+        self.findings = findings
+        self._seen: set[tuple[str, str, str]] = set()
+
+    def __call__(
+        self, module: SourceModule, rule: str, node: ast.AST, message: str
+    ) -> None:
+        before = len(self.findings)
+        emit(self.findings, module, rule, node, message)
+        if len(self.findings) > before:
+            fingerprint = self.findings[-1].fingerprint
+            if fingerprint in self._seen:
+                self.findings.pop()
+            else:
+                self._seen.add(fingerprint)
+
+
+# ----------------------------------------------------------------------
+# the duality simulation
+# ----------------------------------------------------------------------
+def _simulate(
+    fn: FunctionInfo,
+    module: SourceModule,
+    moves0: list[CommEvent],
+    moves1: list[CommEvent],
+    report: _Emitter,
+) -> None:
+    """Run both halves' movement traces against each other.
+
+    Sends never block; a receive consumes the oldest in-flight send of
+    its label (out-of-order consumption is round drift); a swap is a
+    send half (eagerly in flight) plus a receive half. When neither side
+    can progress, the stuck pattern names the wedge.
+    """
+    node = _anchor(fn.node.lineno)
+    q01: list[CommEvent] = []  # party 0 -> party 1 in flight
+    q10: list[CommEvent] = []
+    i = j = 0
+    swap_sent: set[tuple[int, int]] = set()
+    deadlocked = False
+
+    def head(events: list[CommEvent], k: int) -> CommEvent | None:
+        return events[k] if k < len(events) else None
+
+    def try_recv(event: CommEvent, queue: list[CommEvent], receiver: int) -> bool:
+        for k, send in enumerate(queue):
+            if send.label == event.label:
+                if k > 0:
+                    report(
+                        module,
+                        "schedule/round-drift",
+                        node,
+                        f"{fn.qualname}: party {receiver} receives "
+                        f"{event.label!r} while {queue[0].label!r} is still "
+                        "in flight ahead of it — the halves order the same "
+                        "rounds differently",
+                    )
+                del queue[k]
+                return True
+        return False
+
+    for _fuel in range(_SIMULATION_FUEL):
+        moved = False
+        while (a := head(moves0, i)) is not None and a.kind == "send":
+            q01.append(a)
+            i += 1
+            moved = True
+        while (b := head(moves1, j)) is not None and b.kind == "send":
+            q10.append(b)
+            j += 1
+            moved = True
+        a, b = head(moves0, i), head(moves1, j)
+        if a is None and b is None:
+            break
+        # A swap's outgoing half is as non-blocking as a push.
+        if a is not None and a.kind == "swap" and (0, i) not in swap_sent:
+            q01.append(a)
+            swap_sent.add((0, i))
+            moved = True
+        if b is not None and b.kind == "swap" and (1, j) not in swap_sent:
+            q10.append(b)
+            swap_sent.add((1, j))
+            moved = True
+        progressed = False
+        if a is not None and try_recv(a, q10, receiver=0):
+            i += 1
+            progressed = True
+        elif b is not None and try_recv(b, q01, receiver=1):
+            j += 1
+            progressed = True
+        if progressed or moved:
+            continue
+        # Nobody can move: name the wedge and (for mismatches) pair the
+        # offending events off so one defect yields one finding.
+        if a is not None and b is not None and not q01 and not q10:
+            report(
+                module,
+                "schedule/deadlock",
+                node,
+                f"{fn.qualname}: party 0 blocks on "
+                f"{a.kind} {a.label!r} while party 1 blocks on "
+                f"{b.kind} {b.label!r} with nothing in flight — both sides "
+                "receive first",
+            )
+            deadlocked = True
+            break
+        if a is not None and q10:
+            report(
+                module,
+                "schedule/label-mismatch",
+                node,
+                f"{fn.qualname}: party 0 receives {a.label!r} but party 1's "
+                f"oldest unconsumed send is {q10[0].label!r}",
+            )
+            del q10[0]
+            i += 1
+            continue
+        if b is not None and q01:
+            report(
+                module,
+                "schedule/label-mismatch",
+                node,
+                f"{fn.qualname}: party 1 receives {b.label!r} but party 0's "
+                f"oldest unconsumed send is {q01[0].label!r}",
+            )
+            del q01[0]
+            j += 1
+            continue
+        # A receive with the peer's trace exhausted and nothing queued.
+        blocked = a if a is not None else b
+        waiter = 0 if a is not None else 1
+        report(
+            module,
+            "schedule/deadlock",
+            node,
+            f"{fn.qualname}: party {waiter} blocks on "
+            f"{blocked.kind} {blocked.label!r} after the peer's schedule is "
+            "exhausted — the receive can never complete",
+        )
+        deadlocked = True
+        break
+
+    if deadlocked:
+        return
+    for sender, queue in ((0, q01), (1, q10)):
+        leftover = Counter(event.label for event in queue)
+        for label, count in sorted(leftover.items()):
+            report(
+                module,
+                "schedule/missing-receive",
+                node,
+                f"{fn.qualname}: party {sender} sends {label!r} {count}x "
+                f"that party {1 - sender} never receives",
+            )
+
+
+# ----------------------------------------------------------------------
+# counter checks
+# ----------------------------------------------------------------------
+def _counter_text(counter: Counter) -> str:
+    return (
+        "{"
+        + ", ".join(f"{key}: {count}" for key, count in sorted(counter.items()))
+        + "}"
+    )
+
+
+def _check_counters(
+    fn: FunctionInfo,
+    module: SourceModule,
+    trace0: list[CommEvent],
+    trace1: list[CommEvent],
+    report: _Emitter,
+) -> None:
+    """The halves must account the same rounds and consume the same material."""
+    node = _anchor(fn.node.lineno)
+    for kinds, what in ((("acct", "tick"), "round accounting"), (("consume",), "dealer-material consumption")):
+        c0 = Counter(e.label for e in trace0 if e.kind in kinds)
+        c1 = Counter(e.label for e in trace1 if e.kind in kinds)
+        if c0 != c1:
+            report(
+                module,
+                "schedule/round-drift",
+                node,
+                f"{fn.qualname}: the halves' {what} disagrees — party 0 "
+                f"{_counter_text(c0)} vs party 1 {_counter_text(c1)}",
+            )
+
+
+def _check_costs(
+    fn: FunctionInfo,
+    module: SourceModule,
+    trace: list[CommEvent],
+    labels: dict[str, str],
+    report: _Emitter,
+) -> None:
+    """Consumed material items == opened rounds of the method's label.
+
+    Only checked for labels the function consumes material for: a half
+    that receives its material via parameters (``party_beaver_multiply``
+    takes the triple) is audited at the call sites that consume it.
+    """
+    node = _anchor(fn.node.lineno)
+    expected = Counter(
+        labels[e.label] for e in trace if e.kind == "consume" and e.label in labels
+    )
+    observed = Counter(e.label for e in trace if e.kind == "acct")
+    for label, count in sorted(expected.items()):
+        if observed.get(label, 0) != count:
+            report(
+                module,
+                "schedule/cost-drift",
+                node,
+                f"{fn.qualname}: consumes material for {count} opening(s) of "
+                f"{label!r} but accounts {observed.get(label, 0)} — the "
+                "extracted schedule no longer matches costs._METHOD_TRAFFIC",
+            )
+
+
+def _has_events(*traces: list[CommEvent]) -> bool:
+    return any(trace for trace in traces)
+
+
+# ----------------------------------------------------------------------
+# per-family audits
+# ----------------------------------------------------------------------
+def _module_functions(
+    module: SourceModule, index: ProjectIndex
+) -> list[FunctionInfo]:
+    infos = []
+    for statement in module.tree.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = index.by_qualname.get(f"{module.rel}:{statement.name}")
+            if info is not None:
+                infos.append(info)
+    return infos
+
+
+def _extract_pair(
+    fn: FunctionInfo,
+    index: ProjectIndex,
+    report: _Emitter | None,
+) -> tuple[list[CommEvent], list[CommEvent]] | None:
+    traces = []
+    for party in (0, 1):
+        try:
+            traces.append(TraceExtractor(index, party=party).trace(fn))
+        except UnresolvableTrace as exc:
+            if report is not None:
+                report(
+                    exc.module,
+                    "schedule/unresolvable-trace",
+                    exc.node,
+                    f"cannot statically extract the communication schedule "
+                    f"of {fn.qualname!r}: {exc.message}",
+                )
+            return None
+    return traces[0], traces[1]
+
+
+def _audit_party_module(
+    module: SourceModule,
+    index: ProjectIndex,
+    labels: dict[str, str],
+    report: _Emitter,
+) -> None:
+    for fn in _module_functions(module, index):
+        pair = _extract_pair(fn, index, report)
+        if pair is None:
+            continue
+        trace0, trace1 = pair
+        if not _has_events(trace0, trace1):
+            continue
+        moves0 = [e for e in trace0 if e.kind in MOVEMENT_KINDS]
+        moves1 = [e for e in trace1 if e.kind in MOVEMENT_KINDS]
+        _simulate(fn, module, moves0, moves1, report)
+        _check_counters(fn, module, trace0, trace1, report)
+        _check_costs(fn, module, trace0, labels, report)
+
+
+def _audit_joint_module(
+    module: SourceModule,
+    index: ProjectIndex,
+    labels: dict[str, str],
+    report: _Emitter,
+) -> None:
+    for fn in _module_functions(module, index):
+        try:
+            trace = TraceExtractor(index, party=None).trace(fn)
+        except UnresolvableTrace as exc:
+            report(
+                exc.module,
+                "schedule/unresolvable-trace",
+                exc.node,
+                f"cannot statically extract the communication schedule of "
+                f"{fn.qualname!r}: {exc.message}",
+            )
+            continue
+        if trace:
+            _check_costs(fn, module, trace, labels, report)
+
+
+def _class_events(
+    module: SourceModule, index: ProjectIndex, cls: ast.ClassDef
+) -> dict[str, list[CommEvent]]:
+    """Per-method comm events of one class (same-module transitive)."""
+    events: dict[str, list[CommEvent]] = {}
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = index.by_qualname.get(f"{module.rel}:{cls.name}.{item.name}")
+            if info is not None:
+                events[item.name] = collect_events(index, info)
+    return events
+
+
+def _role_labels(
+    per_method: dict[str, list[CommEvent]]
+) -> tuple[set[str], set[str]]:
+    sends: set[str] = set()
+    recvs: set[str] = set()
+    for events in per_method.values():
+        for event in events:
+            if event.kind == "send":
+                sends.add(event.label)
+            elif event.kind == "recv":
+                recvs.add(event.label)
+    return sends, recvs
+
+
+def _first_movement(
+    per_method: dict[str, list[CommEvent]], names: tuple[str, ...]
+) -> CommEvent | None:
+    for name in names:
+        for event in per_method.get(name, []):
+            if event.kind in MOVEMENT_KINDS:
+                return event
+    return None
+
+
+def _audit_dealer_module(
+    module: SourceModule, index: ProjectIndex, report: _Emitter
+) -> None:
+    """Label-set duality between the RPC stub and the serving loop.
+
+    The dealer's control flow is request-driven — per-branch ordering is
+    runtime data — so the check is: every label one side sends, the
+    other receives (and vice versa), plus strict ordering of the one
+    statically-known sequence, the connection handshake.
+    """
+    clients: list[ast.ClassDef] = []
+    servers: list[ast.ClassDef] = []
+    for statement in module.tree.body:
+        if isinstance(statement, ast.ClassDef):
+            if statement.name.endswith("Client"):
+                clients.append(statement)
+            elif statement.name.endswith("Server"):
+                servers.append(statement)
+    if not clients or not servers:
+        return
+    client_events: dict[str, list[CommEvent]] = {}
+    for cls in clients:
+        client_events.update(_class_events(module, index, cls))
+    server_events: dict[str, list[CommEvent]] = {}
+    for cls in servers:
+        server_events.update(_class_events(module, index, cls))
+
+    client_sends, client_recvs = _role_labels(client_events)
+    server_sends, server_recvs = _role_labels(server_events)
+    pairs = (
+        (client_sends - server_recvs, "schedule/missing-receive",
+         "the client sends {label!r} but no server handler receives it"),
+        (server_sends - client_recvs, "schedule/missing-receive",
+         "the server sends {label!r} but the client stub never receives it"),
+        (client_recvs - server_sends, "schedule/label-mismatch",
+         "the client expects {label!r} but no server handler sends it"),
+        (server_recvs - client_sends, "schedule/label-mismatch",
+         "a server handler expects {label!r} but the client stub never "
+         "sends it"),
+    )
+    anchor = _anchor(servers[0].lineno)
+    for labels, rule, template in pairs:
+        for label in sorted(labels):
+            report(module, rule, anchor, template.format(label=label))
+
+    first_client = _first_movement(client_events, ("_connect", "connect"))
+    first_server = _first_movement(
+        server_events, ("_serve_connection", "serve_connection")
+    )
+    if first_client is None or first_server is None:
+        return
+    if first_client.kind == "recv" and first_server.kind == "recv":
+        report(
+            module,
+            "schedule/deadlock",
+            anchor,
+            f"handshake deadlock: the client opens by receiving "
+            f"{first_client.label!r} while the server opens by receiving "
+            f"{first_server.label!r} — neither side speaks first",
+        )
+    elif (
+        first_client.kind != first_server.kind
+        and first_client.label != first_server.label
+    ):
+        report(
+            module,
+            "schedule/label-mismatch",
+            anchor,
+            f"handshake mismatch: the client opens with "
+            f"{first_client.kind} {first_client.label!r} but the server "
+            f"opens with {first_server.kind} {first_server.label!r}",
+        )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def run(modules: list[SourceModule]) -> list[Finding]:
+    index = build_index(modules)
+    labels = method_labels()
+    findings: list[Finding] = []
+    report = _Emitter(findings)
+    for module in modules:
+        if module.in_scope(PARTY_SCOPE):
+            _audit_party_module(module, index, labels, report)
+        elif module.in_scope(JOINT_SCOPE):
+            _audit_joint_module(module, index, labels, report)
+        if module.in_scope(DEALER_SCOPE):
+            _audit_dealer_module(module, index, report)
+    return findings
+
+
+def extract_schedule(modules: list[SourceModule]) -> dict:
+    """The full extracted schedule as a JSON-serializable table.
+
+    CI uploads this as an artifact so the protocol schedule — per-half
+    event sequences, per-label opening counts, dealer RPC label sets —
+    stays reviewable PR over PR without rerunning the analyzer.
+    """
+    index = build_index(modules)
+    labels = method_labels()
+    table: dict = {"party": {}, "joint": {}, "dealer": {}}
+    for module in modules:
+        if module.in_scope(PARTY_SCOPE):
+            for fn in _module_functions(module, index):
+                pair = _extract_pair(fn, index, report=None)
+                if pair is None:
+                    table["party"][fn.qualname] = {"error": "unresolvable"}
+                    continue
+                trace0, trace1 = pair
+                if not _has_events(trace0, trace1):
+                    continue
+                consumed = Counter(
+                    e.label for e in trace0 if e.kind == "consume"
+                )
+                table["party"][fn.qualname] = {
+                    "party0": [[e.kind, e.label] for e in trace0],
+                    "party1": [[e.kind, e.label] for e in trace1],
+                    "consumes": dict(sorted(consumed.items())),
+                    "opens": dict(
+                        sorted(
+                            Counter(
+                                e.label for e in trace0 if e.kind == "acct"
+                            ).items()
+                        )
+                    ),
+                    "expected_opens": dict(
+                        sorted(
+                            Counter(
+                                labels[e.label]
+                                for e in trace0
+                                if e.kind == "consume" and e.label in labels
+                            ).items()
+                        )
+                    ),
+                }
+        elif module.in_scope(JOINT_SCOPE):
+            for fn in _module_functions(module, index):
+                try:
+                    trace = TraceExtractor(index, party=None).trace(fn)
+                except UnresolvableTrace:
+                    table["joint"][fn.qualname] = {"error": "unresolvable"}
+                    continue
+                if not trace:
+                    continue
+                table["joint"][fn.qualname] = {
+                    "events": [[e.kind, e.label] for e in trace],
+                    "opens": dict(
+                        sorted(
+                            Counter(
+                                e.label for e in trace if e.kind == "acct"
+                            ).items()
+                        )
+                    ),
+                }
+        if module.in_scope(DEALER_SCOPE):
+            for statement in module.tree.body:
+                if not isinstance(statement, ast.ClassDef):
+                    continue
+                if not (
+                    statement.name.endswith("Client")
+                    or statement.name.endswith("Server")
+                ):
+                    continue
+                per_method = _class_events(module, index, statement)
+                sends, recvs = _role_labels(per_method)
+                table["dealer"][statement.name] = {
+                    "sends": sorted(sends),
+                    "recvs": sorted(recvs),
+                }
+    return table

@@ -392,6 +392,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline file for --check (default: AUDIT_BASELINE.json at "
         "the repo root; ignored if the file does not exist)",
     )
+    audit.add_argument(
+        "--diff",
+        default=None,
+        metavar="REF",
+        help="restrict findings to files changed vs this git ref "
+        "(pre-commit mode: stale-baseline entries do not gate)",
+    )
+    audit.add_argument(
+        "--schedule",
+        default=None,
+        metavar="FILE",
+        help="also write the statically extracted protocol round-schedule "
+        "table (per-half traces, per-label opening counts, dealer RPC "
+        "label sets) as JSON",
+    )
     return parser
 
 
@@ -796,11 +811,39 @@ def _cmd_chaos_check(args) -> int:
     return 1 if run_chaos_check(args.seed, args.request_timeout) else 0
 
 
+def _git_changed_files(repo_root, ref: str) -> list[str] | None:
+    """Repo-relative paths changed vs ``ref``, plus untracked files.
+
+    ``git diff`` alone misses brand-new files that have not been staged
+    yet — exactly the files a pre-commit gate most wants to see.
+    """
+    import subprocess
+
+    changed: list[str] = []
+    for argv in (
+        ["diff", "--name-only", ref],
+        ["ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            completed = subprocess.run(
+                ["git", "-C", str(repo_root), *argv],
+                capture_output=True,
+                text=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if completed.returncode != 0:
+            return None
+        changed.extend(line for line in completed.stdout.splitlines() if line)
+    return changed
+
+
 def _cmd_audit(args) -> int:
     import json
     from pathlib import Path
 
-    from .analysis import default_baseline, load_baseline, run_audit
+    from .analysis import default_baseline, default_root, load_baseline, run_audit
 
     root = Path(args.root) if args.root else None
     report = run_audit(root)
@@ -812,6 +855,32 @@ def _cmd_audit(args) -> int:
     if baseline_path.exists():
         baseline = load_baseline(baseline_path)
     new, stale = report.apply_baseline(baseline)
+
+    if args.diff is not None:
+        changed = _git_changed_files(baseline_path.parent, args.diff)
+        if changed is None:
+            print(f"c2pi audit: cannot diff against {args.diff!r} (not a git "
+                  "checkout, or unknown ref)")
+            return 2
+        # Findings carry scan-root-relative paths; git reports
+        # repo-relative ones. Suffix matching joins the two.
+        new = [
+            finding
+            for finding in new
+            if any(path.endswith(finding.path) for path in changed)
+        ]
+        # Pre-commit mode gates only on the files being touched; a stale
+        # baseline entry elsewhere is the full gate's business.
+        stale = []
+
+    if args.schedule is not None:
+        from .analysis.core import load_modules
+        from .analysis.schedule import extract_schedule
+
+        modules = load_modules(Path(root) if root is not None else default_root())
+        Path(args.schedule).write_text(
+            json.dumps(extract_schedule(modules), indent=2) + "\n"
+        )
 
     if args.json or args.output:
         payload = report.as_dict()
@@ -829,7 +898,10 @@ def _cmd_audit(args) -> int:
             f"c2pi audit: {report.modules_scanned} modules, "
             f"{len(report.passes)} passes ({', '.join(report.passes)})"
         )
-        for finding in report.findings:
+        if args.diff is not None:
+            print(f"c2pi audit: restricted to files changed vs {args.diff}")
+        shown = new if args.diff is not None else report.findings
+        for finding in shown:
             marker = "  [baselined] " if finding not in new else "  "
             print(f"{marker}{finding.render()}")
         for entry in stale:

@@ -51,6 +51,7 @@ __all__ = [
     "BACKEND_WIRE_LABELS",
     "DEALER_WIRE_LABELS",
     "known_wire_labels",
+    "method_wire_labels",
 ]
 
 
@@ -109,6 +110,17 @@ _METHOD_MATERIAL_BYTES = {
 PROTOCOL_WIRE_LABELS = frozenset(
     label for label, _payload in _METHOD_TRAFFIC.values()
 )
+
+
+def method_wire_labels() -> dict[str, str]:
+    """Dealer method -> the wire label its consumption opens.
+
+    One consumed material item opens exactly one round of this label —
+    the invariant the audit schedule pass cross-checks against every
+    protocol half's extracted trace, so ``_METHOD_TRAFFIC`` and the
+    implementations cannot drift apart silently.
+    """
+    return {method: label for method, (label, _payload) in _METHOD_TRAFFIC.items()}
 
 #: Framework traffic: share distribution, session plumbing, the noised
 #: logit reveal, MAC checks, and the fault-injection frame tags.

@@ -355,11 +355,12 @@ class DealerServer:
                     # Stored history was lost (no store / torn record)
                     # and the rng has moved past: regenerating would fork
                     # the stream. Refuse rather than lie.
+                    # The stream key embeds the session seed — name only
+                    # the public positions here.
                     raise DealerError(
-                        f"bundle {seq} of stream {stream.key} predates the "
-                        f"dealer's position {stream.next_seq} and is not "
-                        "stored — cannot regenerate without forking the "
-                        "material stream"
+                        f"bundle {seq} predates the dealer's position "
+                        f"{stream.next_seq} and is not stored — cannot "
+                        "regenerate without forking the material stream"
                     )
                 while stream.next_seq <= seq:
                     record = self._generate_bundle(stream, trace)
@@ -558,9 +559,11 @@ class DealerClient:
                     return reply, blob
                 if reply.get("busy"):
                     raise DealerBusy(reply.get("reason", "dealer-busy"))
+                # The request dict carries the session seed on some
+                # commands — interpolate only the server's reply, which
+                # is public by construction.
                 raise DealerError(
-                    f"dealer refused {request.get('cmd')}: "
-                    f"{reply.get('error', reply)}"
+                    f"dealer refused the request: {reply.get('error', reply)}"
                 )
             except DealerBusy as exc:
                 last = exc

@@ -1,0 +1,52 @@
+"""Known-bad protocol halves: every schedule rule fires exactly once."""
+
+__all__ = [
+    "party_missing_pull",
+    "party_wrong_label",
+    "party_deadlock",
+    "party_reordered",
+    "party_cost_drift",
+    "party_unresolvable",
+]
+
+
+def party_missing_pull(io, x):
+    # Party 0 pushes a label party 1 never receives.
+    if io.party == 0:
+        io.push(x, "open")
+
+
+def party_wrong_label(io, x):
+    # The halves disagree about which label crosses the wire.
+    if io.party == 0:
+        io.push(x, "open")
+    else:
+        return io.pull("and-open")
+
+
+def party_deadlock(io):
+    # Both halves block receiving first with nothing in flight.
+    return io.pull("open")
+
+
+def party_reordered(io, x, y):
+    # Same labels, opposite round order.
+    if io.party == 0:
+        io.push(x, "alpha")
+        io.push(y, "beta")
+    else:
+        b = io.pull("beta")
+        a = io.pull("alpha")
+        return a, b
+
+
+def party_cost_drift(io, material):
+    # Consumes a bit triple but never opens its and-open round.
+    return material.next("bit_triples")
+
+
+def party_unresolvable(io, n):
+    # Data-driven loop over communication: the schedule is unprovable.
+    while n:
+        io.push(b"", "open")
+        n -= 1

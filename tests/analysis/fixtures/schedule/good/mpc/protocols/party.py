@@ -1,0 +1,34 @@
+"""Known-good protocol halves: dual schedules, costs reconciled."""
+
+__all__ = ["STEPS", "ring_swap", "party_msb_like", "party_linear_like"]
+
+STEPS = (1, 2, 4)
+
+
+def ring_swap(io, value, label):
+    theirs = io.swap(io.stage(value, label), label)
+    io.exchange(len(value), label)
+    return theirs
+
+
+def party_msb_like(io, material, x):
+    # One masked reveal, then one and-open per unrolled step — the
+    # consumed material matches the opened rounds label for label.
+    mask = material.next("comparison_masks")
+    z = ring_swap(io, x, "masked-reveal")
+    for _step in STEPS:
+        triple = material.next("bit_triples")
+        z = ring_swap(io, z, "and-open")
+    return z, mask, triple
+
+
+def party_linear_like(io, x):
+    # The asymmetric half: party 0 sends the masked input, party 1
+    # receives it; both account the same round.
+    if io.party == 0:
+        io.push(x, "linear-masked-input")
+    else:
+        x = io.pull("linear-masked-input")
+    io.send(0, len(x), "linear-masked-input")
+    io.tick_round("linear")
+    return x

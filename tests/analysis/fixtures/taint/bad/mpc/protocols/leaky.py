@@ -1,0 +1,18 @@
+"""Known-bad taint flows: log and wire leaks, one finding each."""
+
+__all__ = ["log_material", "ship_raw"]
+
+
+def log_material(io, triple):
+    # Dealer material straight into the console.
+    print(triple.a)
+
+
+def _launder(value):
+    return value
+
+
+def ship_raw(io, x):
+    # The secret rides a helper's return value onto the wire — invisible
+    # to any per-function pass.
+    io.push(_launder(x), "open")

@@ -1,0 +1,12 @@
+"""Known-bad taint flow: a seed-derived key in an exception message."""
+
+__all__ = ["derive_key", "refuse"]
+
+
+def derive_key(fingerprint, session_seed):
+    return f"{fingerprint}:{session_seed}"
+
+
+def refuse(seq, session_seed):
+    key = derive_key("fp", session_seed)
+    raise RuntimeError(f"bundle {seq} of stream {key} is gone")

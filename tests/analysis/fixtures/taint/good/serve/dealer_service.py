@@ -1,0 +1,18 @@
+"""Known-good dealer error handling: public positions only."""
+
+__all__ = ["SessionStream", "refuse"]
+
+
+class SessionStream:
+    # Swallowing a seed into a field is fine — reading it back into a
+    # sink is what leaks.
+    def __init__(self, key, session_seed):
+        self.key = key
+        self.session_seed = session_seed
+        self.next_seq = 0
+
+
+def refuse(seq, stream):
+    raise RuntimeError(
+        f"bundle {seq} predates the dealer's position {stream.next_seq}"
+    )

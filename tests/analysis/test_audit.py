@@ -18,7 +18,15 @@ from repro.analysis import (
     load_baseline,
     run_audit,
 )
-from repro.analysis import determinism, exports, locks, secrecy, wire_labels
+from repro.analysis import (
+    determinism,
+    exports,
+    locks,
+    schedule,
+    secrecy,
+    taint,
+    wire_labels,
+)
 from repro.cli import main
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
@@ -40,6 +48,19 @@ EXPECTED_BAD = {
         "wire/unresolvable-label",
     },
     "exports": {"exports/missing-export", "exports/ghost-export"},
+    "schedule": {
+        "schedule/missing-receive",
+        "schedule/label-mismatch",
+        "schedule/deadlock",
+        "schedule/round-drift",
+        "schedule/cost-drift",
+        "schedule/unresolvable-trace",
+    },
+    "taint": {
+        "taint/secret-in-exception",
+        "taint/secret-in-log",
+        "taint/secret-to-wire",
+    },
 }
 
 
@@ -184,4 +205,6 @@ def test_every_pass_is_registered():
         determinism.NAME,
         wire_labels.NAME,
         exports.NAME,
+        schedule.NAME,
+        taint.NAME,
     ]

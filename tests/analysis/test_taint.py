@@ -1,0 +1,116 @@
+"""The taint pass, the UTF-8 parse regression, and ``audit --diff``."""
+
+import subprocess
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis import default_root, run_audit, taint
+from repro.analysis.core import SourceModule
+from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "taint"
+
+
+def test_bad_fixture_fires_each_rule_exactly_once():
+    report = run_audit(FIXTURES / "bad", passes=(taint,))
+    fired = Counter(finding.rule for finding in report.findings)
+    assert fired == {
+        "taint/secret-in-exception": 1,
+        "taint/secret-in-log": 1,
+        "taint/secret-to-wire": 1,
+    }, report.findings
+
+
+def test_good_fixture_is_silent():
+    report = run_audit(FIXTURES / "good", passes=(taint,))
+    assert not report.findings, [f.render() for f in report.findings]
+
+
+def test_real_tree_is_taint_clean():
+    report = run_audit(default_root(), passes=(taint,))
+    assert not report.findings, [f.render() for f in report.findings]
+
+
+def test_interprocedural_hop_is_required():
+    """The wire finding in the bad fixture is the laundering helper —
+    proof the pass sees through one call-graph hop."""
+    report = run_audit(FIXTURES / "bad", passes=(taint,))
+    wire = [f for f in report.findings if f.rule == "taint/secret-to-wire"]
+    assert len(wire) == 1
+    assert "_launder" in wire[0].message
+
+
+def test_parse_reads_utf8_regardless_of_locale(tmp_path):
+    """SourceModule.parse must not depend on the platform locale."""
+    path = tmp_path / "docstring.py"
+    path.write_bytes(
+        '"""Schrödinger’s docstring — non-ASCII on purpose."""\n'
+        "X = 1\n".encode("utf-8")
+    )
+    module = SourceModule.parse(path, tmp_path)
+    assert "Schrödinger" in module.text
+
+    # The same file parsed through a subprocess pinned to a non-UTF-8
+    # locale — the satellite's actual failure mode.
+    import sys
+
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    script = (
+        "from pathlib import Path\n"
+        "from repro.analysis.core import SourceModule\n"
+        f"m = SourceModule.parse(Path({str(path)!r}), Path({str(tmp_path)!r}))\n"
+        "print(len(m.text))\n"
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": src_dir, "LC_ALL": "C", "LANG": "C"},
+        timeout=60,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+
+def test_audit_diff_restricts_to_changed_files(tmp_path, capsys):
+    """--diff gates only findings in files changed vs the ref."""
+    repo = tmp_path / "repo"
+    tree = repo / "src" / "mpc" / "protocols"
+    tree.mkdir(parents=True)
+    env = {"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t", "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"}
+
+    def git(*argv):
+        subprocess.run(
+            ["git", "-C", str(repo), *argv],
+            check=True,
+            capture_output=True,
+            env={**env, "PATH": "/usr/bin:/bin:/usr/local/bin", "HOME": str(tmp_path)},
+        )
+
+    (tree / "stale.py").write_text("import time\n\ndef old():\n    return time.time()\n")
+    git("init", "-q")
+    git("add", "-A")
+    git("commit", "-qm", "seed")
+    # A new violation in a new file; the old one predates the ref.
+    (tree / "fresh.py").write_text("import time\n\ndef new():\n    return time.time()\n")
+
+    baseline = repo / "baseline.json"
+    baseline.write_text('{"findings": []}')
+    root = str(tree.parents[1])
+    argv = ["audit", "--root", root, "--baseline", str(baseline), "--check"]
+    # Full gate: both files fire.
+    assert main(argv) == 1
+    capsys.readouterr()
+    # Diff gate: only the changed file fires...
+    assert main(argv + ["--diff", "HEAD"]) == 1
+    out = capsys.readouterr().out
+    assert "fresh.py" in out
+    assert "stale.py" not in out
+
+    # ...and committing it makes the diff gate pass while the full gate
+    # still fails on the pre-existing finding.
+    git("add", "-A")
+    git("commit", "-qm", "fresh")
+    assert main(argv + ["--diff", "HEAD"]) == 0
+    assert main(argv) == 1
