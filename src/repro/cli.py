@@ -20,6 +20,7 @@ any protocol suite — is reachable without writing Python:
     c2pi serve --listen 127.0.0.1:9123 --workers 4       # party 1 (server)
     c2pi client --connect 127.0.0.1:9123 --session alice # party 0 (client)
     c2pi chaos-check                                     # fault-recovery audit
+    c2pi loadgen --sessions 64 --rate 50 --soak          # sustained-load harness
     c2pi audit --check                                   # static invariant gate
 
 ``serve``/``client`` run the two-process deployment: the compiled secure
@@ -39,7 +40,7 @@ import sys
 
 import numpy as np
 
-__all__ = ["main", "build_parser", "add_bench_arguments"]
+__all__ = ["main", "build_parser", "add_bench_arguments", "add_loadgen_arguments"]
 
 
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
@@ -71,6 +72,69 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="latency regression tolerance (default 0.10)",
+    )
+
+
+def add_loadgen_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``loadgen`` options, shared with ``repro.serve.loadgen.main``.
+
+    Lives here for the same reason as :func:`add_bench_arguments`:
+    registering the subcommand must stay import-free.
+    """
+    parser.add_argument("--sessions", type=int, default=8)
+    parser.add_argument(
+        "--rate", type=float, default=50.0, help="offered arrival rate, req/s"
+    )
+    parser.add_argument("--dist", default="poisson", choices=("poisson", "fixed"))
+    parser.add_argument(
+        "--requests", type=int, default=128, help="total open-loop arrivals"
+    )
+    parser.add_argument("--slo-ms", type=float, default=500.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=4, help="server worker pool size"
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="per-request fault recovery budget (idempotent replay)",
+    )
+    parser.add_argument(
+        "--soak",
+        action="store_true",
+        help="layer seeded random corrupt/partial chaos faults on a subset "
+        "of sessions while keeping the byte-identity bar",
+    )
+    parser.add_argument(
+        "--soak-rate",
+        type=float,
+        default=0.01,
+        help="per-frame fault probability on chaos sessions",
+    )
+    parser.add_argument(
+        "--skip-serial",
+        action="store_true",
+        help="skip the serial byte-identity replay (faster, weaker)",
+    )
+    parser.add_argument("--json", action="store_true", help="print JSON")
+    parser.add_argument("--output", default=None, help="write the report JSON here")
+    parser.add_argument(
+        "--histogram",
+        default=None,
+        help="write the latency-histogram JSON here (the CI artifact)",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="SNAPSHOT",
+        help="compare against a committed snapshot; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="latency regression tolerance for --check (default 0.10)",
     )
 
 
@@ -364,6 +428,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="server-side per-op deadline during the check (small = fast)",
     )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop sustained-load harness: Poisson/fixed arrivals from "
+        "N concurrent sessions against a live server, latency percentiles, "
+        "SLO accounting, serial byte-identity replay and an optional "
+        "--soak chaos layer (DESIGN.md §14)",
+    )
+    add_loadgen_arguments(loadgen)
 
     audit = sub.add_parser(
         "audit",
@@ -811,6 +884,12 @@ def _cmd_chaos_check(args) -> int:
     return 1 if run_chaos_check(args.seed, args.request_timeout) else 0
 
 
+def _cmd_loadgen(args) -> int:
+    from .serve.loadgen import run_from_args
+
+    return run_from_args(args)
+
+
 def _git_changed_files(repo_root, ref: str) -> list[str] | None:
     """Repo-relative paths changed vs ``ref``, plus untracked files.
 
@@ -932,6 +1011,7 @@ _COMMANDS = {
     "dealer": _cmd_dealer,
     "client": _cmd_client,
     "chaos-check": _cmd_chaos_check,
+    "loadgen": _cmd_loadgen,
     "audit": _cmd_audit,
 }
 

@@ -153,13 +153,23 @@ class SecureInferenceEngine:
         )
 
     # ------------------------------------------------------------------
-    def run(self, x: np.ndarray, material=None) -> SecureExecutionResult:
+    def run(
+        self, x: np.ndarray, material=None, input_shares: Shares | None = None
+    ) -> SecureExecutionResult:
         """Securely evaluate the program on a float NCHW input batch.
 
         ``material`` is an optional dealer-like source of pre-generated
         correlated randomness (a :class:`~repro.mpc.preprocessing.ReplayDealer`);
         when given, the online phase performs **zero** dealer generation and
         the engine's own dealer counters do not move.
+
+        ``input_shares`` optionally injects the additive sharing of the
+        (already validated) input instead of drawing it from the engine's
+        own share rng — the cross-session fusion path draws each row's
+        sharing from that session's private stream, and the engine's
+        ``_share_rng`` must not advance so the anonymous single-engine
+        path stays byte-identical whether or not fused batches ran in
+        between.
         """
         if x.ndim != 4:
             raise ValueError(f"expected NCHW input, got shape {x.shape}")
@@ -170,7 +180,15 @@ class SecureInferenceEngine:
             )
         suite = self.suite if material is None else self.suite.with_dealer(material)
         channel = Channel()
-        shares = share_additive(self.config.encode(x), self._share_rng)
+        if input_shares is None:
+            shares = share_additive(self.config.encode(x), self._share_rng)
+        else:
+            shares = input_shares
+            if shares[0].shape != x.shape or shares[1].shape != x.shape:
+                raise ValueError(
+                    f"injected input shares of shapes {shares[0].shape}/"
+                    f"{shares[1].shape} do not cover the input batch {x.shape}"
+                )
         # The initial sharing is one client->server message of input size.
         channel.send(0, shares[1].nbytes, label="input-share")
         channel.tick_round("input-share")

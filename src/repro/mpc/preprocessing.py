@@ -60,6 +60,7 @@ __all__ = [
     "material_plan",
     "PartyItem",
     "PartyMaterialStream",
+    "fuse_bundles",
     "party_view",
     "split_bundle",
     "join_party_bundle",
@@ -475,6 +476,109 @@ class PreprocessingPool:
             # consumer may pop the fresh bundle first, in which case the
             # loop simply generates another.
             self.refill(1)
+
+
+# ----------------------------------------------------------------------
+# cross-session batch fusion
+# ----------------------------------------------------------------------
+def _fuse_pair(
+    parts: list[tuple[np.ndarray, np.ndarray]], axis: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-row (share0, share1) pairs along ``axis``."""
+    return (
+        np.concatenate([part[0] for part in parts], axis=axis),
+        np.concatenate([part[1] for part in parts], axis=axis),
+    )
+
+
+def fuse_bundles(
+    bundles: list[list[tuple[MaterialRequest, object]]],
+    plan: list[MaterialRequest],
+) -> list[tuple[MaterialRequest, object]]:
+    """Fuse ``k`` batch-1 bundles into one bundle matching a batch-``k`` plan.
+
+    The protocols are data-oblivious and element-wise over the batch, so a
+    fused execution touches row ``i``'s elements with exactly the material
+    row ``i``'s own bundle holds — provided each item is concatenated
+    along the axis its batch dimension lives on. That axis is read off the
+    plan: it is the (single) axis where the batch-1 request shape differs
+    from the batch-``k`` one (axis 0 for linear layers and flattened ReLU,
+    axis 1 for the maxpool tournament's stacked pair material). Bit-packed
+    words (:class:`~repro.mpc.dealer.BitTriple`, comparison low bits) pack
+    per element, so concatenation preserves element order.
+
+    Raises :class:`MaterialMismatch` when the bundles do not agree with
+    each other or cannot tile the plan — a program/batch mixup, never a
+    data-dependent condition.
+    """
+    if len(bundles) == 1:
+        return list(bundles[0])
+    for bundle in bundles:
+        if len(bundle) != len(plan):
+            raise MaterialMismatch(
+                f"cannot fuse a bundle of {len(bundle)} items into a plan "
+                f"of {len(plan)}"
+            )
+    fused: list[tuple[MaterialRequest, object]] = []
+    for index, request in enumerate(plan):
+        rows = [bundle[index] for bundle in bundles]
+        base = rows[0][0]
+        for row_request, _ in rows[1:]:
+            if row_request.method != base.method or row_request.shape != base.shape:
+                raise MaterialMismatch(
+                    f"bundles disagree at item {index}: "
+                    f"{row_request.method}{row_request.shape} vs "
+                    f"{base.method}{base.shape}"
+                )
+        if base.method != request.method or len(base.shape) != len(request.shape):
+            raise MaterialMismatch(
+                f"cannot fuse {base.method}{base.shape} into "
+                f"{request.method}{request.shape}"
+            )
+        differing = [
+            axis
+            for axis, (have, want) in enumerate(zip(base.shape, request.shape))
+            if have != want
+        ]
+        if len(differing) != 1:
+            raise MaterialMismatch(
+                f"cannot fuse {base.method}{base.shape} into {request.shape}: "
+                "expected exactly one batch axis to widen"
+            )
+        axis = differing[0]
+        materials = [material for _, material in rows]
+        first = materials[0]
+        if isinstance(first, (BeaverTriple, BitTriple)):
+            material = type(first)(
+                a=_fuse_pair([m.a for m in materials], axis),
+                b=_fuse_pair([m.b for m in materials], axis),
+                c=_fuse_pair([m.c for m in materials], axis),
+            )
+        elif isinstance(first, DaBit):
+            material = DaBit(
+                boolean=_fuse_pair([m.boolean for m in materials], axis),
+                arithmetic=_fuse_pair([m.arithmetic for m in materials], axis),
+            )
+        elif isinstance(first, ComparisonMask):
+            material = ComparisonMask(
+                r_shares=_fuse_pair([m.r_shares for m in materials], axis),
+                low_bits=_fuse_pair([m.low_bits for m in materials], axis),
+                msb=_fuse_pair([m.msb for m in materials], axis),
+            )
+        elif isinstance(first, LinearCorrelation):
+            material = LinearCorrelation(
+                mask=np.concatenate([m.mask for m in materials], axis=axis),
+                client_offset=np.concatenate(
+                    [m.client_offset for m in materials], axis=axis
+                ),
+                server_offset=np.concatenate(
+                    [m.server_offset for m in materials], axis=axis
+                ),
+            )
+        else:
+            raise MaterialMismatch(f"unknown dealer material: {first!r}")
+        fused.append((request, material))
+    return fused
 
 
 # ----------------------------------------------------------------------

@@ -79,6 +79,8 @@ __all__ = [
     "Transport",
     "QueueTransport",
     "PeerChannel",
+    "FrameAssembler",
+    "LoopChannel",
     "pack_array",
     "pack_array_segments",
     "unpack_array",
@@ -884,6 +886,8 @@ class PeerChannel(Transport):
         party: int,
         shaper: LinkShaper | None = None,
         timeout: float | None = 120.0,
+        *,
+        reader: bool = True,
     ):
         super().__init__(party, shaper)
         self._sock = sock
@@ -902,10 +906,17 @@ class PeerChannel(Transport):
         # closed. Lets callers (the chaos layer's stall fault, session
         # reapers) wait for peer death without polling.
         self.peer_gone = threading.Event()
-        self._reader = threading.Thread(
-            target=self._read_loop, name=f"c2pi-peer-reader-p{party}", daemon=True
-        )
-        self._reader.start()
+        # ``reader=False`` (the LoopChannel subclass) skips the per-
+        # connection reader thread: frames are fed into the inbox by an
+        # external event loop instead of a dedicated drain thread.
+        self._reader: threading.Thread | None = None
+        if reader:
+            self._reader = threading.Thread(
+                target=self._read_loop,
+                name=f"c2pi-peer-reader-p{party}",
+                daemon=True,
+            )
+            self._reader.start()
 
     def _set_write_deadline(self, seconds: float) -> None:
         try:
@@ -1163,4 +1174,275 @@ class PeerChannel(Transport):
             pass
         self._sock.close()
         self.peer_gone.set()
-        self._reader.join(timeout=5.0)
+        if self._reader is not None:
+            self._reader.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# event-loop (non-blocking) read path
+# ----------------------------------------------------------------------
+class FrameAssembler:
+    """Incremental decoder of the wire format for non-blocking reads.
+
+    :meth:`PeerChannel._read_loop` owns a whole thread per connection and
+    may block in ``recv`` between frames; an event-loop server cannot
+    afford either. This state machine accepts arbitrary byte chunks (as
+    the loop's ``recv`` produces them) and emits the same items the
+    reader thread would have put in the inbox: complete
+    ``(kind, label, payload, arrived_at)`` tuples, or a terminal
+    :class:`TransportError` for a bad magic/version header or a CRC
+    mismatch — with identical diagnostics, so every downstream consumer
+    (lock-step checks, the chaos suite's corruption cases) behaves the
+    same whichever read path delivered the frame.
+
+    Payload staging mirrors the reader thread: raw protocol frames land
+    directly in the owner's :class:`BufferPool` ring when one is
+    attached; control frames materialize as ``bytes``.
+    """
+
+    _HEADER_SIZE = _HEADER.size
+
+    def __init__(self, owner: "Transport | None" = None):
+        self._owner = owner
+        self._head = bytearray()
+        self._label_bytes = bytearray()
+        self._label_len = 0
+        self._payload_len = 0
+        self._kind = 0
+        self._crc = 0
+        self._label = ""
+        self._dest: memoryview | None = None
+        self._dest_pooled = False
+        self._filled = 0
+        self._state = "header"
+        #: True while a frame is partially read — EOF now means a torn
+        #: stream, not a clean close (same distinction as the reader
+        #: thread's ``mid_frame``).
+        self.mid_frame = False
+        #: Set after a terminal decode failure; further feeds are refused.
+        self.failed = False
+
+    def feed(self, data) -> list:
+        """Consume one received chunk; return newly completed items.
+
+        Each returned item is either an inbox-ready
+        ``(kind, label, payload, arrived_at)`` tuple or a terminal
+        :class:`TransportError` (after which the assembler refuses
+        further input — the stream's integrity is gone).
+        """
+        if self.failed:
+            return []
+        out: list = []
+        view = memoryview(data).cast("B")
+        offset = 0
+        total = view.nbytes
+        while offset < total:
+            if self._state == "header":
+                take = min(total - offset, self._HEADER_SIZE - len(self._head))
+                self._head += view[offset : offset + take]
+                offset += take
+                if len(self._head) < self._HEADER_SIZE:
+                    break
+                magic, version, kind, label_len, payload_len, _sent_at, crc = (
+                    _HEADER.unpack(bytes(self._head))
+                )
+                self.mid_frame = True
+                if magic != _MAGIC or version != _VERSION:
+                    self.mid_frame = False  # diagnosed: not a torn stream
+                    self.failed = True
+                    out.append(
+                        TransportError(
+                            f"bad frame header (magic={magic!r}, "
+                            f"version={version})"
+                        )
+                    )
+                    return out
+                self._kind = kind
+                self._label_len = label_len
+                self._payload_len = payload_len
+                self._crc = crc
+                self._head.clear()
+                self._label_bytes.clear()
+                if label_len:
+                    self._state = "label"
+                else:
+                    self._start_payload("")
+                    self._state = "payload"
+                    if self._finish_if_empty(out) and self.failed:
+                        return out
+            elif self._state == "label":
+                take = min(total - offset, self._label_len - len(self._label_bytes))
+                self._label_bytes += view[offset : offset + take]
+                offset += take
+                if len(self._label_bytes) < self._label_len:
+                    break
+                self._start_payload(
+                    bytes(self._label_bytes).decode("utf-8", errors="replace")
+                )
+                self._state = "payload"
+                if self._finish_if_empty(out) and self.failed:
+                    return out
+            else:  # payload
+                take = min(total - offset, self._payload_len - self._filled)
+                if take:
+                    self._dest[self._filled : self._filled + take] = view[
+                        offset : offset + take
+                    ]
+                    self._filled += take
+                    offset += take
+                if self._filled < self._payload_len:
+                    break
+                item = self._finish_frame()
+                out.append(item)
+                if isinstance(item, TransportError):
+                    self.failed = True
+                    return out
+        return out
+
+    def eof(self) -> list:
+        """The stream ended: a mid-frame EOF is a torn stream (typed)."""
+        if self.mid_frame and not self.failed:
+            self.failed = True
+            return [
+                TransportError(
+                    "peer connection torn mid-frame (truncated stream)"
+                )
+            ]
+        return []
+
+    def _start_payload(self, label: str) -> None:
+        self._label = label
+        self._filled = 0
+        pool = self._owner.pool if self._owner is not None else None
+        if (
+            pool is not None
+            and self._payload_len
+            and self._kind in (FRAME_RAW, FRAME_RAW_BATCH)
+        ):
+            # Raw rounds land directly in a pooled, writable buffer —
+            # the same zero-copy delivery contract as the reader thread.
+            self._dest = pool.recv_frame(label, self._payload_len)
+            self._dest_pooled = True
+        else:
+            self._dest = memoryview(bytearray(self._payload_len))
+            self._dest_pooled = False
+
+    def _finish_if_empty(self, out: list) -> bool:
+        """Flush a zero-payload frame now — it needs no further bytes.
+
+        Without this, an empty-payload frame landing exactly on a chunk
+        boundary would sit unfinished until the *next* chunk arrives.
+        """
+        if self._payload_len:
+            return False
+        item = self._finish_frame()
+        out.append(item)
+        if isinstance(item, TransportError):
+            self.failed = True
+        return True
+
+    def _finish_frame(self):
+        self.mid_frame = False
+        self._state = "header"
+        payload = self._dest if self._dest_pooled else bytes(self._dest)
+        self._dest = None
+        if zlib.crc32(payload) != self._crc:
+            return TransportError(
+                f"frame checksum mismatch on {self._label!r} "
+                f"({self._payload_len} bytes) — payload corrupted in transit"
+            )
+        return (self._kind, self._label, payload, time.monotonic())
+
+
+class LoopChannel(PeerChannel):
+    """A :class:`PeerChannel` whose reads are driven by an event loop.
+
+    No per-connection reader thread: the owning loop watches the socket
+    for readability and calls :meth:`on_readable`, which drains whatever
+    the kernel has (``MSG_DONTWAIT``, so a spurious wakeup never blocks
+    the loop) through a :class:`FrameAssembler` into the same inbox the
+    consumer API reads from. Send paths, timeouts, shaping, statistics
+    and close semantics are all inherited unchanged — a protocol worker
+    using this transport cannot tell it from a threaded one.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        party: int,
+        shaper: LinkShaper | None = None,
+        timeout: float | None = 120.0,
+    ):
+        super().__init__(sock, party, shaper, timeout, reader=False)
+        self._assembler = FrameAssembler(self)
+        self._eof_delivered = False
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def inject(self, exc: TransportError) -> None:
+        """Deliver a synthetic terminal error to the consumer side.
+
+        The event loop uses this to synthesize the timeout a blocking
+        ``recv`` would have raised (handshake and idle deadlines): the
+        consumer's next receive raises ``exc`` exactly as if the read
+        path had produced it.
+        """
+        self._inbox.put(exc)
+
+    def on_readable(self) -> tuple[int, bool]:
+        """Drain the socket without blocking; deliver complete frames.
+
+        Returns ``(delivered, closed)``: how many items reached the
+        inbox, and whether the stream ended (EOF, socket error, or a
+        terminal framing/CRC failure — after which the caller should
+        unwatch the descriptor; the transport itself stays open until
+        its owner closes it).
+        """
+        delivered = 0
+        closed = False
+        while not closed:
+            try:
+                chunk = self._sock.recv(1 << 16, socket.MSG_DONTWAIT)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                closed = True
+                break
+            if not chunk:
+                closed = True
+                break
+            for item in self._assembler.feed(chunk):
+                self._inbox.put(item)
+                delivered += 1
+                if isinstance(item, TransportError):
+                    # Stream integrity is gone (bad header / CRC): stop
+                    # parsing, exactly like the reader thread breaking
+                    # out of its loop.
+                    closed = True
+        if closed:
+            delivered += self._mark_eof()
+        return delivered, closed
+
+    def _mark_eof(self) -> int:
+        """Terminal delivery: torn-stream diagnosis + the EOF sentinel."""
+        if self._eof_delivered:
+            return 0
+        self._eof_delivered = True
+        delivered = 0
+        if not self._closed.is_set():
+            for item in self._assembler.eof():
+                self._inbox.put(item)
+                delivered += 1
+        self.peer_gone.set()
+        self._inbox.put(None)
+        return delivered + 1
+
+    def close(self) -> None:
+        # No reader thread will deliver the EOF sentinel on close: put it
+        # ourselves so a consumer blocked on the inbox wakes immediately
+        # instead of waiting out its full receive timeout.
+        super().close()
+        if not self._eof_delivered:
+            self._eof_delivered = True
+            self._inbox.put(None)

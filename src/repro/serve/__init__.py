@@ -14,9 +14,15 @@ is concurrent: a bounded worker pool serves one session per connection,
 each session's dealer seed derived from its session key
 (:func:`~repro.serve.remote.derive_session_seed`), with busy-reply
 backpressure past ``max_sessions`` and graceful drain on ``stop()``.
+
+:mod:`repro.serve.loadgen` (``c2pi loadgen``) drives that server with an
+open-loop sustained load — many concurrent sessions, Poisson or
+fixed-rate arrivals — and gates tail latency, SLO violations and serial
+byte-identity against a committed snapshot.
 """
 
 from .chaos_check import run_chaos_check, tiny_victim
+from .loadgen import check_load_snapshot, run_loadgen
 from .remote import (
     RemoteClient,
     RemoteReply,
@@ -51,4 +57,6 @@ __all__ = [
     "benchmark_concurrent",
     "run_chaos_check",
     "tiny_victim",
+    "run_loadgen",
+    "check_load_snapshot",
 ]

@@ -22,9 +22,12 @@ connected by a :class:`~repro.mpc.transport.PeerChannel`:
    server reconstructs the noised activation, runs the clear layers and
    returns the logits.
 
-The server is **concurrent**: a bounded worker pool serves one session
-per connection, sessions beyond ``max_sessions`` get the busy reply
-instead of a hung socket, a malformed client costs only its own
+The server is **concurrent** around an event loop: one selector thread
+owns the listener and every session's socket, so an idle-on-the-wire
+session costs one file descriptor — not a parked thread — and sessions
+are handed to a bounded worker pool only when a complete request frame
+has actually arrived. Sessions beyond ``max_sessions`` get the busy
+reply instead of a hung socket, a malformed client costs only its own
 connection, and :meth:`RemoteServer.stop` drains in-flight sessions
 before tearing the listener down. Per-session dealer-seed derivation
 (:func:`derive_session_seed`) is what keeps every session's material
@@ -65,9 +68,13 @@ and the networked CI smoke job use.
 from __future__ import annotations
 
 import hashlib
+import queue
+import random
+import selectors
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -96,6 +103,7 @@ from .dealer_service import (
 from ..mpc.shm import ShmChannel
 from ..mpc.transport import (
     LinkShaper,
+    LoopChannel,
     PeerChannel,
     Transport,
     TransportError,
@@ -219,6 +227,46 @@ class _Inflight:
     completed: bool = False
 
 
+class _Session:
+    """One accepted connection's event-loop record.
+
+    The loop thread owns the file descriptor (``transport`` is a
+    :class:`~repro.mpc.transport.LoopChannel`); a worker owns the
+    session only between a dispatch and the matching return to
+    ``idle``. ``state`` transitions — ``handshake`` → (``queued`` ⇄
+    ``running`` ⇄ ``idle``) → ``dead``, or sideways to ``shm`` — happen
+    under the server's ``_dispatch_lock``, which is what closes the
+    deliver-while-going-idle race: the loop re-checks dispatchability
+    under the same lock the worker used to park the session.
+    """
+
+    __slots__ = (
+        "transport",
+        "fd",
+        "stats",
+        "state",
+        "deadline",
+        "rejected",
+        "hello_done",
+        "shm_channel",
+        "finished",
+    )
+
+    def __init__(self, transport: LoopChannel):
+        self.transport = transport
+        self.fd = -1
+        self.stats: SessionStats | None = None
+        self.state = "handshake"
+        #: Loop-enforced receive deadline (monotonic seconds): the
+        #: handshake budget at first, the idle ``request_timeout``
+        #: between requests; ``None`` while a worker owns the session.
+        self.deadline: float | None = None
+        self.rejected = False
+        self.hello_done = False
+        self.shm_channel: Transport | None = None
+        self.finished = False
+
+
 class RemoteServer:
     """Serve private inferences to remote clients over TCP, concurrently.
 
@@ -227,11 +275,18 @@ class RemoteServer:
     online protocol, and evaluates the clear layers on the noised
     boundary activation.
 
-    Concurrency model (DESIGN.md section 8):
+    Concurrency model (DESIGN.md sections 8 and 14):
 
-    * every accepted connection becomes one **session**, served start to
-      finish by one worker; at most ``workers`` sessions execute the
-      protocol at a time;
+    * one **event-loop thread** owns the listener and every session's
+      socket: accepts and socket reads are non-blocking waits
+      multiplexed on a selector, so an idle session costs one fd, not a
+      parked thread — thousands of connected-but-quiet clients are fine;
+    * ``workers`` pool threads execute the protocol; a session is
+      dispatched to the pool only when a complete frame is waiting, and
+      the worker is held per *request*, not per session. At most
+      ``workers`` engine executions run at a time (``_worker_slots``
+      also covers shared-memory sessions, which keep a dedicated pump
+      thread because ring buffers are not selectable);
     * the registry admits at most ``max_sessions`` sessions (default:
       ``workers``); a connection beyond that receives an explicit
       ``busy`` hello (the client raises :class:`ServerBusy`) instead of
@@ -242,11 +297,15 @@ class RemoteServer:
       matter how other sessions interleave. Anonymous sessions share the
       base-seeded pools (the single-client behaviour of old);
     * a malformed or vanished client is contained to its own session:
-      the accept loop never sees per-connection exceptions, and failed
+      the loop never sees per-connection exceptions, and failed
       handshakes are counted in ``connections_failed`` — never in
       ``connections_served``;
     * :meth:`stop` drains: in-flight sessions finish (bounded by
       ``timeout``) before their transports are force-closed.
+
+    Only the loop thread ever touches the selector: workers and
+    :meth:`stop` enqueue commands and wake the loop over a socketpair,
+    so a descriptor is always unregistered before its socket closes.
     """
 
     def __init__(
@@ -316,12 +375,32 @@ class RemoteServer:
         self._listener = PeerChannel.listen(host, port)
         self.port = self._listener.getsockname()[1]
         self._stopping = False
-        # One state lock guards the registry, the counters and the
-        # finished-session log; `_drained` lets stop() wait for in-flight
-        # sessions and `_worker_slots` bounds concurrent protocol work.
+        # One state lock guards the registry and the finished-session
+        # log; `_drained` lets stop() wait for in-flight sessions and
+        # `_worker_slots` bounds concurrent protocol work.
         self._state_lock = threading.Lock()
         self._drained = threading.Condition(self._state_lock)
+        # Counters get a dedicated leaf lock (never held while taking
+        # any other): bare `+=` from concurrent workers is not atomic
+        # under the GIL, so unlocked increments lose updates under load.
+        self._metrics_lock = threading.Lock()
         self._worker_slots = threading.Semaphore(workers)
+        # Event-loop plumbing. The loop thread is the only one that may
+        # touch `_selector`, `_watched` or the listener once started;
+        # everyone else appends to `_commands` and wakes the loop.
+        self._dispatch_lock = threading.Lock()
+        self._dispatch: queue.Queue = queue.Queue()
+        self._commands: deque = deque()
+        self._selector: selectors.BaseSelector | None = None
+        self._watched: dict[int, _Session] = {}
+        self._wake_r: socket.socket | None = None
+        self._wake_w: socket.socket | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._worker_threads: list[threading.Thread] = []
+        self._start_lock = threading.Lock()
+        self._started = False
+        self._listener_open = True
+        self._stopped = threading.Event()
         self._active: dict[int, tuple[SessionStats, Transport]] = {}
         # Accepted connections that have not completed the handshake yet.
         # Tracked so stop() can close them and so a flood of connections
@@ -353,39 +432,71 @@ class RemoteServer:
         self.sessions_reaped = 0
 
     # ------------------------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        """Atomically bump one of the public counters.
+
+        Every counter mutation goes through here: `+=` from concurrent
+        workers is a read-modify-write that the GIL does not make
+        atomic, and `metrics()` must never undercount served requests.
+        """
+        with self._metrics_lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def _note_served(
+        self, stats: SessionStats, online_s: float, offline_s: float
+    ) -> None:
+        """Accumulate one request into its session's stats, atomically."""
+        with self._metrics_lock:
+            stats.requests += 1
+            stats.online_s += online_s
+            stats.offline_s += offline_s
+
+    # ------------------------------------------------------------------
     def pool(
         self, batch: int, session: int | str | None = None
     ) -> PreprocessingPool:
-        """The (session, batch) preprocessing pool, created on demand."""
+        """The (session, batch) preprocessing pool, created on demand.
+
+        Construction happens *outside* ``_pools_lock`` with a
+        double-checked insert: a dealer-backed pool's client dials a
+        remote endpoint lazily, but even its construction (fingerprint
+        hashing, plan sizing) must not stall every other session's pool
+        lookup behind one slow key. The losing side of a construction
+        race closes its candidate.
+        """
         key = (session, batch)
         with self._pools_lock:
             pool = self._pools.get(key)
-            if pool is None:
-                seed = derive_session_seed(self.seed, session)
-                if self._dealer_endpoint is None:
-                    pool = PreprocessingPool(
-                        self.program, batch, dealer_seed=seed
-                    )
-                else:
-                    host, port = self._dealer_endpoint
-                    # One client per pool: fetches are serialized by the
-                    # pool's generation lock, so the RPC connection never
-                    # needs to be shared across threads.
-                    pool = DealerBackedPool(
-                        self.program,
-                        batch,
-                        dealer_seed=seed,
-                        client=DealerClient(
-                            host,
-                            port,
-                            fingerprint=program_fingerprint(self.program),
-                            timeout=self._dealer_timeout,
-                            transport_wrapper=self._dealer_wrapper,
-                        ),
-                        fallback=self._dealer_fallback,
-                        fetch_deadline=self._dealer_fetch_deadline,
-                    )
-                self._pools[key] = pool
+        if pool is not None:
+            return pool
+        seed = derive_session_seed(self.seed, session)
+        if self._dealer_endpoint is None:
+            candidate: PreprocessingPool = PreprocessingPool(
+                self.program, batch, dealer_seed=seed
+            )
+        else:
+            host, port = self._dealer_endpoint
+            # One client per pool: fetches are serialized by the
+            # pool's generation lock, so the RPC connection never
+            # needs to be shared across threads.
+            candidate = DealerBackedPool(
+                self.program,
+                batch,
+                dealer_seed=seed,
+                client=DealerClient(
+                    host,
+                    port,
+                    fingerprint=program_fingerprint(self.program),
+                    timeout=self._dealer_timeout,
+                    transport_wrapper=self._dealer_wrapper,
+                ),
+                fallback=self._dealer_fallback,
+                fetch_deadline=self._dealer_fetch_deadline,
+            )
+        with self._pools_lock:
+            pool = self._pools.setdefault(key, candidate)
+        if pool is not candidate and isinstance(candidate, DealerBackedPool):
+            candidate.close()
         return pool
 
     def warm(
@@ -417,29 +528,62 @@ class RemoteServer:
         return True
 
     def serve_forever(self, once: bool = False) -> None:
-        """Accept connections until :meth:`stop` (or one, with ``once``).
+        """Serve until :meth:`stop` (or until one session, with ``once``).
 
-        The accept loop only accepts and dispatches: each connection is
-        handed to a session worker thread immediately, so a slow or
-        malicious client can never stall the next ``accept``.
+        Starts the event loop and the worker pool on first call, then
+        blocks. With ``once`` the call returns as soon as the first
+        session has finished and no other is active (the loop keeps
+        running; the typical ``--once`` caller exits the process next).
         """
-        while not self._stopping:
-            try:
-                transport = PeerChannel.accept(
-                    self._listener, timeout=self.request_timeout
-                )
-            except OSError:
-                break  # listener closed by stop()
-            worker = threading.Thread(
-                target=self._session_worker,
-                args=(transport,),
-                name="c2pi-session",
-                daemon=True,
+        self._ensure_started()
+        if once:
+            with self._drained:
+                while not self._stopping and not (
+                    self._finished and not self._active
+                ):
+                    self._drained.wait(timeout=0.2)
+            return
+        self._stopped.wait()
+
+    def _ensure_started(self) -> None:
+        with self._start_lock:
+            if self._started:
+                return
+            self._started = True
+            self._listener.setblocking(False)
+            self._selector = selectors.DefaultSelector()
+            self._selector.register(self._listener, selectors.EVENT_READ,
+                                    "listener")
+            self._wake_r, self._wake_w = socket.socketpair()
+            self._wake_r.setblocking(False)
+            self._wake_w.setblocking(False)
+            self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+            self._loop_thread = threading.Thread(
+                target=self._loop_main, name="c2pi-loop", daemon=True
             )
-            worker.start()
-            if once:
-                worker.join()
-                break
+            self._loop_thread.start()
+            self._worker_threads = [
+                threading.Thread(
+                    target=self._worker_main,
+                    name=f"c2pi-worker-{index}",
+                    daemon=True,
+                )
+                for index in range(self.workers)
+            ]
+            for worker in self._worker_threads:
+                worker.start()
+
+    def _wake_loop(self) -> None:
+        wake = self._wake_w
+        if wake is None:
+            return
+        try:
+            # audit: allow[wire/missing-label] -- loop wake socketpair, not protocol traffic
+            wake.send(b"\x00")
+        except (BlockingIOError, InterruptedError):
+            pass  # a wake is already pending
+        except OSError:
+            pass  # loop already torn down
 
     def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
         """Stop accepting; optionally wait for in-flight sessions.
@@ -449,18 +593,14 @@ class RemoteServer:
         then force-closed so the caller never hangs on a wedged client.
         """
         self._stopping = True
-        try:
-            # close() alone does not wake a thread blocked in accept()
-            # on Linux — the syscall keeps waiting on the orphaned fd and
-            # every stop/join pays the full join timeout. shutdown()
-            # interrupts the accept deterministically.
-            self._listener.shutdown(socket.SHUT_RDWR)
-        except OSError:  # pragma: no cover - platform dependent
-            pass
-        try:
-            self._listener.close()
-        except OSError:  # pragma: no cover - platform dependent
-            pass
+        started = self._started and not self._stopped.is_set()
+        if started:
+            # The loop owns the listener: closing it out from under a
+            # select() would corrupt the selector, so ask the loop.
+            self._commands.append(("stop-accepting", None))
+            self._wake_loop()
+        else:
+            self._close_listener()
         if drain:
             deadline = time.monotonic() + timeout
             with self._drained:
@@ -473,8 +613,18 @@ class RemoteServer:
             leftovers.extend(self._pending)
             stranded = list(self._inflight.values())
             self._inflight.clear()
+        if started:
+            self._commands.append(("shutdown", None))
+            self._wake_loop()
+            self._stopped.wait(timeout=5.0)
+        # The loop's exit closed every watched socket; anything left
+        # (shared-memory channels, commands that raced the shutdown) is
+        # closed here — close() is idempotent.
+        self._run_commands(direct=True)
         for transport in leftovers:
             transport.close()
+        for _ in self._worker_threads:
+            self._dispatch.put(None)
         # No retry is coming once the server is down: resolve every
         # retained bundle so pool accounting balances at shutdown.
         for record in stranded:
@@ -485,6 +635,391 @@ class RemoteServer:
         for pool in pools:
             if isinstance(pool, DealerBackedPool):
                 pool.close()
+
+    def _close_listener(self) -> None:
+        if not self._listener_open:
+            return
+        self._listener_open = False
+        try:
+            # close() alone does not wake a blocked accept() on Linux;
+            # shutdown() interrupts it deterministically.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+
+    # -- the event loop (all selector access lives on this thread) ------
+    def _loop_main(self) -> None:
+        try:
+            while True:
+                if self._run_commands():
+                    return  # shutdown: _loop_finish runs in finally
+                events = self._selector.select(self._loop_timeout())
+                for key, _ in events:
+                    tag = key.data
+                    if tag == "listener":
+                        self._accept_ready()
+                    elif tag == "wake":
+                        self._drain_wake()
+                    else:
+                        self._service_readable(tag)
+                self._expire_deadlines()
+        finally:
+            self._loop_finish()
+
+    def _run_commands(self, direct: bool = False) -> bool:
+        """Apply queued commands; ``True`` means shutdown was requested.
+
+        ``direct`` is the post-loop path (stop() draining stragglers):
+        the selector is gone, so only the close side effects apply.
+        """
+        while True:
+            try:
+                command, payload = self._commands.popleft()
+            except IndexError:
+                return False
+            if command == "close":
+                self._unwatch(payload)
+                payload.transport.close()
+            elif command == "stop-accepting" and not direct:
+                self._unwatch_listener()
+                self._close_listener()
+            elif command == "shutdown" and not direct:
+                return True
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:  # pragma: no cover - teardown race
+            pass
+
+    def _loop_timeout(self) -> float | None:
+        """Sleep until the nearest session deadline (or a wake)."""
+        soonest: float | None = None
+        for session in self._watched.values():
+            deadline = session.deadline
+            if deadline is not None and (soonest is None or deadline < soonest):
+                soonest = deadline
+        if soonest is None:
+            return None
+        return max(0.0, soonest - time.monotonic())
+
+    def _unwatch_listener(self) -> None:
+        if self._listener_open:
+            try:
+                self._selector.unregister(self._listener)
+            except (KeyError, ValueError):  # pragma: no cover - idempotent
+                pass
+
+    def _accept_ready(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed by stop()
+            with self._state_lock:
+                overloaded = len(self._pending) >= self._max_pending
+            if overloaded or self._stopping:
+                # A connection flood that outpaces handshakes (or a
+                # shutdown in progress): drop outright rather than
+                # registering yet another silent socket.
+                self._count("connections_rejected")
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - already dead
+                    pass
+                continue
+            transport = LoopChannel(sock, party=1, timeout=self.request_timeout)
+            with self._state_lock:
+                self._pending.add(transport)
+            session = _Session(transport)
+            # The handshake gets a short deadline of its own: a client
+            # that connects and never speaks is cut off in seconds, not
+            # after the full (120 s) protocol timeout.
+            session.deadline = time.monotonic() + self.handshake_timeout
+            session.fd = transport.fileno()
+            self._watched[session.fd] = session
+            self._selector.register(transport, selectors.EVENT_READ, session)
+
+    def _service_readable(self, session: _Session) -> None:
+        delivered, closed = session.transport.on_readable()
+        if closed:
+            # EOF / terminal framing failure: nothing more will arrive,
+            # stop watching (the close itself is the owner's business).
+            self._unwatch(session)
+            session.deadline = None
+        if delivered:
+            self._maybe_dispatch(session)
+
+    def _unwatch(self, session: _Session) -> None:
+        if self._watched.pop(session.fd, None) is None:
+            return
+        try:
+            self._selector.unregister(session.transport)
+        except (KeyError, ValueError):  # pragma: no cover - idempotent
+            pass
+
+    def _expire_deadlines(self) -> None:
+        now = time.monotonic()
+        for session in list(self._watched.values()):
+            deadline = session.deadline
+            if deadline is None or now < deadline:
+                continue
+            # Synthesize the timeout a blocking recv would have raised:
+            # the dispatched worker runs the exact failure/reap path the
+            # thread-per-session model exercised.
+            session.deadline = None
+            session.transport.inject(
+                TransportError("party 1 timed out waiting for the peer")
+            )
+            self._maybe_dispatch(session)
+
+    def _maybe_dispatch(self, session: _Session) -> None:
+        with self._dispatch_lock:
+            if session.state not in ("handshake", "idle"):
+                return  # queued/running/shm/dead: someone owns it
+            session.state = "queued"
+            session.deadline = None
+        self._dispatch.put(session)
+
+    def _loop_finish(self) -> None:
+        """Loop teardown: close every watched socket, then signal exit."""
+        for session in list(self._watched.values()):
+            self._unwatch(session)
+            session.transport.close()
+            # Wake a worker to run the failure/retire bookkeeping for
+            # sessions nobody owns (idle, mid-handshake).
+            self._maybe_dispatch(session)
+        self._unwatch_listener()
+        self._close_listener()
+        for sock in (self._wake_r, self._wake_w):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - teardown race
+                    pass
+        self._selector.close()
+        self._stopped.set()
+
+    # -- the worker pool -------------------------------------------------
+    def _worker_main(self) -> None:
+        while True:
+            session = self._dispatch.get()
+            if session is None:
+                return
+            with self._dispatch_lock:
+                run = session.state == "queued"
+                if run:
+                    session.state = "running"
+            if run:
+                self._process(session)
+
+    def _process(self, session: _Session) -> None:
+        """One dispatch: handshake, or serve queued requests, then park.
+
+        Any per-connection failure — a vanished peer, a malformed
+        request, a reshape error from a lying ``batch`` field — is
+        recorded on the session and the connection closed; the loop and
+        every other session keep running.
+        """
+        try:
+            if not session.hello_done:
+                if not self._session_handshake(session):
+                    return  # rejected, failed over to shm, or parked
+            self._session_requests(session)
+        except (TransportError, OSError, ValueError, KeyError,
+                TypeError, AttributeError) as exc:
+            # Contain the blast radius: this connection dies, the server
+            # lives. TransportError covers vanished/out-of-lockstep
+            # peers; the rest is what a hostile or buggy peer can induce
+            # (malformed request dict, bad batch, reshape failure, ...)
+            # — worth surfacing in the metrics, not in a dead worker.
+            self._finish_session(session, exc)
+        except Exception as exc:
+            # An internal bug (assertion, name error, ...) must not be
+            # absorbed as if a client had misbehaved: do the same
+            # bookkeeping, then let it propagate to the thread excepthook.
+            self._finish_session(session, exc)
+            raise
+
+    def _session_handshake(self, session: _Session) -> bool:
+        """Run the hello exchange; ``True`` if requests should follow now.
+
+        ``False`` covers the three other outcomes: the connection was
+        rejected with a busy hello, upgraded to shared memory (a pump
+        thread takes over), or parked idle on the loop until its first
+        request frame arrives.
+        """
+        transport = session.transport
+        protocol_timeout = transport.timeout
+        transport.timeout = self.handshake_timeout
+        link = transport.recv_obj("link")
+        transport.timeout = protocol_timeout
+        if link.get("bandwidth_bytes_per_s"):
+            transport.shaper = LinkShaper(
+                link["bandwidth_bytes_per_s"], link.get("rtt_s") or 0.0
+            )
+        session_key = link.get("session")
+        stats, rejection = self._admit(session_key, transport)
+        if stats is None:
+            session.rejected = True
+            self._count("connections_rejected")
+            with self._state_lock:
+                active = len(self._active)
+            transport.send_obj(
+                {
+                    "protocol": PROTOCOL_VERSION,
+                    "busy": True,
+                    "reason": rejection,
+                    "active_sessions": active,
+                    "max_sessions": self.max_sessions,
+                },
+                "hello",
+            )
+            self._finish_session(session, None)
+            return False
+        session.stats = stats
+        hello = {
+            "protocol": PROTOCOL_VERSION,
+            "model": self.model.name,
+            "boundary": self.boundary,
+            "session": stats.session_id,
+            "manifest": program_manifest(self.program),
+        }
+        shm_channel = None
+        if link.get("shm") and self.allow_shm and transport.shaper is None:
+            try:
+                shm_channel, grant = ShmChannel.serve(transport)
+            except (OSError, ValueError, MemoryError):
+                # Can't create the segments (exhausted /dev/shm,
+                # no shared-memory support, ...): stay on TCP.
+                shm_channel = None
+            else:
+                hello["shm"] = grant
+        transport.send_obj(hello, "hello")
+        stats.handshake_ok = True
+        session.hello_done = True
+        if shm_channel is not None:
+            # Everything after the hello rides the rings, which are not
+            # selectable: a dedicated pump thread serves this session
+            # (still one protocol slot per request). The TCP connection
+            # stays watched underneath as the liveness carrier.
+            session.shm_channel = shm_channel
+            with self._state_lock:
+                self._active[stats.session_id] = (stats, shm_channel)
+            with self._dispatch_lock:
+                session.state = "shm"
+            threading.Thread(
+                target=self._shm_session_worker,
+                args=(session,),
+                name="c2pi-shm-session",
+                daemon=True,
+            ).start()
+            return False
+        return not self._park_idle(session)
+
+    def _session_requests(self, session: _Session) -> None:
+        """Serve request frames until the inbox drains, then park.
+
+        The dispatch contract guarantees a complete frame is waiting on
+        entry, so the only blocking receives a pool worker ever performs
+        are *inside* one request's protocol execution — where the client
+        is actively streaming its rounds.
+        """
+        transport = session.transport
+        stats = session.stats
+        while True:
+            request = transport.recv_obj("req")
+            command = request.get("cmd")
+            if command == "bye":
+                self._resolve_inflight(stats.session, final=True)
+                self._finish_session(session, None)
+                return
+            if command != "infer":
+                raise TransportError(f"unknown request: {request!r}")
+            with self._worker_slots:
+                served = self._serve_inference(transport, request, stats)
+            self._count("requests_served" if served else "requests_busy")
+            if self._park_idle(session):
+                return
+
+    def _park_idle(self, session: _Session) -> bool:
+        """Between requests: hand the session back to the loop if its
+        inbox is empty. The loop's ``_maybe_dispatch`` takes the same
+        lock after delivering frames, so a frame that races this park
+        either lands before the emptiness check (we keep serving) or
+        re-dispatches the now-idle session — never lost either way."""
+        with self._dispatch_lock:
+            if session.transport._inbox.qsize() > 0:
+                return False  # the next frame is already here
+            session.state = "idle"
+            session.deadline = time.monotonic() + self.request_timeout
+        self._wake_loop()  # recompute the loop's sleep for the deadline
+        return True
+
+    def _shm_session_worker(self, session: _Session) -> None:
+        """Dedicated pump for one shared-memory session's ring buffers."""
+        shm = session.shm_channel
+        stats = session.stats
+        try:
+            while True:
+                request = shm.recv_obj("req")
+                command = request.get("cmd")
+                if command == "bye":
+                    self._resolve_inflight(stats.session, final=True)
+                    self._finish_session(session, None)
+                    return
+                if command != "infer":
+                    raise TransportError(f"unknown request: {request!r}")
+                with self._worker_slots:
+                    served = self._serve_inference(shm, request, stats)
+                self._count("requests_served" if served else "requests_busy")
+        except (TransportError, OSError, ValueError, KeyError,
+                TypeError, AttributeError) as exc:
+            self._finish_session(session, exc)
+        except Exception as exc:
+            self._finish_session(session, exc)
+            raise
+
+    def _finish_session(
+        self, session: _Session, exc: BaseException | None
+    ) -> None:
+        """Terminal bookkeeping for one session (idempotent).
+
+        Mirrors the old per-session thread's ``except``/``finally``:
+        failure notes and reaping, transport closure (routed through
+        the loop so the descriptor is unregistered first), pending-set
+        cleanup and retirement into the finished log.
+        """
+        with self._dispatch_lock:
+            if session.finished:
+                return
+            session.finished = True
+            session.state = "dead"
+        if exc is not None:
+            self._note_worker_failure(session.stats, session.rejected, exc)
+        shm = session.shm_channel
+        if shm is not None:
+            shm.close()
+        if self._stopped.is_set():
+            session.transport.close()
+        else:
+            self._commands.append(("close", session))
+            self._wake_loop()
+        with self._state_lock:
+            self._pending.discard(session.transport)
+        if session.stats is not None:
+            self._retire(
+                session.stats, shm if shm is not None else session.transport
+            )
 
     # ------------------------------------------------------------------
     def _admit(self, session_key: int | str | None, transport: Transport):
@@ -516,138 +1051,25 @@ class RemoteServer:
     def _retire(self, stats: SessionStats, transport: Transport) -> None:
         stats.active = False
         stats.wire = transport.stats.as_dict()
+        self._count(
+            "connections_served"
+            if stats.handshake_ok and stats.error is None
+            else "connections_failed"
+        )
         with self._drained:
             self._active.pop(stats.session_id, None)
             self._finished.append(stats)
-            if stats.handshake_ok and stats.error is None:
-                self.connections_served += 1
-            else:
-                self.connections_failed += 1
             self._drained.notify_all()
-
-    def _session_worker(self, transport: Transport) -> None:
-        """Serve one connection start to finish; exceptions stay here.
-
-        Any per-connection failure — a vanished peer, a malformed
-        request, a reshape error from a lying ``batch`` field — is
-        recorded on the session and the connection closed; the accept
-        loop and every other session keep running.
-        """
-        stats: SessionStats | None = None
-        rejected = False
-        with self._state_lock:
-            overloaded = len(self._pending) >= self._max_pending
-            if not overloaded:
-                self._pending.add(transport)
-        if overloaded:
-            # A connection flood that outpaces handshakes: drop outright
-            # rather than parking yet another thread on a silent socket.
-            with self._state_lock:
-                self.connections_rejected += 1
-            transport.close()
-            return
-        try:
-            # The handshake gets a short deadline of its own: a client
-            # that connects and never speaks ties up this thread for
-            # seconds, not the full (120 s) protocol timeout.
-            protocol_timeout = transport.timeout
-            transport.timeout = self.handshake_timeout
-            link = transport.recv_obj("link")
-            transport.timeout = protocol_timeout
-            if link.get("bandwidth_bytes_per_s"):
-                transport.shaper = LinkShaper(
-                    link["bandwidth_bytes_per_s"], link.get("rtt_s") or 0.0
-                )
-            session_key = link.get("session")
-            stats, rejection = self._admit(session_key, transport)
-            if stats is None:
-                rejected = True
-                with self._state_lock:
-                    self.connections_rejected += 1
-                    active = len(self._active)
-                transport.send_obj(
-                    {
-                        "protocol": PROTOCOL_VERSION,
-                        "busy": True,
-                        "reason": rejection,
-                        "active_sessions": active,
-                        "max_sessions": self.max_sessions,
-                    },
-                    "hello",
-                )
-                return
-            with self._worker_slots:
-                hello = {
-                    "protocol": PROTOCOL_VERSION,
-                    "model": self.model.name,
-                    "boundary": self.boundary,
-                    "session": stats.session_id,
-                    "manifest": program_manifest(self.program),
-                }
-                shm_channel = None
-                if link.get("shm") and self.allow_shm and transport.shaper is None:
-                    try:
-                        shm_channel, grant = ShmChannel.serve(transport)
-                    except (OSError, ValueError, MemoryError):
-                        # Can't create the segments (exhausted /dev/shm,
-                        # no shared-memory support, ...): stay on TCP.
-                        shm_channel = None
-                    else:
-                        hello["shm"] = grant
-                transport.send_obj(hello, "hello")
-                if shm_channel is not None:
-                    # Everything after the hello rides the rings; the TCP
-                    # connection stays open underneath as the liveness
-                    # carrier and the (shared) stats object.
-                    transport = shm_channel
-                    with self._state_lock:
-                        self._active[stats.session_id] = (stats, transport)
-                stats.handshake_ok = True
-                while True:
-                    request = transport.recv_obj("req")
-                    command = request.get("cmd")
-                    if command == "bye":
-                        self._resolve_inflight(stats.session, final=True)
-                        break
-                    if command != "infer":
-                        raise TransportError(f"unknown request: {request!r}")
-                    served = self._serve_inference(transport, request, stats)
-                    with self._state_lock:
-                        if served:
-                            self.requests_served += 1
-                        else:
-                            self.requests_busy += 1
-        except (TransportError, OSError, ValueError, KeyError,
-                TypeError, AttributeError) as exc:
-            # Contain the blast radius: this connection dies, the server
-            # lives. TransportError covers vanished/out-of-lockstep
-            # peers; the rest is what a hostile or buggy peer can induce
-            # (malformed request dict, bad batch, reshape failure, ...)
-            # — worth surfacing in the metrics, not in a dead worker.
-            self._note_worker_failure(stats, rejected, exc)
-        except Exception as exc:
-            # An internal bug (assertion, name error, ...) must not be
-            # absorbed as if a client had misbehaved: do the same
-            # bookkeeping, then let it propagate to the thread excepthook.
-            self._note_worker_failure(stats, rejected, exc)
-            raise
-        finally:
-            transport.close()
-            with self._state_lock:
-                self._pending.discard(transport)
-            if stats is not None:
-                self._retire(stats, transport)
 
     def _note_worker_failure(
         self, stats: "SessionStats | None", rejected: bool, exc: BaseException
     ) -> None:
-        """Session-worker failure bookkeeping (shared by both handlers)."""
+        """Session failure bookkeeping (shared by both handlers)."""
         if stats is not None:
             stats.error = f"{type(exc).__name__}: {exc}"
             self._reap(stats)
         elif not rejected:  # a rejection already counted itself
-            with self._state_lock:
-                self.connections_failed += 1
+            self._count("connections_failed")
 
     def _reap(self, stats: SessionStats) -> None:
         """A session died mid-protocol: resolve its offline material.
@@ -660,8 +1082,8 @@ class RemoteServer:
         comes). Anonymous sessions have no retry identity; their failed
         bundles were already resolved inside ``_serve_inference``.
         """
+        self._count("sessions_reaped")
         with self._state_lock:
-            self.sessions_reaped += 1
             record = self._inflight.get(stats.session)
             restore = (
                 record is not None and not record.shipped and not record.completed
@@ -716,9 +1138,8 @@ class RemoteServer:
                     f"{record.batch} -> {batch}; a retry must replay the "
                     "original request verbatim"
                 )
-            if retried:
-                self.requests_retried += 1
         if retried:
+            self._count("requests_retried")
             return record.bundle, record
         # A new key makes the previous record unreachable: resolve it.
         self._resolve_inflight(stats.session, keep=key, final=True)
@@ -812,9 +1233,7 @@ class RemoteServer:
                 nn.Tensor(server_view), self.boundary
             ).data
         online_s = time.perf_counter() - online_start
-        stats.requests += 1
-        stats.online_s += online_s
-        stats.offline_s += offline_s
+        self._note_served(stats, online_s, offline_s)
 
         transport.send_tensor(np.asarray(logits, dtype=np.float32), "logits")
         transport.send_obj(
@@ -833,12 +1252,7 @@ class RemoteServer:
         """One thread-safe snapshot: global counters, per-session stats,
         aggregated :class:`~repro.mpc.transport.WireStats` and per-pool
         offline counters."""
-        with self._state_lock:
-            active = [
-                (stats.as_dict(), transport.stats.as_dict())
-                for stats, transport in self._active.values()
-            ]
-            finished = [stats.as_dict() for stats in self._finished]
+        with self._metrics_lock:
             counters = {
                 "connections_served": self.connections_served,
                 "connections_failed": self.connections_failed,
@@ -847,11 +1261,17 @@ class RemoteServer:
                 "requests_retried": self.requests_retried,
                 "requests_busy": self.requests_busy,
                 "sessions_reaped": self.sessions_reaped,
-                "inflight_bundles": len(self._inflight),
-                "active_sessions": len(self._active),
                 "workers": self.workers,
                 "max_sessions": self.max_sessions,
             }
+        with self._state_lock:
+            active = [
+                (stats.as_dict(), transport.stats.as_dict())
+                for stats, transport in self._active.values()
+            ]
+            finished = [stats.as_dict() for stats in self._finished]
+            counters["inflight_bundles"] = len(self._inflight)
+            counters["active_sessions"] = len(self._active)
         sessions = []
         wire_total = WireStats()
         for stats_dict, live_wire in active:
@@ -971,6 +1391,11 @@ class RemoteClient:
         self._seed = seed
         self.reconnect_timeout = reconnect_timeout
         self.busy_backoff_s = busy_backoff_s
+        # Decorrelated-jitter source for the backoff loops: seeded per
+        # client instance (monotonic ns XOR identity) so a fleet of
+        # loadgen clients spawned in the same tick still spreads its
+        # retries instead of hammering the server in lockstep.
+        self._jitter = random.Random(time.monotonic_ns() ^ id(self))
         self.noise = NoiseMechanism(noise_magnitude, seed=seed)
         self.engine: PartyEngine | None = None
         self.transport: Transport | None = None
@@ -1080,10 +1505,20 @@ class RemoteClient:
                 self._handshake()
                 return
             except (ServerBusy, TransportError):
-                if time.monotonic() >= deadline:
+                now = time.monotonic()
+                if now >= deadline:
                     raise
-                time.sleep(backoff)
-                backoff = min(backoff * 2.0, 0.5)
+                # Sleep only what the deadline has left: a full backoff
+                # step here could overshoot reconnect_timeout by up to
+                # the 0.5 s cap. The next step is decorrelated jitter
+                # (uniform over [base, 3*previous], capped) so a fleet
+                # of clients spreads its retries.
+                delay = min(backoff, deadline - now)
+                if delay > 0:
+                    time.sleep(delay)
+                backoff = min(
+                    0.5, self._jitter.uniform(self.busy_backoff_s, backoff * 3.0)
+                )
 
     @property
     def input_shape(self) -> tuple[int, ...]:
@@ -1125,7 +1560,10 @@ class RemoteClient:
                 reconnect = False
                 if attempt < retries:
                     time.sleep(backoff)
-                    backoff = min(backoff * 2.0, 0.5)
+                    backoff = min(
+                        0.5,
+                        self._jitter.uniform(self.busy_backoff_s, backoff * 3.0),
+                    )
                 continue
             except ServerBusy:
                 raise
